@@ -1,0 +1,153 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Block size (BZ)** — accuracy proxy (magnitude retention) vs
+//!    hardware cost (mux ways): larger blocks retain more magnitude at
+//!    the same density but need wider muxes (paper Sec. 8.1).
+//! 2. **Fixed vs variable A-DBB** — a fixed 4/8 datapath running a 2/8
+//!    layer wastes ~50% of its issue slots; the time-unrolled design
+//!    keeps utilization constant (paper Sec. 5.2).
+//! 3. **Outer-product vs dot-product TPE** — buffer bytes per MAC
+//!    (paper Sec. 6.1: the outer product reuses staged operands more).
+//! 4. **DAP stage cap at 5** — marginal speedup of supporting NNZ > 5
+//!    (paper Sec. 6.2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s2ta_bench::header;
+use s2ta_core::buffers::BufferPerMac;
+use s2ta_core::microbench::run_point;
+use s2ta_core::{ArchConfig, ArchKind};
+use s2ta_dbb::{prune, BlockAxis, DbbConfig};
+use s2ta_tensor::sparsity::SparseSpec;
+
+fn ablate_block_size() {
+    header("Ablation 1", "DBB block size: accuracy proxy vs mux cost (density 50%)");
+    let mut rng = StdRng::seed_from_u64(s2ta_bench::SEED);
+    let m = SparseSpec::dense().matrix(64, 512, &mut rng);
+    println!("{:<8} {:>11} {:>20} {:>10}", "config", "retention", "mask overhead b/blk", "mux ways");
+    let mut prev = 0.0;
+    for (nnz, bz) in [(2usize, 4usize), (4, 8), (8, 16)] {
+        let cfg = DbbConfig::new(nnz, bz);
+        let r = prune::magnitude_retention(&m, BlockAxis::Rows, cfg);
+        println!(
+            "{:<8} {:>10.1}% {:>20} {:>10}",
+            cfg.to_string(),
+            r * 100.0,
+            bz.div_ceil(8),
+            bz
+        );
+        assert!(r >= prev, "larger blocks at equal density must retain >= magnitude");
+        prev = r;
+    }
+    println!("=> BZ=8 balances retention against mux width (the paper's choice)");
+}
+
+fn ablate_fixed_vs_variable() {
+    header("Ablation 2", "Fixed 4/8 A-DBB datapath vs time-unrolled variable A-DBB");
+    // A spatially-unrolled fixed 4/8 datapath issues 4 slots per block
+    // regardless of the layer's real density; the time-unrolled design
+    // issues exactly the layer NNZ.
+    println!("{:<12} {:>16} {:>18}", "layer A-DBB", "fixed-4/8 util", "time-unrolled util");
+    for nnz in [1usize, 2, 3, 4] {
+        let fixed_util = nnz as f64 / 4.0;
+        // Time-unrolled: issue slots = nnz, so utilization of issued
+        // slots is constant (1.0 modulo weight gating).
+        println!("{:>8}/8 {:>15.0}% {:>17.0}%", nnz, fixed_util * 100.0, 100.0);
+    }
+    // Cross-check with the simulator: cycles scale with NNZ.
+    let c2 = run_point(ArchKind::S2taAw, 0.5, 0.75, s2ta_bench::SEED).report.events.cycles;
+    let c4 = run_point(ArchKind::S2taAw, 0.5, 0.50, s2ta_bench::SEED).report.events.cycles;
+    let ratio = c4 as f64 / c2 as f64;
+    println!("simulated cycles 4/8 vs 2/8: {ratio:.2}x (ideal 2.0x)");
+    assert!((ratio - 2.0).abs() < 0.1);
+    println!("=> the fixed datapath would idle 50% of its MACs on a 2/8 layer");
+}
+
+fn ablate_tpe_style() {
+    header("Ablation 3", "Dot-product vs outer-product TPE: buffer bytes per MAC");
+    let w = BufferPerMac::of(&ArchConfig::preset(ArchKind::S2taW));
+    let aw = BufferPerMac::of(&ArchConfig::preset(ArchKind::S2taAw));
+    println!("dot-product  (S2TA-W 4x4x4_4x8): operands {:.3} B/MAC", w.operands_bytes);
+    println!("outer-product (S2TA-AW 8x4x4_8x8): operands {:.3} B/MAC", aw.operands_bytes);
+    println!("(both are orders of magnitude below the 864+ B/MAC of gather/scatter designs)");
+}
+
+fn ablate_dap_cap() {
+    header("Ablation 4", "DAP maxpool-stage cap: speedup of supporting NNZ > 5");
+    // Speedup from serializing at nnz vs running dense (8 cycles).
+    println!("{:<8} {:>10} {:>18}", "NNZ", "speedup", "gain vs NNZ-1");
+    let mut prev = 1.0;
+    for nnz in (1..=8).rev() {
+        let speedup = 8.0 / nnz as f64;
+        let gain = speedup / prev;
+        println!("{:>5}/8 {:>9.2}x {:>17.2}x", nnz, speedup, gain);
+        prev = speedup;
+    }
+    println!("=> gains from 8/8 -> 6/8 are <15% each; the hardware caps at 5 stages");
+    println!("   and bypasses DAP above it (paper Sec. 6.2)");
+}
+
+fn ablate_dram_traffic() {
+    header("Ablation 5", "DRAM traffic with and without DBB compression (VGG16)");
+    use s2ta_core::memory::{MemoryConfig, ModelResidency};
+    let mem = MemoryConfig::default();
+    let model = s2ta_models::vgg16();
+    println!("{:<12} {:>12} {:>16} {:>14}", "arch", "DRAM MB", "streamed-W layers", "spilled-A layers");
+    let mut dense_mb = 0.0;
+    for kind in [ArchKind::SaZvcg, ArchKind::S2taW, ArchKind::S2taAw] {
+        let r = ModelResidency::of(&ArchConfig::preset(kind), &mem, &model);
+        let mb = r.total_dram_bytes() as f64 / 1e6;
+        if kind == ArchKind::SaZvcg {
+            dense_mb = mb;
+        }
+        println!(
+            "{:<12} {:>12.1} {:>16} {:>14}",
+            kind.to_string(),
+            mb,
+            r.streamed_weight_layers(),
+            r.spilled_act_layers()
+        );
+    }
+    let aw = ModelResidency::of(&ArchConfig::preset(ArchKind::S2taAw), &mem, &model);
+    assert!(aw.total_dram_bytes() < (dense_mb * 1e6) as u64);
+    println!("=> compression pays twice: fewer spills and less bandwidth (Sec. 6.3)");
+}
+
+fn ablate_weight_unrolled() {
+    header(
+        "Ablation 6",
+        "Weight-unrolled time-unrolling (footnote 2): variable W-DBB, fixed 4/8 A-DBB",
+    );
+    use rand::SeedableRng;
+    use s2ta_dbb::dap::{dap_matrix, LayerNnz};
+    use s2ta_dbb::DbbMatrix;
+    use s2ta_sim::{tpe_wa, ArrayGeometry};
+    let mut rng = StdRng::seed_from_u64(s2ta_bench::SEED);
+    let raw_w = SparseSpec::random(0.2).matrix(256, 512, &mut rng);
+    let raw_a = SparseSpec::random(0.3).matrix(512, 64, &mut rng);
+    let (a44, _) = dap_matrix(&raw_a, 8, LayerNnz::Prune(4));
+    let geom = ArrayGeometry::s2ta_aw();
+    println!("{:<8} {:>10} {:>9}", "W-DBB", "cycles", "speedup");
+    let mut base = 0u64;
+    for nnz in [4usize, 3, 2, 1] {
+        let pruned = prune::prune_matrix(&raw_w, BlockAxis::Rows, DbbConfig::new(nnz, 8));
+        let wdbb = DbbMatrix::compress(&pruned, BlockAxis::Rows, DbbConfig::new(nnz, 8))
+            .expect("pruned weights satisfy their bound");
+        let ev = tpe_wa::run_wa_perf(&geom, &wdbb, &a44);
+        if nnz == 4 {
+            base = ev.cycles;
+        }
+        println!("{:>5}/8 {:>10} {:>8.2}x", nnz, ev.cycles, base as f64 / ev.cycles as f64);
+    }
+    println!("=> the mirror image of Fig. 9d: cycles track the weight NNZ");
+}
+
+fn main() {
+    ablate_block_size();
+    ablate_fixed_vs_variable();
+    ablate_tpe_style();
+    ablate_dap_cap();
+    ablate_dram_traffic();
+    ablate_weight_unrolled();
+    println!("\nablation suite complete");
+}

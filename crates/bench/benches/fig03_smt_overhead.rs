@@ -1,0 +1,51 @@
+//! Figure 3: effective energy/area and speedup of INT8 systolic array
+//! variants (SA, SA-ZVCG, SMT-T2Q2, SMT-T2Q4) on a typical conv with
+//! 50% weight and activation sparsity.
+//!
+//! Paper: the SMT variants achieve 1.6x / 1.8x speedup, but the staging
+//! FIFOs leave them with ~50% *higher* energy than SA-ZVCG.
+
+use s2ta_bench::header;
+use s2ta_core::buffers::hw_spec;
+use s2ta_core::microbench::run_point;
+use s2ta_core::{ArchConfig, ArchKind};
+use s2ta_energy::area::{AreaBreakdown, AreaParams};
+use s2ta_energy::{EnergyBreakdown, TechParams};
+
+fn main() {
+    header("Fig. 3", "Effective energy/area + speedup of SA variants (16nm, 50/50 sparsity)");
+    let tech = TechParams::tsmc16();
+    let archs = [ArchKind::Sa, ArchKind::SaZvcg, ArchKind::SaSmtT2Q2, ArchKind::SaSmtT2Q4];
+    let runs: Vec<_> = archs.iter().map(|&k| (k, run_point(k, 0.5, 0.5, s2ta_bench::SEED))).collect();
+    let base = EnergyBreakdown::of(&runs[1].1.report.events, &tech); // SA-ZVCG
+    let base_cycles = runs[1].1.report.events.cycles as f64;
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "arch", "energy", "speedup", "mac+mux", "buffers", "area mm2"
+    );
+    let mut results = Vec::new();
+    for (k, p) in &runs {
+        let e = EnergyBreakdown::of(&p.report.events, &tech);
+        let rel = e.total_pj() / base.total_pj();
+        let speedup = base_cycles / p.report.events.cycles as f64;
+        let area = AreaBreakdown::of(&hw_spec(&ArchConfig::preset(*k)), &AreaParams::tsmc16());
+        println!(
+            "{:<14} {:>7.2}x {:>7.2}x {:>8.1}% {:>8.1}% {:>8.2}",
+            k.to_string(),
+            rel,
+            speedup,
+            e.shares()[0] * 100.0,
+            e.shares()[1] * 100.0,
+            area.total_mm2()
+        );
+        results.push((*k, rel, speedup));
+    }
+    println!();
+    println!("paper: SMT-T2Q2 ~1.5x energy / 1.6x speedup; SMT-T2Q4 ~1.5x / 1.8x (vs SA-ZVCG)");
+    let t2q2 = results.iter().find(|(k, ..)| *k == ArchKind::SaSmtT2Q2).expect("t2q2");
+    let t2q4 = results.iter().find(|(k, ..)| *k == ArchKind::SaSmtT2Q4).expect("t2q4");
+    assert!(t2q2.1 > 1.2, "SMT must cost MORE energy than ZVCG despite speedup");
+    assert!(t2q2.2 > 1.3 && t2q4.2 > t2q2.2, "T2Q4 must be faster than T2Q2");
+    println!("shape check PASSED: SMT faster but less energy-efficient than SA-ZVCG");
+}

@@ -1,0 +1,123 @@
+//! Figure 9: microbenchmark sweeps — energy and speedup vs sparsity for
+//! (a) SA-ZVCG, (b) SA-SMT, (c) S2TA-W, (d) S2TA-AW.
+//!
+//! Paper shapes: ZVCG's energy falls slowly with sparsity, no speedup;
+//! SMT speeds up but costs more energy than ZVCG; S2TA-W steps to a
+//! fixed 2x at >=50% weight sparsity; S2TA-AW speedup scales 1x..8x
+//! with activation DBB sparsity.
+
+use s2ta_bench::header;
+use s2ta_core::microbench::run_point;
+use s2ta_core::ArchKind;
+use s2ta_energy::{EnergyBreakdown, TechParams};
+
+const SPARSITIES: [f64; 6] = [0.0, 0.25, 0.50, 0.625, 0.75, 0.875];
+
+fn main() {
+    let tech = TechParams::tsmc16();
+    // Normalization: SA-ZVCG at 50% weight / 50% activation sparsity.
+    let norm_run = run_point(ArchKind::SaZvcg, 0.5, 0.5, s2ta_bench::SEED);
+    let norm_e = EnergyBreakdown::of(&norm_run.report.events, &tech).total_pj();
+    let norm_cycles = norm_run.report.events.cycles as f64;
+
+    let panel = |id: &str,
+                 title: &str,
+                 arch: ArchKind,
+                 sweep_acts: bool,
+                 fixed: [f64; 2]| {
+        header(id, title);
+        println!(
+            "{:<10} {:>14} {:>14} {:>9}",
+            if sweep_acts { "act-spars" } else { "w-spars" },
+            format!("energy@{:.0}%", fixed[0] * 100.0),
+            format!("energy@{:.0}%", fixed[1] * 100.0),
+            "speedup"
+        );
+        let mut rows = Vec::new();
+        for &sp in &SPARSITIES {
+            let (e1, e2, cycles) = if sweep_acts {
+                let p1 = run_point(arch, fixed[0], sp, s2ta_bench::SEED);
+                let p2 = run_point(arch, fixed[1], sp, s2ta_bench::SEED);
+                (
+                    EnergyBreakdown::of(&p1.report.events, &tech).total_pj(),
+                    EnergyBreakdown::of(&p2.report.events, &tech).total_pj(),
+                    p1.report.events.cycles,
+                )
+            } else {
+                let p1 = run_point(arch, sp, fixed[0], s2ta_bench::SEED);
+                let p2 = run_point(arch, sp, fixed[1], s2ta_bench::SEED);
+                (
+                    EnergyBreakdown::of(&p1.report.events, &tech).total_pj(),
+                    EnergyBreakdown::of(&p2.report.events, &tech).total_pj(),
+                    p1.report.events.cycles,
+                )
+            };
+            let speedup = norm_cycles / cycles as f64;
+            println!(
+                "{:>8.1}% {:>13.2}x {:>13.2}x {:>8.2}x",
+                sp * 100.0,
+                e1 / norm_e,
+                e2 / norm_e,
+                speedup
+            );
+            rows.push((sp, e1 / norm_e, speedup));
+        }
+        rows
+    };
+
+    let zvcg = panel(
+        "Fig. 9a",
+        "SA-ZVCG: energy scales weakly, no speedup",
+        ArchKind::SaZvcg,
+        false,
+        [0.5, 0.8],
+    );
+    let smt = panel(
+        "Fig. 9b",
+        "SA-SMT (T2Q2): speedup but higher energy than ZVCG",
+        ArchKind::SaSmtT2Q2,
+        false,
+        [0.5, 0.8],
+    );
+    let w = panel(
+        "Fig. 9c",
+        "S2TA-W: fixed 2x speedup step at >=50% W-DBB sparsity",
+        ArchKind::S2taW,
+        false,
+        [0.5, 0.8],
+    );
+    let aw = panel(
+        "Fig. 9d",
+        "S2TA-AW: speedup scales with activation DBB sparsity (x-axis = act sparsity)",
+        ArchKind::S2taAw,
+        true,
+        [0.5, 0.8],
+    );
+
+    println!();
+    // Shape assertions.
+    // 9a: no speedup anywhere, energy monotonically non-increasing.
+    assert!(zvcg.iter().all(|&(_, _, s)| (s - zvcg[0].2).abs() / zvcg[0].2 < 0.02));
+    assert!(zvcg.last().expect("rows").1 < zvcg[0].1);
+    // 9b: SMT energy above ZVCG's at every point.
+    for (z, m) in zvcg.iter().zip(&smt) {
+        assert!(m.1 > z.1, "SMT energy must exceed ZVCG at {}%", z.0 * 100.0);
+    }
+    // 9c: 2x step at 50%, flat after.
+    let w50 = w.iter().find(|r| r.0 == 0.50).expect("50% row");
+    let w875 = w.iter().find(|r| r.0 == 0.875).expect("87.5% row");
+    assert!((w50.2 / w[0].2 - 2.0).abs() < 0.15, "W-DBB step should be ~2x");
+    assert!((w875.2 - w50.2).abs() / w50.2 < 0.05, "no speedup beyond the step");
+    // 9d: speedups ~ 1, 1.3, 2, 2.7, 4, 8 relative to the dense point.
+    let base = aw[0].2;
+    for (row, expect) in aw.iter().zip([1.0, 8.0 / 6.0, 2.0, 8.0 / 3.0, 4.0, 8.0]) {
+        let got = row.2 / base;
+        assert!(
+            (got - expect).abs() / expect < 0.12,
+            "AW speedup at {:.1}%: {got:.2} vs {expect:.2}",
+            row.0 * 100.0
+        );
+    }
+    println!("shape checks PASSED for panels a-d");
+    println!("paper speedup series (9d): 1.0, 1.3, 2.0, 2.7, 4.0, 8.0");
+}

@@ -1,0 +1,70 @@
+//! Figure 10: energy breakdown and speedup of all SA variants on a
+//! typical convolution with 50% (4/8 DBB) weight and 62.5% (3/8 DBB)
+//! activation sparsity, normalized to SA-ZVCG.
+//!
+//! Paper: SMT variants are 1.7-1.9x faster but burn ~43% more energy;
+//! S2TA-W reaches 2.0x; S2TA-AW reaches 2.7x with the lowest energy,
+//! driven by a ~3x SRAM-energy reduction.
+
+use s2ta_bench::header;
+use s2ta_core::microbench::run_point;
+use s2ta_core::ArchKind;
+use s2ta_energy::{EnergyBreakdown, TechParams};
+
+fn main() {
+    header("Fig. 10", "SA variants on typical conv, 50% W (4/8) + 62.5% A (3/8), vs SA-ZVCG");
+    let tech = TechParams::tsmc16();
+    let archs = [
+        ArchKind::Sa,
+        ArchKind::SaZvcg,
+        ArchKind::SaSmtT2Q2,
+        ArchKind::SaSmtT2Q4,
+        ArchKind::S2taW,
+        ArchKind::S2taAw,
+    ];
+    let runs: Vec<_> =
+        archs.iter().map(|&k| (k, run_point(k, 0.5, 0.625, s2ta_bench::SEED))).collect();
+    let zvcg = runs.iter().find(|(k, _)| *k == ArchKind::SaZvcg).expect("zvcg");
+    let base_e = EnergyBreakdown::of(&zvcg.1.report.events, &tech);
+    let base_cycles = zvcg.1.report.events.cycles as f64;
+
+    println!(
+        "{:<14} {:>7} {:>8} | {:>6} {:>8} {:>6} {:>5} {:>6}",
+        "arch", "energy", "speedup", "dpath", "buffers", "SRAM", "DAP", "actfn"
+    );
+    let mut table = Vec::new();
+    for (k, p) in &runs {
+        let e = EnergyBreakdown::of(&p.report.events, &tech);
+        let rel = e.total_pj() / base_e.total_pj();
+        let speedup = base_cycles / p.report.events.cycles as f64;
+        let s = e.shares();
+        println!(
+            "{:<14} {:>6.2}x {:>7.2}x | {:>5.1}% {:>7.1}% {:>5.1}% {:>4.1}% {:>5.1}%",
+            k.to_string(),
+            rel,
+            speedup,
+            s[0] * 100.0,
+            s[1] * 100.0,
+            (s[2] + s[3]) * 100.0,
+            s[4] * 100.0,
+            s[5] * 100.0
+        );
+        table.push((*k, rel, speedup, e));
+    }
+    println!();
+    println!("paper: SA 1.0/1.0; SMT-T2Q2 1.43/1.7; SMT-T2Q4 1.41/1.9; S2TA-W ~0.9/2.0; S2TA-AW ~0.45/2.7");
+
+    let get = |k: ArchKind| table.iter().find(|(kk, ..)| *kk == k).expect("present");
+    let (_, smt_rel, smt_speed, _) = get(ArchKind::SaSmtT2Q2);
+    assert!(*smt_rel > 1.2 && *smt_speed > 1.4, "SMT: fast but energy-hungry");
+    let (_, w_rel, w_speed, _) = get(ArchKind::S2taW);
+    assert!(*w_rel < 1.0 && (*w_speed - 2.0).abs() < 0.2, "S2TA-W: ~2x, below ZVCG energy");
+    let (_, aw_rel, aw_speed, aw_e) = get(ArchKind::S2taAw);
+    assert!(*aw_rel < 0.6 && (*aw_speed - 2.67).abs() < 0.3, "S2TA-AW: ~2.7x, lowest energy");
+    // The S2TA-AW SRAM reduction vs S2TA-W (paper: 3.1x).
+    let (_, _, _, w_e) = get(ArchKind::S2taW);
+    let sram_reduction = w_e.act_sram_pj / aw_e.act_sram_pj;
+    println!("S2TA-AW activation-SRAM energy reduction vs S2TA-W: {sram_reduction:.1}x (paper ~3.1x)");
+    assert!(sram_reduction > 1.5, "A-DBB must cut SRAM energy substantially");
+    println!("shape check PASSED");
+}

@@ -1,0 +1,74 @@
+//! Figure 12: AlexNet per-layer energy for Eyeriss-v2 (65nm), SparTen
+//! (45nm), SA-ZVCG, S2TA-W and S2TA-AW (65nm).
+//!
+//! Paper shape: S2TA-AW's total is ~2.2x below SparTen and ~3.1x below
+//! Eyeriss-v2; SparTen looks good only on the very sparse layers
+//! (conv3-5) and poor on the denser conv1-2.
+
+use s2ta_bench::{header, layer_stats};
+use s2ta_core::{Accelerator, ArchKind};
+use s2ta_energy::comparators::ComparatorModel;
+use s2ta_energy::{EnergyBreakdown, TechParams};
+use s2ta_models::alexnet;
+
+fn main() {
+    header("Fig. 12", "AlexNet per-layer energy per inference (uJ), 65nm");
+    let tech = TechParams::tsmc65();
+    let model = alexnet();
+    let conv: Vec<_> = model.layers.iter().take(5).cloned().collect();
+
+    let sparten = ComparatorModel::sparten45();
+    let eyeriss = ComparatorModel::eyeriss_v2_65();
+    let archs = [ArchKind::SaZvcg, ArchKind::S2taW, ArchKind::S2taAw];
+
+    println!(
+        "{:<7} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "layer", "EyerissV2", "SparTen", "SA-ZVCG", "S2TA-W", "S2TA-AW"
+    );
+    let mut totals = [0.0f64; 5];
+    let mut sparten_layers = Vec::new();
+    let mut zvcg_layers = Vec::new();
+    for (li, layer) in conv.iter().enumerate() {
+        let w = layer.gen_weights(s2ta_bench::SEED);
+        let a = layer.gen_acts(s2ta_bench::SEED);
+        let stats = layer_stats(&w, &a);
+        let ey = eyeriss.layer_energy_pj(&stats) * 1e-6;
+        let sp = sparten.layer_energy_pj(&stats) * 1e-6;
+        let mut ours = Vec::new();
+        for (ai, &k) in archs.iter().enumerate() {
+            let r = Accelerator::preset(k).run_layer(layer, li, s2ta_bench::SEED);
+            let e = EnergyBreakdown::of(&r.events, &tech).total_uj();
+            ours.push(e);
+            totals[2 + ai] += e;
+        }
+        totals[0] += ey;
+        totals[1] += sp;
+        sparten_layers.push(sp);
+        zvcg_layers.push(ours[0]);
+        println!(
+            "{:<7} {:>11.0} {:>11.0} {:>9.0} {:>9.0} {:>9.0}",
+            layer.name, ey, sp, ours[0], ours[1], ours[2]
+        );
+    }
+    println!(
+        "{:<7} {:>11.0} {:>11.0} {:>9.0} {:>9.0} {:>9.0}",
+        "Total", totals[0], totals[1], totals[2], totals[3], totals[4]
+    );
+    println!();
+    let aw = totals[4];
+    println!("SparTen / S2TA-AW   = {:.1}x (paper ~2.2x)", totals[1] / aw);
+    println!("EyerissV2 / S2TA-AW = {:.1}x (paper ~3.1x)", totals[0] / aw);
+    assert!(totals[1] / aw > 1.5, "S2TA-AW must clearly beat SparTen overall");
+    assert!(totals[0] / aw > 2.0, "S2TA-AW must clearly beat Eyeriss-v2 overall");
+    assert!(totals[0] > totals[1], "Eyeriss-v2 costs more than SparTen on AlexNet");
+    // SparTen's signature: competitive with SA-ZVCG only on the sparse
+    // late layers, far worse on the dense conv1.
+    let early_ratio = sparten_layers[0] / zvcg_layers[0];
+    let late_ratio = sparten_layers[4] / zvcg_layers[4];
+    println!("SparTen/SA-ZVCG on conv1: {early_ratio:.2}x, on conv5: {late_ratio:.2}x");
+    assert!(
+        early_ratio > late_ratio,
+        "SparTen must look relatively better on sparse layers"
+    );
+    println!("shape check PASSED");
+}

@@ -1,0 +1,97 @@
+//! Criterion kernel benchmarks: the hot paths of the simulator and the
+//! DBB toolchain. These measure *our implementation's* wall-clock
+//! speed (not the simulated accelerator), guarding against regressions
+//! that would make the table/figure benches impractically slow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s2ta_dbb::dap::{dap_matrix, DapUnit, LayerNnz};
+use s2ta_dbb::{prune, DbbConfig, DbbVector};
+use s2ta_sim::smt::SmtConfig;
+use s2ta_sim::{smt, systolic, tpe, ArrayGeometry};
+use s2ta_tensor::sparsity::SparseSpec;
+use s2ta_tensor::{gemm_ref, Matrix};
+use std::hint::black_box;
+
+fn operands(m: usize, k: usize, n: usize, sp: f64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(7);
+    (
+        SparseSpec::random(sp).matrix(m, k, &mut rng),
+        SparseSpec::random(sp).matrix(k, n, &mut rng),
+    )
+}
+
+fn bench_gemm_ref(c: &mut Criterion) {
+    let (w, a) = operands(64, 576, 196, 0.5);
+    c.bench_function("gemm_ref 64x576x196", |b| {
+        b.iter(|| black_box(gemm_ref(black_box(&w), black_box(&a))))
+    });
+}
+
+fn bench_dbb_compress(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = SparseSpec::random(0.5).matrix(1, 4096, &mut rng);
+    let pruned = prune::prune_matrix(&data, s2ta_dbb::BlockAxis::Rows, DbbConfig::new(4, 8));
+    c.bench_function("dbb_compress 4096 elems 4/8", |b| {
+        b.iter(|| black_box(DbbVector::compress(black_box(pruned.row(0)), DbbConfig::new(4, 8))))
+    });
+}
+
+fn bench_dap_unit(c: &mut Criterion) {
+    let unit = DapUnit::new(8);
+    let block = [3i8, -9, 0, 4, 7, 0, -2, 5];
+    c.bench_function("dap_unit prune 8-block top4", |b| {
+        b.iter(|| {
+            let mut blk = black_box(block);
+            black_box(unit.prune(&mut blk, 4))
+        })
+    });
+}
+
+fn bench_dap_matrix(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = SparseSpec::random(0.4).matrix(512, 196, &mut rng);
+    c.bench_function("dap_matrix 512x196 top3", |b| {
+        b.iter(|| black_box(dap_matrix(black_box(&a), 8, LayerNnz::Prune(3))))
+    });
+}
+
+fn bench_systolic_perf(c: &mut Criterion) {
+    let (w, a) = operands(256, 1152, 256, 0.5);
+    let g = ArrayGeometry::sa_baseline();
+    c.bench_function("systolic run_perf typical conv", |b| {
+        b.iter(|| black_box(systolic::run_perf(&g, true, black_box(&w), black_box(&a))))
+    });
+}
+
+fn bench_aw_perf(c: &mut Criterion) {
+    let (w, a) = operands(256, 1152, 256, 0.5);
+    let wdbb = prune::prune_and_compress(&w, DbbConfig::new(4, 8));
+    let (adbb, _) = dap_matrix(&a, 8, LayerNnz::Prune(4));
+    let g = ArrayGeometry::s2ta_aw();
+    c.bench_function("tpe run_aw_perf typical conv", |b| {
+        b.iter(|| black_box(tpe::run_aw_perf(&g, black_box(&wdbb), black_box(&adbb))))
+    });
+}
+
+fn bench_smt_tile(c: &mut Criterion) {
+    let (w, a) = operands(32, 512, 64, 0.5);
+    let g = ArrayGeometry::sa_baseline();
+    c.bench_function("smt simulate 32x64 tile K=512", |b| {
+        b.iter(|| black_box(smt::run(&g, SmtConfig::t2q2(), black_box(&w), black_box(&a))))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm_ref,
+        bench_dbb_compress,
+        bench_dap_unit,
+        bench_dap_matrix,
+        bench_systolic_perf,
+        bench_aw_perf,
+        bench_smt_tile
+);
+criterion_main!(kernels);

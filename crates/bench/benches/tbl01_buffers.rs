@@ -1,0 +1,41 @@
+//! Table 1: PE buffer sizes per INT8 MAC across architectures.
+//!
+//! Paper: SCNN 1.65 KB, SparTen ~1 KB, Eyeriss v2 205 B, SA-SMT 20 B,
+//! systolic array 6 B, S2TA-W 0.875 B, S2TA-AW 4.75 B.
+
+use s2ta_bench::header;
+use s2ta_core::buffers::{BufferPerMac, PUBLISHED_BUFFERS};
+use s2ta_core::{ArchConfig, ArchKind};
+
+fn main() {
+    header("Tbl. 1", "PE buffer bytes per INT8 MAC");
+    println!("{:<16} {:>10} {:>13} {:>9}", "architecture", "operands", "accumulators", "total");
+    for (name, op, acc) in PUBLISHED_BUFFERS {
+        println!("{name:<16} {op:>9.1}B {acc:>12.1}B {:>8.1}B  (published)", op + acc);
+    }
+    let ours = [
+        (ArchKind::SaSmtT2Q2, "SA-SMT (T2Q2)"),
+        (ArchKind::Sa, "Systolic Array"),
+        (ArchKind::S2taW, "S2TA-W"),
+        (ArchKind::S2taAw, "S2TA-AW"),
+    ];
+    let mut totals = Vec::new();
+    for (kind, label) in ours {
+        let b = BufferPerMac::of(&ArchConfig::preset(kind));
+        println!(
+            "{label:<16} {:>8.3}B {:>11.2}B {:>7.2}B  (ours)",
+            b.operands_bytes,
+            b.accumulator_bytes,
+            b.total_bytes()
+        );
+        totals.push((kind, b.total_bytes()));
+    }
+    println!();
+    println!("paper totals: SA-SMT 20 B | SA 6 B | S2TA-W 0.875 B | S2TA-AW 4.75 B");
+    let get = |k| totals.iter().find(|(kk, _)| *kk == k).expect("present").1;
+    assert!(get(ArchKind::S2taW) < get(ArchKind::Sa));
+    assert!(get(ArchKind::S2taAw) < get(ArchKind::Sa));
+    assert!(get(ArchKind::SaSmtT2Q2) > get(ArchKind::Sa));
+    assert!(PUBLISHED_BUFFERS.iter().all(|(_, o, a)| o + a > get(ArchKind::SaSmtT2Q2)));
+    println!("shape check PASSED: gather/scatter >> SMT > SA > TPE designs");
+}

@@ -1,0 +1,73 @@
+//! Table 2: area and power breakdown of the S2TA-AW design point
+//! (8x4x4_8x8 TPEs, 16nm, 4 TOPS peak dense).
+//!
+//! Paper: 541 mW / 3.77 mm2 total; datapath+buffers 58.7% of power and
+//! 19.1% of area; the SRAMs dominate the floorplan (71.6%).
+
+use s2ta_bench::header;
+use s2ta_core::buffers::hw_spec;
+use s2ta_core::microbench::run_point;
+use s2ta_core::{ArchConfig, ArchKind};
+use s2ta_energy::area::{AreaBreakdown, AreaParams};
+use s2ta_energy::{EnergyBreakdown, TechParams};
+
+fn main() {
+    header("Tbl. 2", "S2TA-AW (8x4x4_8x8) area and power breakdown, 16nm");
+    let cfg = ArchConfig::preset(ArchKind::S2taAw);
+    let area = AreaBreakdown::of(&hw_spec(&cfg), &AreaParams::tsmc16());
+    // Power on the paper's Table 2 operating point: 4/8 weights, 50%
+    // activation sparsity.
+    let p = run_point(ArchKind::S2taAw, 0.5, 0.5, s2ta_bench::SEED);
+    let e = EnergyBreakdown::of(&p.report.events, &TechParams::tsmc16());
+    let s = e.shares();
+    let total_mw = e.avg_power_mw();
+
+    println!("{:<28} {:>14} {:>12}", "component", "power (share)", "area mm2");
+    println!(
+        "{:<28} {:>6.1} mW ({:>4.1}%) {:>9.2}",
+        "MAC datapath and buffers",
+        total_mw * (s[0] + s[1]),
+        (s[0] + s[1]) * 100.0,
+        area.datapath_mm2
+    );
+    println!(
+        "{:<28} {:>6.1} mW ({:>4.1}%) {:>9.2}",
+        "Weight SRAM (512KB)",
+        total_mw * s[2],
+        s[2] * 100.0,
+        area.weight_sram_mm2
+    );
+    println!(
+        "{:<28} {:>6.1} mW ({:>4.1}%) {:>9.2}",
+        "Activation SRAM (2MB)",
+        total_mw * s[3],
+        s[3] * 100.0,
+        area.act_sram_mm2
+    );
+    println!(
+        "{:<28} {:>6.1} mW ({:>4.1}%) {:>9.2}",
+        "Cortex-M33 MCU x4",
+        total_mw * s[5],
+        s[5] * 100.0,
+        area.mcu_mm2
+    );
+    println!(
+        "{:<28} {:>6.1} mW ({:>4.1}%) {:>9.2}",
+        "DAP array",
+        total_mw * s[4],
+        s[4] * 100.0,
+        area.dap_mm2
+    );
+    println!("{:<28} {:>6.0} mW          {:>9.2}", "Total", total_mw, area.total_mm2());
+    println!();
+    println!("paper: 541 mW total; datapath+buffers 317.7 mW (58.7%) / 0.72 mm2;");
+    println!("       WB 69.4 mW / 0.54 mm2; AB 93.4 mW / 2.16 mm2; MCU 50.4 mW / 0.30 mm2;");
+    println!("       DAP 10.4 mW / 0.05 mm2; total 3.77 mm2");
+    assert!((area.total_mm2() - 3.77).abs() / 3.77 < 0.15, "total area off");
+    assert!(s[0] + s[1] > 0.4, "datapath+buffers should be the largest power slice");
+    assert!(
+        (area.act_sram_mm2 + area.weight_sram_mm2) / area.total_mm2() > 0.6,
+        "SRAM dominates the floorplan"
+    );
+    println!("shape check PASSED");
+}

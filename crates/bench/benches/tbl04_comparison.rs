@@ -1,0 +1,85 @@
+//! Table 4: the grand comparison — area, peak throughput, peak
+//! efficiency, and AlexNet / MobileNet inference rate & efficiency for
+//! every architecture, in 16nm and 65nm.
+
+use s2ta_bench::{conv_reports, header};
+use s2ta_core::buffers::hw_spec;
+use s2ta_core::microbench::run_point;
+use s2ta_core::{ArchConfig, ArchKind};
+use s2ta_energy::area::{AreaBreakdown, AreaParams};
+use s2ta_energy::{EnergyBreakdown, TechParams, Technology};
+use s2ta_models::{alexnet, mobilenet_v1};
+
+fn peak_tops_per_watt(kind: ArchKind, sparsity: f64, tech: &TechParams) -> f64 {
+    let p = run_point(kind, sparsity, sparsity, s2ta_bench::SEED);
+    let e = EnergyBreakdown::of(&p.report.events, tech);
+    p.report.macs as f64 * 2.0 / (e.total_pj() * 1e-12) / 1e12
+}
+
+fn section(node: Technology) {
+    let tech = TechParams::for_node(node);
+    let area_params = match node {
+        Technology::Tsmc16 => AreaParams::tsmc16(),
+        Technology::Tsmc65 => AreaParams::tsmc65(),
+    };
+    println!("\n----- {node} implementations ({} GHz) -----", tech.clock_hz / 1e9);
+    let archs = [ArchKind::SaZvcg, ArchKind::SaSmtT2Q2, ArchKind::S2taW, ArchKind::S2taAw];
+    println!(
+        "{:<13} {:>9} {:>10} {:>12} {:>13}",
+        "arch", "area mm2", "peak TOPS", "TOPS/W @50%", "TOPS/W @75%"
+    );
+    for &k in &archs {
+        let cfg = ArchConfig::preset(k);
+        let area = AreaBreakdown::of(&hw_spec(&cfg), &area_params).total_mm2();
+        let peak = cfg.peak_effective_tops(tech.clock_hz, 4);
+        println!(
+            "{:<13} {:>9.1} {:>10.1} {:>12.1} {:>13.1}",
+            k.to_string(),
+            area,
+            peak,
+            peak_tops_per_watt(k, 0.5, &tech),
+            peak_tops_per_watt(k, 0.75, &tech)
+        );
+    }
+
+    for model in [alexnet(), mobilenet_v1()] {
+        println!("\n{} (conv layers):", model.name);
+        println!(
+            "{:<13} {:>12} {:>11} {:>9}",
+            "arch", "x1e3 inf/s", "x1e3 inf/J", "TOPS/W"
+        );
+        for (k, r) in conv_reports(&model, &archs) {
+            println!(
+                "{:<13} {:>12.2} {:>11.2} {:>9.2}",
+                k.to_string(),
+                r.inferences_per_second(&tech) / 1e3,
+                r.inferences_per_joule(&tech) / 1e3,
+                r.tops_per_watt(&tech)
+            );
+        }
+    }
+}
+
+fn main() {
+    header("Tbl. 4", "Grand comparison (ours; SparTen/Eyeriss-v2 rows are published values)");
+    println!("published (for reference): SparTen 45nm 0.2 TOPS, 0.766 mm2 (logic);");
+    println!("  Eyeriss v2 65nm 0.152 TOPS, 3.38 mm2 (logic), AlexNet 0.66e3 inf/J");
+    section(Technology::Tsmc16);
+    section(Technology::Tsmc65);
+
+    // Headline shape assertions (16nm).
+    let t16 = TechParams::tsmc16();
+    let aw50 = peak_tops_per_watt(ArchKind::S2taAw, 0.5, &t16);
+    let aw75 = peak_tops_per_watt(ArchKind::S2taAw, 0.75, &t16);
+    let zvcg50 = peak_tops_per_watt(ArchKind::SaZvcg, 0.5, &t16);
+    let smt50 = peak_tops_per_watt(ArchKind::SaSmtT2Q2, 0.5, &t16);
+    println!();
+    println!(
+        "S2TA-AW TOPS/W: {aw50:.1} @50%, {aw75:.1} @75% (paper: 14.3 / 26.5); \
+         SA-ZVCG {zvcg50:.1} (paper 10.5); SA-SMT {smt50:.1} (paper 8.0)"
+    );
+    assert!(aw75 > aw50, "efficiency must grow with sparsity");
+    assert!(aw50 > zvcg50, "S2TA-AW must beat SA-ZVCG");
+    assert!(smt50 < zvcg50, "SMT's FIFOs must cost efficiency");
+    println!("shape check PASSED");
+}

@@ -1,0 +1,18 @@
+//! Table 5: qualitative summary of the design space.
+
+use s2ta_bench::header;
+use s2ta_core::summary::table5;
+
+fn main() {
+    header("Tbl. 5", "Summary of designs evaluated and previous works");
+    println!(
+        "{:<10} | {:<9} | {:<12} | {:<8} | {:^4} | {:^8}",
+        "arch", "W spars.", "A spars.", "overhead", "ZVCG", "var. DBB"
+    );
+    println!("{}", "-".repeat(66));
+    for row in table5() {
+        println!("{row}");
+    }
+    println!();
+    println!("S2TA-AW is the only design with joint W/A DBB and variable (time-unrolled) DBB.");
+}

@@ -1,0 +1,80 @@
+//! Shared helpers for the per-table / per-figure bench targets.
+//!
+//! Each bench binary regenerates one table or figure of the paper's
+//! evaluation (Sec. 8) and prints it in a comparable layout; run them
+//! all with `cargo bench --workspace`. Absolute joules/mm2 are model
+//! outputs — the reproduction target is the *shape*: orderings, ratios
+//! and crossovers (see EXPERIMENTS.md for paper-vs-measured).
+
+use s2ta_core::{Accelerator, ArchKind, ModelReport};
+use s2ta_energy::comparators::LayerStats;
+use s2ta_models::ModelSpec;
+use s2ta_tensor::Matrix;
+
+/// The master seed all benches share, for reproducible output.
+pub const SEED: u64 = 42;
+
+/// Prints the standard bench header.
+pub fn header(id: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Runs a model's **convolution layers** on every evaluated
+/// architecture, returning `(arch, report)` pairs. (The paper's Fig. 11
+/// and Fig. 12 are convolution-only.)
+pub fn conv_reports(model: &ModelSpec, archs: &[ArchKind]) -> Vec<(ArchKind, ModelReport)> {
+    archs
+        .iter()
+        .map(|&k| (k, Accelerator::preset(k).run_model_conv_only(model, SEED)))
+        .collect()
+}
+
+/// Runs a model's full layer list on every evaluated architecture.
+pub fn full_reports(model: &ModelSpec, archs: &[ArchKind]) -> Vec<(ArchKind, ModelReport)> {
+    archs.iter().map(|&k| (k, Accelerator::preset(k).run_model(model, SEED))).collect()
+}
+
+/// Computes the [`LayerStats`] the comparator models need from a
+/// layer's actual operand matrices.
+pub fn layer_stats(w: &Matrix, a: &Matrix) -> LayerStats {
+    let w_nnz = (w.len() - w.count_zeros()) as u64;
+    let a_nnz = (a.len() - a.count_zeros()) as u64;
+    // Non-zero products via the factorization sum_p nnzW(p) * nnzA(p).
+    let mut products: u64 = 0;
+    for p in 0..w.cols() {
+        let nw = (0..w.rows()).filter(|&r| w.get(r, p) != 0).count() as u64;
+        let na = a.row(p).iter().filter(|&&v| v != 0).count() as u64;
+        products += nw * na;
+    }
+    LayerStats {
+        macs: (w.rows() * w.cols() * a.cols()) as u64,
+        nonzero_products: products,
+        weight_elems: w.len() as u64,
+        weight_nnz: w_nnz,
+        act_elems: a.len() as u64,
+        act_nnz: a_nnz,
+        outputs: (w.rows() * a.cols()) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2ta_tensor::Matrix;
+
+    #[test]
+    fn layer_stats_counts() {
+        let w = Matrix::from_vec(2, 2, vec![1, 0, 2, 3]);
+        let a = Matrix::from_vec(2, 2, vec![1, 1, 0, 4]);
+        let s = layer_stats(&w, &a);
+        assert_eq!(s.macs, 8);
+        assert_eq!(s.weight_nnz, 3);
+        assert_eq!(s.act_nnz, 3);
+        // products: p0: nw=2,na=2 -> 4; p1: nw=1,na=1 -> 1.
+        assert_eq!(s.nonzero_products, 5);
+        assert_eq!(s.outputs, 4);
+    }
+}

@@ -1,0 +1,162 @@
+//! PE buffer accounting — the paper's Table 1 ("Comparison of PE buffer
+//! sizes per INT8 MAC") and the hardware inventory fed to the area model.
+//!
+//! The buffer-per-MAC numbers are the paper's central overhead argument:
+//! unstructured gather/scatter architectures need hundreds of bytes to
+//! kilobytes of buffering per MAC, a systolic array needs 6 B, and the
+//! TPE organizations shrink that to below a byte by sharing staged
+//! operands among `A x C` MAC groups.
+
+use crate::{ArchConfig, ArchKind};
+use s2ta_energy::area::HwSpec;
+
+/// Buffer capacity per MAC, split as in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferPerMac {
+    /// Operand staging bytes per MAC (registers or FIFOs).
+    pub operands_bytes: f64,
+    /// Accumulator bytes per MAC.
+    pub accumulator_bytes: f64,
+}
+
+impl BufferPerMac {
+    /// Total bytes per MAC.
+    pub fn total_bytes(&self) -> f64 {
+        self.operands_bytes + self.accumulator_bytes
+    }
+
+    /// Buffer sizing for one of our architectures.
+    ///
+    /// * Scalar SA: 2 B operands (one W, one A register) + 4 B
+    ///   accumulator.
+    /// * SMT: the per-PE staging FIFOs (double-buffered `T*Q` 2-byte
+    ///   pairs) replace the operand registers.
+    /// * Dot-product TPE (S2TA-W): `C` staged weight blocks of
+    ///   `B + mask` bytes shared by `A*C*B` MACs; accumulators shared by
+    ///   the `B`-MAC adder tree.
+    /// * Time-unrolled TPE (S2TA-AW): the same staged weight blocks
+    ///   shared by `A*C` single-MAC units; a private 4 B accumulator
+    ///   each.
+    pub fn of(config: &ArchConfig) -> Self {
+        let g = &config.geometry;
+        match config.kind {
+            ArchKind::Sa | ArchKind::SaZvcg => {
+                BufferPerMac { operands_bytes: 2.0, accumulator_bytes: 4.0 }
+            }
+            ArchKind::SaSmtT2Q2 | ArchKind::SaSmtT2Q4 => {
+                let fifo = 4.0 * (config.smt.threads * config.smt.queue_depth) as f64;
+                BufferPerMac { operands_bytes: fifo, accumulator_bytes: 4.0 }
+            }
+            ArchKind::S2taW => {
+                let staged = (g.c * (g.b + 1)) as f64;
+                let macs = (g.a * g.c * g.b) as f64;
+                BufferPerMac {
+                    operands_bytes: staged / macs,
+                    accumulator_bytes: 4.0 / g.b as f64,
+                }
+            }
+            ArchKind::S2taAw => {
+                let staged = (g.c * (g.b + 1)) as f64;
+                let units = (g.a * g.c) as f64;
+                BufferPerMac { operands_bytes: staged / units, accumulator_bytes: 4.0 }
+            }
+        }
+    }
+}
+
+/// Published Table 1 rows for the prior-work architectures (bytes/MAC),
+/// as `(name, operands, accumulators)`.
+pub const PUBLISHED_BUFFERS: [(&str, f64, f64); 3] = [
+    ("SCNN", 1280.0, 384.0),
+    ("SparTen", 864.0, 128.0),
+    ("Eyeriss v2", 165.0, 40.0),
+];
+
+/// Builds the hardware inventory for the area model (Table 2 / Table 4).
+pub fn hw_spec(config: &ArchConfig) -> HwSpec {
+    let macs = config.macs() as u64;
+    let per_mac = BufferPerMac::of(config);
+    let (ff_bytes, fifo_bytes) = match config.kind {
+        ArchKind::SaSmtT2Q2 | ArchKind::SaSmtT2Q4 => {
+            // FIFOs counted separately (denser layout than discrete FFs);
+            // keep the 2 B forwarding registers + 4 B accumulator as FF.
+            (6 * macs, (per_mac.operands_bytes * macs as f64) as u64)
+        }
+        _ => ((per_mac.total_bytes() * macs as f64).round() as u64, 0),
+    };
+    let mux_ways = match config.kind {
+        ArchKind::S2taW => macs * config.geometry.bz as u64,
+        ArchKind::S2taAw => macs * config.geometry.b as u64,
+        _ => 0,
+    };
+    let dap_comparators = if config.kind.uses_adbb() {
+        // One DAP unit per activation write lane: N TPE columns x A
+        // blocks, each with 5 stages of BZ-1 comparators (Fig. 8).
+        (config.geometry.n * config.geometry.a) as u64 * 5 * (config.geometry.bz as u64 - 1)
+    } else {
+        0
+    };
+    HwSpec {
+        macs,
+        ff_bytes,
+        fifo_bytes,
+        mux_ways,
+        weight_sram_kb: 512.0,
+        act_sram_kb: 2048.0,
+        mcus: 4,
+        dap_comparators,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2ta_energy::area::{AreaBreakdown, AreaParams};
+
+    #[test]
+    fn table1_ordering_reproduced() {
+        // SA 6 B > S2TA-AW ~4.6 B > S2TA-W ~0.9 B; SMT largest of ours.
+        let sa = BufferPerMac::of(&ArchConfig::preset(ArchKind::Sa)).total_bytes();
+        let smt = BufferPerMac::of(&ArchConfig::preset(ArchKind::SaSmtT2Q2)).total_bytes();
+        let w = BufferPerMac::of(&ArchConfig::preset(ArchKind::S2taW)).total_bytes();
+        let aw = BufferPerMac::of(&ArchConfig::preset(ArchKind::S2taAw)).total_bytes();
+        assert!(smt > sa, "SMT {smt} should exceed SA {sa}");
+        assert!(w < 2.0, "S2TA-W {w} should be near-byte (paper: 0.875 B)");
+        assert!(aw < sa, "S2TA-AW {aw} below SA {sa} (paper: 4.75 B)");
+        assert!(w < aw, "dot-product shares accumulators; time-unrolled does not");
+        // And all far below the published gather/scatter designs.
+        for (name, op, acc) in PUBLISHED_BUFFERS {
+            assert!(op + acc > smt, "{name} should dwarf all systolic variants");
+        }
+    }
+
+    #[test]
+    fn paper_values_close() {
+        // Paper Table 1: S2TA-W 0.875 B total; S2TA-AW 4.75 B total.
+        let w = BufferPerMac::of(&ArchConfig::preset(ArchKind::S2taW)).total_bytes();
+        let aw = BufferPerMac::of(&ArchConfig::preset(ArchKind::S2taAw)).total_bytes();
+        assert!((w - 0.875).abs() < 0.5, "S2TA-W {w}");
+        assert!((aw - 4.75).abs() < 0.5, "S2TA-AW {aw}");
+        // SMT T2Q2: paper 20 B.
+        let smt = BufferPerMac::of(&ArchConfig::preset(ArchKind::SaSmtT2Q2)).total_bytes();
+        assert!((smt - 20.0).abs() < 1.0, "SMT {smt}");
+    }
+
+    #[test]
+    fn area_ordering_matches_table4() {
+        // 16nm areas, paper Table 4: SMT (4.2) > AW (3.8) ~ ZVCG (3.7)
+        // > W (3.4).
+        let p = AreaParams::tsmc16();
+        let area = |k| AreaBreakdown::of(&hw_spec(&ArchConfig::preset(k)), &p).total_mm2();
+        let zvcg = area(ArchKind::SaZvcg);
+        let smt = area(ArchKind::SaSmtT2Q4);
+        let w = area(ArchKind::S2taW);
+        let aw = area(ArchKind::S2taAw);
+        assert!(smt > zvcg, "SMT {smt:.2} > ZVCG {zvcg:.2}");
+        assert!(w < zvcg, "W {w:.2} < ZVCG {zvcg:.2}");
+        assert!(aw < smt, "AW {aw:.2} < SMT {smt:.2}");
+        for a in [zvcg, smt, w, aw] {
+            assert!((3.0..5.0).contains(&a), "area {a:.2} outside Table 4 band");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! On-chip memory residency and DMA analysis (paper Sec. 6.3).
+//!
+//! S2TA keeps a 512 KB weight buffer (WB) and a 2 MB activation buffer
+//! (AB), both double-buffered so DMA overlaps compute. This module
+//! answers, per layer: do the (possibly DBB-compressed) weights and
+//! activations fit? How many DRAM bytes move, and does the layer end up
+//! compute-bound or DMA-bound? Compression pays twice here — smaller
+//! SRAM footprints (fewer spills) *and* less DRAM bandwidth, which is
+//! where S2TA's wins on memory-bound FC/depthwise layers come from.
+
+use crate::ArchConfig;
+use s2ta_models::{LayerSpec, ModelSpec};
+use std::fmt;
+
+/// On-chip memory configuration (defaults are the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Weight buffer capacity in bytes (per double-buffer half).
+    pub weight_buffer_bytes: usize,
+    /// Activation buffer capacity in bytes.
+    pub act_buffer_bytes: usize,
+    /// DMA bandwidth in bytes per accelerator cycle.
+    pub dma_bytes_per_cycle: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self {
+            weight_buffer_bytes: 512 * 1024,
+            act_buffer_bytes: 2 * 1024 * 1024,
+            dma_bytes_per_cycle: 16,
+        }
+    }
+}
+
+/// Residency and traffic analysis of one layer on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerResidency {
+    /// Weight footprint in bytes (compressed for DBB architectures).
+    pub weight_bytes: u64,
+    /// Input activation footprint in bytes (compressed for A-DBB).
+    pub act_in_bytes: u64,
+    /// Output activation footprint in bytes.
+    pub act_out_bytes: u64,
+    /// Whether the weights fit the WB (one DMA pass if so).
+    pub weights_resident: bool,
+    /// Whether input + output activations fit the AB together (no DRAM
+    /// spill between layers if so).
+    pub acts_resident: bool,
+    /// Total DRAM traffic for the layer in bytes.
+    pub dram_bytes: u64,
+    /// DMA transfer cycles at the configured bandwidth.
+    pub dma_cycles: u64,
+}
+
+impl LayerResidency {
+    /// Whether the layer is DMA-bound given its compute cycles.
+    pub fn dma_bound(&self, compute_cycles: u64) -> bool {
+        self.dma_cycles > compute_cycles
+    }
+
+    /// Effective layer cycles under double buffering (compute and DMA
+    /// overlap; the longer one wins).
+    pub fn overlapped_cycles(&self, compute_cycles: u64) -> u64 {
+        self.dma_cycles.max(compute_cycles)
+    }
+}
+
+impl fmt::Display for LayerResidency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "w {:.1} KB ({}), a {:.1}+{:.1} KB ({}), DRAM {:.1} KB",
+            self.weight_bytes as f64 / 1024.0,
+            if self.weights_resident { "resident" } else { "streamed" },
+            self.act_in_bytes as f64 / 1024.0,
+            self.act_out_bytes as f64 / 1024.0,
+            if self.acts_resident { "resident" } else { "spilled" },
+            self.dram_bytes as f64 / 1024.0,
+        )
+    }
+}
+
+/// Compression ratios the architecture applies to each operand class.
+fn compression(config: &ArchConfig, layer_index: usize, layer: &LayerSpec) -> (f64, f64) {
+    let w_ratio = if config.kind.uses_wdbb() && layer_index != 0 {
+        config.wdbb.block_bytes() as f64 / config.wdbb.bz() as f64
+    } else {
+        1.0
+    };
+    let a_ratio = if config.kind.uses_adbb() && layer_index != 0 {
+        let nnz = layer.suggested_adbb().bound(config.geometry.bz).min(config.geometry.bz);
+        (nnz + 1) as f64 / config.geometry.bz as f64
+    } else {
+        1.0
+    };
+    (w_ratio, a_ratio)
+}
+
+/// Analyzes one layer's residency on `config` under `mem`.
+pub fn analyze_layer(
+    config: &ArchConfig,
+    mem: &MemoryConfig,
+    layer: &LayerSpec,
+    layer_index: usize,
+) -> LayerResidency {
+    let g = &layer.gemm;
+    let (w_ratio, a_ratio) = compression(config, layer_index, layer);
+    let weight_bytes = ((g.m * g.k) as f64 * w_ratio) as u64;
+    let act_in_bytes = ((g.k * g.n) as f64 * a_ratio) as u64;
+    let act_out_bytes = ((g.m * g.n) as f64 * a_ratio) as u64;
+
+    let weights_resident = weight_bytes <= mem.weight_buffer_bytes as u64;
+    let acts_resident = act_in_bytes + act_out_bytes <= mem.act_buffer_bytes as u64;
+
+    // Weight DRAM traffic: one pass if resident, otherwise re-streamed
+    // once per output-column strip of the tiling.
+    let col_strips = config.geometry.tile_walk(g.m, g.n).col_strips() as u64;
+    let w_dram = if weights_resident { weight_bytes } else { weight_bytes * col_strips };
+    // Activation DRAM traffic: zero if both maps stay in the AB (the
+    // input was produced on-chip by the previous layer); read + write if
+    // spilled. The first layer's input always comes from DRAM.
+    let a_dram = if acts_resident {
+        if layer_index == 0 { act_in_bytes } else { 0 }
+    } else {
+        act_in_bytes + act_out_bytes
+    };
+    let dram_bytes = w_dram + a_dram;
+    LayerResidency {
+        weight_bytes,
+        act_in_bytes,
+        act_out_bytes,
+        weights_resident,
+        acts_resident,
+        dram_bytes,
+        dma_cycles: dram_bytes / mem.dma_bytes_per_cycle,
+    }
+}
+
+/// Whole-model residency summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelResidency {
+    /// Per-layer analyses in execution order.
+    pub layers: Vec<LayerResidency>,
+}
+
+impl ModelResidency {
+    /// Analyzes every layer of `model` on `config`.
+    pub fn of(config: &ArchConfig, mem: &MemoryConfig, model: &ModelSpec) -> Self {
+        let layers = model
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| analyze_layer(config, mem, l, i))
+            .collect();
+        Self { layers }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.dram_bytes).sum()
+    }
+
+    /// Number of layers whose weights do not fit the WB.
+    pub fn streamed_weight_layers(&self) -> usize {
+        self.layers.iter().filter(|l| !l.weights_resident).count()
+    }
+
+    /// Number of layers whose activations spill to DRAM.
+    pub fn spilled_act_layers(&self) -> usize {
+        self.layers.iter().filter(|l| !l.acts_resident).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchKind;
+    use s2ta_models::{alexnet, mobilenet_v1, vgg16};
+
+    fn cfg(kind: ArchKind) -> ArchConfig {
+        ArchConfig::preset(kind)
+    }
+
+    #[test]
+    fn mobilenet_mostly_fits() {
+        // All MobileNetV1 conv weights fit the 512 KB WB except the
+        // final 1024x1024 point-wise layer (1 MB dense).
+        let mem = MemoryConfig::default();
+        let model = mobilenet_v1();
+        let r = ModelResidency::of(&cfg(ArchKind::SaZvcg), &mem, &model);
+        let conv_spills: Vec<&str> = model
+            .layers
+            .iter()
+            .zip(&r.layers)
+            .filter(|(l, res)| !l.is_memory_bound() && !res.weights_resident)
+            .map(|(l, _)| l.name.as_str())
+            .collect();
+        assert_eq!(conv_spills, vec!["pw13"], "only the 1 MB final point-wise streams");
+        // With 4/8 W-DBB compression even pw13 fits (1 MB * 5/8 = 640 KB
+        // ... still over; but the compressed footprint shrinks).
+        let aw = ModelResidency::of(&cfg(ArchKind::S2taAw), &mem, &model);
+        let pw13 = model.layers.iter().position(|l| l.name == "pw13").expect("pw13");
+        assert!(aw.layers[pw13].weight_bytes < r.layers[pw13].weight_bytes);
+    }
+
+    #[test]
+    fn alexnet_fc_weights_do_not_fit() {
+        let mem = MemoryConfig::default();
+        let model = alexnet();
+        let r = ModelResidency::of(&cfg(ArchKind::SaZvcg), &mem, &model);
+        let fc6 = model.layers.iter().position(|l| l.name == "fc6").expect("fc6");
+        assert!(!r.layers[fc6].weights_resident, "37 MB of fc6 weights exceed 512 KB");
+        assert!(r.layers[fc6].dma_cycles > 0);
+    }
+
+    #[test]
+    fn compression_cuts_dram_traffic() {
+        let mem = MemoryConfig::default();
+        let model = vgg16();
+        let dense = ModelResidency::of(&cfg(ArchKind::SaZvcg), &mem, &model);
+        let aw = ModelResidency::of(&cfg(ArchKind::S2taAw), &mem, &model);
+        assert!(
+            aw.total_dram_bytes() < dense.total_dram_bytes(),
+            "DBB compression must reduce DRAM traffic: {} vs {}",
+            aw.total_dram_bytes(),
+            dense.total_dram_bytes()
+        );
+    }
+
+    #[test]
+    fn vgg_early_activations_spill() {
+        // VGG16 conv1_2: 64ch x 224^2 im2col inputs exceed 2 MB.
+        let mem = MemoryConfig::default();
+        let model = vgg16();
+        let r = ModelResidency::of(&cfg(ArchKind::SaZvcg), &mem, &model);
+        assert!(r.spilled_act_layers() > 0, "early VGG feature maps exceed the AB");
+    }
+
+    #[test]
+    fn overlap_picks_the_longer_side() {
+        let res = LayerResidency {
+            weight_bytes: 0,
+            act_in_bytes: 0,
+            act_out_bytes: 0,
+            weights_resident: true,
+            acts_resident: true,
+            dram_bytes: 1600,
+            dma_cycles: 100,
+        };
+        assert_eq!(res.overlapped_cycles(50), 100);
+        assert_eq!(res.overlapped_cycles(500), 500);
+        assert!(res.dma_bound(50) && !res.dma_bound(500));
+        assert!(!res.to_string().is_empty());
+    }
+
+    #[test]
+    fn first_layer_input_comes_from_dram() {
+        let mem = MemoryConfig::default();
+        let model = mobilenet_v1();
+        let r0 = analyze_layer(&cfg(ArchKind::SaZvcg), &mem, &model.layers[0], 0);
+        assert!(r0.dram_bytes >= r0.act_in_bytes, "image must be DMA'd in");
+        let r1 = analyze_layer(&cfg(ArchKind::SaZvcg), &mem, &model.layers[2], 2);
+        if r1.acts_resident {
+            assert!(r1.dram_bytes < r1.act_in_bytes + r1.weight_bytes + 1);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The accelerator runner: layers and models through the simulated
+//! datapaths, with the DBB toolchain applied where configured.
+
+use crate::{ArchConfig, ArchKind, LayerReport, ModelReport};
+use s2ta_dbb::dap::{dap_matrix, LayerNnz};
+use s2ta_dbb::{prune, BlockAxis, DbbConfig, DbbMatrix};
+use s2ta_models::{LayerSpec, ModelSpec};
+use s2ta_sim::{smt, systolic, tpe, EventCounts};
+use s2ta_tensor::Matrix;
+
+/// A configured accelerator instance.
+///
+/// Construction is cheap; all state lives in the per-run inputs, so one
+/// instance can be reused across layers, models and seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accelerator {
+    config: ArchConfig,
+}
+
+impl Accelerator {
+    /// Creates an accelerator from an explicit configuration.
+    pub fn new(config: ArchConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates the paper's preset design point for `kind`.
+    pub fn preset(kind: ArchKind) -> Self {
+        Self::new(ArchConfig::preset(kind))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Runs one GEMM with explicit operands and an explicit A-DBB
+    /// decision. `first_layer` selects the dense weight fall-back (the
+    /// paper leaves layer 1 unpruned, Table 3 note 2).
+    ///
+    /// Returns the event counts (fast path — no functional result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand dimensions disagree with each other.
+    pub fn run_gemm(
+        &self,
+        w: &Matrix,
+        a: &Matrix,
+        adbb: LayerNnz,
+        first_layer: bool,
+    ) -> EventCounts {
+        let geom = &self.config.geometry;
+        match self.config.kind {
+            ArchKind::Sa => systolic::run_perf(geom, false, w, a),
+            ArchKind::SaZvcg => systolic::run_perf(geom, true, w, a),
+            ArchKind::SaSmtT2Q2 | ArchKind::SaSmtT2Q4 => {
+                smt::run_sampled(geom, self.config.smt, w, a, self.config.smt_sample_tiles).events
+            }
+            ArchKind::S2taW => {
+                let wdbb = self.compress_weights(w, first_layer);
+                tpe::run_wdbb_perf(geom, &wdbb, a)
+            }
+            ArchKind::S2taAw => {
+                let wdbb = self.compress_weights(w, first_layer);
+                let (adbb_m, dap_events) = dap_matrix(a, geom.bz, adbb);
+                let mut events = tpe::run_aw_perf(geom, &wdbb, &adbb_m);
+                events.dap_stages += dap_events.stages;
+                events.dap_comparisons += dap_events.comparisons;
+                events
+            }
+        }
+    }
+
+    /// Prunes+compresses weights to the configured W-DBB bound, or
+    /// compresses densely for the unpruned first layer.
+    fn compress_weights(&self, w: &Matrix, first_layer: bool) -> DbbMatrix {
+        if first_layer {
+            DbbMatrix::compress(w, BlockAxis::Rows, DbbConfig::dense(self.config.geometry.bz))
+                .expect("dense bound always satisfiable")
+        } else {
+            prune::prune_and_compress(w, self.config.wdbb)
+        }
+    }
+
+    /// Runs one layer: generates the profiled synthetic operands and
+    /// dispatches to the datapath. `layer_index` 0 selects the
+    /// unpruned-weights fall-back.
+    ///
+    /// FC and depthwise layers are **memory bound** at batch 1 (paper
+    /// Sec. 8.3): their weights stream from DRAM without reuse, so the
+    /// layer latency is clamped to the DMA transfer time of the
+    /// (possibly compressed) operands. DBB architectures still gain on
+    /// these layers — from bandwidth compression, not compute.
+    pub fn run_layer(&self, layer: &LayerSpec, layer_index: usize, seed: u64) -> LayerReport {
+        let w = layer.gen_weights(seed);
+        let a = layer.gen_acts(seed);
+        let adbb = if layer_index == 0 { LayerNnz::Dense } else { layer.suggested_adbb() };
+        let mut events = self.run_gemm(&w, &a, adbb, layer_index == 0);
+        if layer.is_memory_bound() {
+            // One streaming pass of the operands; SRAM re-read counts in
+            // `events` already cover on-chip traffic, this bounds time.
+            let w_bytes = if self.config.kind.uses_wdbb() && layer_index != 0 {
+                (w.len() as f64 * self.config.wdbb.block_bytes() as f64
+                    / self.config.wdbb.bz() as f64) as u64
+            } else {
+                w.len() as u64
+            };
+            let dma_cycles = (w_bytes + a.len() as u64) / self.config.dma_bytes_per_cycle;
+            events.cycles = events.cycles.max(dma_cycles);
+        }
+        LayerReport { name: layer.name.clone(), macs: layer.macs(), events }
+    }
+
+    /// Runs a whole model (all layers, including memory-bound FC and
+    /// depthwise layers, as in the paper's full-model results).
+    pub fn run_model(&self, model: &ModelSpec, seed: u64) -> ModelReport {
+        let layers = model
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.run_layer(l, i, seed))
+            .collect();
+        ModelReport::from_layers(model.name, self.config.kind.to_string(), layers)
+    }
+
+    /// Runs only the convolution layers (the paper's "Conv only" rows).
+    pub fn run_model_conv_only(&self, model: &ModelSpec, seed: u64) -> ModelReport {
+        let layers = model
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == s2ta_tensor::LayerKind::Conv)
+            .map(|(i, l)| self.run_layer(l, i, seed))
+            .collect();
+        ModelReport::from_layers(
+            format!("{} (conv)", model.name),
+            self.config.kind.to_string(),
+            layers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2ta_models::lenet5;
+    use s2ta_tensor::sparsity::SparseSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn typical_operands(seed: u64, wsp: f64, asp: f64) -> (Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            SparseSpec::random(wsp).matrix(64, 144, &mut rng),
+            SparseSpec::random(asp).matrix(144, 100, &mut rng),
+        )
+    }
+
+    #[test]
+    fn all_archs_run_a_gemm() {
+        let (w, a) = typical_operands(1, 0.5, 0.5);
+        for kind in ArchKind::ALL {
+            let acc = Accelerator::preset(kind);
+            let ev = acc.run_gemm(&w, &a, LayerNnz::Prune(4), false);
+            assert!(ev.cycles > 0, "{kind} produced no cycles");
+            assert!(ev.macs_active > 0, "{kind} produced no active MACs");
+        }
+    }
+
+    #[test]
+    fn s2ta_aw_is_fastest_on_sparse_work() {
+        let (w, a) = typical_operands(2, 0.5, 0.625);
+        let zvcg = Accelerator::preset(ArchKind::SaZvcg).run_gemm(&w, &a, LayerNnz::Dense, false);
+        let aw =
+            Accelerator::preset(ArchKind::S2taAw).run_gemm(&w, &a, LayerNnz::Prune(3), false);
+        let speedup = zvcg.cycles as f64 / aw.cycles as f64;
+        // 3/8 activations: ~8/3 = 2.67x (paper Fig. 9d), minus skew.
+        assert!(speedup > 2.0, "expected >2x, got {speedup:.2}");
+    }
+
+    #[test]
+    fn zvcg_matches_sa_cycles() {
+        let (w, a) = typical_operands(3, 0.5, 0.5);
+        let sa = Accelerator::preset(ArchKind::Sa).run_gemm(&w, &a, LayerNnz::Dense, false);
+        let zv = Accelerator::preset(ArchKind::SaZvcg).run_gemm(&w, &a, LayerNnz::Dense, false);
+        assert_eq!(sa.cycles, zv.cycles);
+    }
+
+    #[test]
+    fn model_run_aggregates_layers() {
+        let acc = Accelerator::preset(ArchKind::SaZvcg);
+        let m = lenet5();
+        let r = acc.run_model(&m, 11);
+        assert_eq!(r.layers.len(), m.layers.len());
+        assert_eq!(r.total_cycles, r.layers.iter().map(|l| l.events.cycles).sum::<u64>());
+        let conv = acc.run_model_conv_only(&m, 11);
+        assert_eq!(conv.layers.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let m = lenet5();
+        assert_eq!(acc.run_model(&m, 5), acc.run_model(&m, 5));
+    }
+
+    #[test]
+    fn first_layer_uses_dense_weights() {
+        // On layer 0, S2TA-W falls back to dense weight blocks: cycles
+        // per block double vs a pruned layer of the same shape.
+        let (w, a) = typical_operands(4, 0.1, 0.1);
+        let acc = Accelerator::preset(ArchKind::S2taW);
+        let first = acc.run_gemm(&w, &a, LayerNnz::Dense, true);
+        let pruned = acc.run_gemm(&w, &a, LayerNnz::Dense, false);
+        assert!(first.cycles > pruned.cycles);
+    }
+}

@@ -1,0 +1,153 @@
+//! The qualitative design-space summary (paper Table 5).
+
+use std::fmt;
+
+/// One row of Table 5: how an architecture relates to sparsity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Architecture name.
+    pub name: &'static str,
+    /// Weight sparsity handling.
+    pub weight_sparsity: &'static str,
+    /// Activation sparsity handling.
+    pub act_sparsity: &'static str,
+    /// Hardware overhead class (gather / scatter / none).
+    pub overhead: &'static str,
+    /// Whether zero-value clock gating applies.
+    pub zvcg: bool,
+    /// Whether variable DBB via time-unrolling is supported.
+    pub variable_dbb: bool,
+}
+
+/// The full Table 5 contents: prior work plus our designs.
+pub fn table5() -> Vec<SummaryRow> {
+    vec![
+        SummaryRow {
+            name: "SA",
+            weight_sparsity: "-",
+            act_sparsity: "-",
+            overhead: "-",
+            zvcg: false,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "SA-ZVCG",
+            weight_sparsity: "-",
+            act_sparsity: "-",
+            overhead: "-",
+            zvcg: true,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "SA-SMT",
+            weight_sparsity: "Random",
+            act_sparsity: "Random",
+            overhead: "Gather",
+            zvcg: false,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "SCNN",
+            weight_sparsity: "Random",
+            act_sparsity: "Random",
+            overhead: "Scatter",
+            zvcg: false,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "SparTen",
+            weight_sparsity: "Random",
+            act_sparsity: "Random",
+            overhead: "Gather",
+            zvcg: false,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "Kang",
+            weight_sparsity: "2/8 DBB",
+            act_sparsity: "-",
+            overhead: "-",
+            zvcg: false,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "STA",
+            weight_sparsity: "4/8 DBB",
+            act_sparsity: "-",
+            overhead: "-",
+            zvcg: false,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "A100",
+            weight_sparsity: "2/4 DBB",
+            act_sparsity: "-",
+            overhead: "-",
+            zvcg: false,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "S2TA-W",
+            weight_sparsity: "4/8 DBB",
+            act_sparsity: "-",
+            overhead: "-",
+            zvcg: true,
+            variable_dbb: false,
+        },
+        SummaryRow {
+            name: "S2TA-AW",
+            weight_sparsity: "4/8 DBB",
+            act_sparsity: "(1-5)/8 DBB",
+            overhead: "-",
+            zvcg: true,
+            variable_dbb: true,
+        },
+    ]
+}
+
+impl fmt::Display for SummaryRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} | {:<9} | {:<12} | {:<8} | {:^4} | {:^8}",
+            self.name,
+            self.weight_sparsity,
+            self.act_sparsity,
+            self.overhead,
+            if self.zvcg { "yes" } else { "-" },
+            if self.variable_dbb { "yes" } else { "-" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_s2ta_aw_has_variable_dbb() {
+        let rows = table5();
+        let variable: Vec<_> = rows.iter().filter(|r| r.variable_dbb).collect();
+        assert_eq!(variable.len(), 1);
+        assert_eq!(variable[0].name, "S2TA-AW");
+    }
+
+    #[test]
+    fn unstructured_designs_have_overhead() {
+        for r in table5() {
+            if r.weight_sparsity == "Random" {
+                assert_ne!(r.overhead, "-", "{} should carry gather/scatter overhead", r.name);
+            }
+            if r.weight_sparsity.contains("DBB") {
+                assert_eq!(r.overhead, "-", "{} DBB designs are overhead-free", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_render() {
+        for r in table5() {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! A single compressed DBB block: values plus positional bitmask (Fig. 5).
+
+use crate::{DbbConfig, DbbError};
+
+/// One compressed DBB block.
+///
+/// Stores exactly `config.nnz()` value bytes — zero-padded at the tail if
+/// the source block had fewer non-zeros — and a `BZ`-bit positional mask
+/// whose set bits mark the expanded positions of the stored values, in
+/// ascending position order. This mirrors the hardware storage layout, so
+/// [`DbbBlock::storage_bytes`] is exactly the SRAM footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DbbBlock {
+    values: Vec<i8>,
+    mask: u16,
+    config: DbbConfig,
+}
+
+impl DbbBlock {
+    /// Compresses one expanded block of exactly `config.bz()` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbbError::BoundExceeded`] (with `block == 0`) if the data
+    /// has more non-zeros than `config.nnz()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != config.bz()`.
+    pub fn compress(data: &[i8], config: DbbConfig) -> Result<Self, DbbError> {
+        assert_eq!(data.len(), config.bz(), "block data must be exactly BZ elements");
+        let nnz_found = data.iter().filter(|&&v| v != 0).count();
+        if nnz_found > config.nnz() {
+            return Err(DbbError::BoundExceeded {
+                block: 0,
+                found: nnz_found,
+                bound: config.nnz(),
+            });
+        }
+        let mut values = Vec::with_capacity(config.nnz());
+        let mut mask = 0u16;
+        for (i, &v) in data.iter().enumerate() {
+            if v != 0 {
+                values.push(v);
+                mask |= 1 << i;
+            }
+        }
+        values.resize(config.nnz(), 0);
+        Ok(Self { values, mask, config })
+    }
+
+    /// The stored (compressed) values, length exactly `config.nnz()`.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// The positional bitmask `M`: bit `i` set iff expanded position `i`
+    /// holds a non-zero.
+    pub fn mask(&self) -> u16 {
+        self.mask
+    }
+
+    /// The block's configuration.
+    pub fn config(&self) -> DbbConfig {
+        self.config
+    }
+
+    /// Number of genuinely non-zero values stored (mask population count).
+    pub fn nnz(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Expands back to the dense `BZ`-element block.
+    pub fn decompress(&self) -> Vec<i8> {
+        let mut out = vec![0i8; self.config.bz()];
+        let mut vi = 0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            if self.mask & (1 << i) != 0 {
+                *slot = self.values[vi];
+                vi += 1;
+            }
+        }
+        out
+    }
+
+    /// The value at expanded position `pos`, resolved through the mask —
+    /// what the hardware's `M`-controlled mux (Fig. 6c/6e) steers to a MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= config.bz()`.
+    pub fn value_at(&self, pos: usize) -> i8 {
+        assert!(pos < self.config.bz(), "position {pos} out of block");
+        if self.mask & (1 << pos) == 0 {
+            0
+        } else {
+            // Index into compressed storage = number of set mask bits
+            // below `pos` (the mux select logic).
+            let below = (self.mask & ((1 << pos) - 1)).count_ones() as usize;
+            self.values[below]
+        }
+    }
+
+    /// Iterator over `(expanded_position, value)` of the stored non-zeros,
+    /// in ascending position order — the serialization order of the
+    /// time-unrolled datapath (Fig. 6e).
+    pub fn nonzeros(&self) -> impl Iterator<Item = (usize, i8)> + '_ {
+        let bz = self.config.bz();
+        (0..bz).filter_map(move |i| {
+            if self.mask & (1 << i) != 0 {
+                Some((i, self.value_at(i)))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Storage footprint in bytes: `NNZ` values + mask bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.config.block_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg48() -> DbbConfig {
+        DbbConfig::new(4, 8)
+    }
+
+    #[test]
+    fn paper_fig5_example() {
+        // Fig. 5: a 4/8 block keeps the non-zeros and a bitmask.
+        let data = [0, 9, 0, 4, 3, 0, 5, 0];
+        let b = DbbBlock::compress(&data, cfg48()).unwrap();
+        assert_eq!(b.values(), &[9, 4, 3, 5]);
+        assert_eq!(b.mask(), 0b0101_1010);
+        assert_eq!(b.decompress(), data);
+        assert_eq!(b.nnz(), 4);
+        assert_eq!(b.storage_bytes(), 5);
+    }
+
+    #[test]
+    fn underfull_block_zero_pads() {
+        let data = [0, 0, -3, 0, 0, 0, 0, 0];
+        let b = DbbBlock::compress(&data, cfg48()).unwrap();
+        assert_eq!(b.values(), &[-3, 0, 0, 0]);
+        assert_eq!(b.nnz(), 1);
+        assert_eq!(b.decompress(), data);
+    }
+
+    #[test]
+    fn bound_violation_detected() {
+        let data = [1, 2, 3, 4, 5, 0, 0, 0];
+        let err = DbbBlock::compress(&data, cfg48()).unwrap_err();
+        assert_eq!(err, DbbError::BoundExceeded { block: 0, found: 5, bound: 4 });
+    }
+
+    #[test]
+    fn value_at_mux_semantics() {
+        let data = [0, 9, 0, 4, 3, 0, 5, 0];
+        let b = DbbBlock::compress(&data, cfg48()).unwrap();
+        for (i, &expect) in data.iter().enumerate() {
+            assert_eq!(b.value_at(i), expect, "position {i}");
+        }
+    }
+
+    #[test]
+    fn nonzeros_in_position_order() {
+        let data = [0, 9, 0, 4, 3, 0, 5, 0];
+        let b = DbbBlock::compress(&data, cfg48()).unwrap();
+        let nz: Vec<_> = b.nonzeros().collect();
+        assert_eq!(nz, vec![(1, 9), (3, 4), (4, 3), (6, 5)]);
+    }
+
+    #[test]
+    fn dense_config_roundtrip() {
+        let data = [1, 2, 3, 4, 5, 6, 7, 8];
+        let b = DbbBlock::compress(&data, DbbConfig::dense(8)).unwrap();
+        assert_eq!(b.decompress(), data);
+        assert_eq!(b.storage_bytes(), 8);
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let data = [0i8; 8];
+        let b = DbbBlock::compress(&data, cfg48()).unwrap();
+        assert_eq!(b.nnz(), 0);
+        assert_eq!(b.mask(), 0);
+        assert_eq!(b.decompress(), data);
+        assert!(b.nonzeros().next().is_none());
+    }
+}

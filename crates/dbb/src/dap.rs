@@ -1,0 +1,385 @@
+//! Dynamic Activation Pruning (paper Sec. 5.1, 6.2, Fig. 8).
+//!
+//! Activations are computed at runtime, so their DBB bound must be
+//! enforced *online*: DAP keeps the Top-NNZ largest-magnitude elements of
+//! each activation block. The hardware is a cascade of magnitude-maxpool
+//! stages — each stage finds the largest remaining magnitude with `BZ-1`
+//! comparators and removes it from consideration — capped at **5 stages**
+//! (Sec. 6.2: higher NNZ "would usually not lead to significant
+//! efficiency gains"); layers needing more run dense.
+//!
+//! This module provides:
+//!
+//! * [`dap_block`] — the software Top-NNZ reference.
+//! * [`DapUnit`] — a stage-by-stage model of the cascaded-maxpool
+//!   hardware, producing identical selections plus the per-stage event
+//!   counts consumed by the energy model.
+//! * [`LayerNnz`] / [`choose_layer_nnz`] — the per-layer variable density
+//!   selection (Sec. 5.2: per-layer tuned A-DBB from 8/8 down to 2/8).
+
+use crate::{BlockAxis, DbbConfig, DbbMatrix};
+use s2ta_tensor::Matrix;
+
+/// Maximum number of cascaded maxpool stages the DAP hardware implements.
+pub const MAX_DAP_STAGES: usize = 5;
+
+/// Software reference for DAP on one block: keeps the `nnz`
+/// largest-magnitude elements (ties to the lower index), zeroes the rest.
+pub fn dap_block(block: &mut [i8], nnz: usize) {
+    let found = block.iter().filter(|&&v| v != 0).count();
+    if found <= nnz {
+        return;
+    }
+    let mags: Vec<f64> = block.iter().map(|&v| (v as f64).abs()).collect();
+    let keep = crate::prune::top_magnitude_indices(&mags, nnz);
+    let mut keep_iter = keep.iter().peekable();
+    for (i, v) in block.iter_mut().enumerate() {
+        if keep_iter.peek() == Some(&&i) {
+            keep_iter.next();
+        } else {
+            *v = 0;
+        }
+    }
+}
+
+/// Event counts from one hardware DAP invocation, for energy accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DapEvents {
+    /// Maxpool stages that actually evaluated (≤ `MAX_DAP_STAGES`).
+    pub stages: u64,
+    /// Binary magnitude comparisons performed (`BZ - 1` per stage).
+    pub comparisons: u64,
+}
+
+/// A model of the cascaded magnitude-maxpool DAP hardware (Fig. 8).
+///
+/// Functionally identical to [`dap_block`] (asserted by tests and
+/// property tests) but structured as the hardware is: one maxpool stage
+/// per kept element, each scanning the not-yet-selected positions.
+#[derive(Debug, Clone, Copy)]
+pub struct DapUnit {
+    bz: usize,
+}
+
+impl DapUnit {
+    /// Creates a DAP unit for blocks of `bz` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bz` is 0 or exceeds 16.
+    pub fn new(bz: usize) -> Self {
+        assert!(bz > 0 && bz <= crate::config::MAX_BZ, "unsupported block size {bz}");
+        Self { bz }
+    }
+
+    /// Runs the cascade on `block`, keeping at most `nnz` elements and
+    /// returning the positional mask plus event counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nnz > MAX_DAP_STAGES` (the hardware physically has 5
+    /// stages; callers wanting denser output must bypass DAP), or if
+    /// `block.len() != bz`.
+    pub fn prune(&self, block: &mut [i8], nnz: usize) -> (u16, DapEvents) {
+        assert_eq!(block.len(), self.bz, "block length must equal BZ");
+        assert!(
+            nnz <= MAX_DAP_STAGES,
+            "DAP hardware has {MAX_DAP_STAGES} stages; nnz {nnz} requires bypass"
+        );
+        let mut selected: u16 = 0;
+        let mut events = DapEvents::default();
+        for _stage in 0..nnz {
+            // One magnitude maxpool over the not-yet-selected elements.
+            let mut best: Option<(usize, i32)> = None;
+            for (i, &v) in block.iter().enumerate() {
+                if selected & (1 << i) != 0 {
+                    continue;
+                }
+                let mag = (v as i32).abs();
+                match best {
+                    // Strict '>' keeps the earliest index on ties, matching
+                    // the comparator tree's left-to-right priority.
+                    Some((_, bm)) if mag <= bm => {}
+                    _ => best = Some((i, mag)),
+                }
+            }
+            events.stages += 1;
+            events.comparisons += (self.bz - 1) as u64;
+            match best {
+                Some((i, mag)) if mag > 0 => selected |= 1 << i,
+                // All remaining elements are zero: later stages would
+                // select zeros; stop early (the hardware bypasses unused
+                // stages, Sec. 6.2).
+                _ => break,
+            }
+        }
+        for (i, v) in block.iter_mut().enumerate() {
+            if selected & (1 << i) == 0 {
+                *v = 0;
+            }
+        }
+        (selected, events)
+    }
+}
+
+/// The A-DBB density decision for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerNnz {
+    /// Prune activations to `nnz` per block via DAP (1..=5).
+    Prune(usize),
+    /// Run the layer with dense activations (DAP bypassed) — used when
+    /// the layer needs more than 5/8 density to preserve accuracy.
+    Dense,
+}
+
+impl LayerNnz {
+    /// Cycles the time-unrolled datapath spends per activation block for
+    /// this density (paper Sec. 5.2: one element per cycle; dense = BZ).
+    pub fn cycles_per_block(&self, bz: usize) -> usize {
+        match self {
+            LayerNnz::Prune(n) => *n,
+            LayerNnz::Dense => bz,
+        }
+    }
+
+    /// The effective NNZ bound (BZ when dense).
+    pub fn bound(&self, bz: usize) -> usize {
+        match self {
+            LayerNnz::Prune(n) => *n,
+            LayerNnz::Dense => bz,
+        }
+    }
+}
+
+/// Chooses the per-layer activation NNZ: the smallest `nnz <= 5` whose
+/// Top-NNZ pruning retains at least `coverage` of the layer's L1
+/// activation magnitude; falls back to [`LayerNnz::Dense`] if even 5/8
+/// retains less.
+///
+/// This mirrors the paper's per-layer tuning (Sec. 5.2: optimal A-DBB
+/// "ranges from 8/8 (dense) in early layers down to 2/8 towards the
+/// end"): early layers have dense, high-information activations and get
+/// large NNZ; late ReLU-sparse layers prune aggressively.
+///
+/// # Panics
+///
+/// Panics unless `0.0 < coverage <= 1.0`.
+pub fn choose_layer_nnz(activations: &Matrix, bz: usize, coverage: f64) -> LayerNnz {
+    assert!(coverage > 0.0 && coverage <= 1.0, "coverage must be in (0,1]");
+    let total: f64 = activations.data().iter().map(|&v| (v as f64).abs()).sum();
+    if total == 0.0 {
+        return LayerNnz::Prune(1);
+    }
+    for nnz in 1..=MAX_DAP_STAGES {
+        let kept = retained_magnitude(activations, bz, nnz);
+        if kept / total >= coverage {
+            return LayerNnz::Prune(nnz);
+        }
+    }
+    LayerNnz::Dense
+}
+
+fn retained_magnitude(m: &Matrix, bz: usize, nnz: usize) -> f64 {
+    let mut kept = 0.0;
+    for c in 0..m.cols() {
+        let mut r = 0;
+        while r < m.rows() {
+            let end = (r + bz).min(m.rows());
+            let mut mags: Vec<f64> = (r..end).map(|i| (m.get(i, c) as f64).abs()).collect();
+            mags.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+            kept += mags.iter().take(nnz).sum::<f64>();
+            r = end;
+        }
+    }
+    kept
+}
+
+/// Applies DAP to an entire im2col activation matrix (columns are
+/// reduction vectors) and compresses the result, returning the compressed
+/// matrix and aggregate hardware events.
+///
+/// For [`LayerNnz::Dense`] the matrix is compressed with the dense `bz/bz`
+/// bound (no pruning, no DAP events). Bounds of `1..=5` run through the
+/// hardware DAP cascade; bounds **above** the 5-stage cap cannot be
+/// runtime-pruned (Sec. 6.2), so they are enforced in software here —
+/// representing activations already bounded by DAP-aware *training* —
+/// and contribute no DAP hardware events.
+pub fn dap_matrix(m: &Matrix, bz: usize, nnz: LayerNnz) -> (DbbMatrix, DapEvents) {
+    let mut out = m.clone();
+    let mut events = DapEvents::default();
+    let config = match nnz {
+        LayerNnz::Dense => DbbConfig::dense(bz),
+        LayerNnz::Prune(n) if n >= bz => DbbConfig::dense(bz),
+        LayerNnz::Prune(n) => {
+            let unit = (n <= MAX_DAP_STAGES).then(|| DapUnit::new(bz));
+            let mut block = vec![0i8; bz];
+            for c in 0..out.cols() {
+                let mut r = 0;
+                while r < out.rows() {
+                    let end = (r + bz).min(out.rows());
+                    block.fill(0);
+                    for (bi, row) in (r..end).enumerate() {
+                        block[bi] = out.get(row, c);
+                    }
+                    if let Some(unit) = &unit {
+                        let (_, ev) = unit.prune(&mut block, n);
+                        events.stages += ev.stages;
+                        events.comparisons += ev.comparisons;
+                    } else {
+                        dap_block(&mut block, n);
+                    }
+                    for (bi, row) in (r..end).enumerate() {
+                        out.set(row, c, block[bi]);
+                    }
+                    r = end;
+                }
+            }
+            DbbConfig::new(n, bz)
+        }
+    };
+    let compressed = DbbMatrix::compress(&out, BlockAxis::Cols, config)
+        .expect("DAP output satisfies its own bound");
+    (compressed, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use s2ta_tensor::sparsity::SparseSpec;
+
+    #[test]
+    fn software_dap_keeps_top_magnitudes() {
+        let mut b = [0i8, 4, 1, 5, 2, 6, -1, -7];
+        dap_block(&mut b, 4);
+        // Top-4 magnitudes: -7, 6, 5, 4.
+        assert_eq!(b, [0, 4, 0, 5, 0, 6, 0, -7]);
+    }
+
+    #[test]
+    fn hardware_matches_software() {
+        let unit = DapUnit::new(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        for nnz in 1..=5usize {
+            for _ in 0..200 {
+                let m = SparseSpec::random(0.4).matrix(1, 8, &mut rng);
+                let mut hw: Vec<i8> = m.data().to_vec();
+                let mut sw = hw.clone();
+                unit.prune(&mut hw, nnz);
+                dap_block(&mut sw, nnz);
+                assert_eq!(hw, sw, "nnz={nnz}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_mask_matches_survivors() {
+        let unit = DapUnit::new(8);
+        let mut b = [0i8, 4, 1, 5, 2, 6, -1, -7];
+        let (mask, events) = unit.prune(&mut b, 4);
+        assert_eq!(mask, (1 << 1) | (1 << 3) | (1 << 5) | (1 << 7));
+        assert_eq!(events.stages, 4);
+        assert_eq!(events.comparisons, 4 * 7);
+    }
+
+    #[test]
+    fn cascade_stops_early_on_zeros() {
+        let unit = DapUnit::new(8);
+        let mut b = [0i8, 0, 3, 0, 0, 0, 0, 0];
+        let (mask, events) = unit.prune(&mut b, 5);
+        assert_eq!(mask, 1 << 2);
+        // One productive stage plus the stage that found only zeros.
+        assert_eq!(events.stages, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stages")]
+    fn nnz_above_stage_cap_rejected() {
+        let unit = DapUnit::new(8);
+        let mut b = [0i8; 8];
+        let _ = unit.prune(&mut b, 6);
+    }
+
+    #[test]
+    fn layer_nnz_cycles() {
+        assert_eq!(LayerNnz::Prune(3).cycles_per_block(8), 3);
+        assert_eq!(LayerNnz::Dense.cycles_per_block(8), 8);
+        assert_eq!(LayerNnz::Prune(2).bound(8), 2);
+        assert_eq!(LayerNnz::Dense.bound(8), 8);
+    }
+
+    #[test]
+    fn sparse_layers_get_small_nnz() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sparse = SparseSpec::random(0.85).matrix(64, 64, &mut rng);
+        let dense = SparseSpec::random(0.05).matrix(64, 64, &mut rng);
+        let n_sparse = choose_layer_nnz(&sparse, 8, 0.98);
+        let n_dense = choose_layer_nnz(&dense, 8, 0.98);
+        match (n_sparse, n_dense) {
+            (LayerNnz::Prune(a), LayerNnz::Dense) => assert!(a <= 3, "sparse nnz {a}"),
+            (LayerNnz::Prune(a), LayerNnz::Prune(b)) => {
+                assert!(a < b, "sparse {a} should need fewer than dense {b}")
+            }
+            other => panic!("unexpected choices {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dap_matrix_satisfies_bound_and_counts_events() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = SparseSpec::random(0.3).matrix(16, 10, &mut rng);
+        let (dm, events) = dap_matrix(&m, 8, LayerNnz::Prune(3));
+        assert_eq!(dm.config(), DbbConfig::new(3, 8));
+        // 10 columns x 2 blocks each = 20 blocks, each ran >= 1 stage.
+        assert!(events.stages >= 20);
+        // Every decompressed column block has <= 3 non-zeros.
+        let dec = dm.decompress();
+        for c in 0..dec.cols() {
+            for blk in 0..2 {
+                let nnz = (blk * 8..(blk + 1) * 8)
+                    .filter(|&r| dec.get(r, c) != 0)
+                    .count();
+                assert!(nnz <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn dap_matrix_dense_is_lossless() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = SparseSpec::random(0.5).matrix(24, 6, &mut rng);
+        let (dm, events) = dap_matrix(&m, 8, LayerNnz::Dense);
+        assert_eq!(dm.decompress(), m);
+        assert_eq!(events, DapEvents::default());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hw_sw_equivalence(
+            data in prop::collection::vec(any::<i8>(), 8),
+            nnz in 1usize..=5,
+        ) {
+            let unit = DapUnit::new(8);
+            let mut hw = data.clone();
+            let mut sw = data;
+            unit.prune(&mut hw, nnz);
+            dap_block(&mut sw, nnz);
+            prop_assert_eq!(hw, sw);
+        }
+
+        #[test]
+        fn prop_dap_never_increases_magnitude(
+            data in prop::collection::vec(any::<i8>(), 8),
+            nnz in 1usize..=5,
+        ) {
+            let mut pruned = data.clone();
+            dap_block(&mut pruned, nnz);
+            let before: i64 = data.iter().map(|&v| (v as i64).abs()).sum();
+            let after: i64 = pruned.iter().map(|&v| (v as i64).abs()).sum();
+            prop_assert!(after <= before);
+            prop_assert!(pruned.iter().filter(|&&v| v != 0).count() <= nnz);
+        }
+    }
+}

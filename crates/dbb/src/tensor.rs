@@ -1,0 +1,215 @@
+//! DBB compression of 4-D tensors along the channel dimension.
+//!
+//! Fig. 5 of the paper blocks tensors along the channel dimension — "a
+//! common strategy to avoid all the elements in any single channel
+//! falling into the same block" — so each spatial position's channel
+//! fiber is an independent sequence of DBB blocks. This is the storage
+//! format of the activation buffer; the GEMM-side [`crate::DbbMatrix`]
+//! is its im2col view.
+
+use crate::{DbbConfig, DbbError, DbbVector};
+use s2ta_tensor::Tensor4;
+
+/// A 4-D tensor whose channel fibers are DBB-compressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbbTensor4 {
+    fibers: Vec<DbbVector>,
+    dims: [usize; 4],
+    config: DbbConfig,
+}
+
+impl DbbTensor4 {
+    /// Compresses `t` along the channel dimension: one [`DbbVector`] per
+    /// `(n, h, w)` position.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first DBB bound violation (block index is local to
+    /// its fiber).
+    pub fn compress(t: &Tensor4, config: DbbConfig) -> Result<Self, DbbError> {
+        let [n, c, h, w] = t.dims();
+        let mut fibers = Vec::with_capacity(n * h * w);
+        let mut fiber = vec![0i8; c];
+        for ni in 0..n {
+            for hi in 0..h {
+                for wi in 0..w {
+                    for (ci, slot) in fiber.iter_mut().enumerate() {
+                        *slot = t.get(ni, ci, hi, wi);
+                    }
+                    fibers.push(DbbVector::compress(&fiber, config)?);
+                }
+            }
+        }
+        Ok(Self { fibers, dims: t.dims(), config })
+    }
+
+    /// Original tensor dims.
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> DbbConfig {
+        self.config
+    }
+
+    /// The compressed channel fiber at `(n, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn fiber(&self, n: usize, h: usize, w: usize) -> &DbbVector {
+        let [_, _, hd, wd] = self.dims;
+        assert!(n < self.dims[0] && h < hd && w < wd, "fiber position out of bounds");
+        &self.fibers[(n * hd + h) * wd + w]
+    }
+
+    /// Expands back to the dense tensor.
+    pub fn decompress(&self) -> Tensor4 {
+        let [n, c, h, w] = self.dims;
+        let mut t = Tensor4::zeros(self.dims);
+        for ni in 0..n {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let dense = self.fiber(ni, hi, wi).decompress();
+                    for (ci, &v) in dense.iter().enumerate().take(c) {
+                        t.set(ni, ci, hi, wi, v);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Total compressed storage in bytes (the AB footprint).
+    pub fn storage_bytes(&self) -> usize {
+        self.fibers.iter().map(DbbVector::storage_bytes).sum()
+    }
+
+    /// Dense storage the compression replaces.
+    pub fn dense_bytes(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+/// Prunes a tensor's channel fibers to satisfy `config` (Top-NNZ
+/// magnitude per block) and compresses — the offline W-DBB path for
+/// weight tensors stored in NCHW.
+pub fn prune_and_compress_tensor(t: &Tensor4, config: DbbConfig) -> DbbTensor4 {
+    let [n, c, h, w] = t.dims();
+    let mut pruned = t.clone();
+    let mut fiber = vec![0i8; c];
+    for ni in 0..n {
+        for hi in 0..h {
+            for wi in 0..w {
+                for (ci, slot) in fiber.iter_mut().enumerate() {
+                    *slot = pruned.get(ni, ci, hi, wi);
+                }
+                crate::prune::prune_vector(&mut fiber, config);
+                for (ci, &v) in fiber.iter().enumerate() {
+                    pruned.set(ni, ci, hi, wi, v);
+                }
+            }
+        }
+    }
+    DbbTensor4::compress(&pruned, config).expect("pruned tensor satisfies its own bound")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use s2ta_tensor::sparsity::SparseSpec;
+
+    #[test]
+    fn roundtrip_dense_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = SparseSpec::random(0.5).tensor([2, 12, 3, 4], &mut rng);
+        let c = DbbTensor4::compress(&t, DbbConfig::dense(8)).expect("dense bound");
+        assert_eq!(c.decompress(), t);
+        assert_eq!(c.dims(), [2, 12, 3, 4]);
+    }
+
+    #[test]
+    fn channel_blocking_is_per_position() {
+        // A tensor that is 4/8-satisfiable per channel fiber but would
+        // violate the bound if blocked spatially: each channel constant.
+        let mut t = Tensor4::zeros([1, 8, 2, 2]);
+        for ci in 0..4 {
+            for hi in 0..2 {
+                for wi in 0..2 {
+                    t.set(0, ci, hi, wi, 1);
+                }
+            }
+        }
+        let c = DbbTensor4::compress(&t, DbbConfig::new(4, 8)).expect("4 nz per fiber");
+        assert_eq!(c.decompress(), t);
+        assert_eq!(c.fiber(0, 1, 1).nnz(), 4);
+    }
+
+    #[test]
+    fn violation_reported() {
+        let t = Tensor4::filled([1, 8, 1, 1], 3);
+        let err = DbbTensor4::compress(&t, DbbConfig::new(4, 8)).unwrap_err();
+        assert!(matches!(err, DbbError::BoundExceeded { found: 8, bound: 4, .. }));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = SparseSpec::random(0.6).tensor([1, 16, 4, 4], &mut rng);
+        let pruned = prune_and_compress_tensor(&t, DbbConfig::new(4, 8));
+        // 16 positions x 2 blocks x 5 bytes.
+        assert_eq!(pruned.storage_bytes(), 16 * 2 * 5);
+        assert_eq!(pruned.dense_bytes(), 256);
+    }
+
+    #[test]
+    fn pruning_keeps_top_magnitudes_per_fiber() {
+        let mut t = Tensor4::zeros([1, 8, 1, 1]);
+        for ci in 0..8 {
+            t.set(0, ci, 0, 0, (ci as i8 + 1) * if ci % 2 == 0 { 1 } else { -1 });
+        }
+        let pruned = prune_and_compress_tensor(&t, DbbConfig::new(4, 8)).decompress();
+        // Magnitudes 1..8: keep 5,6,7,8 (channels 4..8).
+        for ci in 0..4 {
+            assert_eq!(pruned.get(0, ci, 0, 0), 0);
+        }
+        for ci in 4..8 {
+            assert_ne!(pruned.get(0, ci, 0, 0), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_prune_compress_roundtrip(
+            c in 1usize..20,
+            hw in 1usize..4,
+            sp in 0.0f64..0.9,
+            nnz in 1usize..=8,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = SparseSpec::random(sp).tensor([1, c, hw, hw], &mut rng);
+            let cfg = DbbConfig::new(nnz, 8);
+            let compressed = prune_and_compress_tensor(&t, cfg);
+            let dense = compressed.decompress();
+            // Every fiber block satisfies the bound.
+            for hi in 0..hw {
+                for wi in 0..hw {
+                    let fiber: Vec<i8> = (0..c).map(|ci| dense.get(0, ci, hi, wi)).collect();
+                    for chunk in fiber.chunks(8) {
+                        prop_assert!(chunk.iter().filter(|&&v| v != 0).count() <= nnz);
+                    }
+                }
+            }
+            // Kept values are a subset of the originals.
+            for (orig, kept) in t.data().iter().zip(dense.data()) {
+                prop_assert!(*kept == 0 || kept == orig);
+            }
+        }
+    }
+}

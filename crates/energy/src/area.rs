@@ -1,0 +1,175 @@
+//! Component-wise area estimation (paper Table 2, Table 4).
+//!
+//! Area constants are calibrated against Table 2's S2TA-AW breakdown:
+//! 512 KB weight SRAM = 0.54 mm2 and 2 MB activation SRAM = 2.16 mm2
+//! give ~1.05e-3 mm2/KB; a Cortex-M33 plus its 64 KB control store is
+//! ~0.075 mm2; the 2048-MAC datapath with its registers lands at
+//! ~0.7 mm2. The same constants then predict the Table 4 area ordering
+//! (SA-SMT > SA-ZVCG ~ S2TA-AW > S2TA-W).
+
+/// Hardware inventory of one accelerator configuration — the inputs to
+/// the area model. Buffer capacities are per-design (see
+/// `s2ta_core::buffers` for the Table 1 formulas).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwSpec {
+    /// INT8 MAC units.
+    pub macs: u64,
+    /// Total operand/accumulator flip-flop capacity in bytes.
+    pub ff_bytes: u64,
+    /// Total staging FIFO capacity in bytes (SMT only).
+    pub fifo_bytes: u64,
+    /// Total DBB mux ways (e.g. 2048 MACs x 4-way = 8192).
+    pub mux_ways: u64,
+    /// Weight buffer SRAM in KB.
+    pub weight_sram_kb: f64,
+    /// Activation buffer SRAM in KB.
+    pub act_sram_kb: f64,
+    /// MCU count (each with its 64 KB control store).
+    pub mcus: u64,
+    /// DAP comparators (BZ-1 per stage x stages x units; 0 if no DAP).
+    pub dap_comparators: u64,
+}
+
+/// Per-component area constants, mm2, 16nm. For 65nm multiply by
+/// [`AreaParams::NODE_SCALE_65NM`] (the paper's Table 4 shows roughly a
+/// 6x logic-area gap between its 16nm and 65nm implementations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaParams {
+    /// One INT8 MAC (multiplier + adder + local wiring).
+    pub a_mac_mm2: f64,
+    /// One flip-flop byte (registers, accumulators).
+    pub a_ff_byte_mm2: f64,
+    /// One FIFO byte (denser than discrete FFs).
+    pub a_fifo_byte_mm2: f64,
+    /// One mux way.
+    pub a_mux_way_mm2: f64,
+    /// One KB of large single-ported SRAM.
+    pub a_sram_kb_mm2: f64,
+    /// One Cortex-M33 with 64 KB control store.
+    pub a_mcu_mm2: f64,
+    /// One DAP comparator.
+    pub a_dap_comparator_mm2: f64,
+}
+
+impl AreaParams {
+    /// Logic/SRAM area scale from 16nm to 65nm.
+    pub const NODE_SCALE_65NM: f64 = 6.0;
+
+    /// Calibrated 16nm constants.
+    pub fn tsmc16() -> Self {
+        Self {
+            a_mac_mm2: 1.0e-4,
+            a_ff_byte_mm2: 3.5e-5,
+            a_fifo_byte_mm2: 1.2e-5,
+            a_mux_way_mm2: 2.5e-6,
+            a_sram_kb_mm2: 1.05e-3,
+            a_mcu_mm2: 0.075,
+            a_dap_comparator_mm2: 2.2e-5,
+        }
+    }
+
+    /// 65nm constants (16nm scaled by [`Self::NODE_SCALE_65NM`]).
+    pub fn tsmc65() -> Self {
+        let b = Self::tsmc16();
+        let s = Self::NODE_SCALE_65NM;
+        Self {
+            a_mac_mm2: b.a_mac_mm2 * s,
+            a_ff_byte_mm2: b.a_ff_byte_mm2 * s,
+            a_fifo_byte_mm2: b.a_fifo_byte_mm2 * s,
+            a_mux_way_mm2: b.a_mux_way_mm2 * s,
+            a_sram_kb_mm2: b.a_sram_kb_mm2 * s,
+            a_mcu_mm2: b.a_mcu_mm2 * s,
+            a_dap_comparator_mm2: b.a_dap_comparator_mm2 * s,
+        }
+    }
+}
+
+/// Component-wise area, mm2.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AreaBreakdown {
+    /// MAC datapath + flip-flop buffers + FIFOs + muxes.
+    pub datapath_mm2: f64,
+    /// Weight buffer SRAM.
+    pub weight_sram_mm2: f64,
+    /// Activation buffer SRAM.
+    pub act_sram_mm2: f64,
+    /// MCU cluster (cores + control stores).
+    pub mcu_mm2: f64,
+    /// DAP array.
+    pub dap_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Estimates the area of `spec` under `params`.
+    pub fn of(spec: &HwSpec, params: &AreaParams) -> Self {
+        Self {
+            datapath_mm2: spec.macs as f64 * params.a_mac_mm2
+                + spec.ff_bytes as f64 * params.a_ff_byte_mm2
+                + spec.fifo_bytes as f64 * params.a_fifo_byte_mm2
+                + spec.mux_ways as f64 * params.a_mux_way_mm2,
+            weight_sram_mm2: spec.weight_sram_kb * params.a_sram_kb_mm2,
+            act_sram_mm2: spec.act_sram_kb * params.a_sram_kb_mm2,
+            mcu_mm2: spec.mcus as f64 * params.a_mcu_mm2,
+            dap_mm2: spec.dap_comparators as f64 * params.a_dap_comparator_mm2,
+        }
+    }
+
+    /// Total area in mm2.
+    pub fn total_mm2(&self) -> f64 {
+        self.datapath_mm2 + self.weight_sram_mm2 + self.act_sram_mm2 + self.mcu_mm2 + self.dap_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The S2TA-AW spec corresponding to Table 2.
+    fn s2ta_aw_spec() -> HwSpec {
+        HwSpec {
+            macs: 2048,
+            // ~4.75 B per MAC (Table 1: 0.75 operand + 4 accumulator).
+            ff_bytes: 2048 * 4 + 2048, // 4B acc per MAC + ~1B staged operands
+            fifo_bytes: 0,
+            mux_ways: 2048 * 4,
+            weight_sram_kb: 512.0,
+            act_sram_kb: 2048.0,
+            mcus: 4,
+            // 64 DAP units x 5 stages x 7 comparators.
+            dap_comparators: 64 * 5 * 7,
+        }
+    }
+
+    #[test]
+    fn table2_shape_reproduced() {
+        let a = AreaBreakdown::of(&s2ta_aw_spec(), &AreaParams::tsmc16());
+        // Table 2: total 3.77 mm2; AB 2.16 (57%); WB 0.54 (14%);
+        // datapath ~0.72 (19%); MCU 0.30 (8%); DAP 0.05 (1.3%).
+        assert!((a.act_sram_mm2 - 2.16).abs() < 0.1, "AB {:.2}", a.act_sram_mm2);
+        assert!((a.weight_sram_mm2 - 0.54).abs() < 0.05, "WB {:.2}", a.weight_sram_mm2);
+        assert!((a.mcu_mm2 - 0.30).abs() < 0.05, "MCU {:.2}", a.mcu_mm2);
+        assert!(a.dap_mm2 > 0.02 && a.dap_mm2 < 0.08, "DAP {:.3}", a.dap_mm2);
+        assert!(a.datapath_mm2 > 0.4 && a.datapath_mm2 < 1.0, "dp {:.2}", a.datapath_mm2);
+        let total = a.total_mm2();
+        assert!((total - 3.77).abs() / 3.77 < 0.15, "total {total:.2}");
+        // SRAM dominates the floorplan (paper: 71.6% combined).
+        assert!((a.act_sram_mm2 + a.weight_sram_mm2) / total > 0.6);
+    }
+
+    #[test]
+    fn node_scale() {
+        let spec = s2ta_aw_spec();
+        let a16 = AreaBreakdown::of(&spec, &AreaParams::tsmc16());
+        let a65 = AreaBreakdown::of(&spec, &AreaParams::tsmc65());
+        assert!((a65.total_mm2() / a16.total_mm2() - AreaParams::NODE_SCALE_65NM).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_area_is_additive() {
+        let mut spec = s2ta_aw_spec();
+        let base = AreaBreakdown::of(&spec, &AreaParams::tsmc16()).total_mm2();
+        spec.fifo_bytes = 2048 * 16;
+        let with_fifo = AreaBreakdown::of(&spec, &AreaParams::tsmc16()).total_mm2();
+        assert!(with_fifo > base);
+    }
+}

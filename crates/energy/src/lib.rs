@@ -1,0 +1,48 @@
+//! Energy, power and area models for the S2TA reproduction.
+//!
+//! The paper obtains PPA from a full 16nm/65nm EDA flow with annotated
+//! switching (Sec. 7). We substitute an **event-based model**: the
+//! simulator (`s2ta-sim`) counts microarchitectural events, and this
+//! crate converts them to joules and square millimetres with
+//! per-technology constants ([`TechParams`]). The constants are
+//! *calibrated* so the published component breakdowns emerge — Fig. 1
+//! (dense SA: buffers dominate, MAC datapath only ~20%) and Table 2
+//! (S2TA-AW design point) — which preserves every relative conclusion
+//! the paper draws. Absolute joules are model outputs, not silicon
+//! measurements.
+//!
+//! * [`TechParams`] — per-event energies, 16nm and 65nm.
+//! * [`EnergyBreakdown`] — component-wise energy of a run, plus derived
+//!   power/efficiency ([`EnergyBreakdown::of`]).
+//! * [`area`] — component-wise area from a hardware spec.
+//! * [`comparators`] — analytic SparTen / Eyeriss-v2 energy models for
+//!   the cross-accelerator comparisons (Fig. 12, Table 4).
+//!
+//! # Example
+//!
+//! ```
+//! use s2ta_energy::{EnergyBreakdown, TechParams};
+//! use s2ta_sim::EventCounts;
+//!
+//! let events = EventCounts {
+//!     cycles: 1000,
+//!     macs_active: 500_000,
+//!     macs_gated: 500_000,
+//!     operand_reg_bytes: 2_000_000,
+//!     acc_updates: 500_000,
+//!     ..Default::default()
+//! };
+//! let e = EnergyBreakdown::of(&events, &TechParams::tsmc16());
+//! assert!(e.total_pj() > 0.0);
+//! assert!(e.pe_buffers_pj > e.mac_datapath_pj); // INT8 reality: buffers dominate
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod comparators;
+mod model;
+mod tech;
+
+pub use model::EnergyBreakdown;
+pub use tech::{Technology, TechParams};

@@ -1,0 +1,226 @@
+//! Event counts -> component-wise energy.
+
+use crate::TechParams;
+use s2ta_sim::EventCounts;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Component-wise energy of one run, in picojoules.
+///
+/// The components mirror the paper's breakdowns (Fig. 1, Fig. 10,
+/// Table 2): MAC datapath, PE-array buffers (pipeline registers,
+/// accumulators, staging FIFOs, muxes), the two SRAMs, DAP, and the MCU
+/// post-processing cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Multiplier/adder switching energy.
+    pub mac_datapath_pj: f64,
+    /// Operand pipeline registers + accumulators + FIFOs + muxes.
+    pub pe_buffers_pj: f64,
+    /// Weight buffer SRAM traffic.
+    pub weight_sram_pj: f64,
+    /// Activation buffer SRAM traffic.
+    pub act_sram_pj: f64,
+    /// DAP maxpool cascade.
+    pub dap_pj: f64,
+    /// MCU (activation functions, pooling, scaling, requantization).
+    pub mcu_pj: f64,
+    /// Cycles the run took (carried through for power derivation).
+    pub cycles: u64,
+    /// Clock frequency used for power derivation (Hz).
+    pub clock_hz: f64,
+}
+
+impl EnergyBreakdown {
+    /// Converts event counts to energy under `tech`.
+    pub fn of(events: &EventCounts, tech: &TechParams) -> Self {
+        let mac_datapath_pj = events.macs_active as f64 * tech.e_mac_active_pj
+            + events.macs_idle as f64 * tech.e_mac_idle_pj
+            + events.macs_gated as f64 * tech.e_mac_gated_pj;
+        let pe_buffers_pj = events.operand_reg_bytes as f64 * tech.e_reg_byte_pj
+            + events.acc_updates as f64 * tech.e_acc_update_pj
+            + events.fifo_bytes as f64 * tech.e_fifo_byte_pj
+            + events.mux_selects as f64 * tech.e_mux_select_pj;
+        let weight_sram_pj = events.weight_sram_bytes as f64 * tech.e_weight_sram_byte_pj;
+        let act_sram_pj = (events.act_sram_read_bytes + events.act_sram_write_bytes) as f64
+            * tech.e_act_sram_byte_pj;
+        let dap_pj = events.dap_stages as f64 * tech.e_dap_stage_pj;
+        let mcu_pj = events.mcu_elements as f64 * tech.e_mcu_element_pj;
+        Self {
+            mac_datapath_pj,
+            pe_buffers_pj,
+            weight_sram_pj,
+            act_sram_pj,
+            dap_pj,
+            mcu_pj,
+            cycles: events.cycles,
+            clock_hz: tech.clock_hz,
+        }
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.mac_datapath_pj
+            + self.pe_buffers_pj
+            + self.weight_sram_pj
+            + self.act_sram_pj
+            + self.dap_pj
+            + self.mcu_pj
+    }
+
+    /// Total energy in microjoules (the unit of the paper's Fig. 12).
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() * 1e-6
+    }
+
+    /// Run time in seconds at the model's clock.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / self.clock_hz
+    }
+
+    /// Average power in milliwatts over the run.
+    pub fn avg_power_mw(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_pj() * 1e-12 / self.seconds() * 1e3
+    }
+
+    /// Fraction of the total contributed by each component, in the order
+    /// `[mac, buffers, weight_sram, act_sram, dap, mcu]`.
+    pub fn shares(&self) -> [f64; 6] {
+        let t = self.total_pj();
+        if t == 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.mac_datapath_pj / t,
+            self.pe_buffers_pj / t,
+            self.weight_sram_pj / t,
+            self.act_sram_pj / t,
+            self.dap_pj / t,
+            self.mcu_pj / t,
+        ]
+    }
+
+    /// Combined SRAM share (Fig. 1 groups both SRAMs).
+    pub fn sram_pj(&self) -> f64 {
+        self.weight_sram_pj + self.act_sram_pj
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.mac_datapath_pj += rhs.mac_datapath_pj;
+        self.pe_buffers_pj += rhs.pe_buffers_pj;
+        self.weight_sram_pj += rhs.weight_sram_pj;
+        self.act_sram_pj += rhs.act_sram_pj;
+        self.dap_pj += rhs.dap_pj;
+        self.mcu_pj += rhs.mcu_pj;
+        self.cycles += rhs.cycles;
+        if self.clock_hz == 0.0 {
+            self.clock_hz = rhs.clock_hz;
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.shares();
+        write!(
+            f,
+            "{:.1} uJ (mac {:.0}% | buffers {:.0}% | wSRAM {:.0}% | aSRAM {:.0}% | dap {:.1}% | mcu {:.0}%)",
+            self.total_uj(),
+            s[0] * 100.0,
+            s[1] * 100.0,
+            s[2] * 100.0,
+            s[3] * 100.0,
+            s[4] * 100.0,
+            s[5] * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    fn sample_events() -> EventCounts {
+        EventCounts {
+            cycles: 1_000,
+            macs_active: 10_000,
+            macs_idle: 5_000,
+            macs_gated: 5_000,
+            operand_reg_bytes: 40_000,
+            acc_updates: 15_000,
+            fifo_bytes: 0,
+            mux_selects: 0,
+            weight_sram_bytes: 2_000,
+            act_sram_read_bytes: 3_000,
+            act_sram_write_bytes: 500,
+            dap_stages: 100,
+            dap_comparisons: 700,
+            mcu_elements: 500,
+        }
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let e = EnergyBreakdown::of(&sample_events(), &TechParams::tsmc16());
+        let sum: f64 = [
+            e.mac_datapath_pj,
+            e.pe_buffers_pj,
+            e.weight_sram_pj,
+            e.act_sram_pj,
+            e.dap_pj,
+            e.mcu_pj,
+        ]
+        .iter()
+        .sum();
+        assert!((sum - e.total_pj()).abs() < 1e-9);
+        let shares: f64 = e.shares().iter().sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let e = EnergyBreakdown::of(&sample_events(), &TechParams::tsmc16());
+        // 1000 cycles at 1 GHz = 1 us.
+        assert!((e.seconds() - 1e-6).abs() < 1e-18);
+        let expect_mw = e.total_pj() * 1e-12 / 1e-6 * 1e3;
+        assert!((e.avg_power_mw() - expect_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_scaling_flows_through() {
+        let ev = sample_events();
+        let e16 = EnergyBreakdown::of(&ev, &TechParams::tsmc16());
+        let e65 = EnergyBreakdown::of(&ev, &TechParams::for_node(Technology::Tsmc65));
+        assert!((e65.total_pj() / e16.total_pj() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let e = EnergyBreakdown::of(&sample_events(), &TechParams::tsmc16());
+        let two = e + e;
+        assert!((two.total_pj() - 2.0 * e.total_pj()).abs() < 1e-9);
+        assert_eq!(two.cycles, 2 * e.cycles);
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let e = EnergyBreakdown::of(&sample_events(), &TechParams::tsmc16());
+        let s = e.to_string();
+        assert!(s.contains("buffers") && s.contains("mcu"));
+    }
+}

@@ -1,0 +1,39 @@
+//! CNN workload definitions for the S2TA evaluation (paper Sec. 8).
+//!
+//! The paper evaluates AlexNet, VGG-16, MobileNetV1 and ResNet-50V1
+//! (plus LeNet-5 and I-BERT in the accuracy study). This crate encodes
+//! their layer tables as [`ModelSpec`]s, together with per-layer
+//! sparsity profiles:
+//!
+//! * **Weight sparsity** — ~50% after 4/8 W-DBB pruning for all layers
+//!   except the first (the paper excludes layer 1 from pruning,
+//!   Table 3 note 2).
+//! * **Activation sparsity** — a ReLU-induced ramp from nearly dense in
+//!   early layers to ~80% zero in late layers, matching the paper's
+//!   observation that "per-layer tuned activation DBB ranges from 8/8
+//!   (dense) in early layers down to 2/8 towards the end" (Sec. 5.2).
+//!
+//! Real pre-trained tensors are not available offline, so layers
+//! generate **synthetic operands** with the profiled sparsity from a
+//! deterministic seed ([`LayerSpec::gen_weights`] /
+//! [`LayerSpec::gen_acts`]); performance and energy depend only on the
+//! sparsity statistics, which the profiles preserve (DESIGN.md Sec. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use s2ta_models::{alexnet, mobilenet_v1};
+//!
+//! let m = alexnet();
+//! assert_eq!(m.conv_layers().count(), 5);
+//! // MobileNet is dominated by point-wise layers.
+//! assert!(mobilenet_v1().total_macs() < m.total_macs() * 2);
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod spec;
+mod zoo;
+
+pub use spec::{LayerSpec, ModelSpec, SparsityProfile};
+pub use zoo::{alexnet, ibert_encoder_fc, lenet5, mobilenet_v1, resnet50_v1, vgg16};

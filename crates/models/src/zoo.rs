@@ -1,0 +1,243 @@
+//! The model zoo: layer tables of the paper's benchmark networks.
+
+use crate::{LayerSpec, ModelSpec, SparsityProfile};
+use s2ta_tensor::{ConvShape, GemmShape, LayerKind};
+
+/// Helper: builds conv layer specs from `(name, shape)` pairs with a
+/// sparsity profile applied in depth order, then appends extras.
+fn build(
+    name: &'static str,
+    convs: Vec<(String, LayerKind, GemmShape)>,
+    profile: SparsityProfile,
+) -> ModelSpec {
+    let count = convs.len();
+    let layers = convs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (lname, kind, gemm))| {
+            let (w, a) = profile.layer(i, count);
+            LayerSpec::new(lname, kind, gemm, w, a)
+        })
+        .collect();
+    ModelSpec { name, layers }
+}
+
+fn conv(name: &str, s: ConvShape) -> (String, LayerKind, GemmShape) {
+    (name.to_string(), LayerKind::Conv, s.gemm())
+}
+
+fn fc(name: &str, inf: usize, outf: usize) -> (String, LayerKind, GemmShape) {
+    (name.to_string(), LayerKind::FullyConnected, GemmShape::new(outf, inf, 1))
+}
+
+/// Depthwise conv modelled as an `M=channels, K=R*S` GEMM with the same
+/// MAC count (see `LayerSpec::gemm` docs).
+fn dw(name: &str, channels: usize, hw: usize, stride: usize) -> (String, LayerKind, GemmShape) {
+    let out = hw / stride;
+    (name.to_string(), LayerKind::Depthwise, GemmShape::new(channels, 9, out * out))
+}
+
+/// AlexNet (ImageNet, 227x227 input): 5 conv + 3 FC layers
+/// (~0.72 GMAC conv). The paper's Fig. 12 per-layer study uses exactly
+/// these conv layers.
+pub fn alexnet() -> ModelSpec {
+    let convs = vec![
+        conv("conv1", ConvShape::new(96, 3, 227, 227, 11, 11, 4, 0)),
+        conv("conv2", ConvShape::new(256, 96, 27, 27, 5, 5, 1, 2)),
+        conv("conv3", ConvShape::new(384, 256, 13, 13, 3, 3, 1, 1)),
+        conv("conv4", ConvShape::new(384, 384, 13, 13, 3, 3, 1, 1)),
+        conv("conv5", ConvShape::new(256, 384, 13, 13, 3, 3, 1, 1)),
+        fc("fc6", 256 * 6 * 6, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 1000),
+    ];
+    build("AlexNet", convs, SparsityProfile::default())
+}
+
+/// VGG-16 (ImageNet, 224x224): 13 conv + 3 FC (~15.3 GMAC conv).
+pub fn vgg16() -> ModelSpec {
+    let mut layers = Vec::new();
+    let stages: [(usize, usize, usize); 5] =
+        [(2, 64, 224), (2, 128, 112), (3, 256, 56), (3, 512, 28), (3, 512, 14)];
+    let mut in_ch = 3;
+    for (si, (reps, ch, hw)) in stages.iter().enumerate() {
+        for r in 0..*reps {
+            let name = format!("conv{}_{}", si + 1, r + 1);
+            let shape = ConvShape::new(*ch, in_ch, *hw, *hw, 3, 3, 1, 1);
+            layers.push((name, LayerKind::Conv, shape.gemm()));
+            in_ch = *ch;
+        }
+    }
+    layers.push(fc("fc6", 512 * 7 * 7, 4096));
+    layers.push(fc("fc7", 4096, 4096));
+    layers.push(fc("fc8", 4096, 1000));
+    build("VGG16", layers, SparsityProfile::default())
+}
+
+/// MobileNetV1 1.0-224: the standard conv followed by 13
+/// depthwise-separable pairs and the classifier (~0.57 GMAC).
+pub fn mobilenet_v1() -> ModelSpec {
+    let mut layers = Vec::new();
+    layers.push(conv("conv1", ConvShape::new(32, 3, 224, 224, 3, 3, 2, 1)));
+    // (in_ch, out_ch, spatial_in, dw_stride) per separable block.
+    let blocks: [(usize, usize, usize, usize); 13] = [
+        (32, 64, 112, 1),
+        (64, 128, 112, 2),
+        (128, 128, 56, 1),
+        (128, 256, 56, 2),
+        (256, 256, 28, 1),
+        (256, 512, 28, 2),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 1024, 14, 2),
+        (1024, 1024, 7, 1),
+    ];
+    for (bi, (ic, oc, hw, stride)) in blocks.iter().enumerate() {
+        layers.push(dw(&format!("dw{}", bi + 1), *ic, *hw, *stride));
+        let pw_hw = hw / stride;
+        layers.push(conv(
+            &format!("pw{}", bi + 1),
+            ConvShape::new(*oc, *ic, pw_hw, pw_hw, 1, 1, 1, 0),
+        ));
+    }
+    layers.push(fc("fc", 1024, 1000));
+    build("MobileNetV1", layers, SparsityProfile::default())
+}
+
+/// ResNet-50 V1 (ImageNet, 224x224): conv1 + 16 bottleneck blocks with
+/// projection shortcuts (~3.9 GMAC).
+pub fn resnet50_v1() -> ModelSpec {
+    let mut layers = Vec::new();
+    layers.push(conv("conv1", ConvShape::new(64, 3, 224, 224, 7, 7, 2, 3)));
+    // (stage, blocks, mid_ch, out_ch, spatial).
+    let stages: [(usize, usize, usize, usize, usize); 4] =
+        [(2, 3, 64, 256, 56), (3, 4, 128, 512, 28), (4, 6, 256, 1024, 14), (5, 3, 512, 2048, 7)];
+    let mut in_ch = 64;
+    for (stage, blocks, mid, out, hw) in stages {
+        for b in 0..blocks {
+            let p = format!("res{stage}{}", (b'a' + b as u8) as char);
+            layers.push(conv(
+                &format!("{p}_1x1a"),
+                ConvShape::new(mid, in_ch, hw, hw, 1, 1, 1, 0),
+            ));
+            layers.push(conv(&format!("{p}_3x3"), ConvShape::new(mid, mid, hw, hw, 3, 3, 1, 1)));
+            layers.push(conv(
+                &format!("{p}_1x1b"),
+                ConvShape::new(out, mid, hw, hw, 1, 1, 1, 0),
+            ));
+            if b == 0 {
+                layers.push(conv(
+                    &format!("{p}_proj"),
+                    ConvShape::new(out, in_ch, hw, hw, 1, 1, 1, 0),
+                ));
+            }
+            in_ch = out;
+        }
+    }
+    layers.push(fc("fc", 2048, 1000));
+    build("ResNet50V1", layers, SparsityProfile::default())
+}
+
+/// LeNet-5 (MNIST, 32x32): the small model of the accuracy study
+/// (Table 3).
+pub fn lenet5() -> ModelSpec {
+    let layers = vec![
+        conv("conv1", ConvShape::new(6, 1, 32, 32, 5, 5, 1, 0)),
+        conv("conv2", ConvShape::new(16, 6, 14, 14, 5, 5, 1, 0)),
+        fc("fc3", 400, 120),
+        fc("fc4", 120, 84),
+        fc("fc5", 84, 10),
+    ];
+    build("LeNet-5", layers, SparsityProfile::default())
+}
+
+/// The I-BERT base encoder FC sub-layers (FC1 768->3072, FC2 3072->768)
+/// over a sequence of `seq_len` tokens — the layers the paper prunes
+/// with A/W-DBB (Table 3 note 4).
+pub fn ibert_encoder_fc(seq_len: usize) -> ModelSpec {
+    assert!(seq_len > 0, "sequence length must be non-zero");
+    let mut layers = Vec::new();
+    for l in 0..12 {
+        layers.push((
+            format!("enc{l}_fc1"),
+            LayerKind::FullyConnected,
+            GemmShape::new(3072, 768, seq_len),
+        ));
+        layers.push((
+            format!("enc{l}_fc2"),
+            LayerKind::FullyConnected,
+            GemmShape::new(768, 3072, seq_len),
+        ));
+    }
+    build("I-BERT-FC", layers, SparsityProfile::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv_macs_match_published() {
+        // Published AlexNet conv MACs ~= 0.66-0.72 G (ungrouped conv2/4/5).
+        let m = alexnet();
+        let g = m.conv_macs() as f64 / 1e9;
+        assert!(
+            (0.6..1.2).contains(&g),
+            "AlexNet conv GMACs {g:.3} outside expected band"
+        );
+        assert_eq!(m.conv_layers().count(), 5);
+    }
+
+    #[test]
+    fn vgg16_is_an_order_of_magnitude_bigger() {
+        let v = vgg16().conv_macs() as f64 / 1e9;
+        assert!((14.0..16.5).contains(&v), "VGG16 conv GMACs {v:.2}");
+    }
+
+    #[test]
+    fn mobilenet_macs_published() {
+        // MobileNetV1 1.0-224 ~0.57 GMAC total.
+        let m = mobilenet_v1().total_macs() as f64 / 1e9;
+        assert!((0.5..0.65).contains(&m), "MobileNet GMACs {m:.3}");
+    }
+
+    #[test]
+    fn resnet50_macs_published() {
+        // ResNet-50 ~3.8-4.1 GMAC.
+        let r = resnet50_v1().total_macs() as f64 / 1e9;
+        assert!((3.5..4.3).contains(&r), "ResNet50 GMACs {r:.2}");
+    }
+
+    #[test]
+    fn layer_counts() {
+        assert_eq!(alexnet().layers.len(), 8);
+        assert_eq!(vgg16().layers.len(), 16);
+        assert_eq!(mobilenet_v1().layers.len(), 1 + 13 * 2 + 1);
+        assert_eq!(lenet5().layers.len(), 5);
+        assert_eq!(ibert_encoder_fc(128).layers.len(), 24);
+        // ResNet50: 1 + 16 blocks * 3 + 4 projections + 1 fc = 54.
+        assert_eq!(resnet50_v1().layers.len(), 54);
+    }
+
+    #[test]
+    fn depth_sparsity_ramp_applies() {
+        let m = vgg16();
+        let first = &m.layers[1];
+        let last_conv = &m.layers[12];
+        assert!(last_conv.act_sparsity > first.act_sparsity);
+    }
+
+    #[test]
+    fn alexnet_conv1_gemm_shape() {
+        let m = alexnet();
+        assert_eq!(m.layers[0].gemm, GemmShape::new(96, 363, 3025));
+    }
+
+    #[test]
+    fn display_summary() {
+        assert!(alexnet().to_string().contains("AlexNet"));
+    }
+}

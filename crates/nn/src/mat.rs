@@ -1,0 +1,137 @@
+//! A minimal `f32` matrix for the trainer.
+
+/// Dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// Zero-filled `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dim is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dims must be non-zero");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dims must be non-zero");
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrowed row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = self * x` for a dense vector `x` (`cols`-long), returning a
+    /// `rows`-long vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dim mismatch");
+        self.data
+            .chunks(self.cols)
+            .map(|row| row.iter().zip(x).map(|(&w, &v)| w * v).sum())
+            .collect()
+    }
+
+    /// `y = self^T * x` for a dense vector `x` (`rows`-long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dim mismatch");
+        let mut out = vec![0.0f32; self.cols];
+        for (row, &xv) in self.data.chunks(self.cols).zip(x) {
+            if xv != 0.0 {
+                for (o, &w) in out.iter_mut().zip(row) {
+                    *o += w * xv;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_known() {
+        let m = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 0.0, -1.0, 1.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 0.0]);
+        assert_eq!(m.matvec_t(&[1.0, 2.0]), vec![1.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut m = Mat::zeros(2, 2);
+        m.set(1, 0, 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.row(1), &[5.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn matvec_checks_dims() {
+        let m = Mat::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+}

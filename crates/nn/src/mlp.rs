@@ -1,0 +1,241 @@
+//! A two-layer ReLU MLP with DBB weight masks and an optional DAP layer
+//! on the hidden activations.
+//!
+//! The network is intentionally the smallest thing that exercises both
+//! pruning modes the way the paper does:
+//!
+//! * **W-DBB** — binary masks over both weight matrices, blocked along
+//!   the input (channel) dimension in groups of `BZ = 8`; masked
+//!   weights stay zero through training (projected SGD).
+//! * **A-DBB / DAP** — a Top-NNZ-per-block pruning layer on the hidden
+//!   activations, with the paper's straight-through gradient: the
+//!   backward pass multiplies by the forward-pass binary mask
+//!   (Sec. 8.1, "the gradient of DAP ... is a binary mask tensor").
+
+use crate::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DBB block size used by the trainer (matches the hardware).
+pub const BZ: usize = 8;
+
+/// The MLP: `dim -> hidden (ReLU, optional DAP) -> classes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// First layer weights (`hidden x dim`).
+    pub w1: Mat,
+    /// First layer bias.
+    pub b1: Vec<f32>,
+    /// Second layer weights (`classes x hidden`).
+    pub w2: Mat,
+    /// Second layer bias.
+    pub b2: Vec<f32>,
+    /// W-DBB mask for `w1` (`true` = weight may be non-zero).
+    pub mask1: Vec<bool>,
+    /// W-DBB mask for `w2`.
+    pub mask2: Vec<bool>,
+    /// DAP bound on the hidden activations (`None` = no DAP).
+    pub dap_nnz: Option<usize>,
+}
+
+/// Intermediate state of one forward pass, kept for backprop.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    /// Hidden activations after ReLU and (optionally) DAP.
+    pub hidden: Vec<f32>,
+    /// Straight-through mask: 1.0 where the hidden unit survived ReLU
+    /// and DAP, 0.0 otherwise.
+    pub hidden_mask: Vec<f32>,
+    /// Output logits.
+    pub logits: Vec<f32>,
+}
+
+impl Mlp {
+    /// Random (He-ish) initialization.
+    pub fn new(dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = |rows: usize, cols: usize, rng: &mut StdRng| {
+            let scale = (2.0 / cols as f32).sqrt();
+            Mat::from_vec(
+                rows,
+                cols,
+                (0..rows * cols).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect(),
+            )
+        };
+        let w1 = init(hidden, dim, &mut rng);
+        let w2 = init(classes, hidden, &mut rng);
+        Self {
+            mask1: vec![true; w1.data().len()],
+            mask2: vec![true; w2.data().len()],
+            w1,
+            b1: vec![0.0; hidden],
+            w2,
+            b2: vec![0.0; classes],
+            dap_nnz: None,
+        }
+    }
+
+    /// Forward pass for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the input dimension.
+    pub fn forward(&self, x: &[f32]) -> Forward {
+        let mut hidden = self.w1.matvec(x);
+        for (h, b) in hidden.iter_mut().zip(&self.b1) {
+            *h = (*h + b).max(0.0);
+        }
+        let mut hidden_mask: Vec<f32> =
+            hidden.iter().map(|&h| if h > 0.0 { 1.0 } else { 0.0 }).collect();
+        if let Some(nnz) = self.dap_nnz {
+            dap_f32(&mut hidden, &mut hidden_mask, nnz);
+        }
+        let mut logits = self.w2.matvec(&hidden);
+        for (l, b) in logits.iter_mut().zip(&self.b2) {
+            *l += b;
+        }
+        Forward { hidden, hidden_mask, logits }
+    }
+
+    /// Predicted class for one sample.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let f = self.forward(x);
+        argmax(&f.logits)
+    }
+
+    /// Applies the current W-DBB masks (zeroes masked weights).
+    pub fn apply_masks(&mut self) {
+        for (w, &m) in self.w1.data_mut().iter_mut().zip(&self.mask1) {
+            if !m {
+                *w = 0.0;
+            }
+        }
+        for (w, &m) in self.w2.data_mut().iter_mut().zip(&self.mask2) {
+            if !m {
+                *w = 0.0;
+            }
+        }
+    }
+
+    /// Recomputes both masks so every `BZ`-block (along the input
+    /// dimension of each row) keeps only its `nnz` largest-magnitude
+    /// weights — one step of the progressive pruning schedule.
+    pub fn set_wdbb_masks(&mut self, nnz: usize) {
+        set_mask(&self.w1, &mut self.mask1, nnz);
+        set_mask(&self.w2, &mut self.mask2, nnz);
+        self.apply_masks();
+    }
+
+    /// Fraction of weights currently allowed to be non-zero.
+    pub fn mask_density(&self) -> f64 {
+        let kept = self.mask1.iter().chain(&self.mask2).filter(|&&m| m).count();
+        kept as f64 / (self.mask1.len() + self.mask2.len()) as f64
+    }
+}
+
+fn set_mask(w: &Mat, mask: &mut [bool], nnz: usize) {
+    for r in 0..w.rows() {
+        let row = w.row(r);
+        for (bi, chunk) in row.chunks(BZ).enumerate() {
+            let mags: Vec<f64> = chunk.iter().map(|&v| v.abs() as f64).collect();
+            let keep = s2ta_dbb::prune::top_magnitude_indices(&mags, nnz);
+            let base = r * w.cols() + bi * BZ;
+            for i in 0..chunk.len() {
+                mask[base + i] = keep.contains(&i);
+            }
+        }
+    }
+}
+
+/// DAP on an `f32` activation vector: Top-`nnz` magnitude per `BZ`
+/// block; zeroed positions also clear the straight-through mask.
+pub fn dap_f32(act: &mut [f32], mask: &mut [f32], nnz: usize) {
+    for bi in 0..act.len().div_ceil(BZ) {
+        let range = bi * BZ..((bi + 1) * BZ).min(act.len());
+        let mags: Vec<f64> = act[range.clone()].iter().map(|&v| v.abs() as f64).collect();
+        let keep = s2ta_dbb::prune::top_magnitude_indices(&mags, nnz);
+        for (off, i) in range.enumerate() {
+            if !keep.contains(&off) {
+                act[i] = 0.0;
+                mask[i] = 0.0;
+            }
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Numerically stable softmax cross-entropy; returns
+/// `(loss, dloss/dlogits)`.
+pub fn softmax_xent(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut grad: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -(grad[label].max(1e-12)).ln();
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let m = Mlp::new(16, 8, 4, 1);
+        let f = m.forward(&vec![0.5; 16]);
+        assert_eq!(f.hidden.len(), 8);
+        assert_eq!(f.logits.len(), 4);
+        assert!(m.predict(&vec![0.5; 16]) < 4);
+    }
+
+    #[test]
+    fn masks_enforce_block_bound() {
+        let mut m = Mlp::new(16, 8, 4, 2);
+        m.set_wdbb_masks(4);
+        for r in 0..m.w1.rows() {
+            for chunk in m.w1.row(r).chunks(BZ) {
+                assert!(chunk.iter().filter(|&&w| w != 0.0).count() <= 4);
+            }
+        }
+        assert!((m.mask_density() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn dap_zeroes_and_masks() {
+        let mut act = vec![0.1, 3.0, 0.2, 2.0, 0.0, 1.0, 0.5, 0.4];
+        let mut mask = vec![1.0f32; 8];
+        dap_f32(&mut act, &mut mask, 2);
+        assert_eq!(act.iter().filter(|&&v| v != 0.0).count(), 2);
+        assert_eq!(act[1], 3.0);
+        assert_eq!(act[3], 2.0);
+        assert_eq!(mask.iter().filter(|&&v| v == 0.0).count(), 6);
+    }
+
+    #[test]
+    fn softmax_xent_gradient_sums_to_zero() {
+        let (loss, grad) = softmax_xent(&[1.0, 2.0, 0.5], 1);
+        assert!(loss > 0.0);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+        assert!(grad[1] < 0.0, "true-class gradient must be negative");
+    }
+
+    #[test]
+    fn dap_layer_changes_forward() {
+        let mut m = Mlp::new(16, 16, 4, 3);
+        let x = vec![1.0; 16];
+        let dense = m.forward(&x);
+        m.dap_nnz = Some(2);
+        let pruned = m.forward(&x);
+        assert!(pruned.hidden.iter().filter(|&&h| h != 0.0).count() <= 4); // 2 blocks * 2
+        assert_ne!(dense.logits, pruned.logits);
+    }
+}

@@ -1,0 +1,218 @@
+//! SGD training, progressive DBB pruning, DAP fine-tuning and INT8
+//! evaluation.
+
+use crate::data::Dataset;
+use crate::mlp::{softmax_xent, Mlp};
+use crate::Mat;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use s2ta_tensor::quant::QuantParams;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Epochs to run.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 30, lr: 0.02, momentum: 0.9, seed: 17 }
+    }
+}
+
+/// Trains `model` on `data` with per-sample SGD + momentum, respecting
+/// the model's current W-DBB masks (projected SGD: masked weights stay
+/// zero) and its DAP layer (straight-through gradient).
+pub fn train(model: &mut Mlp, data: &Dataset, cfg: &TrainConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut v_w1 = vec![0.0f32; model.w1.data().len()];
+    let mut v_w2 = vec![0.0f32; model.w2.data().len()];
+    let mut v_b1 = vec![0.0f32; model.b1.len()];
+    let mut v_b2 = vec![0.0f32; model.b2.len()];
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for &i in &order {
+            let (x, label) = data.sample(i);
+            let fwd = model.forward(x);
+            let (_, dlogits) = softmax_xent(&fwd.logits, label);
+
+            // Backprop through w2.
+            let dhidden_raw = model.w2.matvec_t(&dlogits);
+            // Straight-through ReLU+DAP mask.
+            let dhidden: Vec<f32> =
+                dhidden_raw.iter().zip(&fwd.hidden_mask).map(|(d, m)| d * m).collect();
+
+            // Updates (SGD + momentum), masked.
+            step_outer(&mut model.w2, &mut v_w2, &model.mask2, &dlogits, &fwd.hidden, cfg);
+            step_bias(&mut model.b2, &mut v_b2, &dlogits, cfg);
+            step_outer(&mut model.w1, &mut v_w1, &model.mask1, &dhidden, x, cfg);
+            step_bias(&mut model.b1, &mut v_b1, &dhidden, cfg);
+        }
+    }
+    model.apply_masks();
+}
+
+fn step_outer(
+    w: &mut Mat,
+    vel: &mut [f32],
+    mask: &[bool],
+    dout: &[f32],
+    input: &[f32],
+    cfg: &TrainConfig,
+) {
+    let cols = w.cols();
+    for (r, &d) in dout.iter().enumerate() {
+        if d == 0.0 {
+            continue;
+        }
+        let row = w.row_mut(r);
+        let vrow = &mut vel[r * cols..(r + 1) * cols];
+        let mrow = &mask[r * cols..(r + 1) * cols];
+        for c in 0..cols {
+            if !mrow[c] {
+                continue;
+            }
+            let g = d * input[c];
+            vrow[c] = cfg.momentum * vrow[c] - cfg.lr * g;
+            row[c] += vrow[c];
+        }
+    }
+}
+
+fn step_bias(b: &mut [f32], vel: &mut [f32], dout: &[f32], cfg: &TrainConfig) {
+    for ((bi, vi), &d) in b.iter_mut().zip(vel.iter_mut()).zip(dout) {
+        *vi = cfg.momentum * *vi - cfg.lr * d;
+        *bi += *vi;
+    }
+}
+
+/// Classification accuracy on a dataset (f32 inference).
+pub fn accuracy(model: &Mlp, data: &Dataset) -> f64 {
+    let correct = (0..data.len())
+        .filter(|&i| {
+            let (x, y) = data.sample(i);
+            model.predict(x) == y
+        })
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Classification accuracy with INT8 post-training quantization of
+/// weights and activations (symmetric per-tensor, the paper's INT8
+/// deployment scheme).
+pub fn accuracy_int8(model: &Mlp, data: &Dataset) -> f64 {
+    let q = |m: &Mat| -> Mat {
+        let p = QuantParams::fit(m.data());
+        Mat::from_vec(
+            m.rows(),
+            m.cols(),
+            m.data().iter().map(|&v| p.dequantize(p.quantize(v))).collect(),
+        )
+    };
+    let mut qm = model.clone();
+    qm.w1 = q(&model.w1);
+    qm.w2 = q(&model.w2);
+    // Quantize inputs per-dataset.
+    let px = QuantParams::fit(&data.x);
+    let correct = (0..data.len())
+        .filter(|&i| {
+            let (x, y) = data.sample(i);
+            let xq: Vec<f32> = x.iter().map(|&v| px.dequantize(px.quantize(v))).collect();
+            qm.predict(&xq) == y
+        })
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// The paper's progressive W-DBB pruning schedule (Sec. 8.1:
+/// "progressively pruning small-magnitude weights within each DBB block
+/// until the desired DBB sparsity constraint is met"): tightens the
+/// per-block bound one step per stage, fine-tuning in between.
+pub fn progressive_wdbb(
+    model: &mut Mlp,
+    data: &Dataset,
+    target_nnz: usize,
+    epochs_per_stage: usize,
+    cfg: &TrainConfig,
+) {
+    let mut stage_cfg = TrainConfig { epochs: epochs_per_stage, ..*cfg };
+    let mut nnz = crate::mlp::BZ;
+    while nnz > target_nnz {
+        nnz -= 1;
+        model.set_wdbb_masks(nnz);
+        stage_cfg.seed = cfg.seed.wrapping_add(nnz as u64);
+        train(model, data, &stage_cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate;
+
+    fn quick_setup() -> (Mlp, Dataset, Dataset) {
+        let (train_set, test_set) = generate(32, 4, 30, 20, 0.25, 5);
+        (Mlp::new(32, 32, 4, 7), train_set, test_set)
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let (mut model, train_set, test_set) = quick_setup();
+        let before = accuracy(&model, &test_set);
+        train(&mut model, &train_set, &TrainConfig { epochs: 15, ..Default::default() });
+        let after = accuracy(&model, &test_set);
+        assert!(after > 0.85, "accuracy {after:.2} too low");
+        assert!(after > before, "training must improve on random init");
+    }
+
+    #[test]
+    fn int8_quantization_costs_little() {
+        let (mut model, train_set, test_set) = quick_setup();
+        train(&mut model, &train_set, &TrainConfig { epochs: 15, ..Default::default() });
+        let f32_acc = accuracy(&model, &test_set);
+        let i8_acc = accuracy_int8(&model, &test_set);
+        assert!(f32_acc - i8_acc < 0.05, "INT8 dropped {f32_acc:.2} -> {i8_acc:.2}");
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_through_training() {
+        let (mut model, train_set, _) = quick_setup();
+        model.set_wdbb_masks(3);
+        train(&mut model, &train_set, &TrainConfig { epochs: 3, ..Default::default() });
+        for (w, &m) in model.w1.data().iter().zip(&model.mask1) {
+            if !m {
+                assert_eq!(*w, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn progressive_pruning_recovers_accuracy() {
+        let (mut model, train_set, test_set) = quick_setup();
+        train(&mut model, &train_set, &TrainConfig { epochs: 15, ..Default::default() });
+        let base = accuracy(&model, &test_set);
+
+        // One-shot pruning without fine-tuning (for comparison).
+        let mut oneshot = model.clone();
+        oneshot.set_wdbb_masks(2);
+        let oneshot_acc = accuracy(&oneshot, &test_set);
+
+        progressive_wdbb(&mut model, &train_set, 2, 4, &TrainConfig::default());
+        let finetuned = accuracy(&model, &test_set);
+        assert!(
+            finetuned >= oneshot_acc,
+            "fine-tuned {finetuned:.2} must not trail one-shot {oneshot_acc:.2}"
+        );
+        assert!(base - finetuned < 0.12, "fine-tuning should keep loss small");
+    }
+}

@@ -1,0 +1,140 @@
+//! Microarchitectural event counts — the interface to the energy model.
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of the energy-relevant events of one simulated run.
+///
+/// The energy model (`s2ta-energy`) multiplies each count by a
+/// per-technology energy constant; the split mirrors the component
+/// breakdown the paper reports (Fig. 1, Fig. 10, Table 2): MAC datapath,
+/// PE-array buffers (operand pipeline registers, accumulators, staging
+/// FIFOs), SRAM, DAP and the MCU post-processing cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Total array cycles, including pipeline fill/drain skew.
+    pub cycles: u64,
+    /// MACs executed with both operands non-zero (full switching energy).
+    pub macs_active: u64,
+    /// MACs issued with a zero operand on an **ungated** datapath (dense
+    /// SA): reduced, but non-zero, switching energy.
+    pub macs_idle: u64,
+    /// MACs clock-gated away (ZVCG or DBB mask gating): residual clock
+    /// energy only.
+    pub macs_gated: u64,
+    /// Operand bytes latched through PE/TPE pipeline registers (each hop
+    /// of each operand byte counts once).
+    pub operand_reg_bytes: u64,
+    /// Accumulator read-modify-write updates (4-byte registers).
+    pub acc_updates: u64,
+    /// Bytes pushed into + popped from operand staging FIFOs (SMT only).
+    pub fifo_bytes: u64,
+    /// DBB mux select operations (8:1 for DP4M8, 4:1 for DP1M4).
+    pub mux_selects: u64,
+    /// Bytes read from the weight buffer SRAM.
+    pub weight_sram_bytes: u64,
+    /// Bytes read from the activation buffer SRAM.
+    pub act_sram_read_bytes: u64,
+    /// Bytes written to the activation buffer SRAM (layer outputs).
+    pub act_sram_write_bytes: u64,
+    /// DAP magnitude-maxpool stages evaluated.
+    pub dap_stages: u64,
+    /// DAP comparator operations.
+    pub dap_comparisons: u64,
+    /// Output elements post-processed by the MCU cluster (activation
+    /// function, scaling, requantization).
+    pub mcu_elements: u64,
+}
+
+impl EventCounts {
+    /// An all-zero tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total MACs issued to the datapath (active + idle + gated).
+    pub fn macs_issued(&self) -> u64 {
+        self.macs_active + self.macs_idle + self.macs_gated
+    }
+
+    /// Fraction of issued MACs that did useful (non-zero) work.
+    pub fn mac_utilization(&self) -> f64 {
+        let issued = self.macs_issued();
+        if issued == 0 {
+            0.0
+        } else {
+            self.macs_active as f64 / issued as f64
+        }
+    }
+
+    /// Total SRAM traffic in bytes.
+    pub fn sram_bytes(&self) -> u64 {
+        self.weight_sram_bytes + self.act_sram_read_bytes + self.act_sram_write_bytes
+    }
+}
+
+impl Add for EventCounts {
+    type Output = Self;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EventCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.cycles += rhs.cycles;
+        self.macs_active += rhs.macs_active;
+        self.macs_idle += rhs.macs_idle;
+        self.macs_gated += rhs.macs_gated;
+        self.operand_reg_bytes += rhs.operand_reg_bytes;
+        self.acc_updates += rhs.acc_updates;
+        self.fifo_bytes += rhs.fifo_bytes;
+        self.mux_selects += rhs.mux_selects;
+        self.weight_sram_bytes += rhs.weight_sram_bytes;
+        self.act_sram_read_bytes += rhs.act_sram_read_bytes;
+        self.act_sram_write_bytes += rhs.act_sram_write_bytes;
+        self.dap_stages += rhs.dap_stages;
+        self.dap_comparisons += rhs.dap_comparisons;
+        self.mcu_elements += rhs.mcu_elements;
+    }
+}
+
+impl std::iter::Sum for EventCounts {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_componentwise() {
+        let a = EventCounts { cycles: 1, macs_active: 2, ..Default::default() };
+        let b = EventCounts { cycles: 10, macs_gated: 5, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.cycles, 11);
+        assert_eq!(c.macs_active, 2);
+        assert_eq!(c.macs_gated, 5);
+        assert_eq!(c.macs_issued(), 7);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let e = EventCounts { macs_active: 3, macs_gated: 1, ..Default::default() };
+        assert!((e.mac_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(EventCounts::new().mac_utilization(), 0.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = vec![
+            EventCounts { cycles: 1, ..Default::default() },
+            EventCounts { cycles: 2, ..Default::default() },
+        ];
+        let total: EventCounts = parts.into_iter().sum();
+        assert_eq!(total.cycles, 3);
+    }
+}

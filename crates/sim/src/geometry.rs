@@ -1,0 +1,224 @@
+//! Array geometry: the `A x B x C _ M x N` TPE configuration space.
+
+use std::fmt;
+
+/// Geometry of a (tensor) systolic array, in the paper's
+/// `A x B x C _ M x N` notation (Sec. 6.1, Sec. 7):
+///
+/// * `m x n` — the TPE grid.
+/// * `a` — activation blocks consumed per TPE per block-step.
+/// * `b` — NNZ of the weight DBB block (hardware weight slots per unit).
+/// * `c` — weight blocks consumed per TPE per block-step.
+/// * `bz` — DBB block size (8 throughout the paper).
+///
+/// The scalar PE of a classic systolic array is the degenerate
+/// `1x1x1` TPE ([`ArrayGeometry::scalar`]).
+///
+/// An output-stationary mapping gives each TPE an `a x c` grid of
+/// accumulator groups, so one array pass covers an output tile of
+/// `(m*c) x (n*a)` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    /// TPE grid rows.
+    pub m: usize,
+    /// TPE grid columns.
+    pub n: usize,
+    /// Activation blocks per TPE per block-step.
+    pub a: usize,
+    /// Weight DBB NNZ (MAC/mux slots per dot-product unit).
+    pub b: usize,
+    /// Weight blocks per TPE per block-step.
+    pub c: usize,
+    /// DBB block size.
+    pub bz: usize,
+}
+
+impl ArrayGeometry {
+    /// Creates a geometry; validates all dimensions are non-zero and
+    /// `b <= bz <= 16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero dimension or `b > bz` or `bz > 16`.
+    pub fn new(a: usize, b: usize, c: usize, m: usize, n: usize, bz: usize) -> Self {
+        assert!(
+            a > 0 && b > 0 && c > 0 && m > 0 && n > 0 && bz > 0,
+            "geometry dimensions must be non-zero"
+        );
+        assert!(b <= bz, "weight NNZ {b} exceeds block size {bz}");
+        assert!(bz <= 16, "block size {bz} exceeds supported maximum 16");
+        Self { m, n, a, b, c, bz }
+    }
+
+    /// A scalar-PE array (`1x1x1_m x n`), the classic systolic array.
+    pub fn scalar(m: usize, n: usize) -> Self {
+        Self::new(1, 1, 1, m, n, 8)
+    }
+
+    /// The paper's `SA` / `SA-ZVCG` / `SA-SMT` baseline: 32x64 scalar
+    /// PEs = 2048 MACs (Sec. 7).
+    pub fn sa_baseline() -> Self {
+        Self::scalar(32, 64)
+    }
+
+    /// The paper's `S2TA-W` design point: `4x4x4_4x8` dot-product TPEs
+    /// (DP4M8), 2048 MACs (Sec. 7, Table 1 footnote 2).
+    pub fn s2ta_w() -> Self {
+        Self::new(4, 4, 4, 4, 8, 8)
+    }
+
+    /// The paper's optimal `S2TA-AW` design point: time-unrolled
+    /// `8x4x4_8x8` outer-product TPEs (DP1M4), 2048 MACs (Sec. 7).
+    pub fn s2ta_aw() -> Self {
+        Self::new(8, 4, 4, 8, 8, 8)
+    }
+
+    /// Output-tile rows covered per array pass (`m * c` output channels).
+    pub fn tile_rows(&self) -> usize {
+        self.m * self.c
+    }
+
+    /// Output-tile columns covered per array pass (`n * a` output pixels).
+    pub fn tile_cols(&self) -> usize {
+        self.n * self.a
+    }
+
+    /// Physical MAC units for a **dot-product** datapath (DP`b`M`bz`):
+    /// each of the `a*c` units per TPE holds `b` MACs.
+    pub fn macs_dot_product(&self) -> usize {
+        self.m * self.n * self.a * self.c * self.b
+    }
+
+    /// Physical MAC units for a **scalar or time-unrolled** datapath:
+    /// one MAC per accumulator group.
+    pub fn macs_scalar(&self) -> usize {
+        self.m * self.n * self.a * self.c
+    }
+
+    /// Pipeline fill + drain skew cycles for one tile pass: operands hop
+    /// through `m` TPE rows and `n` TPE columns.
+    pub fn skew_cycles(&self) -> u64 {
+        (self.m + self.n - 2) as u64
+    }
+
+    /// Tiling of an `rows x cols` output matrix onto this array.
+    pub fn tile_walk(&self, rows: usize, cols: usize) -> TileWalk {
+        TileWalk::new(rows, cols, self.tile_rows(), self.tile_cols())
+    }
+}
+
+impl fmt::Display for ArrayGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}_{}x{}", self.a, self.b, self.c, self.m, self.n)
+    }
+}
+
+/// Iterator over the output tiles of a GEMM mapped onto an array.
+///
+/// Yields `(row_range, col_range)` covering the `rows x cols` output in
+/// row-major tile order; edge tiles are smaller but still occupy a full
+/// array pass (the idle accumulators issue no MACs).
+#[derive(Debug, Clone)]
+pub struct TileWalk {
+    rows: usize,
+    cols: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+    next: usize,
+}
+
+impl TileWalk {
+    fn new(rows: usize, cols: usize, tile_rows: usize, tile_cols: usize) -> Self {
+        Self { rows, cols, tile_rows, tile_cols, next: 0 }
+    }
+
+    /// Number of row strips.
+    pub fn row_strips(&self) -> usize {
+        self.rows.div_ceil(self.tile_rows)
+    }
+
+    /// Number of column strips.
+    pub fn col_strips(&self) -> usize {
+        self.cols.div_ceil(self.tile_cols)
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.row_strips() * self.col_strips()
+    }
+}
+
+impl Iterator for TileWalk {
+    type Item = (std::ops::Range<usize>, std::ops::Range<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.tiles() {
+            return None;
+        }
+        let cs = self.col_strips();
+        let (ri, ci) = (self.next / cs, self.next % cs);
+        self.next += 1;
+        let r0 = ri * self.tile_rows;
+        let c0 = ci * self.tile_cols;
+        Some((r0..(r0 + self.tile_rows).min(self.rows), c0..(c0 + self.tile_cols).min(self.cols)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_points_have_2048_macs() {
+        assert_eq!(ArrayGeometry::sa_baseline().macs_scalar(), 2048);
+        assert_eq!(ArrayGeometry::s2ta_w().macs_dot_product(), 2048);
+        assert_eq!(ArrayGeometry::s2ta_aw().macs_scalar(), 2048);
+    }
+
+    #[test]
+    fn tile_dims_match_paper() {
+        // SA covers 32x64 outputs; S2TA-AW covers (8*4)x(8*8) = 32x64;
+        // S2TA-W covers (4*4)x(8*4) = 16x32.
+        let sa = ArrayGeometry::sa_baseline();
+        assert_eq!((sa.tile_rows(), sa.tile_cols()), (32, 64));
+        let aw = ArrayGeometry::s2ta_aw();
+        assert_eq!((aw.tile_rows(), aw.tile_cols()), (32, 64));
+        let w = ArrayGeometry::s2ta_w();
+        assert_eq!((w.tile_rows(), w.tile_cols()), (16, 32));
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(ArrayGeometry::s2ta_aw().to_string(), "8x4x4_8x8");
+        assert_eq!(ArrayGeometry::scalar(32, 64).to_string(), "1x1x1_32x64");
+    }
+
+    #[test]
+    fn tile_walk_covers_everything_once() {
+        let g = ArrayGeometry::scalar(4, 4);
+        let walk = g.tile_walk(10, 7);
+        assert_eq!(walk.tiles(), 3 * 2);
+        let mut covered = vec![vec![0u32; 7]; 10];
+        for (rr, cc) in g.tile_walk(10, 7) {
+            for r in rr.clone() {
+                for c in cc.clone() {
+                    covered[r][c] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn edge_tiles_are_clipped() {
+        let g = ArrayGeometry::scalar(8, 8);
+        let last = g.tile_walk(10, 10).last().unwrap();
+        assert_eq!(last, (8..10, 8..10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds block size")]
+    fn b_bounded_by_bz() {
+        let _ = ArrayGeometry::new(1, 9, 1, 1, 1, 8);
+    }
+}

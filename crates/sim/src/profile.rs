@@ -1,0 +1,118 @@
+//! Per-strip non-zero profiles: the fast path for MAC activity counting.
+//!
+//! For an output-stationary mapping, the MAC at `(i, p, j)` does useful
+//! work iff `W[i,p] != 0 && A[p,j] != 0`. Summing over an output tile,
+//! the active-MAC count at reduction position `p` factorizes into
+//! `nnzW(tile_rows, p) * nnzA(p, tile_cols)`. Precomputing those counts
+//! per row/column strip makes whole-layer event counting `O(K)` per tile
+//! instead of `O(rows * K * cols)` — exact, not an approximation (tests
+//! in `systolic`/`tpe` assert equality against the looped functional
+//! runs).
+
+use s2ta_tensor::Matrix;
+
+/// Per-reduction-position non-zero counts for each row strip of a weight
+/// matrix (`M x K`, rows are output channels).
+#[derive(Debug, Clone)]
+pub(crate) struct RowStripProfile {
+    /// `counts[strip][p]` = non-zero weights among the strip's rows at
+    /// reduction position `p`.
+    counts: Vec<Vec<u32>>,
+}
+
+impl RowStripProfile {
+    pub(crate) fn new(w: &Matrix, strip_rows: usize) -> Self {
+        let strips = w.rows().div_ceil(strip_rows);
+        let mut counts = vec![vec![0u32; w.cols()]; strips];
+        for r in 0..w.rows() {
+            let strip = r / strip_rows;
+            let row = w.row(r);
+            for (p, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    counts[strip][p] += 1;
+                }
+            }
+        }
+        Self { counts }
+    }
+
+    pub(crate) fn strip(&self, s: usize) -> &[u32] {
+        &self.counts[s]
+    }
+}
+
+/// Per-reduction-position non-zero counts for each column strip of an
+/// activation matrix (`K x N`, columns are output pixels).
+#[derive(Debug, Clone)]
+pub(crate) struct ColStripProfile {
+    counts: Vec<Vec<u32>>,
+}
+
+impl ColStripProfile {
+    pub(crate) fn new(a: &Matrix, strip_cols: usize) -> Self {
+        let strips = a.cols().div_ceil(strip_cols);
+        let mut counts = vec![vec![0u32; a.rows()]; strips];
+        for p in 0..a.rows() {
+            let row = a.row(p);
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    counts[c / strip_cols][p] += 1;
+                }
+            }
+        }
+        Self { counts }
+    }
+
+    pub(crate) fn strip(&self, s: usize) -> &[u32] {
+        &self.counts[s]
+    }
+}
+
+/// Active MACs for one tile: `sum_p nnzW[p] * nnzA[p]`.
+pub(crate) fn active_macs(w_strip: &[u32], a_strip: &[u32]) -> u64 {
+    debug_assert_eq!(w_strip.len(), a_strip.len());
+    w_strip
+        .iter()
+        .zip(a_strip)
+        .map(|(&nw, &na)| nw as u64 * na as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_count_nonzeros_per_strip() {
+        // W: 3 rows, strips of 2 -> strips {0,1},{2}.
+        let w = Matrix::from_vec(3, 2, vec![1, 0, 0, 2, 3, 4]);
+        let p = RowStripProfile::new(&w, 2);
+        assert_eq!(p.strip(0), &[1, 1]);
+        assert_eq!(p.strip(1), &[1, 1]);
+
+        let a = Matrix::from_vec(2, 3, vec![1, 0, 2, 0, 0, 3]);
+        let c = ColStripProfile::new(&a, 2);
+        assert_eq!(c.strip(0), &[1, 0]);
+        assert_eq!(c.strip(1), &[1, 1]);
+    }
+
+    #[test]
+    fn active_macs_factorization_matches_bruteforce() {
+        let w = Matrix::from_vec(2, 4, vec![1, 0, 5, 0, 0, 2, 5, 0]);
+        let a = Matrix::from_vec(4, 3, vec![1, 1, 0, 0, 2, 0, 3, 0, 0, 4, 4, 4]);
+        let wp = RowStripProfile::new(&w, 2);
+        let ap = ColStripProfile::new(&a, 3);
+        let fast = active_macs(wp.strip(0), ap.strip(0));
+        let mut slow = 0u64;
+        for i in 0..2 {
+            for p in 0..4 {
+                for j in 0..3 {
+                    if w.get(i, p) != 0 && a.get(p, j) != 0 {
+                        slow += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+}

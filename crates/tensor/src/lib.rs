@@ -1,0 +1,51 @@
+//! INT8 tensor substrate for the S2TA reproduction.
+//!
+//! S2TA ([Liu et al., HPCA 2022](https://arxiv.org/abs/2107.07983)) is an
+//! INT8 mobile CNN accelerator. Everything in the paper's evaluation is
+//! ultimately a quantized GEMM: convolutions are lowered with im2col, and
+//! the systolic array consumes the resulting operand matrices. This crate
+//! provides that substrate:
+//!
+//! * [`Tensor4`] — a dense NCHW `i8` activation/weight tensor.
+//! * [`Matrix`] — a dense row-major `i8` operand matrix, and [`AccMatrix`]
+//!   for `i32` accumulator outputs.
+//! * [`ConvShape`] / [`GemmShape`] — layer geometry and its GEMM lowering.
+//! * [`im2col`] — convolution to GEMM lowering (the mapping used by the
+//!   simulated accelerator and by the reference kernels).
+//! * [`gemm_ref`] / [`conv_ref`] — golden reference kernels that every
+//!   simulated datapath is asserted against, bit-exactly.
+//! * [`quant`] — `f32` to `i8` post-training quantization helpers used by
+//!   the training substrate (`s2ta-nn`).
+//! * [`sparsity`] — sparsity statistics plus deterministic synthetic sparse
+//!   tensor generators used by the microbenchmarks (paper Sec. 8.2).
+//!
+//! # Example
+//!
+//! ```
+//! use s2ta_tensor::{ConvShape, Tensor4, im2col, conv_ref, gemm_ref};
+//!
+//! let shape = ConvShape::new(8, 4, 6, 6, 3, 3, 1, 1); // K=8,C=4,H=W=6,3x3,s1,p1
+//! let w = Tensor4::filled(shape.weight_dims(), 1);
+//! let x = Tensor4::filled(shape.input_dims(), 2);
+//! // Reference convolution and the im2col-lowered GEMM agree bit-exactly.
+//! let direct = conv_ref(&shape, &w, &x);
+//! let (wm, xm) = (shape.weights_as_matrix(&w), im2col(&shape, &x));
+//! let lowered = gemm_ref(&wm, &xm);
+//! assert_eq!(direct.data(), lowered.data());
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod matrix;
+mod reference;
+mod shape;
+mod tensor;
+
+pub mod postproc;
+pub mod quant;
+pub mod sparsity;
+
+pub use matrix::{AccMatrix, Matrix};
+pub use reference::{conv_ref, gemm_ref, im2col};
+pub use shape::{ConvShape, GemmShape, LayerKind};
+pub use tensor::Tensor4;

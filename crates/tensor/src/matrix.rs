@@ -1,0 +1,172 @@
+//! Row-major operand (`i8`) and accumulator (`i32`) matrices.
+
+use std::fmt;
+
+macro_rules! matrix_impl {
+    ($(#[$doc:meta])* $name:ident, $elem:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        pub struct $name {
+            rows: usize,
+            cols: usize,
+            data: Vec<$elem>,
+        }
+
+        impl $name {
+            /// Creates a zero-filled `rows x cols` matrix.
+            ///
+            /// # Panics
+            ///
+            /// Panics if either dimension is zero.
+            pub fn zeros(rows: usize, cols: usize) -> Self {
+                assert!(rows > 0 && cols > 0, "matrix dims must be non-zero");
+                Self { rows, cols, data: vec![0; rows * cols] }
+            }
+
+            /// Builds a matrix from row-major data.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `data.len() != rows * cols` or a dimension is zero.
+            pub fn from_vec(rows: usize, cols: usize, data: Vec<$elem>) -> Self {
+                assert!(rows > 0 && cols > 0, "matrix dims must be non-zero");
+                assert_eq!(data.len(), rows * cols, "data length mismatch");
+                Self { rows, cols, data }
+            }
+
+            /// Number of rows.
+            pub fn rows(&self) -> usize {
+                self.rows
+            }
+
+            /// Number of columns.
+            pub fn cols(&self) -> usize {
+                self.cols
+            }
+
+            /// Total number of elements.
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            /// Whether the matrix is empty (never: dims are non-zero).
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            /// Row-major flat data.
+            pub fn data(&self) -> &[$elem] {
+                &self.data
+            }
+
+            /// Mutable row-major flat data.
+            pub fn data_mut(&mut self) -> &mut [$elem] {
+                &mut self.data
+            }
+
+            /// Element at `(r, c)`.
+            #[inline]
+            pub fn get(&self, r: usize, c: usize) -> $elem {
+                debug_assert!(r < self.rows && c < self.cols);
+                self.data[r * self.cols + c]
+            }
+
+            /// Sets the element at `(r, c)`.
+            #[inline]
+            pub fn set(&mut self, r: usize, c: usize, v: $elem) {
+                debug_assert!(r < self.rows && c < self.cols);
+                self.data[r * self.cols + c] = v;
+            }
+
+            /// A borrowed view of row `r`.
+            #[inline]
+            pub fn row(&self, r: usize) -> &[$elem] {
+                debug_assert!(r < self.rows);
+                &self.data[r * self.cols..(r + 1) * self.cols]
+            }
+
+            /// Number of zero elements.
+            pub fn count_zeros(&self) -> usize {
+                self.data.iter().filter(|&&v| v == 0).count()
+            }
+
+            /// Fraction of zero elements in `[0, 1]`.
+            pub fn sparsity(&self) -> f64 {
+                self.count_zeros() as f64 / self.len() as f64
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(
+                    f,
+                    concat!(stringify!($name), "[{}x{}, {:.1}% zero]"),
+                    self.rows,
+                    self.cols,
+                    self.sparsity() * 100.0
+                )
+            }
+        }
+    };
+}
+
+matrix_impl!(
+    /// A dense row-major `i8` operand matrix.
+    ///
+    /// Weights are `M x K` (row per output channel), im2col activations are
+    /// `K x N` (column per output pixel); `K` is the reduction dimension
+    /// with the input channel innermost so DBB blocks are contiguous.
+    Matrix,
+    i8
+);
+
+matrix_impl!(
+    /// A dense row-major `i32` accumulator matrix (GEMM output).
+    ///
+    /// INT8 x INT8 products accumulate exactly in `i32` for all practical
+    /// reduction depths, matching the 4-byte accumulators of the paper's
+    /// PEs (Table 1).
+    AccMatrix,
+    i32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, -5);
+        assert_eq!(m.get(1, 2), -5);
+        assert_eq!(m.row(1), &[0, 0, -5]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn acc_matrix_holds_i32() {
+        let mut a = AccMatrix::zeros(1, 1);
+        a.set(0, 0, 1 << 30);
+        assert_eq!(a.get(0, 0), 1 << 30);
+    }
+
+    #[test]
+    fn sparsity_fraction() {
+        let m = Matrix::from_vec(2, 2, vec![0, 3, 0, 0]);
+        assert!((m.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_checks_len() {
+        let _ = Matrix::from_vec(2, 2, vec![1]);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", Matrix::zeros(1, 1)).is_empty());
+        assert!(!format!("{:?}", AccMatrix::zeros(1, 1)).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Post-training `f32` to `i8` quantization.
+//!
+//! The paper evaluates INT8 models exclusively ("INT8 ... is the most
+//! widely used" for mobile deployment, Sec. 1). The training substrate
+//! (`s2ta-nn`) trains in `f32` and quantizes weights/activations with the
+//! symmetric per-tensor scheme implemented here before handing tensors to
+//! the accelerator.
+
+/// Symmetric per-tensor quantization parameters: `real = scale * int8`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Scale factor (strictly positive).
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Chooses the scale that maps the maximum-magnitude value of `data`
+    /// to 127 (symmetric, zero-point 0). An all-zero input gets scale 1.
+    pub fn fit(data: &[f32]) -> Self {
+        let max = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+        Self { scale }
+    }
+
+    /// Quantizes one value with round-to-nearest and saturation.
+    #[inline]
+    pub fn quantize(&self, v: f32) -> i8 {
+        let q = (v / self.scale).round();
+        q.clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes one value.
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a slice.
+    pub fn quantize_all(&self, data: &[f32]) -> Vec<i8> {
+        data.iter().map(|&v| self.quantize(v)).collect()
+    }
+}
+
+/// Quantizes `data` with a freshly fitted scale, returning the int data
+/// and the parameters.
+pub fn quantize_tensor(data: &[f32]) -> (Vec<i8>, QuantParams) {
+    let params = QuantParams::fit(data);
+    (params.quantize_all(data), params)
+}
+
+/// Root-mean-square quantization error of round-tripping `data`.
+pub fn quant_rmse(data: &[f32], params: QuantParams) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let sum: f32 = data
+        .iter()
+        .map(|&v| {
+            let e = v - params.dequantize(params.quantize(v));
+            e * e
+        })
+        .sum();
+    (sum / data.len() as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_maps_to_127() {
+        let data = [0.5f32, -2.0, 1.0];
+        let (q, p) = quantize_tensor(&data);
+        assert_eq!(q[1], -127);
+        assert!((p.dequantize(q[1]) - (-2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zeros_survive() {
+        let data = [0.0f32, 1.0, 0.0];
+        let (q, _) = quantize_tensor(&data);
+        assert_eq!(q[0], 0);
+        assert_eq!(q[2], 0);
+    }
+
+    #[test]
+    fn all_zero_input_is_stable() {
+        let (q, p) = quantize_tensor(&[0.0f32; 4]);
+        assert_eq!(q, vec![0i8; 4]);
+        assert_eq!(p.scale, 1.0);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let p = QuantParams { scale: 0.01 };
+        assert_eq!(p.quantize(1e9), 127);
+        assert_eq!(p.quantize(-1e9), -127);
+    }
+
+    #[test]
+    fn rmse_is_small_relative_to_scale() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let p = QuantParams::fit(&data);
+        // Round-to-nearest error is bounded by scale/2 per element.
+        assert!(quant_rmse(&data, p) <= p.scale * 0.5);
+        assert_eq!(quant_rmse(&[], p), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Golden reference kernels: im2col lowering, GEMM and direct convolution.
+//!
+//! Every simulated datapath in `s2ta-sim` is asserted bit-exact against
+//! these kernels; they are intentionally straightforward.
+
+use crate::{AccMatrix, ConvShape, Matrix, Tensor4};
+
+/// Lowers the input activation tensor of `shape` to the `(C*R*S) x N`
+/// im2col matrix, with the reduction axis ordered `(r, s, c)` — channel
+/// innermost — to match [`ConvShape::weights_as_matrix`]. Out-of-bounds
+/// taps read as zero (padding).
+///
+/// # Panics
+///
+/// Panics if `x` does not have dims `[1, C, H, W]`.
+pub fn im2col(shape: &ConvShape, x: &Tensor4) -> Matrix {
+    assert_eq!(x.dims(), shape.input_dims(), "input tensor dims mismatch");
+    let g = shape.gemm();
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut m = Matrix::zeros(g.k, g.n);
+    for r in 0..shape.r {
+        for s in 0..shape.s {
+            for c in 0..shape.c {
+                let row = (r * shape.s + s) * shape.c + c;
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let ih = (y * shape.stride + r) as isize - shape.pad as isize;
+                        let iw = (xx * shape.stride + s) as isize - shape.pad as isize;
+                        let v = x.get_padded(0, c, ih, iw);
+                        m.set(row, y * ow + xx, v);
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Reference INT8 GEMM: `C[m x n] = A[m x k] * B[k x n]` with exact `i32`
+/// accumulation.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn gemm_ref(a: &Matrix, b: &Matrix) -> AccMatrix {
+    assert_eq!(a.cols(), b.rows(), "GEMM inner dims mismatch: {} vs {}", a.cols(), b.rows());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = AccMatrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for p in 0..k {
+            let av = arow[p] as i32;
+            if av == 0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for j in 0..n {
+                let cur = c.get(i, j);
+                c.set(i, j, cur + av * brow[j] as i32);
+            }
+        }
+    }
+    c
+}
+
+/// Reference direct convolution (batch 1), returning the `K x (outH*outW)`
+/// accumulator matrix — the same layout `gemm_ref` produces for the
+/// im2col-lowered operands, so the two can be compared directly.
+///
+/// # Panics
+///
+/// Panics if `w` or `x` dims do not match `shape`.
+pub fn conv_ref(shape: &ConvShape, w: &Tensor4, x: &Tensor4) -> AccMatrix {
+    assert_eq!(w.dims(), shape.weight_dims(), "weight dims mismatch");
+    assert_eq!(x.dims(), shape.input_dims(), "input dims mismatch");
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = AccMatrix::zeros(shape.k, oh * ow);
+    for ko in 0..shape.k {
+        for y in 0..oh {
+            for xx in 0..ow {
+                let mut acc: i32 = 0;
+                for c in 0..shape.c {
+                    for r in 0..shape.r {
+                        for s in 0..shape.s {
+                            let ih = (y * shape.stride + r) as isize - shape.pad as isize;
+                            let iw = (xx * shape.stride + s) as isize - shape.pad as isize;
+                            let xv = x.get_padded(0, c, ih, iw) as i32;
+                            let wv = w.get(ko, c, r, s) as i32;
+                            acc += xv * wv;
+                        }
+                    }
+                }
+                out.set(ko, y * ow + xx, acc);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::SparseSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gemm_identity() {
+        // A * I == A.
+        let a = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        let i = Matrix::from_vec(2, 2, vec![1, 0, 0, 1]);
+        let c = gemm_ref(&a, &i);
+        assert_eq!(c.data(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn gemm_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1, -2, 3, 0, 5, -1]);
+        let b = Matrix::from_vec(3, 2, vec![2, 0, 1, 1, -1, 4]);
+        let c = gemm_ref(&a, &b);
+        // Row 0: [1*2-2*1-3*1, -2*1+3*4] = [-3, 10]
+        assert_eq!(c.get(0, 0), -3);
+        assert_eq!(c.get(0, 1), 10);
+        assert_eq!(c.get(1, 0), 6);
+        assert_eq!(c.get(1, 1), 1);
+    }
+
+    #[test]
+    fn im2col_matches_direct_conv() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (shape, wsp, asp) in [
+            (ConvShape::new(4, 8, 6, 6, 3, 3, 1, 1), 0.5, 0.5),
+            (ConvShape::new(3, 5, 7, 5, 3, 3, 2, 1), 0.0, 0.3),
+            (ConvShape::new(2, 16, 4, 4, 1, 1, 1, 0), 0.8, 0.0),
+            (ConvShape::new(5, 3, 9, 9, 5, 5, 2, 2), 0.25, 0.6),
+        ] {
+            let w = SparseSpec::random(wsp).tensor(shape.weight_dims(), &mut rng);
+            let x = SparseSpec::random(asp).tensor(shape.input_dims(), &mut rng);
+            let direct = conv_ref(&shape, &w, &x);
+            let lowered = gemm_ref(&shape.weights_as_matrix(&w), &im2col(&shape, &x));
+            assert_eq!(direct, lowered, "mismatch for {shape}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn gemm_dims_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let _ = gemm_ref(&a, &b);
+    }
+}

@@ -1,0 +1,244 @@
+//! Layer geometry: convolution shapes and their GEMM lowering.
+
+use std::fmt;
+
+/// The kind of a CNN layer, as it matters to an accelerator mapping.
+///
+/// Depthwise and fully-connected layers are memory-bound on systolic
+/// accelerators (paper Sec. 8.3); the runner uses the kind to pick the
+/// right reuse maths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Standard (dense) convolution, including 1x1 point-wise.
+    Conv,
+    /// Depthwise convolution: one filter per input channel, no channel
+    /// reduction, hence no channel-dimension DBB blocking.
+    Depthwise,
+    /// Fully-connected (matrix-vector at batch 1).
+    FullyConnected,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv => write!(f, "conv"),
+            LayerKind::Depthwise => write!(f, "dw"),
+            LayerKind::FullyConnected => write!(f, "fc"),
+        }
+    }
+}
+
+/// Geometry of a convolution layer (square kernels/strides, NCHW).
+///
+/// `K` output channels, `C` input channels, `H x W` input spatial size,
+/// `R x S` kernel, stride and symmetric zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Output channels (number of filters).
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub r: usize,
+    /// Kernel width.
+    pub s: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Creates a convolution shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, or if the kernel (minus padding)
+    /// does not fit in the input.
+    pub fn new(
+        k: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(
+            k > 0 && c > 0 && h > 0 && w > 0 && r > 0 && s > 0 && stride > 0,
+            "conv dimensions must be non-zero"
+        );
+        assert!(
+            h + 2 * pad >= r && w + 2 * pad >= s,
+            "kernel {r}x{s} does not fit input {h}x{w} with pad {pad}"
+        );
+        Self { k, c, h, w, r, s, stride, pad }
+    }
+
+    /// Output height after convolution.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.s) / self.stride + 1
+    }
+
+    /// Weight tensor dims as `[K, C, R, S]`.
+    pub fn weight_dims(&self) -> [usize; 4] {
+        [self.k, self.c, self.r, self.s]
+    }
+
+    /// Input tensor dims as `[1, C, H, W]` (batch 1 — mobile inference).
+    pub fn input_dims(&self) -> [usize; 4] {
+        [1, self.c, self.h, self.w]
+    }
+
+    /// Output tensor dims as `[1, K, out_h, out_w]`.
+    pub fn output_dims(&self) -> [usize; 4] {
+        [1, self.k, self.out_h(), self.out_w()]
+    }
+
+    /// The GEMM this convolution lowers to via im2col:
+    /// `[K x (C*R*S)] * [(C*R*S) x (outH*outW)]`.
+    pub fn gemm(&self) -> GemmShape {
+        GemmShape {
+            m: self.k,
+            k: self.c * self.r * self.s,
+            n: self.out_h() * self.out_w(),
+        }
+    }
+
+    /// Total multiply-accumulate operations for one inference of this layer.
+    pub fn macs(&self) -> u64 {
+        let g = self.gemm();
+        g.m as u64 * g.k as u64 * g.n as u64
+    }
+
+    /// Lowers the `[K,C,R,S]` weight tensor to the `K x (C*R*S)` GEMM
+    /// operand matrix. The reduction dimension is ordered `(r, s, c)` with
+    /// **channel innermost**, so that DBB blocks (which the paper forms
+    /// along the channel dimension, Fig. 5) are contiguous runs of the
+    /// GEMM reduction axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` does not have dims `[K, C, R, S]`.
+    pub fn weights_as_matrix(&self, w: &crate::Tensor4) -> crate::Matrix {
+        assert_eq!(w.dims(), self.weight_dims(), "weight tensor dims mismatch");
+        let g = self.gemm();
+        let mut m = crate::Matrix::zeros(g.m, g.k);
+        for ko in 0..self.k {
+            for r in 0..self.r {
+                for s in 0..self.s {
+                    for c in 0..self.c {
+                        let col = (r * self.s + s) * self.c + c;
+                        m.set(ko, col, w.get(ko, c, r, s));
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K{}xC{}x{}x{} k{}x{} s{} p{}",
+            self.k, self.c, self.h, self.w, self.r, self.s, self.stride, self.pad
+        )
+    }
+}
+
+/// Dimensions of a GEMM `C[m x n] = A[m x k] * B[k x n]`.
+///
+/// In the accelerator mapping, `m` indexes output channels, `k` is the
+/// reduction dimension (`C*R*S`, channel innermost) and `n` indexes output
+/// pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A / C (output channels).
+    pub m: usize,
+    /// Reduction dimension (shared).
+    pub k: usize,
+    /// Columns of B / C (output pixels).
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a GEMM shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dims must be non-zero");
+        Self { m, k, n }
+    }
+
+    /// Total MAC operations.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        // AlexNet conv1: 96 filters, 3 channels, 227x227, 11x11, stride 4.
+        let c1 = ConvShape::new(96, 3, 227, 227, 11, 11, 4, 0);
+        assert_eq!(c1.out_h(), 55);
+        assert_eq!(c1.out_w(), 55);
+        assert_eq!(c1.gemm(), GemmShape::new(96, 3 * 11 * 11, 55 * 55));
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial() {
+        let s = ConvShape::new(64, 64, 56, 56, 3, 3, 1, 1);
+        assert_eq!(s.out_h(), 56);
+        assert_eq!(s.out_w(), 56);
+    }
+
+    #[test]
+    fn macs_match_gemm() {
+        let s = ConvShape::new(16, 8, 10, 10, 3, 3, 1, 1);
+        assert_eq!(s.macs(), s.gemm().macs());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_rejected() {
+        let _ = ConvShape::new(0, 1, 4, 4, 1, 1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_rejected() {
+        let _ = ConvShape::new(1, 1, 2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = ConvShape::new(16, 8, 10, 12, 3, 3, 2, 1);
+        assert_eq!(s.to_string(), "K16xC8x10x12 k3x3 s2 p1");
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "1x2x3");
+        assert_eq!(LayerKind::Depthwise.to_string(), "dw");
+    }
+}

@@ -1,0 +1,239 @@
+//! Sparsity statistics and deterministic synthetic sparse data generation.
+//!
+//! The paper's microbenchmarks (Sec. 8.2) sweep weight/activation sparsity
+//! on synthetic layers; full-model runs use per-layer activation sparsity
+//! profiles. Both need reproducible sparse tensors with controlled zero
+//! fractions — random (unstructured) zeros for the baselines, and
+//! DBB-prunable distributions for S2TA (the DBB pruning itself lives in
+//! `s2ta-dbb`).
+
+use crate::{Matrix, Tensor4};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// A specification for generating synthetic sparse INT8 data.
+///
+/// Values are drawn uniformly from `[-127, 127] \ {0}` and then zeroed
+/// independently with probability `sparsity` (unstructured/random sparsity,
+/// as produced by ReLU activations and unstructured pruning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseSpec {
+    sparsity: f64,
+}
+
+impl SparseSpec {
+    /// Random (unstructured) sparsity with the given zero fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= sparsity <= 1.0`.
+    pub fn random(sparsity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1], got {sparsity}");
+        Self { sparsity }
+    }
+
+    /// Fully dense data (no zeros).
+    pub fn dense() -> Self {
+        Self::random(0.0)
+    }
+
+    /// The configured zero fraction.
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
+    }
+
+    /// Generates a tensor with this sparsity.
+    pub fn tensor<R: Rng>(&self, dims: [usize; 4], rng: &mut R) -> Tensor4 {
+        let len = dims.iter().product();
+        Tensor4::from_vec(dims, self.values(len, rng))
+    }
+
+    /// Generates a matrix with this sparsity.
+    pub fn matrix<R: Rng>(&self, rows: usize, cols: usize, rng: &mut R) -> Matrix {
+        Matrix::from_vec(rows, cols, self.values(rows * cols, rng))
+    }
+
+    fn values<R: Rng>(&self, len: usize, rng: &mut R) -> Vec<i8> {
+        let dist = Uniform::new_inclusive(-127i8, 127i8);
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(self.sparsity) {
+                    0
+                } else {
+                    // Re-draw zeros so "non-zero" positions are truly
+                    // non-zero and the realized sparsity tracks the spec.
+                    loop {
+                        let v = dist.sample(rng);
+                        if v != 0 {
+                            break v;
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Density statistics of a channel-blocked tensor: for each block of `bz`
+/// consecutive reduction elements, how many are non-zero.
+///
+/// This is the quantity DBB bounds; the histogram drives the analytic
+/// cycle model for time-unrolled execution (cycles per block = NNZ).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDensity {
+    /// `histogram[i]` = number of blocks with exactly `i` non-zeros.
+    pub histogram: Vec<u64>,
+    /// Block size the histogram was computed for.
+    pub bz: usize,
+}
+
+impl BlockDensity {
+    /// Computes the per-block non-zero histogram of a matrix whose rows are
+    /// reduction vectors (length padded up to a multiple of `bz` with
+    /// zeros, matching the hardware's zero-padded final block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bz == 0`.
+    pub fn of_rows(m: &Matrix, bz: usize) -> Self {
+        assert!(bz > 0, "block size must be non-zero");
+        let mut histogram = vec![0u64; bz + 1];
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            for chunk in row.chunks(bz) {
+                let nnz = chunk.iter().filter(|&&v| v != 0).count();
+                histogram[nnz] += 1;
+            }
+        }
+        Self { histogram, bz }
+    }
+
+    /// Computes the histogram over columns (each column is a reduction
+    /// vector), the orientation of im2col activation matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bz == 0`.
+    pub fn of_cols(m: &Matrix, bz: usize) -> Self {
+        assert!(bz > 0, "block size must be non-zero");
+        let mut histogram = vec![0u64; bz + 1];
+        for c in 0..m.cols() {
+            let mut r = 0;
+            while r < m.rows() {
+                let end = (r + bz).min(m.rows());
+                let nnz = (r..end).filter(|&i| m.get(i, c) != 0).count();
+                histogram[nnz] += 1;
+                r = end;
+            }
+        }
+        Self { histogram, bz }
+    }
+
+    /// Total number of blocks.
+    pub fn blocks(&self) -> u64 {
+        self.histogram.iter().sum()
+    }
+
+    /// Mean non-zeros per block.
+    pub fn mean_nnz(&self) -> f64 {
+        let total: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(nnz, &count)| nnz as u64 * count)
+            .sum();
+        total as f64 / self.blocks() as f64
+    }
+
+    /// Fraction of blocks whose NNZ exceeds `bound` — i.e. the blocks DAP
+    /// would have to prune to satisfy a `bound/bz` DBB constraint.
+    pub fn violation_rate(&self, bound: usize) -> f64 {
+        let over: u64 = self.histogram.iter().skip(bound + 1).sum();
+        over as f64 / self.blocks() as f64
+    }
+}
+
+/// Summary sparsity statistics for an operand matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Fraction of zero elements.
+    pub zero_fraction: f64,
+    /// Total elements.
+    pub elements: usize,
+}
+
+impl SparsityStats {
+    /// Computes stats for a matrix.
+    pub fn of(m: &Matrix) -> Self {
+        Self { zero_fraction: m.sparsity(), elements: m.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn realized_sparsity_tracks_spec() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for target in [0.0, 0.25, 0.5, 0.8] {
+            let m = SparseSpec::random(target).matrix(64, 256, &mut rng);
+            assert!(
+                (m.sparsity() - target).abs() < 0.02,
+                "target {target}, got {}",
+                m.sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn dense_spec_has_no_zeros() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = SparseSpec::dense().matrix(16, 16, &mut rng);
+        assert_eq!(m.count_zeros(), 0);
+    }
+
+    #[test]
+    fn block_density_row_histogram() {
+        // Row of 8 with 3 non-zeros + row of 8 with 8 non-zeros.
+        let mut data = vec![0i8; 8];
+        data[0] = 1;
+        data[3] = 2;
+        data[7] = -1;
+        data.extend_from_slice(&[1; 8]);
+        let m = Matrix::from_vec(2, 8, data);
+        let d = BlockDensity::of_rows(&m, 8);
+        assert_eq!(d.blocks(), 2);
+        assert_eq!(d.histogram[3], 1);
+        assert_eq!(d.histogram[8], 1);
+        assert!((d.mean_nnz() - 5.5).abs() < 1e-12);
+        assert!((d.violation_rate(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_density_cols_partial_final_block() {
+        // 10 rows, bz 8 -> blocks of 8 and 2 per column.
+        let m = Matrix::from_vec(10, 1, vec![1, 0, 0, 0, 0, 0, 0, 0, 1, 1]);
+        let d = BlockDensity::of_cols(&m, 8);
+        assert_eq!(d.blocks(), 2);
+        assert_eq!(d.histogram[1], 1); // first block: one non-zero
+        assert_eq!(d.histogram[2], 1); // tail block: two non-zeros
+    }
+
+    #[test]
+    fn mean_nnz_of_random_matches_density() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = SparseSpec::random(0.5).matrix(128, 128, &mut rng);
+        let d = BlockDensity::of_cols(&m, 8);
+        assert!((d.mean_nnz() - 4.0).abs() < 0.2, "mean {}", d.mean_nnz());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SparseSpec::random(0.5).matrix(8, 8, &mut StdRng::seed_from_u64(9));
+        let b = SparseSpec::random(0.5).matrix(8, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

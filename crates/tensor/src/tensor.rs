@@ -1,0 +1,179 @@
+//! Dense NCHW `i8` tensors.
+
+use std::fmt;
+
+/// A dense 4-D `i8` tensor in NCHW layout.
+///
+/// This is deliberately a plain, validated container: the simulator and the
+/// DBB compressor index it directly, and all views are explicit copies so
+/// there is never a question of aliasing when the simulated datapath is
+/// cross-checked against the reference kernels.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tensor4 {
+    dims: [usize; 4],
+    data: Vec<i8>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled tensor with dims `[n, c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dim is zero.
+    pub fn zeros(dims: [usize; 4]) -> Self {
+        Self::filled(dims, 0)
+    }
+
+    /// Creates a tensor with every element set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dim is zero.
+    pub fn filled(dims: [usize; 4], value: i8) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "tensor dims must be non-zero: {dims:?}");
+        let len = dims.iter().product();
+        Self { dims, data: vec![value; len] }
+    }
+
+    /// Builds a tensor from existing data (row-major NCHW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`, or any
+    /// dim is zero.
+    pub fn from_vec(dims: [usize; 4], data: Vec<i8>) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "tensor dims must be non-zero: {dims:?}");
+        let len: usize = dims.iter().product();
+        assert_eq!(data.len(), len, "data length {} != dims product {len}", data.len());
+        Self { dims, data }
+    }
+
+    /// The tensor dims `[n, c, h, w]`.
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true: dims are non-zero).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat element access in NCHW order.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Mutable flat element access in NCHW order.
+    pub fn data_mut(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3],
+            "index ({n},{c},{h},{w}) out of bounds for {:?}",
+            self.dims
+        );
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
+    }
+
+    /// Element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, with a clear message) if out of bounds.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> i8 {
+        self.data[self.index(n, c, h, w)]
+    }
+
+    /// Element at `(n, c, h, w)` treating out-of-bounds spatial positions
+    /// as zero padding. Channel/batch indices must still be in range.
+    #[inline]
+    pub fn get_padded(&self, n: usize, c: usize, h: isize, w: isize) -> i8 {
+        if h < 0 || w < 0 || h as usize >= self.dims[2] || w as usize >= self.dims[3] {
+            0
+        } else {
+            self.get(n, c, h as usize, w as usize)
+        }
+    }
+
+    /// Sets the element at `(n, c, h, w)`.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: i8) {
+        let i = self.index(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Number of zero-valued elements.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v == 0).count()
+    }
+
+    /// Fraction of elements that are zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        self.count_zeros() as f64 / self.len() as f64
+    }
+}
+
+impl fmt::Debug for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor4[{}x{}x{}x{}, {:.1}% zero]",
+            self.dims[0],
+            self.dims[1],
+            self.dims[2],
+            self.dims[3],
+            self.sparsity() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_set_get() {
+        let mut t = Tensor4::zeros([2, 3, 4, 5]);
+        t.set(1, 2, 3, 4, -7);
+        assert_eq!(t.get(1, 2, 3, 4), -7);
+        assert_eq!(t.get(0, 0, 0, 0), 0);
+        assert_eq!(t.len(), 2 * 3 * 4 * 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn padded_reads_return_zero() {
+        let t = Tensor4::filled([1, 1, 2, 2], 9);
+        assert_eq!(t.get_padded(0, 0, -1, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 0, 2), 0);
+        assert_eq!(t.get_padded(0, 0, 1, 1), 9);
+    }
+
+    #[test]
+    fn sparsity_counts() {
+        let t = Tensor4::from_vec([1, 1, 2, 2], vec![0, 1, 0, 2]);
+        assert_eq!(t.count_zeros(), 2);
+        assert!((t.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_checked() {
+        let _ = Tensor4::from_vec([1, 1, 2, 2], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor4::zeros([1, 1, 1, 1]);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Mobile inference scenario: run MobileNetV1 end-to-end on every
+//! evaluated architecture and print the per-architecture scoreboard plus
+//! a per-layer drill-down for the winner — the workload the paper's
+//! introduction motivates (low-power mobile vision).
+//!
+//! ```sh
+//! cargo run --release --example mobile_inference
+//! ```
+
+use s2ta::core::{Accelerator, ArchKind};
+use s2ta::energy::TechParams;
+use s2ta::models::mobilenet_v1;
+
+fn main() {
+    let model = mobilenet_v1();
+    let tech = TechParams::tsmc16();
+    println!("{model}");
+    println!();
+    println!(
+        "{:<14} {:>10} {:>11} {:>12} {:>9}",
+        "architecture", "latency", "inf/s", "energy/inf", "TOPS/W"
+    );
+
+    let mut reports = Vec::new();
+    for kind in ArchKind::ALL {
+        let acc = Accelerator::preset(kind);
+        let r = acc.run_model(&model, 42);
+        println!(
+            "{:<14} {:>8.2}ms {:>11.0} {:>9.1} uJ {:>9.2}",
+            kind.to_string(),
+            r.seconds(&tech) * 1e3,
+            r.inferences_per_second(&tech),
+            r.energy(&tech).total_uj(),
+            r.tops_per_watt(&tech)
+        );
+        reports.push((kind, r));
+    }
+
+    let (_, ref aw) = reports.iter().find(|(k, _)| *k == ArchKind::S2taAw).expect("AW present");
+    println!("\nper-layer drill-down on S2TA-AW (first 10 layers):");
+    println!("{:<10} {:>10} {:>10} {:>12} {:>10}", "layer", "MMAC", "cycles", "MAC util", "energy uJ");
+    for l in aw.layers.iter().take(10) {
+        println!(
+            "{:<10} {:>10.1} {:>10} {:>11.0}% {:>10.2}",
+            l.name,
+            l.macs as f64 / 1e6,
+            l.events.cycles,
+            l.events.mac_utilization() * 100.0,
+            l.energy(&tech).total_uj()
+        );
+    }
+    let (_, ref zvcg) = reports.iter().find(|(k, _)| *k == ArchKind::SaZvcg).expect("baseline");
+    println!(
+        "\nS2TA-AW vs SA-ZVCG on MobileNetV1: {:.2}x faster, {:.2}x less energy",
+        aw.speedup_vs(zvcg),
+        aw.energy_reduction_vs(zvcg, &tech)
+    );
+}

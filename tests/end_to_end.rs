@@ -1,0 +1,140 @@
+//! End-to-end integration: convolution lowering -> DBB toolchain ->
+//! simulated datapaths -> energy model, across crate boundaries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s2ta::core::{Accelerator, ArchKind};
+use s2ta::dbb::dap::{dap_matrix, LayerNnz};
+use s2ta::dbb::{prune, DbbConfig};
+use s2ta::energy::{EnergyBreakdown, TechParams};
+use s2ta::models::lenet5;
+use s2ta::sim::smt::SmtConfig;
+use s2ta::sim::{smt, systolic, tpe, ArrayGeometry};
+use s2ta::tensor::sparsity::SparseSpec;
+use s2ta::tensor::{conv_ref, gemm_ref, im2col, ConvShape};
+
+/// A convolution pushed through the full S2TA-AW path — im2col
+/// lowering, W-DBB pruning, DAP, time-unrolled execution — must equal
+/// the direct reference convolution of the pruned tensors.
+#[test]
+fn conv_through_s2ta_aw_is_bit_exact() {
+    let shape = ConvShape::new(6, 16, 8, 8, 3, 3, 1, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let w_raw = SparseSpec::random(0.3).tensor(shape.weight_dims(), &mut rng);
+    let x = SparseSpec::random(0.4).tensor(shape.input_dims(), &mut rng);
+
+    let w_matrix = shape.weights_as_matrix(&w_raw);
+    let a_matrix = im2col(&shape, &x);
+
+    let wdbb = prune::prune_and_compress(&w_matrix, DbbConfig::new(4, 8));
+    let (adbb, _) = dap_matrix(&a_matrix, 8, LayerNnz::Prune(3));
+
+    let geom = ArrayGeometry::new(2, 4, 2, 2, 2, 8);
+    let run = tpe::run_aw(&geom, &wdbb, &adbb);
+    let expected = gemm_ref(&wdbb.decompress(), &adbb.decompress());
+    assert_eq!(run.result, expected);
+}
+
+/// Direct convolution and the im2col-lowered dense systolic run agree.
+#[test]
+fn conv_through_dense_sa_matches_direct() {
+    let shape = ConvShape::new(4, 8, 6, 6, 3, 3, 2, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = SparseSpec::random(0.5).tensor(shape.weight_dims(), &mut rng);
+    let x = SparseSpec::random(0.5).tensor(shape.input_dims(), &mut rng);
+    let run = systolic::run(
+        &ArrayGeometry::scalar(4, 4),
+        true,
+        &shape.weights_as_matrix(&w),
+        &im2col(&shape, &x),
+    );
+    assert_eq!(run.result, conv_ref(&shape, &w, &x));
+}
+
+/// All functional datapaths compute the same GEMM (on operands that
+/// satisfy the DBB bounds, so no pruning differences intrude).
+#[test]
+fn all_datapaths_agree_on_bounded_operands() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let w_raw = SparseSpec::random(0.6).matrix(8, 32, &mut rng);
+    let w = prune::prune_matrix(&w_raw, s2ta::dbb::BlockAxis::Rows, DbbConfig::new(4, 8));
+    let a_raw = SparseSpec::random(0.7).matrix(32, 6, &mut rng);
+    let (adbb, _) = dap_matrix(&a_raw, 8, LayerNnz::Prune(2));
+    let a = adbb.decompress();
+    let reference = gemm_ref(&w, &a);
+
+    let sa = systolic::run(&ArrayGeometry::scalar(4, 4), false, &w, &a);
+    assert_eq!(sa.result, reference, "dense SA");
+    let zvcg = systolic::run(&ArrayGeometry::scalar(4, 4), true, &w, &a);
+    assert_eq!(zvcg.result, reference, "SA-ZVCG");
+    let smt_run = smt::run(&ArrayGeometry::scalar(4, 4), SmtConfig::t2q2(), &w, &a);
+    assert_eq!(smt_run.result, reference, "SA-SMT");
+
+    let geom = ArrayGeometry::new(2, 4, 2, 2, 2, 8);
+    let wdbb = prune::prune_and_compress(&w, DbbConfig::new(4, 8));
+    let wrun = tpe::run_wdbb(&geom, &wdbb, &a);
+    assert_eq!(wrun.result, reference, "S2TA-W");
+    let awrun = tpe::run_aw(&geom, &wdbb, &adbb);
+    assert_eq!(awrun.result, reference, "S2TA-AW");
+}
+
+/// Whole-model run: S2TA-AW must beat SA-ZVCG on both time and energy
+/// for a small CNN, and runs must be deterministic.
+#[test]
+fn lenet_model_scoreboard() {
+    let model = lenet5();
+    let tech = TechParams::tsmc16();
+    let zvcg = Accelerator::preset(ArchKind::SaZvcg).run_model(&model, 9);
+    let aw = Accelerator::preset(ArchKind::S2taAw).run_model(&model, 9);
+    assert!(aw.speedup_vs(&zvcg) > 1.0, "AW speedup {:.2}", aw.speedup_vs(&zvcg));
+    assert!(
+        aw.energy_reduction_vs(&zvcg, &tech) > 1.0,
+        "AW energy reduction {:.2}",
+        aw.energy_reduction_vs(&zvcg, &tech)
+    );
+    // Determinism across identical runs.
+    let aw2 = Accelerator::preset(ArchKind::S2taAw).run_model(&model, 9);
+    assert_eq!(aw, aw2);
+}
+
+/// Every architecture produces internally consistent event counts on a
+/// real layer: issued MACs bounded by cycles x hardware MACs, SRAM
+/// traffic non-zero, energy strictly positive.
+#[test]
+fn event_count_invariants_hold_per_arch() {
+    let model = lenet5();
+    let layer = &model.layers[1]; // conv2
+    let tech = TechParams::tsmc16();
+    for kind in ArchKind::ALL {
+        let acc = Accelerator::preset(kind);
+        let r = acc.run_layer(layer, 1, 4);
+        let ev = &r.events;
+        assert!(ev.cycles > 0, "{kind}: no cycles");
+        assert!(
+            ev.macs_issued() <= ev.cycles * 2048,
+            "{kind}: issued {} exceeds capacity {}",
+            ev.macs_issued(),
+            ev.cycles * 2048
+        );
+        assert!(ev.weight_sram_bytes > 0 && ev.act_sram_read_bytes > 0, "{kind}: no SRAM traffic");
+        assert_eq!(ev.mcu_elements, (layer.gemm.m * layer.gemm.n) as u64, "{kind}: MCU elements");
+        let e = EnergyBreakdown::of(ev, &tech);
+        assert!(e.total_pj() > 0.0, "{kind}: zero energy");
+    }
+}
+
+/// The memory-bound clamp engages on FC layers and still rewards
+/// compression: S2TA-AW's FC latency beats SA-ZVCG's via bandwidth.
+#[test]
+fn fc_layers_are_memory_bound_but_compressible() {
+    let model = lenet5();
+    let fc = model.layers.iter().position(|l| l.name == "fc3").expect("fc3 exists");
+    let zvcg = Accelerator::preset(ArchKind::SaZvcg).run_layer(&model.layers[fc], fc, 4);
+    let aw = Accelerator::preset(ArchKind::S2taAw).run_layer(&model.layers[fc], fc, 4);
+    assert!(
+        aw.events.cycles < zvcg.events.cycles,
+        "compressed weights should cut the DMA-bound latency: {} vs {}",
+        aw.events.cycles,
+        zvcg.events.cycles
+    );
+}

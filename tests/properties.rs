@@ -1,0 +1,110 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! shape, sparsity and DBB configuration, spanning the tensor -> dbb ->
+//! sim -> core stack.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s2ta::core::{Accelerator, ArchKind};
+use s2ta::dbb::dap::{dap_matrix, LayerNnz};
+use s2ta::dbb::{prune, BlockAxis, DbbConfig, DbbMatrix};
+use s2ta::sim::{tpe, tpe_wa, ArrayGeometry};
+use s2ta::tensor::sparsity::SparseSpec;
+use s2ta::tensor::{conv_ref, gemm_ref, im2col, ConvShape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// im2col lowering is exact for arbitrary conv geometry.
+    #[test]
+    fn prop_im2col_equals_direct_conv(
+        k in 1usize..5,
+        c in 1usize..10,
+        hw in 3usize..9,
+        rs in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        wsp in 0.0f64..0.9,
+        asp in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw + 2 * pad >= rs);
+        let shape = ConvShape::new(k, c, hw, hw, rs, rs, stride, pad);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = SparseSpec::random(wsp).tensor(shape.weight_dims(), &mut rng);
+        let x = SparseSpec::random(asp).tensor(shape.input_dims(), &mut rng);
+        let lowered = gemm_ref(&shape.weights_as_matrix(&w), &im2col(&shape, &x));
+        prop_assert_eq!(lowered, conv_ref(&shape, &w, &x));
+    }
+
+    /// The whole DBB tool-chain round-trips: prune -> compress ->
+    /// decompress -> recompress is a fixed point.
+    #[test]
+    fn prop_dbb_toolchain_fixed_point(
+        rows in 1usize..10,
+        cols in 1usize..50,
+        nnz in 1usize..=8,
+        sp in 0.0f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = SparseSpec::random(sp).matrix(rows, cols, &mut rng);
+        let cfg = DbbConfig::new(nnz, 8);
+        let once = prune::prune_and_compress(&raw, cfg);
+        let again = DbbMatrix::compress(&once.decompress(), BlockAxis::Rows, cfg)
+            .expect("decompressed output satisfies its own bound");
+        prop_assert_eq!(once.decompress(), again.decompress());
+        prop_assert_eq!(once.storage_bytes(), again.storage_bytes());
+    }
+
+    /// Both time-unrolled variants compute the identical GEMM on the
+    /// same compressed operands (they serialize different operands, but
+    /// the arithmetic must agree).
+    #[test]
+    fn prop_aw_and_wa_variants_agree(
+        m in 1usize..6,
+        kb in 1usize..5,
+        n in 1usize..6,
+        wsp in 0.0f64..0.8,
+        asp in 0.0f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let k = kb * 8;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wraw = SparseSpec::random(wsp).matrix(m, k, &mut rng);
+        let araw = SparseSpec::random(asp).matrix(k, n, &mut rng);
+        let wdbb = prune::prune_and_compress(&wraw, DbbConfig::new(4, 8));
+        let (adbb, _) = dap_matrix(&araw, 8, LayerNnz::Prune(4));
+        let g = ArrayGeometry::new(2, 4, 2, 2, 2, 8);
+        let aw = tpe::run_aw(&g, &wdbb, &adbb);
+        let wa = tpe_wa::run_wa(&g, &wdbb, &adbb);
+        prop_assert_eq!(&aw.result, &wa.result);
+        // Same non-zero products, however they are scheduled.
+        prop_assert_eq!(aw.events.macs_active, wa.events.macs_active);
+    }
+
+    /// Architecture-independent accounting invariants on random layers.
+    #[test]
+    fn prop_event_invariants_across_archs(
+        m in 1usize..40,
+        k in 8usize..80,
+        n in 1usize..40,
+        sp in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = SparseSpec::random(sp).matrix(m, k, &mut rng);
+        let a = SparseSpec::random(sp).matrix(k, n, &mut rng);
+        for kind in [ArchKind::SaZvcg, ArchKind::S2taW, ArchKind::S2taAw] {
+            let ev = Accelerator::preset(kind)
+                .run_gemm(&w, &a, LayerNnz::Prune(3), false);
+            // Active MACs can never exceed the dense MAC count.
+            prop_assert!(ev.macs_active <= (m * k * n) as u64, "{kind}");
+            // Output writes and MCU work are bounded by output count
+            // (compressed writes may be smaller).
+            prop_assert!(ev.act_sram_write_bytes <= (m * n) as u64, "{kind}");
+            prop_assert_eq!(ev.mcu_elements, (m * n) as u64, "arch {}", kind);
+            prop_assert!(ev.cycles > 0, "{kind}");
+        }
+    }
+}
