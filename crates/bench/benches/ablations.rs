@@ -24,18 +24,15 @@ fn ablate_block_size() {
     header("Ablation 1", "DBB block size: accuracy proxy vs mux cost (density 50%)");
     let mut rng = StdRng::seed_from_u64(s2ta_bench::SEED);
     let m = SparseSpec::dense().matrix(64, 512, &mut rng);
-    println!("{:<8} {:>11} {:>20} {:>10}", "config", "retention", "mask overhead b/blk", "mux ways");
+    println!(
+        "{:<8} {:>11} {:>20} {:>10}",
+        "config", "retention", "mask overhead b/blk", "mux ways"
+    );
     let mut prev = 0.0;
     for (nnz, bz) in [(2usize, 4usize), (4, 8), (8, 16)] {
         let cfg = DbbConfig::new(nnz, bz);
         let r = prune::magnitude_retention(&m, BlockAxis::Rows, cfg);
-        println!(
-            "{:<8} {:>10.1}% {:>20} {:>10}",
-            cfg.to_string(),
-            r * 100.0,
-            bz.div_ceil(8),
-            bz
-        );
+        println!("{:<8} {:>10.1}% {:>20} {:>10}", cfg.to_string(), r * 100.0, bz.div_ceil(8), bz);
         assert!(r >= prev, "larger blocks at equal density must retain >= magnitude");
         prev = r;
     }
@@ -92,7 +89,10 @@ fn ablate_dram_traffic() {
     use s2ta_core::memory::{MemoryConfig, ModelResidency};
     let mem = MemoryConfig::default();
     let model = s2ta_models::vgg16();
-    println!("{:<12} {:>12} {:>16} {:>14}", "arch", "DRAM MB", "streamed-W layers", "spilled-A layers");
+    println!(
+        "{:<12} {:>12} {:>16} {:>14}",
+        "arch", "DRAM MB", "streamed-W layers", "spilled-A layers"
+    );
     let mut dense_mb = 0.0;
     for kind in [ArchKind::SaZvcg, ArchKind::S2taW, ArchKind::S2taAw] {
         let r = ModelResidency::of(&ArchConfig::preset(kind), &mem, &model);

@@ -16,7 +16,8 @@ fn main() {
     header("Fig. 3", "Effective energy/area + speedup of SA variants (16nm, 50/50 sparsity)");
     let tech = TechParams::tsmc16();
     let archs = [ArchKind::Sa, ArchKind::SaZvcg, ArchKind::SaSmtT2Q2, ArchKind::SaSmtT2Q4];
-    let runs: Vec<_> = archs.iter().map(|&k| (k, run_point(k, 0.5, 0.5, s2ta_bench::SEED))).collect();
+    let runs: Vec<_> =
+        archs.iter().map(|&k| (k, run_point(k, 0.5, 0.5, s2ta_bench::SEED))).collect();
     let base = EnergyBreakdown::of(&runs[1].1.report.events, &tech); // SA-ZVCG
     let base_cycles = runs[1].1.report.events.cycles as f64;
 

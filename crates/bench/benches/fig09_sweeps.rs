@@ -20,11 +20,7 @@ fn main() {
     let norm_e = EnergyBreakdown::of(&norm_run.report.events, &tech).total_pj();
     let norm_cycles = norm_run.report.events.cycles as f64;
 
-    let panel = |id: &str,
-                 title: &str,
-                 arch: ArchKind,
-                 sweep_acts: bool,
-                 fixed: [f64; 2]| {
+    let panel = |id: &str, title: &str, arch: ArchKind, sweep_acts: bool, fixed: [f64; 2]| {
         header(id, title);
         println!(
             "{:<10} {:>14} {:>14} {:>9}",

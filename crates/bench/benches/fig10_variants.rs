@@ -64,7 +64,9 @@ fn main() {
     // The S2TA-AW SRAM reduction vs S2TA-W (paper: 3.1x).
     let (_, _, _, w_e) = get(ArchKind::S2taW);
     let sram_reduction = w_e.act_sram_pj / aw_e.act_sram_pj;
-    println!("S2TA-AW activation-SRAM energy reduction vs S2TA-W: {sram_reduction:.1}x (paper ~3.1x)");
+    println!(
+        "S2TA-AW activation-SRAM energy reduction vs S2TA-W: {sram_reduction:.1}x (paper ~3.1x)"
+    );
     assert!(sram_reduction > 1.5, "A-DBB must cut SRAM energy substantially");
     println!("shape check PASSED");
 }

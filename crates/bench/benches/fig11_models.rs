@@ -14,13 +14,8 @@ use s2ta_models::{alexnet, mobilenet_v1, resnet50_v1, vgg16};
 fn main() {
     header("Fig. 11", "Full-model (conv) energy reduction + speedup vs SA-ZVCG, 16nm");
     let tech = TechParams::tsmc16();
-    let archs = [
-        ArchKind::SaZvcg,
-        ArchKind::Sa,
-        ArchKind::SaSmtT2Q2,
-        ArchKind::S2taW,
-        ArchKind::S2taAw,
-    ];
+    let archs =
+        [ArchKind::SaZvcg, ArchKind::Sa, ArchKind::SaSmtT2Q2, ArchKind::S2taW, ArchKind::S2taAw];
     let models = [resnet50_v1(), vgg16(), mobilenet_v1(), alexnet()];
 
     let mut aw_energy = Vec::new();
@@ -56,10 +51,7 @@ fn main() {
         avg(&aw_energy),
         avg(&aw_speed)
     );
-    println!(
-        "S2TA-AW vs S2TA-W energy: {:.2}x (paper: 1.84x)",
-        avg(&aw_energy) / avg(&w_energy)
-    );
+    println!("S2TA-AW vs S2TA-W energy: {:.2}x (paper: 1.84x)", avg(&aw_energy) / avg(&w_energy));
     assert!(avg(&aw_energy) > 1.5, "S2TA-AW must be well above ZVCG efficiency");
     assert!(avg(&aw_speed) > 1.6, "S2TA-AW must be well above ZVCG speed");
     assert!(avg(&aw_energy) > avg(&w_energy), "joint sparsity beats weight-only");

@@ -66,9 +66,6 @@ fn main() {
     let early_ratio = sparten_layers[0] / zvcg_layers[0];
     let late_ratio = sparten_layers[4] / zvcg_layers[4];
     println!("SparTen/SA-ZVCG on conv1: {early_ratio:.2}x, on conv5: {late_ratio:.2}x");
-    assert!(
-        early_ratio > late_ratio,
-        "SparTen must look relatively better on sparse layers"
-    );
+    assert!(early_ratio > late_ratio, "SparTen must look relatively better on sparse layers");
     println!("shape check PASSED");
 }

@@ -16,10 +16,7 @@ use std::hint::black_box;
 
 fn operands(m: usize, k: usize, n: usize, sp: f64) -> (Matrix, Matrix) {
     let mut rng = StdRng::seed_from_u64(7);
-    (
-        SparseSpec::random(sp).matrix(m, k, &mut rng),
-        SparseSpec::random(sp).matrix(k, n, &mut rng),
-    )
+    (SparseSpec::random(sp).matrix(m, k, &mut rng), SparseSpec::random(sp).matrix(k, n, &mut rng))
 }
 
 fn bench_gemm_ref(c: &mut Criterion) {

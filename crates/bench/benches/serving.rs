@@ -1,0 +1,76 @@
+//! Serving comparison: the same open-loop request stream served by
+//! fleets of each evaluated architecture.
+//!
+//! Extends the paper's single-inference evaluation to the serving
+//! setting: throughput, tail latency, utilization and energy per
+//! inference of an N-accelerator fleet under identical traffic. The
+//! structured-sparse datapaths win twice — each inference takes fewer
+//! cycles (paper Fig. 11), and the freed lane time absorbs more
+//! traffic, compounding into tail-latency headroom.
+
+use s2ta_bench::{header, SEED};
+use s2ta_core::ArchKind;
+use s2ta_energy::TechParams;
+use s2ta_models::{cifar10_convnet, lenet5};
+use s2ta_serve::{BatchPolicy, Fleet, ServeReport, WorkloadSpec};
+
+fn main() {
+    header("Serving", "Fleet throughput/latency/energy under identical open-loop traffic");
+    let tech = TechParams::tsmc16();
+    let models = [lenet5(), cifar10_convnet()];
+    let spec = WorkloadSpec {
+        seed: SEED,
+        requests: 320,
+        mean_interarrival_cycles: 400.0,
+        mix: vec![2.0, 1.0],
+    };
+    let requests = spec.generate();
+    let workers = 4;
+    let policy = BatchPolicy { max_batch: 8, max_wait_cycles: 50_000 };
+    println!("workload: {spec}; fleet: {workers} workers, batch <= {}", policy.max_batch);
+    println!();
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "arch", "inf/s", "p50 ms", "p99 ms", "uJ/inf", "util %"
+    );
+
+    let archs = [ArchKind::SaZvcg, ArchKind::SaSmtT2Q2, ArchKind::S2taW, ArchKind::S2taAw];
+    let mut baseline: Option<ServeReport> = None;
+    let mut last: Option<ServeReport> = None;
+    for kind in archs {
+        let report = Fleet::new(kind, workers).with_policy(policy).serve(&models, &requests);
+        println!(
+            "{:<12} {:>12.0} {:>10.4} {:>10.4} {:>10.2} {:>10.1}",
+            kind.to_string(),
+            report.throughput_ips(&tech),
+            ServeReport::cycles_to_ms(&tech, report.p50_cycles()),
+            ServeReport::cycles_to_ms(&tech, report.p99_cycles()),
+            report.uj_per_inference(&tech),
+            report.mean_utilization() * 100.0
+        );
+        if kind == ArchKind::SaZvcg {
+            baseline = Some(report.clone());
+        }
+        last = Some(report);
+    }
+
+    let (zvcg, aw) = (baseline.expect("ran"), last.expect("ran"));
+    println!();
+    println!(
+        "S2TA-AW vs SA-ZVCG: {:.2}x serving throughput, {:.2}x lower p99, {:.2}x less energy/inf",
+        aw.throughput_ips(&tech) / zvcg.throughput_ips(&tech),
+        zvcg.p99_cycles() as f64 / aw.p99_cycles() as f64,
+        zvcg.uj_per_inference(&tech) / aw.uj_per_inference(&tech)
+    );
+
+    // The batching scheduler's own contribution on the AW fleet.
+    let unbatched = Fleet::new(ArchKind::S2taAw, workers)
+        .with_policy(BatchPolicy::unbatched())
+        .serve(&models, &requests);
+    println!(
+        "batching on S2TA-AW: {:.1}% accelerator-time saved, p99 {:.4} -> {:.4} ms",
+        (1.0 - aw.total_events.cycles as f64 / unbatched.total_events.cycles as f64) * 100.0,
+        ServeReport::cycles_to_ms(&tech, unbatched.p99_cycles()),
+        ServeReport::cycles_to_ms(&tech, aw.p99_cycles()),
+    );
+}

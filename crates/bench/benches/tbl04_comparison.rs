@@ -44,10 +44,7 @@ fn section(node: Technology) {
 
     for model in [alexnet(), mobilenet_v1()] {
         println!("\n{} (conv layers):", model.name);
-        println!(
-            "{:<13} {:>12} {:>11} {:>9}",
-            "arch", "x1e3 inf/s", "x1e3 inf/J", "TOPS/W"
-        );
+        println!("{:<13} {:>12} {:>11} {:>9}", "arch", "x1e3 inf/s", "x1e3 inf/J", "TOPS/W");
         for (k, r) in conv_reports(&model, &archs) {
             println!(
                 "{:<13} {:>12.2} {:>11.2} {:>9.2}",

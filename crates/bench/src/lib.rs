@@ -26,10 +26,7 @@ pub fn header(id: &str, title: &str) {
 /// architecture, returning `(arch, report)` pairs. (The paper's Fig. 11
 /// and Fig. 12 are convolution-only.)
 pub fn conv_reports(model: &ModelSpec, archs: &[ArchKind]) -> Vec<(ArchKind, ModelReport)> {
-    archs
-        .iter()
-        .map(|&k| (k, Accelerator::preset(k).run_model_conv_only(model, SEED)))
-        .collect()
+    archs.iter().map(|&k| (k, Accelerator::preset(k).run_model_conv_only(model, SEED))).collect()
 }
 
 /// Runs a model's full layer list on every evaluated architecture.

@@ -50,10 +50,7 @@ impl BufferPerMac {
             ArchKind::S2taW => {
                 let staged = (g.c * (g.b + 1)) as f64;
                 let macs = (g.a * g.c * g.b) as f64;
-                BufferPerMac {
-                    operands_bytes: staged / macs,
-                    accumulator_bytes: 4.0 / g.b as f64,
-                }
+                BufferPerMac { operands_bytes: staged / macs, accumulator_bytes: 4.0 / g.b as f64 }
             }
             ArchKind::S2taAw => {
                 let staged = (g.c * (g.b + 1)) as f64;
@@ -66,11 +63,8 @@ impl BufferPerMac {
 
 /// Published Table 1 rows for the prior-work architectures (bytes/MAC),
 /// as `(name, operands, accumulators)`.
-pub const PUBLISHED_BUFFERS: [(&str, f64, f64); 3] = [
-    ("SCNN", 1280.0, 384.0),
-    ("SparTen", 864.0, 128.0),
-    ("Eyeriss v2", 165.0, 40.0),
-];
+pub const PUBLISHED_BUFFERS: [(&str, f64, f64); 3] =
+    [("SCNN", 1280.0, 384.0), ("SparTen", 864.0, 128.0), ("Eyeriss v2", 165.0, 40.0)];
 
 /// Builds the hardware inventory for the area model (Table 2 / Table 4).
 pub fn hw_spec(config: &ArchConfig) -> HwSpec {

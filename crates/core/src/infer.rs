@@ -12,7 +12,7 @@
 //! the golden kernels; the two are asserted bit-identical by tests —
 //! layer by layer, logits included.
 
-use crate::{ArchKind, Accelerator};
+use crate::{Accelerator, ArchKind};
 use s2ta_dbb::dap::{choose_layer_nnz, dap_matrix, LayerNnz};
 use s2ta_dbb::{prune, BlockAxis, DbbConfig, DbbMatrix};
 use s2ta_sim::{smt, systolic, tpe, EventCounts};

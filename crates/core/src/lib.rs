@@ -29,9 +29,12 @@ pub mod buffers;
 pub mod infer;
 pub mod memory;
 pub mod microbench;
+pub mod plan;
+pub mod pool;
 pub mod summary;
 pub mod sweep;
 
 pub use arch::{ArchConfig, ArchKind};
+pub use plan::{LayerPlan, ModelPlan, PlannedWeights, WeightPlanCache, WeightResidency};
 pub use report::{LayerReport, ModelReport};
 pub use runner::Accelerator;

@@ -121,7 +121,11 @@ pub fn analyze_layer(
     // input was produced on-chip by the previous layer); read + write if
     // spilled. The first layer's input always comes from DRAM.
     let a_dram = if acts_resident {
-        if layer_index == 0 { act_in_bytes } else { 0 }
+        if layer_index == 0 {
+            act_in_bytes
+        } else {
+            0
+        }
     } else {
         act_in_bytes + act_out_bytes
     };

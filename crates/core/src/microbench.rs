@@ -119,7 +119,11 @@ pub fn run_point(
     MicrobenchPoint {
         weight_sparsity,
         act_sparsity,
-        report: LayerReport { name: format!("{arch}@w{weight_sparsity}/a{act_sparsity}"), macs: shape.macs(), events },
+        report: LayerReport {
+            name: format!("{arch}@w{weight_sparsity}/a{act_sparsity}"),
+            macs: shape.macs(),
+            events,
+        },
     }
 }
 

@@ -1,0 +1,381 @@
+//! Compiled execution plans: the per-layer weight state an
+//! [`Accelerator`] needs at run time, built **once** and reused across
+//! runs.
+//!
+//! Running a model involves two very different kinds of work: compiling
+//! the weights (W-DBB pruning + compression — a property of the model,
+//! not of the request) and executing the datapath on a concrete
+//! activation input. The original runner redid both per call; this
+//! module splits them so weight compilation can be memoized:
+//!
+//! * [`LayerPlan`] / [`ModelPlan`] — the compiled weight state for one
+//!   layer / every layer of a model, for a fixed architecture and
+//!   weight seed.
+//! * [`WeightPlanCache`] — a thread-safe memo table of [`ModelPlan`]s,
+//!   shared by every clone of an [`Accelerator`] and by the serving
+//!   fleet's workers (`s2ta-serve`).
+//!
+//! Planned runs are bit-exact with the unplanned paths: `run_model` is
+//! itself routed through the cache.
+
+use crate::{Accelerator, LayerReport};
+use s2ta_dbb::dap::LayerNnz;
+use s2ta_dbb::DbbMatrix;
+use s2ta_models::{LayerSpec, ModelSpec};
+use s2ta_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Weights compiled for a specific architecture: dense architectures
+/// keep the raw matrix, DBB architectures store the pruned + compressed
+/// form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannedWeights {
+    /// Raw weights for the scalar-datapath architectures (SA, SA-ZVCG,
+    /// SA-SMT).
+    Dense(Matrix),
+    /// DBB-compressed weights for the TPE architectures (S2TA-W,
+    /// S2TA-AW); dense-compressed on the unpruned first layer.
+    Dbb(DbbMatrix),
+}
+
+/// Whether a layer's weights must stream from DRAM for this run or are
+/// already resident in the weight SRAM.
+///
+/// Memory-bound layers (FC / depthwise at batch 1, paper Sec. 8.3) are
+/// clamped to DMA time. When a batched server runs the same layer for
+/// several requests back-to-back, only the first request pays the
+/// weight transfer — the rest find the weights resident. Activations
+/// always stream (they differ per request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightResidency {
+    /// Weights stream from DRAM (the batch-1 semantics of `run_layer`).
+    Streamed,
+    /// Weights are already on chip; only activations pay DMA time.
+    Resident,
+}
+
+/// The compiled per-layer state: weights in their datapath format plus
+/// the run-time decisions that depend only on the layer, not the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    pub(crate) weights: PlannedWeights,
+    /// The A-DBB decision for this layer (dense on layer 0).
+    pub(crate) adbb: LayerNnz,
+    /// DRAM bytes one weight transfer costs (compressed estimate for
+    /// DBB architectures, matching the runner's memory-bound clamp).
+    pub(crate) dma_weight_bytes: u64,
+}
+
+impl LayerPlan {
+    /// The compiled weights.
+    pub fn weights(&self) -> &PlannedWeights {
+        &self.weights
+    }
+
+    /// The A-DBB decision this plan runs with.
+    pub fn adbb(&self) -> LayerNnz {
+        self.adbb
+    }
+
+    /// DRAM bytes one streamed weight transfer costs.
+    pub fn dma_weight_bytes(&self) -> u64 {
+        self.dma_weight_bytes
+    }
+}
+
+/// A whole model compiled for one architecture and weight seed:
+/// layer plans in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPlan {
+    pub(crate) model: String,
+    pub(crate) fingerprint: u64,
+    pub(crate) weight_seed: u64,
+    pub(crate) layers: Vec<LayerPlan>,
+}
+
+impl ModelPlan {
+    /// Name of the planned model.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The weight seed the plan was compiled from.
+    pub fn weight_seed(&self) -> u64 {
+        self.weight_seed
+    }
+
+    /// Per-layer plans, in execution order.
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// `true` if this plan was compiled from `model` (same name and
+    /// structural fingerprint).
+    pub fn matches(&self, model: &ModelSpec) -> bool {
+        self.model == model.name && self.fingerprint == model_fingerprint(model)
+    }
+}
+
+/// A stable fingerprint of a model's structure, so cached plans can
+/// never be served for a *different* model that reuses a name.
+pub(crate) fn model_fingerprint(model: &ModelSpec) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in model.name.bytes() {
+        mix(b as u64);
+    }
+    for l in &model.layers {
+        for b in l.name.bytes() {
+            mix(b as u64);
+        }
+        mix(match l.kind {
+            s2ta_tensor::LayerKind::Conv => 1,
+            s2ta_tensor::LayerKind::Depthwise => 2,
+            s2ta_tensor::LayerKind::FullyConnected => 3,
+        });
+        mix(l.gemm.m as u64);
+        mix(l.gemm.k as u64);
+        mix(l.gemm.n as u64);
+        mix(l.weight_sparsity.to_bits());
+        mix(l.act_sparsity.to_bits());
+    }
+    h
+}
+
+type PlanKey = (String, u64, u64); // (model name, structure fingerprint, weight seed)
+
+/// A thread-safe memo table of compiled [`ModelPlan`]s.
+///
+/// The cache is keyed by `(model, weight seed)` (plus a structural
+/// fingerprint) and is scoped to one architecture configuration: every
+/// clone of an [`Accelerator`] shares its cache, so repeated
+/// `run_model` calls — and every worker of a serving fleet built from
+/// clones — compile each model's W-DBB layers exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct WeightPlanCache {
+    inner: Arc<Mutex<HashMap<PlanKey, Arc<ModelPlan>>>>,
+}
+
+impl WeightPlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached plan for `(model, weight_seed)`, compiling it
+    /// with `acc` on first use.
+    ///
+    /// Only DBB architectures are memoized: their plans carry the
+    /// expensive pruned + compressed weights. For dense architectures a
+    /// "plan" is just the regenerable raw weight matrix, so caching it
+    /// would trade a cheap recomputation for permanently resident
+    /// hundred-megabyte matrices on the larger models.
+    pub fn get_or_plan(
+        &self,
+        acc: &Accelerator,
+        model: &ModelSpec,
+        weight_seed: u64,
+    ) -> Arc<ModelPlan> {
+        if !acc.config().kind.uses_wdbb() {
+            return Arc::new(acc.plan_model_uncached(model, weight_seed));
+        }
+        let key = (model.name.to_string(), model_fingerprint(model), weight_seed);
+        if let Some(plan) = self.inner.lock().expect("plan cache poisoned").get(&key) {
+            return Arc::clone(plan);
+        }
+        // Compile outside the lock: plans can be large and compilation
+        // is the expensive part. A racing thread may compile the same
+        // plan; the first insert wins and the duplicate is dropped.
+        let plan = Arc::new(acc.plan_model_uncached(model, weight_seed));
+        let mut map = self.inner.lock().expect("plan cache poisoned");
+        Arc::clone(map.entry(key).or_insert(plan))
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").len()
+    }
+
+    /// `true` if nothing has been planned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+impl Accelerator {
+    /// Compiles one layer's weights for this architecture.
+    ///
+    /// `layer_index` 0 selects the dense-weight fall-back (the paper
+    /// leaves layer 1 unpruned, Table 3 note 2) and a dense A-DBB
+    /// decision.
+    pub fn plan_layer(&self, layer: &LayerSpec, layer_index: usize, weight_seed: u64) -> LayerPlan {
+        let w = layer.gen_weights(weight_seed);
+        let first_layer = layer_index == 0;
+        let dma_weight_bytes = if self.config().kind.uses_wdbb() && !first_layer {
+            (w.len() as f64 * self.config().wdbb.block_bytes() as f64
+                / self.config().wdbb.bz() as f64) as u64
+        } else {
+            w.len() as u64
+        };
+        let weights = if self.config().kind.uses_wdbb() {
+            PlannedWeights::Dbb(self.compress_weights(&w, first_layer))
+        } else {
+            PlannedWeights::Dense(w)
+        };
+        let adbb = if first_layer { LayerNnz::Dense } else { layer.suggested_adbb() };
+        LayerPlan { weights, adbb, dma_weight_bytes }
+    }
+
+    /// Compiles every layer of `model` (no cache). Prefer
+    /// [`Accelerator::plan_model`], which memoizes.
+    pub(crate) fn plan_model_uncached(&self, model: &ModelSpec, weight_seed: u64) -> ModelPlan {
+        let layers = model
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.plan_layer(l, i, weight_seed))
+            .collect();
+        ModelPlan {
+            model: model.name.to_string(),
+            fingerprint: model_fingerprint(model),
+            weight_seed,
+            layers,
+        }
+    }
+
+    /// Returns this accelerator's compiled plan for `(model,
+    /// weight_seed)`, memoized in the shared [`WeightPlanCache`].
+    pub fn plan_model(&self, model: &ModelSpec, weight_seed: u64) -> Arc<ModelPlan> {
+        self.plans().get_or_plan(self, model, weight_seed)
+    }
+
+    /// Runs one layer from its compiled plan on a fresh activation
+    /// input drawn from `act_seed`.
+    ///
+    /// With [`WeightResidency::Streamed`] this is bit-exact with
+    /// [`Accelerator::run_layer`] when `act_seed` equals the weight
+    /// seed the plan was compiled from.
+    pub fn run_layer_planned(
+        &self,
+        plan: &LayerPlan,
+        layer: &LayerSpec,
+        act_seed: u64,
+        residency: WeightResidency,
+    ) -> LayerReport {
+        let a = layer.gen_acts(act_seed);
+        let mut events = self.run_gemm_planned(&plan.weights, &a, plan.adbb);
+        if layer.is_memory_bound() {
+            // One streaming pass of the operands; SRAM re-read counts
+            // in `events` already cover on-chip traffic, this bounds
+            // time. Resident weights were paid for by an earlier
+            // request in the batch.
+            let w_bytes = match residency {
+                WeightResidency::Streamed => plan.dma_weight_bytes,
+                WeightResidency::Resident => 0,
+            };
+            let dma_cycles = (w_bytes + a.len() as u64) / self.config().dma_bytes_per_cycle;
+            events.cycles = events.cycles.max(dma_cycles);
+        }
+        LayerReport { name: layer.name.clone(), macs: layer.macs(), events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchKind, ModelReport};
+    use s2ta_models::{lenet5, mobilenet_v1};
+
+    #[test]
+    fn planned_run_is_bit_exact_with_unplanned() {
+        for kind in [ArchKind::SaZvcg, ArchKind::S2taW, ArchKind::S2taAw] {
+            let acc = Accelerator::preset(kind);
+            let m = lenet5();
+            let plan = acc.plan_model(&m, 17);
+            let planned: Vec<LayerReport> = m
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    acc.run_layer_planned(&plan.layers[i], l, 17, WeightResidency::Streamed)
+                })
+                .collect();
+            let direct = acc.run_model(&m, 17);
+            assert_eq!(
+                ModelReport::from_layers(m.name, kind.to_string(), planned),
+                direct,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_compiles_once_and_is_shared_by_clones() {
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let m = lenet5();
+        assert!(acc.plans().is_empty());
+        let p1 = acc.plan_model(&m, 3);
+        let p2 = acc.clone().plan_model(&m, 3);
+        assert!(Arc::ptr_eq(&p1, &p2), "clone must share the cache");
+        assert_eq!(acc.plans().len(), 1);
+        acc.plan_model(&m, 4);
+        assert_eq!(acc.plans().len(), 2, "different seed, different plan");
+    }
+
+    #[test]
+    fn run_model_populates_the_cache() {
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let m = lenet5();
+        let r1 = acc.run_model(&m, 5);
+        assert_eq!(acc.plans().len(), 1);
+        let r2 = acc.run_model(&m, 5);
+        assert_eq!(acc.plans().len(), 1, "second run must reuse the plan");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan was compiled for")]
+    fn mismatched_plan_is_rejected() {
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let plan = acc.plan_model(&lenet5(), 3);
+        // Same layer count as LeNet-5 would not save this: the check is
+        // structural, not positional.
+        let other = mobilenet_v1();
+        acc.run_model_planned(&plan, &other, 3);
+    }
+
+    #[test]
+    fn fingerprint_separates_structures() {
+        let a = lenet5();
+        let b = mobilenet_v1();
+        assert_ne!(model_fingerprint(&a), model_fingerprint(&b));
+        let mut c = lenet5();
+        c.layers[1].weight_sparsity = 0.9;
+        assert_ne!(model_fingerprint(&a), model_fingerprint(&c));
+        assert_eq!(model_fingerprint(&a), model_fingerprint(&lenet5()));
+    }
+
+    #[test]
+    fn resident_weights_drop_dma_clamp() {
+        // LeNet's FC layers are memory bound: a resident-weight run can
+        // never be slower, and is strictly faster when DMA dominated.
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let m = lenet5();
+        let plan = acc.plan_model(&m, 7);
+        let fc = m.layers.iter().position(|l| l.is_memory_bound()).expect("lenet has FC");
+        let streamed =
+            acc.run_layer_planned(&plan.layers[fc], &m.layers[fc], 7, WeightResidency::Streamed);
+        let resident =
+            acc.run_layer_planned(&plan.layers[fc], &m.layers[fc], 7, WeightResidency::Resident);
+        assert!(resident.events.cycles <= streamed.events.cycles);
+        assert_eq!(resident.events.macs_active, streamed.events.macs_active);
+    }
+}

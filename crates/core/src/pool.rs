@@ -1,0 +1,100 @@
+//! A small order-preserving worker pool (`std::thread` + channels).
+//!
+//! Both the design-space sweep ([`crate::sweep`]) and the serving fleet
+//! (`s2ta-serve`) need the same primitive: run an embarrassingly
+//! parallel batch of jobs on N OS threads and get the results back **in
+//! input order**, so parallel output is byte-identical to the serial
+//! path. Workers pull job indices from a shared atomic counter
+//! (self-balancing for uneven job costs) and push `(index, result)`
+//! pairs through an [`std::sync::mpsc`] channel; the caller reassembles
+//! them by index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// The number of workers to use when the caller has no preference: the
+/// machine's available parallelism (1 if it cannot be queried).
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `workers` OS threads and
+/// returns the results in input order.
+///
+/// `workers <= 1` (or a batch of one) runs serially on the calling
+/// thread with no pool at all, so the serial path stays allocation- and
+/// thread-free. The output is identical for every worker count.
+pub fn parallel_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+        for (i, u) in rx {
+            out[i] = Some(u);
+        }
+        out.into_iter().map(|o| o.expect("worker produced every index")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(parallel_map(&items, workers, |&x| x * x), serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..137).collect();
+        let out = parallel_map(&items, 7, |&i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_batches() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[9u32], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

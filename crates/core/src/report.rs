@@ -150,11 +150,8 @@ mod tests {
 
     #[test]
     fn aggregation() {
-        let r = ModelReport::from_layers(
-            "m",
-            "a",
-            vec![layer("l1", 1000, 10), layer("l2", 2000, 20)],
-        );
+        let r =
+            ModelReport::from_layers("m", "a", vec![layer("l1", 1000, 10), layer("l2", 2000, 20)]);
         assert_eq!(r.total_cycles, 30);
         assert_eq!(r.total_macs(), 3000);
         assert_eq!(r.total_events.macs_active, 1500);

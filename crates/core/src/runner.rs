@@ -1,6 +1,7 @@
 //! The accelerator runner: layers and models through the simulated
 //! datapaths, with the DBB toolchain applied where configured.
 
+use crate::plan::{PlannedWeights, WeightPlanCache, WeightResidency};
 use crate::{ArchConfig, ArchKind, LayerReport, ModelReport};
 use s2ta_dbb::dap::{dap_matrix, LayerNnz};
 use s2ta_dbb::{prune, BlockAxis, DbbConfig, DbbMatrix};
@@ -10,17 +11,36 @@ use s2ta_tensor::Matrix;
 
 /// A configured accelerator instance.
 ///
-/// Construction is cheap; all state lives in the per-run inputs, so one
-/// instance can be reused across layers, models and seeds.
-#[derive(Debug, Clone, PartialEq)]
+/// Construction is cheap; per-run state lives in the inputs, so one
+/// instance can be reused across layers, models and seeds. The instance
+/// additionally carries a shared [`WeightPlanCache`] so repeated model
+/// runs compile each model's weights (W-DBB pruning + compression)
+/// exactly once; clones share the cache. Equality compares the
+/// configuration only.
+#[derive(Debug, Clone)]
 pub struct Accelerator {
     config: ArchConfig,
+    plans: WeightPlanCache,
+}
+
+/// Borrowed view of weights in either datapath format, so the unplanned
+/// `run_gemm` path avoids cloning dense operands.
+#[derive(Debug, Clone, Copy)]
+enum WeightsRef<'a> {
+    Dense(&'a Matrix),
+    Dbb(&'a DbbMatrix),
+}
+
+impl PartialEq for Accelerator {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+    }
 }
 
 impl Accelerator {
     /// Creates an accelerator from an explicit configuration.
     pub fn new(config: ArchConfig) -> Self {
-        Self { config }
+        Self { config, plans: WeightPlanCache::new() }
     }
 
     /// Creates the paper's preset design point for `kind`.
@@ -31,6 +51,11 @@ impl Accelerator {
     /// The configuration.
     pub fn config(&self) -> &ArchConfig {
         &self.config
+    }
+
+    /// The shared weight-plan cache.
+    pub fn plans(&self) -> &WeightPlanCache {
+        &self.plans
     }
 
     /// Runs one GEMM with explicit operands and an explicit A-DBB
@@ -49,31 +74,54 @@ impl Accelerator {
         adbb: LayerNnz,
         first_layer: bool,
     ) -> EventCounts {
+        if self.config.kind.uses_wdbb() {
+            let wdbb = self.compress_weights(w, first_layer);
+            self.run_gemm_planned(&PlannedWeights::Dbb(wdbb), a, adbb)
+        } else {
+            self.dispatch(WeightsRef::Dense(w), a, adbb)
+        }
+    }
+
+    /// Runs one GEMM with weights already compiled to the datapath
+    /// format (see [`crate::plan`]). This is the hot path the plan
+    /// cache amortizes: no pruning or compression happens here.
+    pub fn run_gemm_planned(&self, w: &PlannedWeights, a: &Matrix, adbb: LayerNnz) -> EventCounts {
+        let w = match w {
+            PlannedWeights::Dense(m) => WeightsRef::Dense(m),
+            PlannedWeights::Dbb(d) => WeightsRef::Dbb(d),
+        };
+        self.dispatch(w, a, adbb)
+    }
+
+    /// Dispatches compiled operands to the architecture's datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight format does not match the architecture
+    /// (dense weights on a TPE datapath or vice versa).
+    fn dispatch(&self, w: WeightsRef<'_>, a: &Matrix, adbb: LayerNnz) -> EventCounts {
         let geom = &self.config.geometry;
-        match self.config.kind {
-            ArchKind::Sa => systolic::run_perf(geom, false, w, a),
-            ArchKind::SaZvcg => systolic::run_perf(geom, true, w, a),
-            ArchKind::SaSmtT2Q2 | ArchKind::SaSmtT2Q4 => {
+        match (self.config.kind, w) {
+            (ArchKind::Sa, WeightsRef::Dense(w)) => systolic::run_perf(geom, false, w, a),
+            (ArchKind::SaZvcg, WeightsRef::Dense(w)) => systolic::run_perf(geom, true, w, a),
+            (ArchKind::SaSmtT2Q2 | ArchKind::SaSmtT2Q4, WeightsRef::Dense(w)) => {
                 smt::run_sampled(geom, self.config.smt, w, a, self.config.smt_sample_tiles).events
             }
-            ArchKind::S2taW => {
-                let wdbb = self.compress_weights(w, first_layer);
-                tpe::run_wdbb_perf(geom, &wdbb, a)
-            }
-            ArchKind::S2taAw => {
-                let wdbb = self.compress_weights(w, first_layer);
+            (ArchKind::S2taW, WeightsRef::Dbb(wdbb)) => tpe::run_wdbb_perf(geom, wdbb, a),
+            (ArchKind::S2taAw, WeightsRef::Dbb(wdbb)) => {
                 let (adbb_m, dap_events) = dap_matrix(a, geom.bz, adbb);
-                let mut events = tpe::run_aw_perf(geom, &wdbb, &adbb_m);
+                let mut events = tpe::run_aw_perf(geom, wdbb, &adbb_m);
                 events.dap_stages += dap_events.stages;
                 events.dap_comparisons += dap_events.comparisons;
                 events
             }
+            (kind, _) => panic!("weight plan format does not match architecture {kind}"),
         }
     }
 
     /// Prunes+compresses weights to the configured W-DBB bound, or
     /// compresses densely for the unpruned first layer.
-    fn compress_weights(&self, w: &Matrix, first_layer: bool) -> DbbMatrix {
+    pub(crate) fn compress_weights(&self, w: &Matrix, first_layer: bool) -> DbbMatrix {
         if first_layer {
             DbbMatrix::compress(w, BlockAxis::Rows, DbbConfig::dense(self.config.geometry.bz))
                 .expect("dense bound always satisfiable")
@@ -92,45 +140,64 @@ impl Accelerator {
     /// (possibly compressed) operands. DBB architectures still gain on
     /// these layers — from bandwidth compression, not compute.
     pub fn run_layer(&self, layer: &LayerSpec, layer_index: usize, seed: u64) -> LayerReport {
-        let w = layer.gen_weights(seed);
-        let a = layer.gen_acts(seed);
-        let adbb = if layer_index == 0 { LayerNnz::Dense } else { layer.suggested_adbb() };
-        let mut events = self.run_gemm(&w, &a, adbb, layer_index == 0);
-        if layer.is_memory_bound() {
-            // One streaming pass of the operands; SRAM re-read counts in
-            // `events` already cover on-chip traffic, this bounds time.
-            let w_bytes = if self.config.kind.uses_wdbb() && layer_index != 0 {
-                (w.len() as f64 * self.config.wdbb.block_bytes() as f64
-                    / self.config.wdbb.bz() as f64) as u64
-            } else {
-                w.len() as u64
-            };
-            let dma_cycles = (w_bytes + a.len() as u64) / self.config.dma_bytes_per_cycle;
-            events.cycles = events.cycles.max(dma_cycles);
-        }
-        LayerReport { name: layer.name.clone(), macs: layer.macs(), events }
+        let plan = self.plan_layer(layer, layer_index, seed);
+        self.run_layer_planned(&plan, layer, seed, WeightResidency::Streamed)
     }
 
     /// Runs a whole model (all layers, including memory-bound FC and
     /// depthwise layers, as in the paper's full-model results).
+    ///
+    /// Weights are compiled through the shared [`WeightPlanCache`], so
+    /// repeated invocations for the same `(model, seed)` skip the
+    /// W-DBB pruning/compression work entirely.
     pub fn run_model(&self, model: &ModelSpec, seed: u64) -> ModelReport {
+        let plan = self.plan_model(model, seed);
+        self.run_model_planned(&plan, model, seed)
+    }
+
+    /// Runs a whole model from a compiled plan on activation inputs
+    /// drawn from `act_seed` (which may differ from the plan's weight
+    /// seed: one set of weights, many inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was not compiled from this `model`.
+    pub fn run_model_planned(
+        &self,
+        plan: &crate::plan::ModelPlan,
+        model: &ModelSpec,
+        act_seed: u64,
+    ) -> ModelReport {
+        assert!(
+            plan.matches(model),
+            "plan was compiled for '{}', not for '{}' (or the model structure changed)",
+            plan.model(),
+            model.name
+        );
         let layers = model
             .layers
             .iter()
-            .enumerate()
-            .map(|(i, l)| self.run_layer(l, i, seed))
+            .zip(&plan.layers)
+            .map(|(l, lp)| self.run_layer_planned(lp, l, act_seed, WeightResidency::Streamed))
             .collect();
         ModelReport::from_layers(model.name, self.config.kind.to_string(), layers)
     }
 
     /// Runs only the convolution layers (the paper's "Conv only" rows).
+    ///
+    /// Plans per layer without touching the model cache: a cached
+    /// full-model plan would compile the (often enormous) FC weights
+    /// this path deliberately skips.
     pub fn run_model_conv_only(&self, model: &ModelSpec, seed: u64) -> ModelReport {
         let layers = model
             .layers
             .iter()
             .enumerate()
             .filter(|(_, l)| l.kind == s2ta_tensor::LayerKind::Conv)
-            .map(|(i, l)| self.run_layer(l, i, seed))
+            .map(|(i, l)| {
+                let plan = self.plan_layer(l, i, seed);
+                self.run_layer_planned(&plan, l, seed, WeightResidency::Streamed)
+            })
             .collect();
         ModelReport::from_layers(
             format!("{} (conv)", model.name),
@@ -143,10 +210,10 @@ impl Accelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s2ta_models::lenet5;
-    use s2ta_tensor::sparsity::SparseSpec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use s2ta_models::lenet5;
+    use s2ta_tensor::sparsity::SparseSpec;
 
     fn typical_operands(seed: u64, wsp: f64, asp: f64) -> (Matrix, Matrix) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -171,8 +238,7 @@ mod tests {
     fn s2ta_aw_is_fastest_on_sparse_work() {
         let (w, a) = typical_operands(2, 0.5, 0.625);
         let zvcg = Accelerator::preset(ArchKind::SaZvcg).run_gemm(&w, &a, LayerNnz::Dense, false);
-        let aw =
-            Accelerator::preset(ArchKind::S2taAw).run_gemm(&w, &a, LayerNnz::Prune(3), false);
+        let aw = Accelerator::preset(ArchKind::S2taAw).run_gemm(&w, &a, LayerNnz::Prune(3), false);
         let speedup = zvcg.cycles as f64 / aw.cycles as f64;
         // 3/8 activations: ~8/3 = 2.67x (paper Fig. 9d), minus skew.
         assert!(speedup > 2.0, "expected >2x, got {speedup:.2}");

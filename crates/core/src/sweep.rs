@@ -84,8 +84,8 @@ pub fn evaluate_aw(geometry: ArrayGeometry, seed: u64) -> DesignPoint {
     // inputs), which the event model does not see. ~2% added datapath
     // energy per fan-out step.
     let fanout_penalty = 0.02 * ((geometry.a + geometry.c) as f64 - 2.0);
-    let adjusted_pj = energy.total_pj()
-        + fanout_penalty * (energy.mac_datapath_pj + energy.pe_buffers_pj);
+    let adjusted_pj =
+        energy.total_pj() + fanout_penalty * (energy.mac_datapath_pj + energy.pe_buffers_pj);
     // Iso-throughput power: all candidates share the 4-TOPS constraint,
     // so compare energy over the workload's ideal (fully utilized)
     // runtime rather than each design's own tile-quantized runtime —
@@ -104,14 +104,24 @@ pub fn evaluate_aw(geometry: ArrayGeometry, seed: u64) -> DesignPoint {
 
 /// Sweeps the whole AW space and returns `(all_points, frontier)`,
 /// frontier sorted by area.
+///
+/// Candidate evaluation is spread over the machine's cores (the same
+/// worker pool the serving fleet uses); results are identical to the
+/// serial path for any worker count (see [`sweep_aw_with_workers`]).
 pub fn sweep_aw(seed: u64) -> (Vec<DesignPoint>, Vec<DesignPoint>) {
-    let all: Vec<DesignPoint> =
-        enumerate_aw_geometries().into_iter().map(|g| evaluate_aw(g, seed)).collect();
-    let mut frontier: Vec<DesignPoint> = all
-        .iter()
-        .filter(|p| !all.iter().any(|q| p.dominated_by(q)))
-        .cloned()
-        .collect();
+    sweep_aw_with_workers(seed, crate::pool::default_workers())
+}
+
+/// [`sweep_aw`] with an explicit worker count (`1` = fully serial).
+///
+/// Each geometry evaluates independently and [`crate::pool::parallel_map`]
+/// preserves input order, so `all_points` and the derived Pareto
+/// frontier are byte-identical for every worker count.
+pub fn sweep_aw_with_workers(seed: u64, workers: usize) -> (Vec<DesignPoint>, Vec<DesignPoint>) {
+    let geometries = enumerate_aw_geometries();
+    let all = crate::pool::parallel_map(&geometries, workers, |&g| evaluate_aw(g, seed));
+    let mut frontier: Vec<DesignPoint> =
+        all.iter().filter(|p| !all.iter().any(|q| p.dominated_by(q))).cloned().collect();
     frontier.sort_by(|x, y| x.area_mm2.partial_cmp(&y.area_mm2).expect("finite"));
     (all, frontier)
 }
@@ -148,6 +158,15 @@ mod tests {
             paper.power_mw,
             min_power
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let serial = sweep_aw_with_workers(7, 1);
+        for workers in [2, 4, 16] {
+            let parallel = sweep_aw_with_workers(7, workers);
+            assert_eq!(serial, parallel, "{workers} workers");
+        }
     }
 
     #[test]

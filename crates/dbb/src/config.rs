@@ -105,10 +105,9 @@ pub enum DbbError {
 impl fmt::Display for DbbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DbbError::BoundExceeded { block, found, bound } => write!(
-                f,
-                "block {block} has {found} non-zeros, exceeding the DBB bound of {bound}"
-            ),
+            DbbError::BoundExceeded { block, found, bound } => {
+                write!(f, "block {block} has {found} non-zeros, exceeding the DBB bound of {bound}")
+            }
         }
     }
 }

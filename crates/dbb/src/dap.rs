@@ -338,9 +338,7 @@ mod tests {
         let dec = dm.decompress();
         for c in 0..dec.cols() {
             for blk in 0..2 {
-                let nnz = (blk * 8..(blk + 1) * 8)
-                    .filter(|&r| dec.get(r, c) != 0)
-                    .count();
+                let nnz = (blk * 8..(blk + 1) * 8).filter(|&r| dec.get(r, c) != 0).count();
                 assert!(nnz <= 3);
             }
         }

@@ -90,8 +90,8 @@ impl ComparatorModel {
 
     /// Energy of one layer under this model, picojoules.
     pub fn layer_energy_pj(&self, s: &LayerStats) -> f64 {
-        let sram_bytes = (s.weight_nnz + s.weight_elems / 8 + s.act_nnz + s.act_elems / 8
-            + s.outputs) as f64;
+        let sram_bytes =
+            (s.weight_nnz + s.weight_elems / 8 + s.act_nnz + s.act_elems / 8 + s.outputs) as f64;
         s.nonzero_products as f64 * self.e_product_pj
             + s.macs as f64 * self.e_pair_index_pj
             + s.outputs as f64 * self.e_output_pj

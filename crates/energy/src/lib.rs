@@ -45,4 +45,4 @@ mod model;
 mod tech;
 
 pub use model::EnergyBreakdown;
-pub use tech::{Technology, TechParams};
+pub use tech::{TechParams, Technology};

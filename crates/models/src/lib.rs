@@ -36,4 +36,6 @@ mod spec;
 mod zoo;
 
 pub use spec::{LayerSpec, ModelSpec, SparsityProfile};
-pub use zoo::{alexnet, ibert_encoder_fc, lenet5, mobilenet_v1, resnet50_v1, vgg16};
+pub use zoo::{
+    alexnet, cifar10_convnet, ibert_encoder_fc, lenet5, mobilenet_v1, resnet50_v1, vgg16,
+};

@@ -234,7 +234,8 @@ mod tests {
 
     #[test]
     fn memory_bound_classification() {
-        let fc = LayerSpec::new("fc", LayerKind::FullyConnected, GemmShape::new(10, 10, 1), 0.5, 0.5);
+        let fc =
+            LayerSpec::new("fc", LayerKind::FullyConnected, GemmShape::new(10, 10, 1), 0.5, 0.5);
         assert!(fc.is_memory_bound());
         assert!(!layer(0.5, 0.5).is_memory_bound());
     }

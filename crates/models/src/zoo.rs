@@ -119,15 +119,9 @@ pub fn resnet50_v1() -> ModelSpec {
     for (stage, blocks, mid, out, hw) in stages {
         for b in 0..blocks {
             let p = format!("res{stage}{}", (b'a' + b as u8) as char);
-            layers.push(conv(
-                &format!("{p}_1x1a"),
-                ConvShape::new(mid, in_ch, hw, hw, 1, 1, 1, 0),
-            ));
+            layers.push(conv(&format!("{p}_1x1a"), ConvShape::new(mid, in_ch, hw, hw, 1, 1, 1, 0)));
             layers.push(conv(&format!("{p}_3x3"), ConvShape::new(mid, mid, hw, hw, 3, 3, 1, 1)));
-            layers.push(conv(
-                &format!("{p}_1x1b"),
-                ConvShape::new(out, mid, hw, hw, 1, 1, 1, 0),
-            ));
+            layers.push(conv(&format!("{p}_1x1b"), ConvShape::new(out, mid, hw, hw, 1, 1, 1, 0)));
             if b == 0 {
                 layers.push(conv(
                     &format!("{p}_proj"),
@@ -152,6 +146,23 @@ pub fn lenet5() -> ModelSpec {
         fc("fc5", 84, 10),
     ];
     build("LeNet-5", layers, SparsityProfile::default())
+}
+
+/// A compact CIFAR-10 convnet (~5.7 MMAC): three 3x3 conv stages and a
+/// classifier head.
+///
+/// Not part of the paper's evaluation — it exists as a light,
+/// structurally conventional workload for serving and scheduling
+/// experiments (`s2ta-serve`), where hundreds of requests must simulate
+/// in seconds.
+pub fn cifar10_convnet() -> ModelSpec {
+    let layers = vec![
+        conv("conv1", ConvShape::new(32, 3, 32, 32, 3, 3, 1, 1)),
+        conv("conv2", ConvShape::new(32, 32, 16, 16, 3, 3, 1, 1)),
+        conv("conv3", ConvShape::new(64, 32, 8, 8, 3, 3, 1, 1)),
+        fc("fc4", 64 * 4 * 4, 10),
+    ];
+    build("CIFAR10-ConvNet", layers, SparsityProfile::default())
 }
 
 /// The I-BERT base encoder FC sub-layers (FC1 768->3072, FC2 3072->768)
@@ -184,10 +195,7 @@ mod tests {
         // Published AlexNet conv MACs ~= 0.66-0.72 G (ungrouped conv2/4/5).
         let m = alexnet();
         let g = m.conv_macs() as f64 / 1e9;
-        assert!(
-            (0.6..1.2).contains(&g),
-            "AlexNet conv GMACs {g:.3} outside expected band"
-        );
+        assert!((0.6..1.2).contains(&g), "AlexNet conv GMACs {g:.3} outside expected band");
         assert_eq!(m.conv_layers().count(), 5);
     }
 
@@ -220,6 +228,15 @@ mod tests {
         assert_eq!(ibert_encoder_fc(128).layers.len(), 24);
         // ResNet50: 1 + 16 blocks * 3 + 4 projections + 1 fc = 54.
         assert_eq!(resnet50_v1().layers.len(), 54);
+    }
+
+    #[test]
+    fn cifar_convnet_is_light() {
+        let m = cifar10_convnet();
+        let mmacs = m.total_macs() as f64 / 1e6;
+        assert!((4.0..8.0).contains(&mmacs), "CIFAR convnet MMACs {mmacs:.2}");
+        assert_eq!(m.conv_layers().count(), 3);
+        assert_eq!(m.layers.len(), 4);
     }
 
     #[test]

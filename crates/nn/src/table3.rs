@@ -112,11 +112,18 @@ fn trained_baseline(cfg: &Table3Config, data: &Dataset) -> Mlp {
 /// joint, and a tighter 2/8 W-DBB row (the paper's ResNet 4/8 vs 3/8 vs
 /// 2/8 trend).
 pub fn run_table3(cfg: &Table3Config) -> Vec<Table3Row> {
-    let (train_set, test_set) =
-        generate(cfg.dim, cfg.classes, cfg.train_per_class, cfg.test_per_class, cfg.noise, cfg.seed);
+    let (train_set, test_set) = generate(
+        cfg.dim,
+        cfg.classes,
+        cfg.train_per_class,
+        cfg.test_per_class,
+        cfg.noise,
+        cfg.seed,
+    );
     let base = trained_baseline(cfg, &train_set);
     let base_acc = accuracy_int8(&base, &test_set) * 100.0;
-    let ft = TrainConfig { epochs: cfg.finetune_epochs, seed: cfg.seed ^ 0xf17e, ..Default::default() };
+    let ft =
+        TrainConfig { epochs: cfg.finetune_epochs, seed: cfg.seed ^ 0xf17e, ..Default::default() };
 
     let mut rows = vec![Table3Row {
         label: "Baseline (INT8)".into(),

@@ -1,0 +1,254 @@
+//! The accelerator fleet: N simulated S2TA instances served by a host
+//! worker pool.
+//!
+//! A [`Fleet`] owns one [`Accelerator`] configuration whose clones share
+//! a [`s2ta_core::WeightPlanCache`], so every worker reuses the same
+//! compiled W-DBB weight plans. Serving a workload has three phases:
+//!
+//! 1. the [`Scheduler`] folds the arrival stream into batches
+//!    (fleet-size independent, see [`crate::scheduler`]);
+//! 2. every batch's cycle simulation runs on the host thread pool
+//!    ([`s2ta_core::pool::parallel_map`] — `std::thread` + channels,
+//!    sized to the machine, independent of the simulated fleet size),
+//!    layer-major so a batch pays each layer's weight DMA once and
+//!    members after the first run weights-resident;
+//! 3. the scheduler places the measured batches onto the N simulated
+//!    lanes and the per-request latencies fall out of the placement.
+//!
+//! Simulated results never depend on host thread timing: batch events
+//! are a pure function of the batch, and placement is deterministic.
+
+use crate::report::{RequestOutcome, ServeReport, WorkerStats};
+use crate::scheduler::{Batch, BatchPolicy, Scheduler};
+use crate::workload::Request;
+use s2ta_core::{pool, Accelerator, ArchKind, WeightResidency};
+use s2ta_models::ModelSpec;
+use s2ta_sim::EventCounts;
+
+/// A pool of N identical simulated accelerators behind one scheduler.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    accelerator: Accelerator,
+    workers: usize,
+    scheduler: Scheduler,
+    weight_seed: u64,
+}
+
+impl Fleet {
+    /// A fleet of `workers` preset accelerators of `kind` with the
+    /// default batching policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(kind: ArchKind, workers: usize) -> Self {
+        Self::with_accelerator(Accelerator::preset(kind), workers)
+    }
+
+    /// A fleet of `workers` clones of an explicit accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_accelerator(accelerator: Accelerator, workers: usize) -> Self {
+        assert!(workers > 0, "a fleet needs at least one worker");
+        Self {
+            accelerator,
+            workers,
+            scheduler: Scheduler::new(BatchPolicy::default()),
+            weight_seed: 42,
+        }
+    }
+
+    /// Replaces the batching policy.
+    pub fn with_policy(mut self, policy: BatchPolicy) -> Self {
+        self.scheduler = Scheduler::new(policy);
+        self
+    }
+
+    /// Replaces the weight seed (the models' shared parameters).
+    pub fn with_weight_seed(mut self, seed: u64) -> Self {
+        self.weight_seed = seed;
+        self
+    }
+
+    /// The fleet's accelerator template.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    /// Number of simulated workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serves a request stream against `models` and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names a model index outside `models`, or if
+    /// arrivals are unsorted.
+    pub fn serve(&self, models: &[ModelSpec], requests: &[Request]) -> ServeReport {
+        let batches = self.scheduler.form_batches(requests, models.len());
+
+        // Compile each model's weight plan once, before fan-out, so the
+        // parallel phase starts with a warm cache instead of racing
+        // compiles of the same plan.
+        let mut used: Vec<usize> = batches.iter().map(|b| b.model).collect();
+        used.sort_unstable();
+        used.dedup();
+        for &m in &used {
+            self.accelerator.plan_model(&models[m], self.weight_seed);
+        }
+
+        // Simulate every batch on the host pool (order-preserving, so
+        // the result is identical for any host worker count). The host
+        // pool is sized to the machine, not to the simulated fleet:
+        // only placement below sees the N lanes.
+        let host_workers = pool::default_workers().min(batches.len());
+        let executions =
+            pool::parallel_map(&batches, host_workers, |b| self.execute_batch(models, b));
+
+        // Deterministic placement of the measured batches on the
+        // simulated lanes.
+        let service: Vec<u64> = executions.iter().map(|e| e.service_cycles).collect();
+        let placements = self.scheduler.place(&batches, &service, self.workers);
+
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+        let mut workers = vec![WorkerStats::default(); self.workers];
+        let mut total_events = EventCounts::default();
+        let mut makespan = 0u64;
+        for (batch, (exec, placement)) in batches.iter().zip(executions.iter().zip(&placements)) {
+            total_events += exec.events;
+            makespan = makespan.max(placement.completion);
+            let lane = &mut workers[placement.worker];
+            lane.busy_cycles += exec.service_cycles;
+            lane.batches += 1;
+            lane.requests += batch.requests.len();
+            for r in &batch.requests {
+                outcomes.push(RequestOutcome {
+                    id: r.id,
+                    model: models[batch.model].name.to_string(),
+                    arrival: r.arrival,
+                    start: placement.start,
+                    completion: placement.completion,
+                    batch: batch.id,
+                    worker: placement.worker,
+                });
+            }
+        }
+        outcomes.sort_by_key(|o| o.id);
+
+        ServeReport {
+            arch: self.accelerator.config().kind.to_string(),
+            outcomes,
+            batches: batches.len(),
+            workers,
+            total_events,
+            makespan_cycles: makespan,
+        }
+    }
+
+    /// Simulates one batch, layer-major: each layer's weights stream
+    /// once and stay resident for the rest of the batch, which is where
+    /// batching wins on the memory-bound FC/depthwise layers (paper
+    /// Sec. 8.3).
+    fn execute_batch(&self, models: &[ModelSpec], batch: &Batch) -> BatchExecution {
+        let model = &models[batch.model];
+        let plan = self.accelerator.plan_model(model, self.weight_seed);
+        let mut events = EventCounts::default();
+        for (layer, layer_plan) in model.layers.iter().zip(plan.layers()) {
+            for (i, request) in batch.requests.iter().enumerate() {
+                let residency =
+                    if i == 0 { WeightResidency::Streamed } else { WeightResidency::Resident };
+                let report = self.accelerator.run_layer_planned(
+                    layer_plan,
+                    layer,
+                    request.act_seed,
+                    residency,
+                );
+                events += report.events;
+            }
+        }
+        BatchExecution { service_cycles: events.cycles, events }
+    }
+}
+
+/// The measured outcome of simulating one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchExecution {
+    service_cycles: u64,
+    events: EventCounts,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use s2ta_models::lenet5;
+
+    fn tiny_workload(n: usize) -> (Vec<ModelSpec>, Vec<Request>) {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(11, n, 20_000.0, 1).generate();
+        (models, reqs)
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let (models, reqs) = tiny_workload(24);
+        let report = Fleet::new(ArchKind::S2taAw, 3).serve(&models, &reqs);
+        assert_eq!(report.outcomes.len(), 24);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.id, i as u64, "outcomes must be dense by id");
+            assert!(o.completion > o.arrival);
+            assert!(o.worker < 3);
+        }
+        let served: usize = report.workers.iter().map(|w| w.requests).sum();
+        assert_eq!(served, 24);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_aggregate_across_fleet_sizes() {
+        let (models, reqs) = tiny_workload(16);
+        let fleet = Fleet::new(ArchKind::S2taAw, 2);
+        let a = fleet.serve(&models, &reqs);
+        let b = fleet.serve(&models, &reqs);
+        assert_eq!(a, b, "same fleet, same workload, same report");
+        let c = Fleet::new(ArchKind::S2taAw, 5).serve(&models, &reqs);
+        assert_eq!(a.total_events, c.total_events, "events must not depend on fleet size");
+        assert_eq!(a.batches, c.batches);
+        assert_eq!(a.outcomes.len(), c.outcomes.len());
+    }
+
+    #[test]
+    fn more_workers_never_hurt_latency() {
+        let (models, reqs) = tiny_workload(32);
+        let one = Fleet::new(ArchKind::S2taAw, 1).serve(&models, &reqs);
+        let four = Fleet::new(ArchKind::S2taAw, 4).serve(&models, &reqs);
+        assert!(four.makespan_cycles <= one.makespan_cycles);
+        assert!(four.p99_cycles() <= one.p99_cycles());
+    }
+
+    #[test]
+    fn batching_beats_unbatched_on_memory_bound_models() {
+        // LeNet is FC-heavy; amortizing weight streaming across a batch
+        // must reduce total simulated cycles.
+        let (models, reqs) = tiny_workload(32);
+        let batched = Fleet::new(ArchKind::S2taAw, 2)
+            .with_policy(BatchPolicy { max_batch: 8, max_wait_cycles: 1_000_000 })
+            .serve(&models, &reqs);
+        let unbatched = Fleet::new(ArchKind::S2taAw, 2)
+            .with_policy(BatchPolicy::unbatched())
+            .serve(&models, &reqs);
+        assert!(
+            batched.total_events.cycles < unbatched.total_events.cycles,
+            "batched {} vs unbatched {} cycles",
+            batched.total_events.cycles,
+            unbatched.total_events.cycles
+        );
+        assert_eq!(
+            batched.total_events.macs_active, unbatched.total_events.macs_active,
+            "batching changes time, not arithmetic"
+        );
+    }
+}

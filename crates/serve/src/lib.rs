@@ -1,0 +1,53 @@
+//! Batched, multi-accelerator inference **serving** on top of the S2TA
+//! simulator.
+//!
+//! The paper evaluates single inferences on a single accelerator; this
+//! crate turns the cycle-accurate core into a throughput/latency
+//! engine: an open-loop stream of inference requests is batched per
+//! model and dispatched across a fleet of N simulated S2TA instances,
+//! with the expensive W-DBB weight compilation shared fleet-wide
+//! through the [`s2ta_core::WeightPlanCache`].
+//!
+//! * [`WorkloadSpec`] / [`Request`] — deterministic seeded open-loop
+//!   request generation over the `s2ta-models` zoo (no wall clock, no
+//!   OS randomness: a seed fully determines the stream).
+//! * [`RequestQueue`] — per-model FIFO lanes.
+//! * [`Scheduler`] / [`BatchPolicy`] — groups compatible requests into
+//!   batches (size- or timeout-closed) and places them on simulated
+//!   worker lanes. Batch formation is fleet-size independent, so
+//!   aggregate simulation results are identical for every worker count.
+//! * [`Fleet`] — N accelerator clones served by a host thread pool
+//!   ([`s2ta_core::pool`]); batches run layer-major so memory-bound
+//!   layers pay their weight DMA once per batch.
+//! * [`ServeReport`] — throughput, p50/p95/p99 latency, per-worker
+//!   utilization, aggregate [`s2ta_sim::EventCounts`] and energy via
+//!   `s2ta-energy`.
+//!
+//! # Example
+//!
+//! ```
+//! use s2ta_core::ArchKind;
+//! use s2ta_energy::TechParams;
+//! use s2ta_models::lenet5;
+//! use s2ta_serve::{Fleet, WorkloadSpec};
+//!
+//! let models = [lenet5()];
+//! let requests = WorkloadSpec::uniform(7, 32, 10_000.0, models.len()).generate();
+//! let report = Fleet::new(ArchKind::S2taAw, 4).serve(&models, &requests);
+//! assert_eq!(report.outcomes.len(), 32);
+//! assert!(report.throughput_ips(&TechParams::tsmc16()) > 0.0);
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fleet;
+mod queue;
+mod report;
+mod scheduler;
+mod workload;
+
+pub use fleet::Fleet;
+pub use queue::RequestQueue;
+pub use report::{RequestOutcome, ServeReport, WorkerStats};
+pub use scheduler::{Batch, BatchPolicy, Placement, Scheduler};
+pub use workload::{Request, WorkloadSpec};

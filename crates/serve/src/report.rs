@@ -1,0 +1,288 @@
+//! The serving report: per-request outcomes and fleet-level metrics.
+
+use s2ta_energy::{EnergyBreakdown, TechParams};
+use s2ta_sim::EventCounts;
+use std::fmt;
+
+/// The fate of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Request id (dense, in arrival order).
+    pub id: u64,
+    /// Name of the model served.
+    pub model: String,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Cycle the request's batch started executing.
+    pub start: u64,
+    /// Cycle the request's batch completed.
+    pub completion: u64,
+    /// Batch the request rode in.
+    pub batch: usize,
+    /// Worker lane that served the batch.
+    pub worker: usize,
+}
+
+impl RequestOutcome {
+    /// End-to-end latency in cycles (queueing + batching + service).
+    pub fn latency_cycles(&self) -> u64 {
+        self.completion - self.arrival
+    }
+
+    /// Cycles spent waiting before execution started.
+    pub fn wait_cycles(&self) -> u64 {
+        self.start - self.arrival
+    }
+}
+
+/// Per-worker occupancy statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Cycles the lane spent executing batches.
+    pub busy_cycles: u64,
+    /// Batches the lane served.
+    pub batches: usize,
+    /// Requests the lane served.
+    pub requests: usize,
+}
+
+impl WorkerStats {
+    /// Busy fraction of the fleet makespan.
+    pub fn utilization(&self, makespan_cycles: u64) -> f64 {
+        if makespan_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / makespan_cycles as f64
+        }
+    }
+}
+
+/// Everything a serving run produced.
+///
+/// The per-request outcomes and the placement-derived numbers (latency
+/// percentiles, makespan, utilization) are deterministic for a fixed
+/// `(workload seed, policy, worker count)`. The aggregate simulation
+/// outputs — request count, batch set and [`ServeReport::total_events`]
+/// (hence energy) — are additionally **independent of the worker
+/// count**, because batch formation never looks at the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Architecture the fleet ran.
+    pub arch: String,
+    /// Outcomes indexed by request id.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Number of batches formed.
+    pub batches: usize,
+    /// Per-worker occupancy.
+    pub workers: Vec<WorkerStats>,
+    /// Aggregate simulated events over every batch.
+    pub total_events: EventCounts,
+    /// Cycle the last batch completed (0 for an empty run).
+    pub makespan_cycles: u64,
+}
+
+impl ServeReport {
+    /// Latency of the `pct`-th percentile request in cycles (nearest-rank
+    /// on the sorted latencies).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < pct <= 100.0`.
+    pub fn latency_percentile_cycles(&self, pct: f64) -> u64 {
+        assert!(pct > 0.0 && pct <= 100.0, "percentile out of range: {pct}");
+        if self.outcomes.is_empty() {
+            return 0;
+        }
+        let mut lat: Vec<u64> = self.outcomes.iter().map(RequestOutcome::latency_cycles).collect();
+        lat.sort_unstable();
+        let rank = (pct / 100.0 * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
+    /// Median latency in cycles.
+    pub fn p50_cycles(&self) -> u64 {
+        self.latency_percentile_cycles(50.0)
+    }
+
+    /// 95th-percentile latency in cycles.
+    pub fn p95_cycles(&self) -> u64 {
+        self.latency_percentile_cycles(95.0)
+    }
+
+    /// 99th-percentile latency in cycles.
+    pub fn p99_cycles(&self) -> u64 {
+        self.latency_percentile_cycles(99.0)
+    }
+
+    /// Mean latency in cycles.
+    pub fn mean_latency_cycles(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.outcomes.iter().map(RequestOutcome::latency_cycles).sum();
+        total as f64 / self.outcomes.len() as f64
+    }
+
+    /// Converts cycles to milliseconds at `tech`'s clock.
+    pub fn cycles_to_ms(tech: &TechParams, cycles: u64) -> f64 {
+        cycles as f64 / tech.clock_hz * 1e3
+    }
+
+    /// Completed inferences per second at `tech`'s clock.
+    pub fn throughput_ips(&self, tech: &TechParams) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / (self.makespan_cycles as f64 / tech.clock_hz)
+    }
+
+    /// Aggregate energy of the run under `tech`.
+    pub fn energy(&self, tech: &TechParams) -> EnergyBreakdown {
+        EnergyBreakdown::of(&self.total_events, tech)
+    }
+
+    /// Mean energy per inference in microjoules under `tech`.
+    pub fn uj_per_inference(&self, tech: &TechParams) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.energy(tech).total_pj() * 1e-6 / self.outcomes.len() as f64
+    }
+
+    /// Mean worker utilization over the makespan.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers.iter().map(|w| w.utilization(self.makespan_cycles)).sum::<f64>()
+            / self.workers.len() as f64
+    }
+
+    /// Mean requests per batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.batches as f64
+    }
+
+    /// A multi-line human-readable summary under `tech`.
+    pub fn summary(&self, tech: &TechParams) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "ServeReport [{}]: {} requests in {} batches on {} workers\n",
+            self.arch,
+            self.outcomes.len(),
+            self.batches,
+            self.workers.len()
+        ));
+        s.push_str(&format!(
+            "  throughput      {:>10.1} inf/s   (makespan {:.3} ms, mean batch {:.2})\n",
+            self.throughput_ips(tech),
+            Self::cycles_to_ms(tech, self.makespan_cycles),
+            self.mean_batch_size()
+        ));
+        s.push_str(&format!(
+            "  latency p50     {:>10.3} ms      (p95 {:.3} ms, p99 {:.3} ms, mean {:.3} ms)\n",
+            Self::cycles_to_ms(tech, self.p50_cycles()),
+            Self::cycles_to_ms(tech, self.p95_cycles()),
+            Self::cycles_to_ms(tech, self.p99_cycles()),
+            self.mean_latency_cycles() / tech.clock_hz * 1e3
+        ));
+        s.push_str(&format!(
+            "  energy          {:>10.1} uJ      ({:.2} uJ/inference)\n",
+            self.energy(tech).total_pj() * 1e-6,
+            self.uj_per_inference(tech)
+        ));
+        s.push_str(&format!(
+            "  utilization     {:>10.1} %       per worker:",
+            self.mean_utilization() * 100.0
+        ));
+        for (i, w) in self.workers.iter().enumerate() {
+            s.push_str(&format!(" w{i} {:.0}%", w.utilization(self.makespan_cycles) * 100.0));
+        }
+        s.push('\n');
+        s
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} requests, {} batches, {} workers, {} cycles makespan",
+            self.arch,
+            self.outcomes.len(),
+            self.batches,
+            self.workers.len(),
+            self.makespan_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, arrival: u64, completion: u64) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            model: "m".into(),
+            arrival,
+            start: arrival,
+            completion,
+            batch: id as usize,
+            worker: 0,
+        }
+    }
+
+    fn report(latencies: &[u64]) -> ServeReport {
+        ServeReport {
+            arch: "TEST".into(),
+            outcomes: latencies.iter().enumerate().map(|(i, &l)| outcome(i as u64, 0, l)).collect(),
+            batches: latencies.len(),
+            workers: vec![WorkerStats { busy_cycles: 50, batches: 1, requests: 1 }],
+            total_events: EventCounts { cycles: 100, ..Default::default() },
+            makespan_cycles: 100,
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let r = report(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(r.p50_cycles(), 50);
+        assert_eq!(r.latency_percentile_cycles(10.0), 10);
+        assert_eq!(r.p99_cycles(), 100);
+        assert_eq!(r.latency_percentile_cycles(100.0), 100);
+        assert!((r.mean_latency_cycles() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_calm() {
+        let r = ServeReport {
+            arch: "TEST".into(),
+            outcomes: vec![],
+            batches: 0,
+            workers: vec![],
+            total_events: EventCounts::default(),
+            makespan_cycles: 0,
+        };
+        assert_eq!(r.p50_cycles(), 0);
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert_eq!(r.mean_batch_size(), 0.0);
+        let tech = TechParams::tsmc16();
+        assert_eq!(r.throughput_ips(&tech), 0.0);
+        assert_eq!(r.uj_per_inference(&tech), 0.0);
+    }
+
+    #[test]
+    fn utilization_and_throughput() {
+        let r = report(&[100]);
+        assert!((r.workers[0].utilization(100) - 0.5).abs() < 1e-12);
+        let tech = TechParams::tsmc16();
+        // 1 request / (100 cycles / clock)
+        let expect = tech.clock_hz / 100.0;
+        assert!((r.throughput_ips(&tech) - expect).abs() < 1e-3);
+        assert!(r.summary(&tech).contains("throughput"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The batching scheduler: groups compatible requests into batches and
+//! places batches onto simulated-time worker lanes.
+//!
+//! Scheduling is split into two deterministic stages so that *what* is
+//! computed never depends on *where* it runs:
+//!
+//! 1. **Batch formation** ([`Scheduler::form_batches`]) folds the
+//!    arrival stream through a [`RequestQueue`], closing a batch when it
+//!    reaches [`BatchPolicy::max_batch`] requests or when its oldest
+//!    member has waited [`BatchPolicy::max_wait_cycles`]. Formation
+//!    depends only on the arrival stream — never on worker availability
+//!    — so the batch set (and therefore every simulated event count) is
+//!    identical for every fleet size.
+//! 2. **Placement** ([`Scheduler::place`]) assigns the formed batches,
+//!    in ready order, to the earliest-free worker lane (lowest index on
+//!    ties). Given the per-batch service times this reproduces the
+//!    latency/throughput behaviour of an N-worker fleet exactly, while
+//!    the actual cycle simulation runs on a host thread pool in any
+//!    order.
+
+use crate::queue::RequestQueue;
+use crate::workload::Request;
+
+/// When the scheduler closes a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Maximum cycles the oldest request of a batch may wait before the
+    /// batch is dispatched anyway.
+    pub max_wait_cycles: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self { max_batch: 8, max_wait_cycles: 100_000 }
+    }
+}
+
+impl BatchPolicy {
+    /// Batch-of-one: every request dispatches immediately (the paper's
+    /// batch-1 mobile setting).
+    pub fn unbatched() -> Self {
+        Self { max_batch: 1, max_wait_cycles: 0 }
+    }
+}
+
+/// A group of same-model requests dispatched together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Dense id in dispatch order.
+    pub id: usize,
+    /// Model index every member shares.
+    pub model: usize,
+    /// Members in arrival order.
+    pub requests: Vec<Request>,
+    /// Cycle at which the batch became ready to dispatch.
+    pub ready: u64,
+}
+
+/// A batch placed on a worker lane in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The batch this placement is for (index into the batch list).
+    pub batch: usize,
+    /// Worker lane the batch ran on.
+    pub worker: usize,
+    /// Cycle the batch started executing.
+    pub start: u64,
+    /// Cycle the batch finished.
+    pub completion: u64,
+}
+
+/// The deterministic batching scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scheduler {
+    policy: BatchPolicy,
+}
+
+impl Scheduler {
+    /// A scheduler with the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// The batching policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Folds a sorted arrival stream into batches.
+    ///
+    /// Every request appears in exactly one batch; batches hold one
+    /// model's requests in arrival order; no batch exceeds
+    /// `max_batch` members; and a batch's `ready` time never exceeds
+    /// its first member's arrival plus `max_wait_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero, a request names a model `>=
+    /// models`, or arrivals are not sorted.
+    pub fn form_batches(&self, requests: &[Request], models: usize) -> Vec<Batch> {
+        assert!(self.policy.max_batch > 0, "max_batch must be non-zero");
+        let mut queue = RequestQueue::new(models);
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut last_arrival = 0u64;
+        for r in requests {
+            assert!(r.arrival >= last_arrival, "arrival stream must be sorted");
+            last_arrival = r.arrival;
+            // Lazily close any open batch whose oldest member timed out
+            // before this arrival. Only r's own lane can be affected by
+            // the push below, but timeouts on other lanes must also
+            // fire in time order to keep batch ids chronological.
+            self.close_timed_out(&mut queue, r.arrival, &mut batches);
+            queue.push(*r);
+            let lane = r.model;
+            if queue.pending(lane) == self.policy.max_batch {
+                let members = queue.pop_batch(lane, self.policy.max_batch);
+                batches.push(Self::sealed(batches.len(), lane, members, r.arrival));
+            }
+        }
+        // End of stream: remaining open batches dispatch at their
+        // timeout (no later arrival can extend them).
+        self.close_timed_out(&mut queue, u64::MAX, &mut batches);
+        batches
+    }
+
+    /// Closes every open batch whose oldest member would exceed its
+    /// wait bound at time `now`, in timeout order.
+    fn close_timed_out(&self, queue: &mut RequestQueue, now: u64, batches: &mut Vec<Batch>) {
+        loop {
+            // Earliest deadline first, ties broken by model index so
+            // closure order is deterministic.
+            let next = (0..queue.models())
+                .filter_map(|m| {
+                    queue
+                        .front(m)
+                        .map(|r| (r.arrival.saturating_add(self.policy.max_wait_cycles), m))
+                })
+                .min();
+            match next {
+                Some((deadline, model)) if deadline < now || now == u64::MAX => {
+                    let members = queue.pop_batch(model, self.policy.max_batch);
+                    batches.push(Self::sealed(batches.len(), model, members, deadline));
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn sealed(id: usize, model: usize, requests: Vec<Request>, ready: u64) -> Batch {
+        debug_assert!(!requests.is_empty());
+        Batch { id, model, requests, ready }
+    }
+
+    /// Places batches onto `workers` simulated lanes: batches dispatch
+    /// in ready order (ties by id) to the earliest-free lane (ties to
+    /// the lowest index). `service_cycles[i]` is batch `i`'s execution
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `service_cycles` is shorter than
+    /// the batch list.
+    pub fn place(
+        &self,
+        batches: &[Batch],
+        service_cycles: &[u64],
+        workers: usize,
+    ) -> Vec<Placement> {
+        assert!(workers > 0, "a fleet needs at least one worker");
+        assert!(service_cycles.len() >= batches.len(), "missing service times");
+        let mut order: Vec<usize> = (0..batches.len()).collect();
+        order.sort_by_key(|&i| (batches[i].ready, batches[i].id));
+        let mut free_at = vec![0u64; workers];
+        let mut placements =
+            vec![Placement { batch: 0, worker: 0, start: 0, completion: 0 }; batches.len()];
+        for i in order {
+            let (worker, &free) =
+                free_at.iter().enumerate().min_by_key(|&(idx, &t)| (t, idx)).expect("workers > 0");
+            let start = free.max(batches[i].ready);
+            let completion = start + service_cycles[i];
+            free_at[worker] = completion;
+            placements[i] = Placement { batch: i, worker, start, completion };
+        }
+        placements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, model: usize, arrival: u64) -> Request {
+        Request { id, model, arrival, act_seed: id }
+    }
+
+    fn ids(b: &Batch) -> Vec<u64> {
+        b.requests.iter().map(|r| r.id).collect()
+    }
+
+    #[test]
+    fn size_closure() {
+        let s = Scheduler::new(BatchPolicy { max_batch: 2, max_wait_cycles: 1_000_000 });
+        let reqs: Vec<Request> = (0..5).map(|i| req(i, 0, i * 10)).collect();
+        let batches = s.form_batches(&reqs, 1);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(ids(&batches[0]), vec![0, 1]);
+        assert_eq!(batches[0].ready, 10, "ready at the arrival that filled the batch");
+        assert_eq!(ids(&batches[1]), vec![2, 3]);
+        // The trailing singleton dispatches at its timeout.
+        assert_eq!(ids(&batches[2]), vec![4]);
+        assert_eq!(batches[2].ready, 40 + 1_000_000);
+    }
+
+    #[test]
+    fn timeout_closure_bounds_waiting() {
+        let s = Scheduler::new(BatchPolicy { max_batch: 8, max_wait_cycles: 100 });
+        let reqs = vec![req(0, 0, 0), req(1, 0, 50), req(2, 0, 200), req(3, 0, 220)];
+        let batches = s.form_batches(&reqs, 1);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(ids(&batches[0]), vec![0, 1]);
+        assert_eq!(batches[0].ready, 100, "oldest member waited exactly max_wait");
+        assert_eq!(ids(&batches[1]), vec![2, 3]);
+        assert_eq!(batches[1].ready, 300);
+    }
+
+    #[test]
+    fn batches_never_mix_models_and_lose_nothing() {
+        let s = Scheduler::new(BatchPolicy { max_batch: 3, max_wait_cycles: 500 });
+        let reqs: Vec<Request> = (0..40).map(|i| req(i, (i % 3) as usize, i * 37)).collect();
+        let batches = s.form_batches(&reqs, 3);
+        let mut seen: Vec<u64> = Vec::new();
+        for b in &batches {
+            assert!(!b.requests.is_empty());
+            assert!(b.requests.len() <= 3);
+            for r in &b.requests {
+                assert_eq!(r.model, b.model, "mixed-model batch");
+                assert!(b.ready <= r.arrival + 500, "request waited past the bound");
+                seen.push(r.id);
+            }
+            let first = b.requests[0];
+            assert!(b.ready >= first.arrival);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>(), "dropped or duplicated requests");
+    }
+
+    #[test]
+    fn fifo_within_and_across_batches_per_model() {
+        let s = Scheduler::new(BatchPolicy { max_batch: 4, max_wait_cycles: 100 });
+        let reqs: Vec<Request> = (0..30).map(|i| req(i, (i % 2) as usize, i * 9)).collect();
+        let batches = s.form_batches(&reqs, 2);
+        for model in 0..2 {
+            let order: Vec<u64> =
+                batches.iter().filter(|b| b.model == model).flat_map(ids).collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(order, sorted, "model {model} not FIFO");
+        }
+    }
+
+    #[test]
+    fn placement_is_earliest_free_worker() {
+        let s = Scheduler::new(BatchPolicy::default());
+        let batches: Vec<Batch> = (0..4)
+            .map(|i| Batch { id: i, model: 0, requests: vec![req(i as u64, 0, 0)], ready: 0 })
+            .collect();
+        let placements = s.place(&batches, &[100, 100, 10, 10], 2);
+        // Batches 0 and 1 occupy both workers; batch 2 waits for the
+        // first free worker (worker 0 at cycle 100 — ties go low).
+        assert_eq!(placements[0].worker, 0);
+        assert_eq!(placements[1].worker, 1);
+        assert_eq!(placements[2].start, 100);
+        assert_eq!(placements[3].start, 100);
+        assert_eq!(placements[2].completion, 110);
+        // Lanes never overlap.
+        for w in 0..2 {
+            let mut spans: Vec<(u64, u64)> = placements
+                .iter()
+                .filter(|p| p.worker == w)
+                .map(|p| (p.start, p.completion))
+                .collect();
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "worker {w} overlapped");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_respects_ready_times() {
+        let s = Scheduler::new(BatchPolicy::default());
+        let batches: Vec<Batch> = (0..3)
+            .map(|i| Batch {
+                id: i,
+                model: 0,
+                requests: vec![req(i as u64, 0, 0)],
+                ready: 1000 * i as u64,
+            })
+            .collect();
+        let placements = s.place(&batches, &[10, 10, 10], 4);
+        for (p, b) in placements.iter().zip(&batches) {
+            assert!(p.start >= b.ready);
+        }
+    }
+}

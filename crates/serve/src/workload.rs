@@ -1,0 +1,199 @@
+//! Open-loop workload generation: a deterministic stream of inference
+//! requests.
+//!
+//! The generator is **open loop** (arrivals do not depend on service
+//! progress, the standard serving-benchmark methodology) and fully
+//! deterministic: a seeded 64-bit LCG drives exponential interarrival
+//! gaps and the model mix, so a `(seed, spec)` pair always produces the
+//! identical request stream — no wall clocks, no OS randomness.
+
+use std::fmt;
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Unique, dense id in arrival order (`0..n`).
+    pub id: u64,
+    /// Index of the requested model in the fleet's model list.
+    pub model: usize,
+    /// Arrival time in accelerator cycles since stream start.
+    pub arrival: u64,
+    /// Seed for this request's activation inputs (each request is a
+    /// distinct inference input; weights are shared per model).
+    pub act_seed: u64,
+}
+
+/// A splittable deterministic random stream (64-bit LCG, high bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Offset the seed so seed 0 does not start in a low-entropy
+        // state.
+        Self { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        // Knuth's MMIX multiplier; the low bits of an LCG are weak, so
+        // outputs fold the high half in.
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.state ^ (self.state >> 32)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Specification of an open-loop request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Seed for the whole stream.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Mean interarrival gap in cycles (exponentially distributed, i.e.
+    /// Poisson arrivals).
+    pub mean_interarrival_cycles: f64,
+    /// Relative traffic weight per model (must match the fleet's model
+    /// list length; need not be normalized).
+    pub mix: Vec<f64>,
+}
+
+impl WorkloadSpec {
+    /// A uniform mix over `models` models.
+    pub fn uniform(
+        seed: u64,
+        requests: usize,
+        mean_interarrival_cycles: f64,
+        models: usize,
+    ) -> Self {
+        Self { seed, requests, mean_interarrival_cycles, mix: vec![1.0; models] }
+    }
+
+    /// Generates the request stream (sorted by arrival, ids dense in
+    /// arrival order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty, has non-finite/negative weights or
+    /// sums to zero, or if `mean_interarrival_cycles` is negative.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(!self.mix.is_empty(), "workload mix must name at least one model");
+        assert!(
+            self.mix.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "mix weights must be finite and non-negative"
+        );
+        let total: f64 = self.mix.iter().sum();
+        assert!(total > 0.0, "mix weights must not all be zero");
+        assert!(self.mean_interarrival_cycles >= 0.0, "mean interarrival must be non-negative");
+
+        let mut rng = Lcg::new(self.seed);
+        let mut now = 0u64;
+        (0..self.requests as u64)
+            .map(|id| {
+                // Exponential gap: -mean * ln(1 - U). U < 1 so the log
+                // argument is in (0, 1].
+                let gap = -self.mean_interarrival_cycles * (1.0 - rng.next_f64()).ln();
+                now = now.saturating_add(gap as u64);
+                let mut pick = rng.next_f64() * total;
+                let mut model = self.mix.len() - 1;
+                for (i, w) in self.mix.iter().enumerate() {
+                    if pick < *w {
+                        model = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                Request { id, model, arrival: now, act_seed: rng.next_u64() }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests over {} models, mean gap {:.0} cycles, seed {}",
+            self.requests,
+            self.mix.len(),
+            self.mean_interarrival_cycles,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::uniform(9, 500, 1000.0, 3);
+        assert_eq!(spec.generate(), spec.generate());
+        let other = WorkloadSpec::uniform(10, 500, 1000.0, 3);
+        assert_ne!(spec.generate(), other.generate());
+    }
+
+    #[test]
+    fn arrivals_are_sorted_with_dense_ids() {
+        let reqs = WorkloadSpec::uniform(1, 300, 500.0, 2).generate();
+        assert_eq!(reqs.len(), 300);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.model < 2);
+            if i > 0 {
+                assert!(r.arrival >= reqs[i - 1].arrival, "arrivals must be non-decreasing");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_spec() {
+        let mean = 2_000.0;
+        let reqs = WorkloadSpec::uniform(3, 4_000, mean, 1).generate();
+        let span = reqs.last().expect("non-empty").arrival as f64;
+        let measured = span / (reqs.len() - 1) as f64;
+        assert!(
+            (measured - mean).abs() < mean * 0.1,
+            "measured mean gap {measured:.0} vs spec {mean:.0}"
+        );
+    }
+
+    #[test]
+    fn mix_weights_steer_traffic() {
+        let spec = WorkloadSpec {
+            seed: 5,
+            requests: 4_000,
+            mean_interarrival_cycles: 100.0,
+            mix: vec![3.0, 1.0],
+        };
+        let reqs = spec.generate();
+        let m0 = reqs.iter().filter(|r| r.model == 0).count() as f64 / reqs.len() as f64;
+        assert!((m0 - 0.75).abs() < 0.05, "model 0 share {m0:.3}, expected ~0.75");
+    }
+
+    #[test]
+    fn act_seeds_differ_between_requests() {
+        let reqs = WorkloadSpec::uniform(2, 100, 100.0, 1).generate();
+        let mut seeds: Vec<u64> = reqs.iter().map(|r| r.act_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), reqs.len(), "per-request input seeds must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "mix weights")]
+    fn zero_mix_rejected() {
+        WorkloadSpec { seed: 0, requests: 1, mean_interarrival_cycles: 1.0, mix: vec![0.0] }
+            .generate();
+    }
+}

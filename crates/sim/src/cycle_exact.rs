@@ -45,8 +45,8 @@ pub fn run(geom: &ArrayGeometry, zvcg: bool, w: &Matrix, a: &Matrix) -> GemmRun 
     loop {
         // Drain condition: all inputs consumed and pipeline empty.
         let last_feed = k + rows.max(cols); // generous upper bound on feeding
-        let pipeline_busy = w_regs.iter().flatten().any(|o| o.valid)
-            || a_regs.iter().flatten().any(|o| o.valid);
+        let pipeline_busy =
+            w_regs.iter().flatten().any(|o| o.valid) || a_regs.iter().flatten().any(|o| o.valid);
         if cycle as usize >= last_feed && !pipeline_busy {
             break;
         }
@@ -145,11 +145,7 @@ mod tests {
             let w = SparseSpec::dense().matrix(m, k, &mut rng);
             let a = SparseSpec::dense().matrix(k, n, &mut rng);
             let r = run(&ArrayGeometry::scalar(m, n), false, &w, &a);
-            assert_eq!(
-                r.events.cycles,
-                closed_form_cycles(k, m, n),
-                "mismatch for {m}x{k}x{n}"
-            );
+            assert_eq!(r.events.cycles, closed_form_cycles(k, m, n), "mismatch for {m}x{k}x{n}");
         }
     }
 

@@ -71,11 +71,7 @@ impl ColStripProfile {
 /// Active MACs for one tile: `sum_p nnzW[p] * nnzA[p]`.
 pub(crate) fn active_macs(w_strip: &[u32], a_strip: &[u32]) -> u64 {
     debug_assert_eq!(w_strip.len(), a_strip.len());
-    w_strip
-        .iter()
-        .zip(a_strip)
-        .map(|(&nw, &na)| nw as u64 * na as u64)
-        .sum()
+    w_strip.iter().zip(a_strip).map(|(&nw, &na)| nw as u64 * na as u64).sum()
 }
 
 #[cfg(test)]

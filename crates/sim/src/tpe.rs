@@ -168,8 +168,7 @@ pub fn run_wdbb_perf(geom: &ArrayGeometry, w: &DbbMatrix, a: &Matrix) -> EventCo
             events.mux_selects += issued;
             let w_tile_bytes = (re * blocks_k * w.config().block_bytes()) as u64;
             let a_tile_bytes = (ce * k) as u64;
-            events.operand_reg_bytes +=
-                operand_reg_bytes(geom, re, ce, w_tile_bytes, a_tile_bytes);
+            events.operand_reg_bytes += operand_reg_bytes(geom, re, ce, w_tile_bytes, a_tile_bytes);
         }
     }
     events
@@ -271,8 +270,7 @@ pub fn run_aw_perf(geom: &ArrayGeometry, w: &DbbMatrix, a: &DbbMatrix) -> EventC
             events.mux_selects += issued;
             let w_tile_bytes = (re * blocks_k * w.config().block_bytes()) as u64;
             let a_tile_bytes = (ce * blocks_k * a.config().block_bytes()) as u64;
-            events.operand_reg_bytes +=
-                operand_reg_bytes(geom, re, ce, w_tile_bytes, a_tile_bytes);
+            events.operand_reg_bytes += operand_reg_bytes(geom, re, ce, w_tile_bytes, a_tile_bytes);
         }
     }
     events

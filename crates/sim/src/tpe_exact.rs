@@ -117,11 +117,7 @@ mod tests {
     }
 
     fn dot(a: &DbbVector, b: &DbbVector) -> i32 {
-        a.decompress()
-            .iter()
-            .zip(b.decompress().iter())
-            .map(|(&x, &y)| x as i32 * y as i32)
-            .sum()
+        a.decompress().iter().zip(b.decompress().iter()).map(|(&x, &y)| x as i32 * y as i32).sum()
     }
 
     #[test]

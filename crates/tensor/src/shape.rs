@@ -108,11 +108,7 @@ impl ConvShape {
     /// The GEMM this convolution lowers to via im2col:
     /// `[K x (C*R*S)] * [(C*R*S) x (outH*outW)]`.
     pub fn gemm(&self) -> GemmShape {
-        GemmShape {
-            m: self.k,
-            k: self.c * self.r * self.s,
-            n: self.out_h() * self.out_w(),
-        }
+        GemmShape { m: self.k, k: self.c * self.r * self.s, n: self.out_h() * self.out_w() }
     }
 
     /// Total multiply-accumulate operations for one inference of this layer.

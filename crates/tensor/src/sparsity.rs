@@ -136,12 +136,8 @@ impl BlockDensity {
 
     /// Mean non-zeros per block.
     pub fn mean_nnz(&self) -> f64 {
-        let total: u64 = self
-            .histogram
-            .iter()
-            .enumerate()
-            .map(|(nnz, &count)| nnz as u64 * count)
-            .sum();
+        let total: u64 =
+            self.histogram.iter().enumerate().map(|(nnz, &count)| nnz as u64 * count).sum();
         total as f64 / self.blocks() as f64
     }
 
@@ -180,11 +176,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for target in [0.0, 0.25, 0.5, 0.8] {
             let m = SparseSpec::random(target).matrix(64, 256, &mut rng);
-            assert!(
-                (m.sparsity() - target).abs() < 0.02,
-                "target {target}, got {}",
-                m.sparsity()
-            );
+            assert!((m.sparsity() - target).abs() < 0.02, "target {target}, got {}", m.sparsity());
         }
     }
 

@@ -8,7 +8,7 @@
 //! cargo run --release --example dap_training
 //! ```
 
-use s2ta::dbb::{DbbConfig, DbbMatrix, BlockAxis};
+use s2ta::dbb::{BlockAxis, DbbConfig, DbbMatrix};
 use s2ta::nn::data::generate;
 use s2ta::nn::mlp::Mlp;
 use s2ta::nn::train::{accuracy, accuracy_int8, progressive_wdbb, train, TrainConfig};
@@ -22,12 +22,19 @@ fn main() {
     println!("=== 1. baseline training ===");
     train(&mut model, &train_set, &TrainConfig { epochs: 30, ..Default::default() });
     let base = accuracy(&model, &test_set);
-    println!("baseline accuracy: {:.1}% (INT8: {:.1}%)", base * 100.0, accuracy_int8(&model, &test_set) * 100.0);
+    println!(
+        "baseline accuracy: {:.1}% (INT8: {:.1}%)",
+        base * 100.0,
+        accuracy_int8(&model, &test_set) * 100.0
+    );
 
     println!("\n=== 2. one-shot 2/8 W-DBB pruning (no fine-tuning) ===");
     let mut oneshot = model.clone();
     oneshot.set_wdbb_masks(2);
-    println!("one-shot accuracy: {:.1}%  <- the drop DBB causes", accuracy(&oneshot, &test_set) * 100.0);
+    println!(
+        "one-shot accuracy: {:.1}%  <- the drop DBB causes",
+        accuracy(&oneshot, &test_set) * 100.0
+    );
 
     println!("\n=== 3. progressive pruning + fine-tuning (the paper's schedule) ===");
     let mut pruned = model.clone();

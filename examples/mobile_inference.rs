@@ -38,7 +38,10 @@ fn main() {
 
     let (_, ref aw) = reports.iter().find(|(k, _)| *k == ArchKind::S2taAw).expect("AW present");
     println!("\nper-layer drill-down on S2TA-AW (first 10 layers):");
-    println!("{:<10} {:>10} {:>10} {:>12} {:>10}", "layer", "MMAC", "cycles", "MAC util", "energy uJ");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>10}",
+        "layer", "MMAC", "cycles", "MAC util", "energy uJ"
+    );
     for l in aw.layers.iter().take(10) {
         println!(
             "{:<10} {:>10.1} {:>10} {:>11.0}% {:>10.2}",

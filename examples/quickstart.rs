@@ -5,21 +5,25 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use s2ta::core::{Accelerator, ArchKind};
 use s2ta::dbb::dap::LayerNnz;
 use s2ta::dbb::{prune, DbbConfig, DbbVector};
 use s2ta::energy::{EnergyBreakdown, TechParams};
 use s2ta::tensor::sparsity::SparseSpec;
 use s2ta::tensor::ConvShape;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // --- 1. DBB in a nutshell: bound the non-zeros per 8-element block.
     let data: Vec<i8> = vec![0, 9, 0, 4, 3, 0, 5, 0];
     let block = DbbVector::compress(&data, DbbConfig::new(4, 8)).expect("4/8-satisfiable");
     println!("dense block   : {data:?}");
-    println!("DBB compressed: values {:?}, mask {:#010b}", block.blocks()[0].values(), block.blocks()[0].mask());
+    println!(
+        "DBB compressed: values {:?}, mask {:#010b}",
+        block.blocks()[0].values(),
+        block.blocks()[0].mask()
+    );
     println!("storage       : {} bytes (vs 8 dense)\n", block.storage_bytes());
 
     // --- 2. A realistic mid-network conv layer, lowered to GEMM.

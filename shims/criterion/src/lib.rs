@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) crate API this workspace
+//! uses.
+//!
+//! The build container cannot reach crates.io, so micro-benchmarks run
+//! on this small wall-clock harness instead: [`Criterion::bench_function`]
+//! warms the closure up, runs `sample_size` timed samples of an
+//! adaptively chosen iteration batch, and prints the per-iteration
+//! minimum / mean. There are no statistics, plots or baselines — the
+//! output is for eyeballing regressions, not rigorous measurement.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to `criterion_group!` targets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::calibrated();
+        // Warm-up and batch-size calibration pass.
+        f(&mut b);
+        b.begin_sampling();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let (min, mean) = b.per_iter();
+        println!("{id:<44} min {:>12} | mean {:>12}", fmt_duration(min), fmt_duration(mean));
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    calibrating: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn calibrated() -> Self {
+        Self { iters: 1, calibrating: true, samples: Vec::new() }
+    }
+
+    fn begin_sampling(&mut self) {
+        self.calibrating = false;
+        self.samples.clear();
+    }
+
+    /// Times `inner`, batching iterations so each sample runs long
+    /// enough for the clock to resolve.
+    pub fn iter<O, F>(&mut self, mut inner: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.calibrating {
+            // Grow the batch until one batch takes >= ~1 ms (cap the
+            // growth so pathological benches still terminate).
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(inner());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                    self.iters = iters;
+                    return;
+                }
+                iters *= 2;
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(inner());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// `(min, mean)` per-iteration time over the recorded samples.
+    fn per_iter(&self) -> (Duration, Duration) {
+        if self.samples.is_empty() || self.iters == 0 {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let min = *self.samples.iter().min().expect("non-empty");
+        let total: Duration = self.samples.iter().sum();
+        (min / self.iters as u32, total / (self.samples.len() as u32 * self.iters as u32))
+    }
+}
+
+/// Declares a benchmark group: both the `name/config/targets` form and
+/// the positional form of the real crate are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        assert!(runs > 3, "closure must actually run, got {runs}");
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(simple, target);
+    criterion_group!(
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    );
+
+    #[test]
+    fn groups_invoke_targets() {
+        simple();
+        configured();
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`energy`] — 16nm/65nm energy, area and power models.
 //! * [`models`] — CNN workload definitions and sparsity profiles.
 //! * [`nn`] — training substrate for DBB-aware fine-tuning experiments.
-//! * [`core`] — the accelerator API: configure, run, report.
+//! * [`core`] — the accelerator API: configure, plan, run, report.
+//! * [`serve`] — batched request serving across a fleet of simulated
+//!   accelerators.
 //!
 //! # Quickstart
 //!
@@ -31,5 +33,6 @@ pub use s2ta_dbb as dbb;
 pub use s2ta_energy as energy;
 pub use s2ta_models as models;
 pub use s2ta_nn as nn;
+pub use s2ta_serve as serve;
 pub use s2ta_sim as sim;
 pub use s2ta_tensor as tensor;

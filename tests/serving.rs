@@ -1,0 +1,146 @@
+//! Cross-crate serving tests: scheduler invariants, end-to-end
+//! determinism of the fleet, and bit-exactness of the cached weight
+//! plans against the uncached path.
+
+use proptest::prelude::*;
+use s2ta::core::{Accelerator, ArchKind, ModelReport, WeightResidency};
+use s2ta::models::{lenet5, LayerSpec, ModelSpec};
+use s2ta::serve::{BatchPolicy, Fleet, Scheduler, WorkloadSpec};
+use s2ta::tensor::{GemmShape, LayerKind};
+
+fn workload(seed: u64, n: usize, models: usize) -> Vec<s2ta::serve::Request> {
+    WorkloadSpec::uniform(seed, n, 15_000.0, models).generate()
+}
+
+/// A second, structurally different model so multi-model scheduling is
+/// exercised without the cost of a full zoo network.
+fn tiny_net() -> ModelSpec {
+    ModelSpec {
+        name: "TinyNet",
+        layers: vec![
+            LayerSpec::new("conv1", LayerKind::Conv, GemmShape::new(8, 27, 196), 0.1, 0.05),
+            LayerSpec::new("conv2", LayerKind::Conv, GemmShape::new(16, 72, 49), 0.5, 0.5),
+            LayerSpec::new("fc", LayerKind::FullyConnected, GemmShape::new(10, 784, 1), 0.5, 0.7),
+        ],
+    }
+}
+
+fn two_models() -> Vec<ModelSpec> {
+    vec![lenet5(), tiny_net()]
+}
+
+#[test]
+fn no_request_is_dropped_or_duplicated() {
+    let models = two_models();
+    let requests = workload(3, 120, models.len());
+    let scheduler = Scheduler::new(BatchPolicy { max_batch: 6, max_wait_cycles: 40_000 });
+    let batches = scheduler.form_batches(&requests, models.len());
+    let mut ids: Vec<u64> = batches.iter().flat_map(|b| b.requests.iter().map(|r| r.id)).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..120).collect::<Vec<_>>());
+    for b in &batches {
+        assert!(b.requests.len() <= 6);
+        assert!(b.requests.iter().all(|r| r.model == b.model));
+    }
+}
+
+#[test]
+fn per_model_fifo_fairness() {
+    let models = two_models();
+    let requests = workload(8, 150, models.len());
+    let report = Fleet::new(ArchKind::S2taAw, 3).serve(&models, &requests);
+    // Requests of one model must start (and ride in batches) in
+    // arrival order: arrival order == id order for a generated stream.
+    for model in models.iter().map(|m| m.name) {
+        let of_model: Vec<_> = report.outcomes.iter().filter(|o| o.model == model).collect();
+        for pair in of_model.windows(2) {
+            assert!(
+                pair[0].start <= pair[1].start,
+                "model {model}: request {} started after {}",
+                pair[0].id,
+                pair[1].id
+            );
+            assert!(pair[0].batch <= pair[1].batch, "batch order must follow arrival order");
+        }
+    }
+}
+
+#[test]
+fn report_is_deterministic_for_a_seed() {
+    let models = two_models();
+    let requests = workload(21, 80, models.len());
+    let fleet = Fleet::new(ArchKind::S2taAw, 4).with_weight_seed(5);
+    assert_eq!(fleet.serve(&models, &requests), fleet.serve(&models, &requests));
+}
+
+#[test]
+fn aggregate_metrics_are_worker_count_independent() {
+    let models = two_models();
+    let requests = workload(30, 100, models.len());
+    let reports: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| Fleet::new(ArchKind::S2taAw, w).serve(&models, &requests))
+        .collect();
+    for r in &reports[1..] {
+        assert_eq!(r.total_events, reports[0].total_events);
+        assert_eq!(r.batches, reports[0].batches);
+        assert_eq!(r.outcomes.len(), reports[0].outcomes.len());
+        // Same batch composition implies the same per-request batch ids.
+        for (a, b) in r.outcomes.iter().zip(&reports[0].outcomes) {
+            assert_eq!(a.batch, b.batch);
+        }
+    }
+}
+
+#[test]
+fn fleet_scales_throughput_on_backlogged_traffic() {
+    // A dense burst (tiny interarrival) keeps every worker busy, so a
+    // 4-worker fleet must finish materially sooner than a single
+    // accelerator.
+    let models = vec![lenet5()];
+    let requests = WorkloadSpec::uniform(2, 64, 100.0, 1).generate();
+    let one = Fleet::new(ArchKind::S2taAw, 1).serve(&models, &requests);
+    let four = Fleet::new(ArchKind::S2taAw, 4).serve(&models, &requests);
+    let speedup = one.makespan_cycles as f64 / four.makespan_cycles as f64;
+    assert!(speedup > 2.0, "4 workers only {speedup:.2}x faster than 1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cached-plan execution is bit-exact with the uncached path, for
+    /// any seed pair: running from a plan compiled at `weight_seed`
+    /// with `act_seed == weight_seed` must equal `run_model`, which
+    /// regenerates and recompresses everything per call.
+    #[test]
+    fn prop_cached_plans_are_bit_exact(
+        seed in any::<u64>(),
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [ArchKind::SaZvcg, ArchKind::S2taW, ArchKind::S2taAw][kind_idx];
+        let acc = Accelerator::preset(kind);
+        let model = lenet5();
+        let plan = acc.plan_model(&model, seed);
+        let planned = acc.run_model_planned(&plan, &model, seed);
+        let direct = Accelerator::preset(kind).run_model(&model, seed);
+        prop_assert_eq!(planned, direct);
+    }
+
+    /// Per-layer planned runs compose to the model run (streamed
+    /// residency), so the serving fleet's layer-major loop cannot
+    /// drift from the single-inference semantics.
+    #[test]
+    fn prop_layer_major_composition_matches_run_model(seed in any::<u64>()) {
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let model = lenet5();
+        let plan = acc.plan_model(&model, seed);
+        let layers: Vec<_> = model
+            .layers
+            .iter()
+            .zip(plan.layers())
+            .map(|(l, lp)| acc.run_layer_planned(lp, l, seed, WeightResidency::Streamed))
+            .collect();
+        let composed = ModelReport::from_layers(model.name, "S2TA-AW", layers);
+        prop_assert_eq!(composed, acc.run_model(&model, seed));
+    }
+}
