@@ -1,21 +1,26 @@
-//! Serving comparison: the same open-loop request stream served by
-//! fleets of each evaluated architecture.
+//! Serving comparison: the same request traffic served by fleets of
+//! each evaluated architecture, across client modes and batch policies.
 //!
 //! Extends the paper's single-inference evaluation to the serving
 //! setting: throughput, tail latency, utilization and energy per
 //! inference of an N-accelerator fleet under identical traffic. The
 //! structured-sparse datapaths win twice — each inference takes fewer
 //! cycles (paper Fig. 11), and the freed lane time absorbs more
-//! traffic, compounding into tail-latency headroom.
+//! traffic, compounding into tail-latency headroom. On top of the
+//! architecture sweep, this bench compares open- vs closed-loop
+//! clients and the fixed vs SLO-aware batch policies on the
+//! lenet5 + cifar10_convnet mix.
 
 use s2ta_bench::{header, SEED};
 use s2ta_core::ArchKind;
 use s2ta_energy::TechParams;
 use s2ta_models::{cifar10_convnet, lenet5};
-use s2ta_serve::{BatchPolicy, Fleet, ServeReport, WorkloadSpec};
+use s2ta_serve::{
+    BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, ServeReport, SloAwarePolicy, WorkloadSpec,
+};
 
 fn main() {
-    header("Serving", "Fleet throughput/latency/energy under identical open-loop traffic");
+    header("Serving", "Fleet throughput/latency/energy under identical traffic");
     let tech = TechParams::tsmc16();
     let models = [lenet5(), cifar10_convnet()];
     let spec = WorkloadSpec {
@@ -26,7 +31,7 @@ fn main() {
     };
     let requests = spec.generate();
     let workers = 4;
-    let policy = BatchPolicy { max_batch: 8, max_wait_cycles: 50_000 };
+    let policy = FixedPolicy { max_batch: 8, max_wait_cycles: 50_000 };
     println!("workload: {spec}; fleet: {workers} workers, batch <= {}", policy.max_batch);
     println!();
     println!(
@@ -65,12 +70,100 @@ fn main() {
 
     // The batching scheduler's own contribution on the AW fleet.
     let unbatched = Fleet::new(ArchKind::S2taAw, workers)
-        .with_policy(BatchPolicy::unbatched())
+        .with_policy(FixedPolicy::unbatched())
         .serve(&models, &requests);
     println!(
         "batching on S2TA-AW: {:.1}% accelerator-time saved, p99 {:.4} -> {:.4} ms",
         (1.0 - aw.total_events.cycles as f64 / unbatched.total_events.cycles as f64) * 100.0,
         ServeReport::cycles_to_ms(&tech, unbatched.p99_cycles()),
         ServeReport::cycles_to_ms(&tech, aw.p99_cycles()),
+    );
+    println!();
+
+    // --- Open vs closed loop on the S2TA-AW fleet -------------------
+    // The open-loop stream keeps arriving regardless of backlog; the
+    // closed-loop population (one outstanding request per client)
+    // throttles itself to service capacity, trading throughput for a
+    // bounded queue.
+    println!("open vs closed loop (S2TA-AW, {workers} workers):");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "client mode", "inf/s", "p50 ms", "p99 ms", "util %"
+    );
+    let open = Fleet::new(ArchKind::S2taAw, workers).with_policy(policy).serve(&models, &requests);
+    print_mode_row("open loop (320 req)", &open, &tech);
+    for clients in [4usize, 16] {
+        let closed_spec = ClosedLoopSpec {
+            seed: SEED,
+            clients,
+            requests: 320,
+            mean_think_cycles: 2_000.0,
+            mix: vec![2.0, 1.0],
+        };
+        let mut closed_policy = policy;
+        let closed = Fleet::new(ArchKind::S2taAw, workers).serve_closed_loop(
+            &models,
+            &closed_spec,
+            &mut closed_policy,
+        );
+        print_mode_row(&format!("closed loop ({clients} clients)"), &closed, &tech);
+    }
+    println!();
+
+    // --- Fixed vs SLO-aware policy ----------------------------------
+    // Moderate load where the default fixed policy's deep batching
+    // window dominates the tail: the SLO-aware policy starts tight and
+    // only grows batching while the observed p99 keeps slack against
+    // the target.
+    let slo_spec = WorkloadSpec {
+        seed: SEED,
+        requests: 320,
+        mean_interarrival_cycles: 6_000.0,
+        mix: vec![2.0, 1.0],
+    };
+    let slo_requests = slo_spec.generate();
+    let slo_fleet = Fleet::new(ArchKind::S2taAw, 2);
+    let fixed_default =
+        slo_fleet.clone().with_policy(FixedPolicy::default()).serve(&models, &slo_requests);
+    let target_p99 = 60_000u64;
+    let mut slo =
+        SloAwarePolicy::new(target_p99, BatchLimits { max_batch: 8, max_wait_cycles: 100_000 });
+    let adaptive = slo_fleet.serve_adaptive(&models, &slo_requests, &mut slo);
+    println!(
+        "fixed vs SLO-aware (S2TA-AW, 2 workers, mean gap {:.0}, target p99 {:.3} ms):",
+        slo_spec.mean_interarrival_cycles,
+        ServeReport::cycles_to_ms(&tech, target_p99),
+    );
+    println!("{:<26} {:>10} {:>10} {:>10} {:>10}", "policy", "inf/s", "p50 ms", "p99 ms", "batch");
+    for (name, r) in [("fixed (default)", &fixed_default), ("slo-aware", &adaptive)] {
+        println!(
+            "{:<26} {:>10.0} {:>10.4} {:>10.4} {:>10.2}",
+            name,
+            r.throughput_ips(&tech),
+            ServeReport::cycles_to_ms(&tech, r.p50_cycles()),
+            ServeReport::cycles_to_ms(&tech, r.p99_cycles()),
+            r.mean_batch_size(),
+        );
+    }
+    println!(
+        "SLO-aware: {:.2}x lower p99 at {:.2}x throughput",
+        fixed_default.p99_cycles() as f64 / adaptive.p99_cycles() as f64,
+        adaptive.throughput_ips(&tech) / fixed_default.throughput_ips(&tech),
+    );
+    assert!(
+        adaptive.p99_cycles() < fixed_default.p99_cycles()
+            && adaptive.throughput_ips(&tech) >= fixed_default.throughput_ips(&tech),
+        "SLO-aware policy must beat the default fixed policy's p99 at >= throughput"
+    );
+}
+
+fn print_mode_row(name: &str, r: &ServeReport, tech: &TechParams) {
+    println!(
+        "{:<26} {:>10.0} {:>10.4} {:>10.4} {:>10.1}",
+        name,
+        r.throughput_ips(tech),
+        ServeReport::cycles_to_ms(tech, r.p50_cycles()),
+        ServeReport::cycles_to_ms(tech, r.p99_cycles()),
+        r.mean_utilization() * 100.0,
     );
 }

@@ -191,10 +191,10 @@ mod tests {
     #[test]
     fn forward_shapes() {
         let m = Mlp::new(16, 8, 4, 1);
-        let f = m.forward(&vec![0.5; 16]);
+        let f = m.forward(&[0.5; 16]);
         assert_eq!(f.hidden.len(), 8);
         assert_eq!(f.logits.len(), 4);
-        assert!(m.predict(&vec![0.5; 16]) < 4);
+        assert!(m.predict(&[0.5; 16]) < 4);
     }
 
     #[test]

@@ -3,27 +3,44 @@
 //!
 //! A [`Fleet`] owns one [`Accelerator`] configuration whose clones share
 //! a [`s2ta_core::WeightPlanCache`], so every worker reuses the same
-//! compiled W-DBB weight plans. Serving a workload has three phases:
+//! compiled W-DBB weight plans. Three client modes are served:
 //!
-//! 1. the [`Scheduler`] folds the arrival stream into batches
-//!    (fleet-size independent, see [`crate::scheduler`]);
-//! 2. every batch's cycle simulation runs on the host thread pool
-//!    ([`s2ta_core::pool::parallel_map`] — `std::thread` + channels,
-//!    sized to the machine, independent of the simulated fleet size),
-//!    layer-major so a batch pays each layer's weight DMA once and
-//!    members after the first run weights-resident;
-//! 3. the scheduler places the measured batches onto the N simulated
-//!    lanes and the per-request latencies fall out of the placement.
+//! * [`Fleet::serve`] — **open loop, fixed policy**: the arrival stream
+//!   is folded into batches up front (fleet-size independent, see
+//!   [`crate::scheduler`]), every batch's cycle simulation fans out
+//!   over the host thread pool ([`s2ta_core::pool::parallel_map`]), and
+//!   the batches are then placed on the N simulated lanes.
+//! * [`Fleet::serve_adaptive`] — **open loop, adaptive policy**: the
+//!   same arrival stream driven through the event-driven engine so a
+//!   [`BatchPolicy`] can steer `max_batch`/`max_wait` from observed
+//!   completions.
+//! * [`Fleet::serve_closed_loop`] — **closed loop**: C concurrent
+//!   clients ([`crate::ClosedLoopSpec`]) each issue their next request
+//!   only after the previous one completes; arrivals are iterated
+//!   per-request in simulated time as a fixed point of the placement.
+//!
+//! All three modes honor the fleet's admission bound
+//! ([`Fleet::with_queue_capacity`]): a request arriving while its model
+//! lane is full is tail-dropped and surfaced as
+//! [`RequestOutcome::Dropped`].
 //!
 //! Simulated results never depend on host thread timing: batch events
-//! are a pure function of the batch, and placement is deterministic.
+//! are a pure function of the batch, and both the up-front placement
+//! and the event-driven engine are deterministic. The `outcomes` list
+//! in the returned [`ServeReport`] is sorted by request id
+//! post-placement (it is assembled in batch/dispatch order internally),
+//! so `outcomes[i].id() == i` always holds for a dense arrival stream.
 
-use crate::report::{RequestOutcome, ServeReport, WorkerStats};
-use crate::scheduler::{Batch, BatchPolicy, Scheduler};
-use crate::workload::Request;
+use crate::policy::{BatchLimits, BatchObservation, BatchPolicy, FixedPolicy};
+use crate::queue::RequestQueue;
+use crate::report::{DroppedRequest, RequestOutcome, ServeReport, ServedRequest, WorkerStats};
+use crate::scheduler::{Batch, DeadlineHeap, Formation, Scheduler};
+use crate::workload::{ClosedLoopClient, ClosedLoopSpec, Request};
 use s2ta_core::{pool, Accelerator, ArchKind, WeightResidency};
 use s2ta_models::ModelSpec;
 use s2ta_sim::EventCounts;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A pool of N identical simulated accelerators behind one scheduler.
 #[derive(Debug, Clone)]
@@ -32,11 +49,12 @@ pub struct Fleet {
     workers: usize,
     scheduler: Scheduler,
     weight_seed: u64,
+    queue_capacity: Option<usize>,
 }
 
 impl Fleet {
     /// A fleet of `workers` preset accelerators of `kind` with the
-    /// default batching policy.
+    /// default batching policy and unbounded admission.
     ///
     /// # Panics
     ///
@@ -55,14 +73,23 @@ impl Fleet {
         Self {
             accelerator,
             workers,
-            scheduler: Scheduler::new(BatchPolicy::default()),
+            scheduler: Scheduler::new(FixedPolicy::default()),
             weight_seed: 42,
+            queue_capacity: None,
         }
     }
 
-    /// Replaces the batching policy.
-    pub fn with_policy(mut self, policy: BatchPolicy) -> Self {
+    /// Replaces the fixed batching policy used by [`Fleet::serve`].
+    pub fn with_policy(mut self, policy: FixedPolicy) -> Self {
         self.scheduler = Scheduler::new(policy);
+        self
+    }
+
+    /// Bounds every model lane to `capacity` pending requests: a
+    /// request arriving while its lane is full is tail-dropped
+    /// (admission control). Applies to every client mode.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
         self
     }
 
@@ -82,14 +109,33 @@ impl Fleet {
         self.workers
     }
 
-    /// Serves a request stream against `models` and reports.
+    /// The per-lane admission bound, if any.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    fn queue(&self, models: usize) -> RequestQueue {
+        match self.queue_capacity {
+            Some(cap) => RequestQueue::bounded(models, cap),
+            None => RequestQueue::new(models),
+        }
+    }
+
+    /// Serves an open-loop request stream against `models` with the
+    /// fleet's fixed policy and reports.
+    ///
+    /// Batch formation (and admission, if a queue capacity is set)
+    /// depends only on the arrival stream, so the batch set, drop set
+    /// and aggregate event totals are identical for every fleet size;
+    /// batch simulation fans out over the host thread pool.
     ///
     /// # Panics
     ///
     /// Panics if a request names a model index outside `models`, or if
     /// arrivals are unsorted.
     pub fn serve(&self, models: &[ModelSpec], requests: &[Request]) -> ServeReport {
-        let batches = self.scheduler.form_batches(requests, models.len());
+        let Formation { batches, dropped } =
+            self.scheduler.form_batches_bounded(requests, models.len(), self.queue_capacity);
 
         // Compile each model's weight plan once, before fan-out, so the
         // parallel phase starts with a warm cache instead of racing
@@ -114,7 +160,7 @@ impl Fleet {
         let service: Vec<u64> = executions.iter().map(|e| e.service_cycles).collect();
         let placements = self.scheduler.place(&batches, &service, self.workers);
 
-        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len() + dropped.len());
         let mut workers = vec![WorkerStats::default(); self.workers];
         let mut total_events = EventCounts::default();
         let mut makespan = 0u64;
@@ -126,7 +172,7 @@ impl Fleet {
             lane.batches += 1;
             lane.requests += batch.requests.len();
             for r in &batch.requests {
-                outcomes.push(RequestOutcome {
+                outcomes.push(RequestOutcome::Served(ServedRequest {
                     id: r.id,
                     model: models[batch.model].name.to_string(),
                     arrival: r.arrival,
@@ -134,19 +180,74 @@ impl Fleet {
                     completion: placement.completion,
                     batch: batch.id,
                     worker: placement.worker,
-                });
+                }));
             }
         }
-        outcomes.sort_by_key(|o| o.id);
+        for r in &dropped {
+            outcomes.push(RequestOutcome::Dropped(DroppedRequest {
+                id: r.id,
+                model: models[r.model].name.to_string(),
+                arrival: r.arrival,
+            }));
+        }
+        outcomes.sort_by_key(RequestOutcome::id);
 
         ServeReport {
             arch: self.accelerator.config().kind.to_string(),
+            policy: "fixed".to_string(),
             outcomes,
             batches: batches.len(),
             workers,
             total_events,
             makespan_cycles: makespan,
         }
+    }
+
+    /// Serves an open-loop request stream through the event-driven
+    /// engine, letting `policy` adapt its batch bounds from observed
+    /// completions.
+    ///
+    /// With a [`FixedPolicy`] matching the fleet's, this produces the
+    /// identical report to [`Fleet::serve`] (the engine replays the
+    /// same formation and placement decisions in event order); an
+    /// adaptive policy such as [`crate::SloAwarePolicy`] trades batch
+    /// depth against observed tail latency as the run progresses. The
+    /// run is deterministic for a fixed `(stream, policy, workers)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names a model index outside `models`, or if
+    /// arrivals are unsorted.
+    pub fn serve_adaptive(
+        &self,
+        models: &[ModelSpec],
+        requests: &[Request],
+        policy: &mut dyn BatchPolicy,
+    ) -> ServeReport {
+        let mut arrivals = ArrivalSource::open(requests);
+        Engine::new(self, models).run(&mut arrivals, policy)
+    }
+
+    /// Serves a closed-loop client population: each of the spec's C
+    /// clients issues its next request only after its previous one
+    /// completes (or is dropped), plus an exponential think gap.
+    /// Arrivals are therefore computed per-request in simulated time as
+    /// the engine advances — a deterministic fixed point of the
+    /// placement for a fixed `(seed, policy, workers)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's mix length differs from `models`, or the
+    /// spec is invalid (no clients, bad mix, negative think time).
+    pub fn serve_closed_loop(
+        &self,
+        models: &[ModelSpec],
+        spec: &ClosedLoopSpec,
+        policy: &mut dyn BatchPolicy,
+    ) -> ServeReport {
+        assert_eq!(spec.mix.len(), models.len(), "closed-loop mix must name every fleet model");
+        let mut arrivals = ArrivalSource::closed(spec);
+        Engine::new(self, models).run(&mut arrivals, policy)
     }
 
     /// Simulates one batch, layer-major: each layer's weights stream
@@ -181,9 +282,310 @@ struct BatchExecution {
     events: EventCounts,
 }
 
+/// A batch sealed and dispatched by the event-driven engine.
+#[derive(Debug, Clone)]
+struct EngineBatch {
+    model: usize,
+    requests: Vec<Request>,
+    ready: u64,
+    start: u64,
+}
+
+/// Where the engine's next request comes from: a pre-generated sorted
+/// open-loop stream, or a closed-loop client population advanced on
+/// completions.
+enum ArrivalSource<'a> {
+    Open {
+        stream: &'a [Request],
+        next: usize,
+    },
+    Closed {
+        clients: Vec<ClosedLoopClient>,
+        /// One staged (issued, not yet arrived) request per client.
+        staged: Vec<Option<Request>>,
+        /// Staged arrivals ordered by `(arrival, client)` so
+        /// simultaneous issues resolve deterministically.
+        horizon: BinaryHeap<Reverse<(u64, usize)>>,
+        issued: usize,
+        budget: usize,
+    },
+}
+
+impl<'a> ArrivalSource<'a> {
+    fn open(stream: &'a [Request]) -> Self {
+        Self::Open { stream, next: 0 }
+    }
+
+    fn closed(spec: &ClosedLoopSpec) -> Self {
+        let mut clients = spec.spawn_clients();
+        let budget = spec.requests;
+        let mut staged: Vec<Option<Request>> = vec![None; clients.len()];
+        let mut horizon = BinaryHeap::new();
+        let mut issued = 0usize;
+        for (c, client) in clients.iter_mut().enumerate() {
+            if issued == budget {
+                break;
+            }
+            // Ids are provisional at issue time; the engine assigns the
+            // dense arrival-order id when the request enters the system.
+            let r = client.issue(0, 0);
+            horizon.push(Reverse((r.arrival, c)));
+            staged[c] = Some(r);
+            issued += 1;
+        }
+        Self::Closed { clients, staged, horizon, issued, budget }
+    }
+
+    /// Arrival time of the next request, if any.
+    fn peek_time(&self) -> Option<u64> {
+        match self {
+            Self::Open { stream, next } => stream.get(*next).map(|r| r.arrival),
+            Self::Closed { horizon, .. } => horizon.peek().map(|Reverse((t, _))| *t),
+        }
+    }
+
+    /// Takes the next request. Open-loop requests keep their caller
+    /// ids; closed-loop requests are assigned the dense arrival-order
+    /// id `next_id`. Returns the request and, for closed-loop sources,
+    /// the issuing client.
+    fn pop(&mut self, next_id: u64) -> (Request, Option<usize>) {
+        match self {
+            Self::Open { stream, next } => {
+                let r = stream[*next];
+                *next += 1;
+                (r, None)
+            }
+            Self::Closed { staged, horizon, .. } => {
+                let Reverse((_, c)) = horizon.pop().expect("pop follows peek");
+                let mut r = staged[c].take().expect("staged request for heap entry");
+                r.id = next_id;
+                (r, Some(c))
+            }
+        }
+    }
+
+    /// Notifies a closed-loop client that its request finished (served
+    /// or dropped) at `now`, staging its next issue if budget remains.
+    /// No-op for open-loop sources.
+    fn request_finished(&mut self, client: Option<usize>, now: u64) {
+        let Some(c) = client else { return };
+        let Self::Closed { clients, staged, horizon, issued, budget } = self else {
+            return;
+        };
+        if *issued == *budget {
+            return;
+        }
+        let r = clients[c].issue(now, 0);
+        horizon.push(Reverse((r.arrival, c)));
+        staged[c] = Some(r);
+        *issued += 1;
+    }
+}
+
+/// The event-driven serving engine: advances simulated time through
+/// three event kinds — batch completions, request arrivals, and batch
+/// wait-deadline expiries — processed in `(time, kind)` order
+/// (completions, then arrivals, then deadlines at equal times, which
+/// reproduces the stream-fold path's `deadline < now` boundary: an
+/// arrival exactly at a deadline still joins the batch).
+struct Engine<'a> {
+    fleet: &'a Fleet,
+    models: &'a [ModelSpec],
+    queue: RequestQueue,
+    deadlines: DeadlineHeap,
+    /// In-flight batches ordered by `(completion, batch index)`.
+    in_flight: BinaryHeap<Reverse<(u64, usize)>>,
+    batches: Vec<EngineBatch>,
+    free_at: Vec<u64>,
+    outcomes: Vec<RequestOutcome>,
+    worker_stats: Vec<WorkerStats>,
+    total_events: EventCounts,
+    makespan: u64,
+    /// Issuing client per request id (closed loop only).
+    client_of: Vec<Option<usize>>,
+    next_id: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(fleet: &'a Fleet, models: &'a [ModelSpec]) -> Self {
+        Self {
+            fleet,
+            models,
+            queue: fleet.queue(models.len()),
+            deadlines: DeadlineHeap::new(),
+            in_flight: BinaryHeap::new(),
+            batches: Vec::new(),
+            free_at: vec![0u64; fleet.workers],
+            outcomes: Vec::new(),
+            worker_stats: vec![WorkerStats::default(); fleet.workers],
+            total_events: EventCounts::default(),
+            makespan: 0,
+            client_of: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn run(mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) -> ServeReport {
+        let mut last_arrival = 0u64;
+        loop {
+            // The next event is the earliest of (completion, arrival,
+            // deadline); kind breaks ties so same-cycle events fire in
+            // a fixed order.
+            let completion = self.in_flight.peek().map(|Reverse((t, _))| (*t, 0u8));
+            let arrival = arrivals.peek_time().map(|t| (t, 1u8));
+            let deadline = self.deadlines.peek_live(&self.queue).map(|(t, _)| (t, 2u8));
+            let Some((_, kind)) = [completion, arrival, deadline].into_iter().flatten().min()
+            else {
+                break;
+            };
+            match kind {
+                0 => self.on_completion(arrivals, policy),
+                1 => {
+                    let (r, client) = arrivals.pop(self.next_id);
+                    self.next_id += 1;
+                    assert!(r.arrival >= last_arrival, "arrival stream must be sorted");
+                    last_arrival = r.arrival;
+                    self.on_arrival(r, client, arrivals, policy);
+                }
+                _ => self.on_deadline(policy),
+            }
+        }
+        self.into_report(policy.name())
+    }
+
+    fn on_completion(&mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) {
+        let Reverse((t, index)) = self.in_flight.pop().expect("peeked");
+        let batch = &self.batches[index];
+        let max_latency_cycles = batch.requests.iter().map(|r| t - r.arrival).max().unwrap_or(0);
+        policy.observe(&BatchObservation {
+            model: batch.model,
+            batch_size: batch.requests.len(),
+            ready: batch.ready,
+            start: batch.start,
+            completion: t,
+            max_latency_cycles,
+        });
+        // Closed-loop clients issue their next request now. The map is
+        // only populated in closed-loop mode, where engine-assigned ids
+        // are dense; open-loop lookups miss and no-op.
+        for i in 0..self.batches[index].requests.len() {
+            let id = self.batches[index].requests[i].id as usize;
+            let client = self.client_of.get(id).copied().flatten();
+            arrivals.request_finished(client, t);
+        }
+    }
+
+    fn on_arrival(
+        &mut self,
+        request: Request,
+        client: Option<usize>,
+        arrivals: &mut ArrivalSource,
+        policy: &mut dyn BatchPolicy,
+    ) {
+        if client.is_some() {
+            debug_assert_eq!(self.client_of.len() as u64, request.id);
+            self.client_of.push(client);
+        }
+        let limits = policy.limits();
+        assert!(limits.max_batch > 0, "max_batch must be non-zero");
+        let lane = request.model;
+        let was_empty = self.queue.pending(lane) == 0;
+        if !self.queue.try_push(request) {
+            self.outcomes.push(RequestOutcome::Dropped(DroppedRequest {
+                id: request.id,
+                model: self.models[lane].name.to_string(),
+                arrival: request.arrival,
+            }));
+            // A drop completes the client's outstanding request
+            // immediately; it thinks and retries from the drop time.
+            arrivals.request_finished(client, request.arrival);
+            return;
+        }
+        if was_empty {
+            self.deadlines.arm(lane, &request, limits.max_wait_cycles);
+        }
+        // `>=` rather than `==`: an adaptive policy may have shrunk
+        // `max_batch` below the lane's backlog, in which case several
+        // batches seal back-to-back at this arrival.
+        while self.queue.pending(lane) >= limits.max_batch {
+            self.seal(lane, request.arrival, limits);
+        }
+    }
+
+    fn on_deadline(&mut self, policy: &mut dyn BatchPolicy) {
+        let (deadline, lane) =
+            self.deadlines.peek_live(&self.queue).expect("peeked before dispatch");
+        self.deadlines.pop();
+        let limits = policy.limits();
+        self.seal(lane, deadline, limits);
+    }
+
+    /// Seals one batch off `lane` (up to `max_batch` members), arms the
+    /// lane's next deadline if requests remain, and dispatches the
+    /// batch to the earliest-free simulated worker.
+    fn seal(&mut self, lane: usize, ready: u64, limits: BatchLimits) {
+        let members = self.queue.pop_batch(lane, limits.max_batch.max(1));
+        debug_assert!(!members.is_empty());
+        // An adaptive shrink can leave a lane's re-armed deadline in
+        // the past relative to later members; a batch is never ready
+        // before its newest member arrived.
+        let ready = ready.max(members.last().map_or(0, |r| r.arrival));
+        if let Some(front) = self.queue.front(lane) {
+            let front = *front;
+            self.deadlines.arm(lane, &front, limits.max_wait_cycles);
+        }
+
+        let batch = Batch { id: self.batches.len(), model: lane, requests: members, ready };
+        let exec = self.fleet.execute_batch(self.models, &batch);
+        let (worker, &free) =
+            self.free_at.iter().enumerate().min_by_key(|&(idx, &t)| (t, idx)).expect("workers > 0");
+        let start = free.max(ready);
+        let completion = start + exec.service_cycles;
+        self.free_at[worker] = completion;
+        self.total_events += exec.events;
+        self.makespan = self.makespan.max(completion);
+        let stats = &mut self.worker_stats[worker];
+        stats.busy_cycles += exec.service_cycles;
+        stats.batches += 1;
+        stats.requests += batch.requests.len();
+        for r in &batch.requests {
+            self.outcomes.push(RequestOutcome::Served(ServedRequest {
+                id: r.id,
+                model: self.models[batch.model].name.to_string(),
+                arrival: r.arrival,
+                start,
+                completion,
+                batch: batch.id,
+                worker,
+            }));
+        }
+        self.in_flight.push(Reverse((completion, batch.id)));
+        self.batches.push(EngineBatch {
+            model: batch.model,
+            requests: batch.requests,
+            ready,
+            start,
+        });
+    }
+
+    fn into_report(mut self, policy_name: &str) -> ServeReport {
+        self.outcomes.sort_by_key(RequestOutcome::id);
+        ServeReport {
+            arch: self.fleet.accelerator.config().kind.to_string(),
+            policy: policy_name.to_string(),
+            outcomes: self.outcomes,
+            batches: self.batches.len(),
+            workers: self.worker_stats,
+            total_events: self.total_events,
+            makespan_cycles: self.makespan,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SloAwarePolicy;
     use crate::workload::WorkloadSpec;
     use s2ta_models::lenet5;
 
@@ -198,10 +600,12 @@ mod tests {
         let (models, reqs) = tiny_workload(24);
         let report = Fleet::new(ArchKind::S2taAw, 3).serve(&models, &reqs);
         assert_eq!(report.outcomes.len(), 24);
+        assert_eq!(report.dropped_count(), 0);
         for (i, o) in report.outcomes.iter().enumerate() {
-            assert_eq!(o.id, i as u64, "outcomes must be dense by id");
-            assert!(o.completion > o.arrival);
-            assert!(o.worker < 3);
+            assert_eq!(o.id(), i as u64, "outcomes must be dense by id");
+            let s = o.served().expect("no drops without a capacity bound");
+            assert!(s.completion > s.arrival);
+            assert!(s.worker < 3);
         }
         let served: usize = report.workers.iter().map(|w| w.requests).sum();
         assert_eq!(served, 24);
@@ -235,10 +639,10 @@ mod tests {
         // must reduce total simulated cycles.
         let (models, reqs) = tiny_workload(32);
         let batched = Fleet::new(ArchKind::S2taAw, 2)
-            .with_policy(BatchPolicy { max_batch: 8, max_wait_cycles: 1_000_000 })
+            .with_policy(FixedPolicy { max_batch: 8, max_wait_cycles: 1_000_000 })
             .serve(&models, &reqs);
         let unbatched = Fleet::new(ArchKind::S2taAw, 2)
-            .with_policy(BatchPolicy::unbatched())
+            .with_policy(FixedPolicy::unbatched())
             .serve(&models, &reqs);
         assert!(
             batched.total_events.cycles < unbatched.total_events.cycles,
@@ -249,6 +653,96 @@ mod tests {
         assert_eq!(
             batched.total_events.macs_active, unbatched.total_events.macs_active,
             "batching changes time, not arithmetic"
+        );
+    }
+
+    /// The event-driven engine replays the vectorized open-loop path
+    /// exactly when the policy is fixed: same batches, same placement,
+    /// same report.
+    #[test]
+    fn engine_with_fixed_policy_matches_vectorized_serve() {
+        let (models, reqs) = tiny_workload(40);
+        for workers in [1, 3] {
+            let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 30_000 };
+            let fleet = Fleet::new(ArchKind::S2taAw, workers).with_policy(policy);
+            let vectorized = fleet.serve(&models, &reqs);
+            let mut fixed = policy;
+            let event_driven = fleet.serve_adaptive(&models, &reqs, &mut fixed);
+            assert_eq!(vectorized, event_driven, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn engine_equivalence_holds_under_admission_bounds() {
+        let models = vec![lenet5()];
+        // Dense traffic against a lane bound below `max_batch` produces
+        // real drops: the lane fills to capacity long before the
+        // timeout can close a batch.
+        let reqs = WorkloadSpec::uniform(5, 60, 500.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 8, max_wait_cycles: 10_000 };
+        let fleet = Fleet::new(ArchKind::S2taAw, 2).with_policy(policy).with_queue_capacity(3);
+        let vectorized = fleet.serve(&models, &reqs);
+        assert!(vectorized.dropped_count() > 0, "workload must overload the bound");
+        let mut fixed = policy;
+        let event_driven = fleet.serve_adaptive(&models, &reqs, &mut fixed);
+        assert_eq!(vectorized, event_driven);
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic_and_bounded_by_budget() {
+        let models = vec![lenet5()];
+        let spec = ClosedLoopSpec::uniform(19, 4, 40, 5_000.0, 1);
+        let fleet = Fleet::new(ArchKind::S2taAw, 2);
+        let mut p1 = FixedPolicy { max_batch: 4, max_wait_cycles: 20_000 };
+        let mut p2 = p1;
+        let a = fleet.serve_closed_loop(&models, &spec, &mut p1);
+        let b = fleet.serve_closed_loop(&models, &spec, &mut p2);
+        assert_eq!(a, b, "closed loop must be deterministic for a fixed seed/policy/workers");
+        assert_eq!(a.outcomes.len(), 40, "every budgeted request is issued exactly once");
+        for (i, o) in a.outcomes.iter().enumerate() {
+            assert_eq!(o.id(), i as u64);
+        }
+    }
+
+    #[test]
+    fn closed_loop_keeps_at_most_one_request_in_flight_per_client() {
+        let models = vec![lenet5()];
+        let clients = 3;
+        let spec = ClosedLoopSpec::uniform(23, clients, 30, 1_000.0, 1);
+        let mut policy = FixedPolicy::unbatched();
+        let report =
+            Fleet::new(ArchKind::S2taAw, clients).serve_closed_loop(&models, &spec, &mut policy);
+        // With batch-1 dispatch and one worker per client, a client's
+        // requests can never overlap: at most `clients` requests are
+        // ever concurrently in the system.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for o in report.served_outcomes() {
+            events.push((o.arrival, 1));
+            events.push((o.completion, -1));
+        }
+        events.sort_unstable();
+        let mut open = 0i64;
+        for (_, delta) in events {
+            open += delta;
+            assert!(open <= clients as i64, "more than one outstanding request per client");
+        }
+    }
+
+    #[test]
+    fn slo_policy_cuts_tail_latency_against_wide_open_fixed_policy() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(31, 48, 8_000.0, 1).generate();
+        let fleet = Fleet::new(ArchKind::S2taAw, 2);
+        let fixed_wide = FixedPolicy { max_batch: 8, max_wait_cycles: 400_000 };
+        let baseline = fleet.clone().with_policy(fixed_wide).serve(&models, &reqs);
+        let mut slo =
+            SloAwarePolicy::new(60_000, BatchLimits { max_batch: 8, max_wait_cycles: 400_000 });
+        let adaptive = fleet.serve_adaptive(&models, &reqs, &mut slo);
+        assert!(
+            adaptive.p99_cycles() < baseline.p99_cycles(),
+            "SLO-aware p99 {} must beat fixed p99 {}",
+            adaptive.p99_cycles(),
+            baseline.p99_cycles()
         );
     }
 }

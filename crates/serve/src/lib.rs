@@ -3,25 +3,34 @@
 //!
 //! The paper evaluates single inferences on a single accelerator; this
 //! crate turns the cycle-accurate core into a throughput/latency
-//! engine: an open-loop stream of inference requests is batched per
-//! model and dispatched across a fleet of N simulated S2TA instances,
-//! with the expensive W-DBB weight compilation shared fleet-wide
-//! through the [`s2ta_core::WeightPlanCache`].
+//! engine: a stream of inference requests is batched per model and
+//! dispatched across a fleet of N simulated S2TA instances, with the
+//! expensive W-DBB weight compilation shared fleet-wide through the
+//! [`s2ta_core::WeightPlanCache`].
 //!
 //! * [`WorkloadSpec`] / [`Request`] — deterministic seeded open-loop
 //!   request generation over the `s2ta-models` zoo (no wall clock, no
 //!   OS randomness: a seed fully determines the stream).
-//! * [`RequestQueue`] — per-model FIFO lanes.
-//! * [`Scheduler`] / [`BatchPolicy`] — groups compatible requests into
-//!   batches (size- or timeout-closed) and places them on simulated
-//!   worker lanes. Batch formation is fleet-size independent, so
+//! * [`ClosedLoopSpec`] / [`ClosedLoopClient`] — closed-loop client
+//!   populations: each client issues its next request only after the
+//!   previous one completes, so offered load adapts to capacity.
+//! * [`RequestQueue`] — per-model FIFO lanes, optionally bounded for
+//!   admission control (tail drop).
+//! * [`Scheduler`] — groups compatible requests into batches (size- or
+//!   timeout-closed) and places them on simulated worker lanes. Batch
+//!   formation under a fixed policy is fleet-size independent, so
 //!   aggregate simulation results are identical for every worker count.
+//! * [`BatchPolicy`] — the closure-rule trait: [`FixedPolicy`] (static
+//!   bounds) or [`SloAwarePolicy`] (shrinks/grows `max_wait`/
+//!   `max_batch` against an observed-p99 target).
 //! * [`Fleet`] — N accelerator clones served by a host thread pool
 //!   ([`s2ta_core::pool`]); batches run layer-major so memory-bound
-//!   layers pay their weight DMA once per batch.
-//! * [`ServeReport`] — throughput, p50/p95/p99 latency, per-worker
-//!   utilization, aggregate [`s2ta_sim::EventCounts`] and energy via
-//!   `s2ta-energy`.
+//!   layers pay their weight DMA once per batch. Open-loop
+//!   ([`Fleet::serve`]), adaptive ([`Fleet::serve_adaptive`]) and
+//!   closed-loop ([`Fleet::serve_closed_loop`]) client modes.
+//! * [`ServeReport`] — goodput, drop rate, p50/p95/p99 latency,
+//!   per-worker utilization, aggregate [`s2ta_sim::EventCounts`] and
+//!   energy via `s2ta-energy`.
 //!
 //! # Example
 //!
@@ -41,13 +50,15 @@
 #![forbid(unsafe_code)]
 
 mod fleet;
+mod policy;
 mod queue;
 mod report;
 mod scheduler;
 mod workload;
 
 pub use fleet::Fleet;
+pub use policy::{BatchLimits, BatchObservation, BatchPolicy, FixedPolicy, SloAwarePolicy};
 pub use queue::RequestQueue;
-pub use report::{RequestOutcome, ServeReport, WorkerStats};
-pub use scheduler::{Batch, BatchPolicy, Placement, Scheduler};
-pub use workload::{Request, WorkloadSpec};
+pub use report::{DroppedRequest, RequestOutcome, ServeReport, ServedRequest, WorkerStats};
+pub use scheduler::{Batch, Formation, Placement, Scheduler};
+pub use workload::{ClosedLoopClient, ClosedLoopSpec, Request, WorkloadSpec};

@@ -1,0 +1,363 @@
+//! Batching policies: when the scheduler closes a batch.
+//!
+//! [`BatchPolicy`] is a trait so the dispatch rule can *adapt* to the
+//! serving loop: after every batch completes, the engine feeds the
+//! policy a [`BatchObservation`], and the policy answers the next
+//! [`BatchLimits`] query with (possibly updated) bounds. Two policies
+//! ship:
+//!
+//! * [`FixedPolicy`] — static `max_batch`/`max_wait_cycles`, the PR 1
+//!   behaviour. Its limits never move, so open-loop batch formation
+//!   stays a pure function of the arrival stream (fleet-size
+//!   independent event totals).
+//! * [`SloAwarePolicy`] — tracks a window of observed request
+//!   latencies and steers the limits toward a p99 target with an
+//!   AIMD-style rule: shrink `max_wait`/`max_batch` when the observed
+//!   tail approaches the SLO, grow them back toward the configured
+//!   ceiling when there is slack. Every adjustment is a deterministic
+//!   function of the observation sequence, so a `(seed, policy,
+//!   workers)` triple reproduces a run exactly.
+
+use std::fmt;
+
+/// The scheduler's current batch-closure bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchLimits {
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Maximum cycles the oldest request of a batch may wait before the
+    /// batch is dispatched anyway.
+    pub max_wait_cycles: u64,
+}
+
+impl BatchLimits {
+    /// Batch-of-one: every request dispatches immediately (the paper's
+    /// batch-1 mobile setting).
+    pub fn unbatched() -> Self {
+        Self { max_batch: 1, max_wait_cycles: 0 }
+    }
+}
+
+impl Default for BatchLimits {
+    fn default() -> Self {
+        Self { max_batch: 8, max_wait_cycles: 100_000 }
+    }
+}
+
+/// What the serving engine saw when one batch completed. Fed to
+/// [`BatchPolicy::observe`] in completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchObservation {
+    /// Model the batch served.
+    pub model: usize,
+    /// Requests in the batch.
+    pub batch_size: usize,
+    /// Cycle the batch became ready to dispatch.
+    pub ready: u64,
+    /// Cycle the batch started executing.
+    pub start: u64,
+    /// Cycle the batch completed.
+    pub completion: u64,
+    /// Worst member latency (its arrival to batch completion).
+    pub max_latency_cycles: u64,
+}
+
+/// When the scheduler closes a batch.
+///
+/// Implementations must be deterministic: the limits returned may
+/// depend only on the sequence of observations fed so far, never on
+/// wall clocks or ambient state.
+pub trait BatchPolicy: fmt::Debug {
+    /// The bounds the scheduler should apply right now.
+    fn limits(&self) -> BatchLimits;
+
+    /// Feedback after a batch completes (in completion order). Fixed
+    /// policies ignore this.
+    fn observe(&mut self, _observation: &BatchObservation) {}
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The static policy: constant `max_batch` / `max_wait_cycles`.
+///
+/// Structurally identical to [`BatchLimits`] (the `From` conversions
+/// below are the single source of truth for that correspondence); it
+/// exists as its own type so the fleet's scheduler can demand a policy
+/// that *provably* never moves. With this policy, open-loop batch
+/// formation depends only on the arrival stream, which is what makes
+/// [`crate::ServeReport`]'s event totals independent of the fleet size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPolicy {
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Maximum cycles the oldest request of a batch may wait before the
+    /// batch is dispatched anyway.
+    pub max_wait_cycles: u64,
+}
+
+impl From<BatchLimits> for FixedPolicy {
+    fn from(limits: BatchLimits) -> Self {
+        Self { max_batch: limits.max_batch, max_wait_cycles: limits.max_wait_cycles }
+    }
+}
+
+impl From<FixedPolicy> for BatchLimits {
+    fn from(policy: FixedPolicy) -> Self {
+        Self { max_batch: policy.max_batch, max_wait_cycles: policy.max_wait_cycles }
+    }
+}
+
+impl Default for FixedPolicy {
+    fn default() -> Self {
+        BatchLimits::default().into()
+    }
+}
+
+impl FixedPolicy {
+    /// Batch-of-one: every request dispatches immediately (the paper's
+    /// batch-1 mobile setting).
+    pub fn unbatched() -> Self {
+        BatchLimits::unbatched().into()
+    }
+}
+
+impl BatchPolicy for FixedPolicy {
+    fn limits(&self) -> BatchLimits {
+        (*self).into()
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Latency-SLO-aware adaptive policy.
+///
+/// Starts **tight** (batch-of-one, a small fraction of the target as
+/// `max_wait`) so no request pays a deep batching window before the
+/// policy has evidence, then keeps a sliding window of the most recent
+/// observed request latencies (each batch contributes its worst
+/// member). After every observation, once the window holds
+/// [`SloAwarePolicy::WARMUP`] samples, the windowed p99 is compared
+/// against the target:
+///
+/// * **tail pressure** (`p99 > 4/5 · target`, i.e. the tail
+///   *approaches* the SLO): multiplicative decrease — halve
+///   `max_wait_cycles` and drop one off `max_batch` (floors:
+///   `min_wait_cycles`, batch 1). Smaller batches dispatch sooner and
+///   shed queueing delay at the cost of weight-streaming amortization.
+/// * **slack** (`p99 < 2/5 · target`): additive increase — grow
+///   `max_wait_cycles` by a quarter (at least 1) and `max_batch` by
+///   one, capped at the configured ceiling, recovering batching
+///   efficiency when the tail allows it.
+///
+/// The rule is the classic AIMD shape (as in congestion control):
+/// conservative growth, aggressive backoff, converging to the deepest
+/// batching window the SLO tolerates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAwarePolicy {
+    /// Latency target the windowed p99 is steered under.
+    target_p99_cycles: u64,
+    /// Ceiling the limits may grow back to.
+    ceiling: BatchLimits,
+    /// Floor for `max_wait_cycles` under backoff.
+    min_wait_cycles: u64,
+    /// Current limits.
+    current: BatchLimits,
+    /// Sliding window of observed worst-member latencies.
+    window: Vec<u64>,
+    /// Next slot to overwrite once the window is full.
+    cursor: usize,
+}
+
+impl SloAwarePolicy {
+    /// Observations kept in the sliding latency window.
+    pub const WINDOW: usize = 64;
+    /// Observations required before the first adjustment.
+    pub const WARMUP: usize = 4;
+
+    /// A policy steering toward `target_p99_cycles`, allowed to batch
+    /// up to `ceiling`. The starting limits are tight (batch-of-one,
+    /// an eighth of the target as `max_wait`) and grow only as the
+    /// observed tail shows slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is zero or `ceiling.max_batch` is zero.
+    pub fn new(target_p99_cycles: u64, ceiling: BatchLimits) -> Self {
+        assert!(target_p99_cycles > 0, "SLO target must be non-zero");
+        assert!(ceiling.max_batch > 0, "max_batch ceiling must be non-zero");
+        // The backoff floor must itself respect the ceiling, or a
+        // ceiling below target/64 would make "multiplicative decrease"
+        // *raise* the wait bound past the configured cap.
+        let min_wait_cycles = (target_p99_cycles / 64).max(1).min(ceiling.max_wait_cycles);
+        Self {
+            target_p99_cycles,
+            ceiling,
+            min_wait_cycles,
+            current: BatchLimits {
+                max_batch: 1,
+                max_wait_cycles: (target_p99_cycles / 8)
+                    .max(min_wait_cycles)
+                    .min(ceiling.max_wait_cycles),
+            },
+            window: Vec::with_capacity(Self::WINDOW),
+            cursor: 0,
+        }
+    }
+
+    /// The latency target.
+    pub fn target_p99_cycles(&self) -> u64 {
+        self.target_p99_cycles
+    }
+
+    /// Windowed nearest-rank p99 of the observed latencies.
+    fn windowed_p99(&self) -> u64 {
+        let mut lat = self.window.clone();
+        lat.sort_unstable();
+        crate::report::nearest_rank(&lat, 99.0)
+    }
+}
+
+impl BatchPolicy for SloAwarePolicy {
+    fn limits(&self) -> BatchLimits {
+        self.current
+    }
+
+    fn observe(&mut self, observation: &BatchObservation) {
+        if self.window.len() < Self::WINDOW {
+            self.window.push(observation.max_latency_cycles);
+        } else {
+            self.window[self.cursor] = observation.max_latency_cycles;
+            self.cursor = (self.cursor + 1) % Self::WINDOW;
+        }
+        if self.window.len() < Self::WARMUP {
+            return;
+        }
+        let p99 = self.windowed_p99();
+        if p99 > self.target_p99_cycles / 5 * 4 {
+            // Tail approaches the SLO: multiplicative decrease —
+            // dispatch sooner, batch less.
+            self.current.max_wait_cycles =
+                (self.current.max_wait_cycles / 2).max(self.min_wait_cycles);
+            self.current.max_batch = (self.current.max_batch - 1).max(1);
+        } else if p99 < self.target_p99_cycles / 5 * 2 {
+            // Slack: additive increase toward the ceiling.
+            let step = (self.current.max_wait_cycles / 4).max(1);
+            self.current.max_wait_cycles =
+                (self.current.max_wait_cycles + step).min(self.ceiling.max_wait_cycles);
+            self.current.max_batch = (self.current.max_batch + 1).min(self.ceiling.max_batch);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "slo-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(latency: u64) -> BatchObservation {
+        BatchObservation {
+            model: 0,
+            batch_size: 1,
+            ready: 0,
+            start: 0,
+            completion: latency,
+            max_latency_cycles: latency,
+        }
+    }
+
+    #[test]
+    fn fixed_policy_never_moves() {
+        let mut p = FixedPolicy { max_batch: 4, max_wait_cycles: 500 };
+        let before = p.limits();
+        for latency in [1u64, 1_000_000, 5] {
+            p.observe(&obs(latency));
+        }
+        assert_eq!(p.limits(), before);
+        assert_eq!(p.name(), "fixed");
+    }
+
+    #[test]
+    fn slo_policy_starts_tight() {
+        let ceiling = BatchLimits { max_batch: 8, max_wait_cycles: 100_000 };
+        let p = SloAwarePolicy::new(10_000, ceiling);
+        let start = p.limits();
+        assert_eq!(start.max_batch, 1, "no speculative batching before evidence");
+        assert!(start.max_wait_cycles <= 10_000 / 8);
+        assert!(start.max_wait_cycles >= 1);
+    }
+
+    #[test]
+    fn slo_policy_grows_under_slack_then_backs_off_under_pressure() {
+        let ceiling = BatchLimits { max_batch: 8, max_wait_cycles: 100_000 };
+        let mut p = SloAwarePolicy::new(10_000, ceiling);
+        let start = p.limits();
+        // Fast completions: limits must grow (never past the ceiling).
+        for _ in 0..(SloAwarePolicy::WINDOW + 64) {
+            p.observe(&obs(100));
+        }
+        let relaxed = p.limits();
+        assert!(relaxed.max_wait_cycles > start.max_wait_cycles, "slack must grow the window");
+        assert!(relaxed.max_batch > start.max_batch);
+        assert_eq!(relaxed.max_batch, ceiling.max_batch, "full slack reaches the ceiling");
+        assert_eq!(relaxed.max_wait_cycles, ceiling.max_wait_cycles);
+        // The tail approaches the target (within the 4/5 band): back off.
+        for _ in 0..SloAwarePolicy::WINDOW {
+            p.observe(&obs(9_000));
+        }
+        let squeezed = p.limits();
+        assert!(squeezed.max_wait_cycles < relaxed.max_wait_cycles, "pressure must shrink wait");
+        assert!(squeezed.max_batch < relaxed.max_batch, "pressure must shrink batch");
+        assert!(squeezed.max_batch >= 1);
+    }
+
+    #[test]
+    fn slo_policy_floors_never_reach_zero() {
+        let mut p = SloAwarePolicy::new(100, BatchLimits { max_batch: 2, max_wait_cycles: 10 });
+        for _ in 0..256 {
+            p.observe(&obs(1_000_000));
+        }
+        assert!(p.limits().max_batch >= 1);
+        assert!(p.limits().max_wait_cycles >= 1);
+    }
+
+    /// Regression: with a ceiling below `target / 64` the backoff floor
+    /// used to exceed the ceiling, so "multiplicative decrease" *grew*
+    /// `max_wait_cycles` under tail pressure. The limits must never
+    /// leave the configured box, in either adjustment direction.
+    #[test]
+    fn slo_policy_never_exceeds_a_tiny_ceiling() {
+        let ceiling = BatchLimits { max_batch: 8, max_wait_cycles: 10 };
+        let mut p = SloAwarePolicy::new(1_000_000, ceiling);
+        for i in 0..256u64 {
+            // Alternate pressure and slack to drive both branches.
+            p.observe(&obs(if i % 2 == 0 { 5_000_000 } else { 1 }));
+            let limits = p.limits();
+            assert!(
+                limits.max_wait_cycles <= ceiling.max_wait_cycles,
+                "wait {} escaped ceiling {}",
+                limits.max_wait_cycles,
+                ceiling.max_wait_cycles
+            );
+            assert!(limits.max_batch <= ceiling.max_batch);
+        }
+    }
+
+    #[test]
+    fn slo_policy_is_deterministic() {
+        let mk = || SloAwarePolicy::new(5_000, BatchLimits::default());
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..200u64 {
+            let latency = (i * 7919) % 20_000;
+            a.observe(&obs(latency));
+            b.observe(&obs(latency));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.limits(), b.limits());
+    }
+}

@@ -1,4 +1,5 @@
-//! The request queue: per-model FIFO lanes feeding the batch scheduler.
+//! The request queue: per-model FIFO lanes feeding the batch scheduler,
+//! with optional per-lane admission bounds.
 
 use crate::workload::Request;
 use std::collections::VecDeque;
@@ -9,24 +10,44 @@ use std::collections::VecDeque;
 /// batch holds one model's requests in arrival order") a structural
 /// property instead of an invariant to re-check: a lane can only ever
 /// hand out compatible, ordered requests.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// A queue built with [`RequestQueue::bounded`] additionally enforces
+/// **admission control**: each lane holds at most `capacity` pending
+/// requests, and [`RequestQueue::try_push`] refuses (tail-drops) the
+/// incoming request when its lane is full. Tail drop is deterministic —
+/// whether a request is admitted depends only on the arrival stream and
+/// the batch-closure history, never on host timing.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RequestQueue {
     lanes: Vec<VecDeque<Request>>,
     len: usize,
+    capacity: Option<usize>,
 }
 
 impl RequestQueue {
-    /// An empty queue with one FIFO lane per model.
+    /// An empty unbounded queue with one FIFO lane per model.
     pub fn new(models: usize) -> Self {
-        Self { lanes: (0..models).map(|_| VecDeque::new()).collect(), len: 0 }
+        Self { lanes: (0..models).map(|_| VecDeque::new()).collect(), len: 0, capacity: None }
     }
 
-    /// Enqueues a request on its model's lane.
+    /// An empty queue admitting at most `capacity` pending requests per
+    /// model lane. A capacity of zero drops every request.
+    pub fn bounded(models: usize, capacity: usize) -> Self {
+        Self { capacity: Some(capacity), ..Self::new(models) }
+    }
+
+    /// The per-lane admission bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Offers a request to its model's lane: `true` if admitted,
+    /// `false` if the lane was at capacity and the request was dropped.
     ///
     /// # Panics
     ///
     /// Panics if the request names a model the queue has no lane for.
-    pub fn push(&mut self, request: Request) {
+    pub fn try_push(&mut self, request: Request) -> bool {
         assert!(
             request.model < self.lanes.len(),
             "request {} names model {} but the queue has {} lanes",
@@ -34,8 +55,25 @@ impl RequestQueue {
             request.model,
             self.lanes.len()
         );
-        self.lanes[request.model].push_back(request);
+        let lane = &mut self.lanes[request.model];
+        if self.capacity.is_some_and(|cap| lane.len() >= cap) {
+            return false;
+        }
+        lane.push_back(request);
         self.len += 1;
+        true
+    }
+
+    /// Enqueues a request on its model's lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request names a model the queue has no lane for,
+    /// or if the lane is at capacity (use [`RequestQueue::try_push`]
+    /// when drops are expected).
+    pub fn push(&mut self, request: Request) {
+        let id = request.id;
+        assert!(self.try_push(request), "request {id} dropped: lane at capacity");
     }
 
     /// The oldest pending request for `model`, if any.
@@ -103,5 +141,45 @@ mod tests {
     #[should_panic(expected = "lanes")]
     fn unknown_model_rejected() {
         RequestQueue::new(1).push(req(0, 3, 0));
+    }
+
+    #[test]
+    fn bounded_lane_tail_drops_at_capacity() {
+        let mut q = RequestQueue::bounded(2, 2);
+        assert!(q.try_push(req(0, 0, 0)));
+        assert!(q.try_push(req(1, 0, 1)));
+        assert!(!q.try_push(req(2, 0, 2)), "third request must tail-drop");
+        // The other lane is unaffected.
+        assert!(q.try_push(req(3, 1, 3)));
+        assert_eq!(q.len(), 3);
+        // Draining the lane re-opens admission.
+        q.pop_batch(0, 2);
+        assert!(q.try_push(req(4, 0, 4)));
+        assert_eq!(q.pending(0), 1);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut q = RequestQueue::bounded(1, 0);
+        assert!(!q.try_push(req(0, 0, 0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn unbounded_queue_never_drops() {
+        let mut q = RequestQueue::new(1);
+        for i in 0..10_000 {
+            assert!(q.try_push(req(i, 0, i)));
+        }
+        assert_eq!(q.len(), 10_000);
+        assert_eq!(q.capacity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn push_panics_on_full_bounded_lane() {
+        let mut q = RequestQueue::bounded(1, 1);
+        q.push(req(0, 0, 0));
+        q.push(req(1, 0, 1));
     }
 }

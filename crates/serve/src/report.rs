@@ -4,9 +4,22 @@ use s2ta_energy::{EnergyBreakdown, TechParams};
 use s2ta_sim::EventCounts;
 use std::fmt;
 
-/// The fate of one request.
+/// The fate of one request: either it was admitted, batched and
+/// executed ([`RequestOutcome::Served`]), or admission control refused
+/// it because its model lane was at capacity
+/// ([`RequestOutcome::Dropped`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RequestOutcome {
+pub enum RequestOutcome {
+    /// The request was admitted and executed.
+    Served(ServedRequest),
+    /// The request was tail-dropped at admission; it never queued and
+    /// consumed no accelerator time.
+    Dropped(DroppedRequest),
+}
+
+/// A request that was admitted, batched, and executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedRequest {
     /// Request id (dense, in arrival order).
     pub id: u64,
     /// Name of the model served.
@@ -23,7 +36,19 @@ pub struct RequestOutcome {
     pub worker: usize,
 }
 
-impl RequestOutcome {
+/// A request refused at admission (its model lane was full).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DroppedRequest {
+    /// Request id (dense, in arrival order).
+    pub id: u64,
+    /// Name of the model requested.
+    pub model: String,
+    /// Arrival cycle (which is also the drop cycle: tail drop refuses
+    /// the request immediately).
+    pub arrival: u64,
+}
+
+impl ServedRequest {
     /// End-to-end latency in cycles (queueing + batching + service).
     pub fn latency_cycles(&self) -> u64 {
         self.completion - self.arrival
@@ -33,6 +58,63 @@ impl RequestOutcome {
     pub fn wait_cycles(&self) -> u64 {
         self.start - self.arrival
     }
+}
+
+impl RequestOutcome {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Served(s) => s.id,
+            Self::Dropped(d) => d.id,
+        }
+    }
+
+    /// The requested model's name.
+    pub fn model(&self) -> &str {
+        match self {
+            Self::Served(s) => &s.model,
+            Self::Dropped(d) => &d.model,
+        }
+    }
+
+    /// Arrival cycle.
+    pub fn arrival(&self) -> u64 {
+        match self {
+            Self::Served(s) => s.arrival,
+            Self::Dropped(d) => d.arrival,
+        }
+    }
+
+    /// `true` if the request was served.
+    pub fn is_served(&self) -> bool {
+        matches!(self, Self::Served(_))
+    }
+
+    /// The served record, if the request was not dropped.
+    pub fn served(&self) -> Option<&ServedRequest> {
+        match self {
+            Self::Served(s) => Some(s),
+            Self::Dropped(_) => None,
+        }
+    }
+
+    /// End-to-end latency, `None` for dropped requests.
+    pub fn latency_cycles(&self) -> Option<u64> {
+        self.served().map(ServedRequest::latency_cycles)
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted latency slice: the
+/// value at rank `ceil(pct/100 * n)` (1-based, clamped into the slice).
+/// Shared by [`ServeReport::latency_percentile_cycles`] and the
+/// SLO-aware policy's observation window.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub(crate) fn nearest_rank(sorted_latencies: &[u64], pct: f64) -> u64 {
+    let rank = (pct / 100.0 * sorted_latencies.len() as f64).ceil() as usize;
+    sorted_latencies[rank.clamp(1, sorted_latencies.len()) - 1]
 }
 
 /// Per-worker occupancy statistics.
@@ -61,15 +143,34 @@ impl WorkerStats {
 ///
 /// The per-request outcomes and the placement-derived numbers (latency
 /// percentiles, makespan, utilization) are deterministic for a fixed
-/// `(workload seed, policy, worker count)`. The aggregate simulation
-/// outputs — request count, batch set and [`ServeReport::total_events`]
-/// (hence energy) — are additionally **independent of the worker
-/// count**, because batch formation never looks at the fleet.
+/// `(workload seed, policy, worker count)` — this holds for the
+/// open-loop, closed-loop and adaptive-policy client modes alike. For
+/// the **open-loop fixed-policy** path, the aggregate simulation
+/// outputs — request count, batch set, drop set and
+/// [`ServeReport::total_events`] (hence energy) — are additionally
+/// **independent of the worker count**, because batch formation and
+/// admission never look at the fleet. Closed-loop and adaptive runs
+/// give up that independence by design: arrivals (closed loop) and
+/// batch bounds (adaptive) both react to completions, which depend on
+/// how many lanes are serving.
+///
+/// Latency statistics ([`ServeReport::latency_percentile_cycles`],
+/// [`ServeReport::mean_latency_cycles`]) are computed over **served**
+/// requests only; dropped requests are reported through
+/// [`ServeReport::dropped_count`] / [`ServeReport::drop_rate`] and
+/// excluded from percentiles (a drop has no latency). Throughput of
+/// successfully served requests is [`ServeReport::goodput_ips`];
+/// [`ServeReport::throughput_ips`] is its alias kept for the open-loop
+/// no-drop setting where the two coincide.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Architecture the fleet ran.
     pub arch: String,
-    /// Outcomes indexed by request id.
+    /// Batching policy that formed the batches (see
+    /// [`crate::BatchPolicy::name`]).
+    pub policy: String,
+    /// Outcomes indexed by request id (dense: served and dropped
+    /// together cover every issued request).
     pub outcomes: Vec<RequestOutcome>,
     /// Number of batches formed.
     pub batches: usize,
@@ -77,26 +178,50 @@ pub struct ServeReport {
     pub workers: Vec<WorkerStats>,
     /// Aggregate simulated events over every batch.
     pub total_events: EventCounts,
-    /// Cycle the last batch completed (0 for an empty run).
+    /// Cycle the last batch completed (0 for an empty or drop-only
+    /// run).
     pub makespan_cycles: u64,
 }
 
 impl ServeReport {
-    /// Latency of the `pct`-th percentile request in cycles (nearest-rank
-    /// on the sorted latencies).
+    /// Served outcomes, in id order.
+    pub fn served_outcomes(&self) -> impl Iterator<Item = &ServedRequest> {
+        self.outcomes.iter().filter_map(RequestOutcome::served)
+    }
+
+    /// Requests that were admitted and executed.
+    pub fn served_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_served()).count()
+    }
+
+    /// Requests refused at admission.
+    pub fn dropped_count(&self) -> usize {
+        self.outcomes.len() - self.served_count()
+    }
+
+    /// Dropped fraction of all issued requests (0 for an empty run).
+    pub fn drop_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.dropped_count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Latency of the `pct`-th percentile **served** request in cycles
+    /// (nearest-rank on the sorted latencies). Returns 0 when no
+    /// request was served (empty or drop-only runs).
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 < pct <= 100.0`.
     pub fn latency_percentile_cycles(&self, pct: f64) -> u64 {
         assert!(pct > 0.0 && pct <= 100.0, "percentile out of range: {pct}");
-        if self.outcomes.is_empty() {
+        let mut lat: Vec<u64> = self.served_outcomes().map(ServedRequest::latency_cycles).collect();
+        if lat.is_empty() {
             return 0;
         }
-        let mut lat: Vec<u64> = self.outcomes.iter().map(RequestOutcome::latency_cycles).collect();
         lat.sort_unstable();
-        let rank = (pct / 100.0 * lat.len() as f64).ceil() as usize;
-        lat[rank.clamp(1, lat.len()) - 1]
+        nearest_rank(&lat, pct)
     }
 
     /// Median latency in cycles.
@@ -114,13 +239,14 @@ impl ServeReport {
         self.latency_percentile_cycles(99.0)
     }
 
-    /// Mean latency in cycles.
+    /// Mean served latency in cycles (0 when nothing was served).
     pub fn mean_latency_cycles(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        let served = self.served_count();
+        if served == 0 {
             return 0.0;
         }
-        let total: u64 = self.outcomes.iter().map(RequestOutcome::latency_cycles).sum();
-        total as f64 / self.outcomes.len() as f64
+        let total: u64 = self.served_outcomes().map(ServedRequest::latency_cycles).sum();
+        total as f64 / served as f64
     }
 
     /// Converts cycles to milliseconds at `tech`'s clock.
@@ -128,12 +254,20 @@ impl ServeReport {
         cycles as f64 / tech.clock_hz * 1e3
     }
 
-    /// Completed inferences per second at `tech`'s clock.
-    pub fn throughput_ips(&self, tech: &TechParams) -> f64 {
+    /// Successfully served inferences per second at `tech`'s clock —
+    /// the goodput. Dropped requests do not count.
+    pub fn goodput_ips(&self, tech: &TechParams) -> f64 {
         if self.makespan_cycles == 0 {
             return 0.0;
         }
-        self.outcomes.len() as f64 / (self.makespan_cycles as f64 / tech.clock_hz)
+        self.served_count() as f64 / (self.makespan_cycles as f64 / tech.clock_hz)
+    }
+
+    /// Completed inferences per second at `tech`'s clock. Alias of
+    /// [`ServeReport::goodput_ips`] (the two coincide because only
+    /// served requests complete).
+    pub fn throughput_ips(&self, tech: &TechParams) -> f64 {
+        self.goodput_ips(tech)
     }
 
     /// Aggregate energy of the run under `tech`.
@@ -141,12 +275,14 @@ impl ServeReport {
         EnergyBreakdown::of(&self.total_events, tech)
     }
 
-    /// Mean energy per inference in microjoules under `tech`.
+    /// Mean energy per **served** inference in microjoules under
+    /// `tech`.
     pub fn uj_per_inference(&self, tech: &TechParams) -> f64 {
-        if self.outcomes.is_empty() {
+        let served = self.served_count();
+        if served == 0 {
             return 0.0;
         }
-        self.energy(tech).total_pj() * 1e-6 / self.outcomes.len() as f64
+        self.energy(tech).total_pj() * 1e-6 / served as f64
     }
 
     /// Mean worker utilization over the makespan.
@@ -158,29 +294,32 @@ impl ServeReport {
             / self.workers.len() as f64
     }
 
-    /// Mean requests per batch.
+    /// Mean served requests per batch.
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
             return 0.0;
         }
-        self.outcomes.len() as f64 / self.batches as f64
+        self.served_count() as f64 / self.batches as f64
     }
 
     /// A multi-line human-readable summary under `tech`.
     pub fn summary(&self, tech: &TechParams) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "ServeReport [{}]: {} requests in {} batches on {} workers\n",
+            "ServeReport [{} | {}]: {} served / {} dropped in {} batches on {} workers\n",
             self.arch,
-            self.outcomes.len(),
+            self.policy,
+            self.served_count(),
+            self.dropped_count(),
             self.batches,
             self.workers.len()
         ));
         s.push_str(&format!(
-            "  throughput      {:>10.1} inf/s   (makespan {:.3} ms, mean batch {:.2})\n",
-            self.throughput_ips(tech),
+            "  goodput         {:>10.1} inf/s   (makespan {:.3} ms, mean batch {:.2}, drop rate {:.1}%)\n",
+            self.goodput_ips(tech),
             Self::cycles_to_ms(tech, self.makespan_cycles),
-            self.mean_batch_size()
+            self.mean_batch_size(),
+            self.drop_rate() * 100.0
         ));
         s.push_str(&format!(
             "  latency p50     {:>10.3} ms      (p95 {:.3} ms, p99 {:.3} ms, mean {:.3} ms)\n",
@@ -210,9 +349,11 @@ impl fmt::Display for ServeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} requests, {} batches, {} workers, {} cycles makespan",
+            "{} [{}]: {} served, {} dropped, {} batches, {} workers, {} cycles makespan",
             self.arch,
-            self.outcomes.len(),
+            self.policy,
+            self.served_count(),
+            self.dropped_count(),
             self.batches,
             self.workers.len(),
             self.makespan_cycles
@@ -225,7 +366,7 @@ mod tests {
     use super::*;
 
     fn outcome(id: u64, arrival: u64, completion: u64) -> RequestOutcome {
-        RequestOutcome {
+        RequestOutcome::Served(ServedRequest {
             id,
             model: "m".into(),
             arrival,
@@ -233,12 +374,17 @@ mod tests {
             completion,
             batch: id as usize,
             worker: 0,
-        }
+        })
+    }
+
+    fn dropped(id: u64, arrival: u64) -> RequestOutcome {
+        RequestOutcome::Dropped(DroppedRequest { id, model: "m".into(), arrival })
     }
 
     fn report(latencies: &[u64]) -> ServeReport {
         ServeReport {
             arch: "TEST".into(),
+            policy: "fixed".into(),
             outcomes: latencies.iter().enumerate().map(|(i, &l)| outcome(i as u64, 0, l)).collect(),
             batches: latencies.len(),
             workers: vec![WorkerStats { busy_cycles: 50, batches: 1, requests: 1 }],
@@ -258,9 +404,70 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Single served request: every percentile is that request.
+        let single = report(&[42]);
+        for pct in [0.001, 0.5, 1.0, 50.0, 99.0, 99.999, 100.0] {
+            assert_eq!(single.latency_percentile_cycles(pct), 42, "pct {pct}");
+        }
+        // Percentiles near the ends of a larger set hit the extremes.
+        let r = report(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(r.latency_percentile_cycles(0.001), 10, "near-zero pct is the minimum");
+        assert_eq!(r.latency_percentile_cycles(99.999), 100, "near-100 pct is the maximum");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_zero_rejected() {
+        report(&[1]).latency_percentile_cycles(0.0);
+    }
+
+    #[test]
+    fn drop_only_run_has_zero_latency_stats() {
+        let r = ServeReport {
+            arch: "TEST".into(),
+            policy: "fixed".into(),
+            outcomes: (0..5).map(|i| dropped(i, i * 10)).collect(),
+            batches: 0,
+            workers: vec![WorkerStats::default()],
+            total_events: EventCounts::default(),
+            makespan_cycles: 0,
+        };
+        assert_eq!(r.served_count(), 0);
+        assert_eq!(r.dropped_count(), 5);
+        assert!((r.drop_rate() - 1.0).abs() < 1e-12);
+        for pct in [0.001, 50.0, 99.0, 100.0] {
+            assert_eq!(r.latency_percentile_cycles(pct), 0, "drop-only run must report 0");
+        }
+        assert_eq!(r.mean_latency_cycles(), 0.0);
+        let tech = TechParams::tsmc16();
+        assert_eq!(r.goodput_ips(&tech), 0.0);
+        assert_eq!(r.uj_per_inference(&tech), 0.0);
+        assert!(r.summary(&tech).contains("drop rate 100.0%"));
+    }
+
+    #[test]
+    fn mixed_outcomes_split_metrics() {
+        let mut r = report(&[10, 20, 30, 40]);
+        r.outcomes.push(dropped(4, 5));
+        r.outcomes.push(dropped(5, 6));
+        assert_eq!(r.served_count(), 4);
+        assert_eq!(r.dropped_count(), 2);
+        assert!((r.drop_rate() - 2.0 / 6.0).abs() < 1e-12);
+        // Percentiles ignore drops entirely.
+        assert_eq!(r.latency_percentile_cycles(100.0), 40);
+        let tech = TechParams::tsmc16();
+        // Goodput counts the 4 served requests over the makespan.
+        let expect = 4.0 / (100.0 / tech.clock_hz);
+        assert!((r.goodput_ips(&tech) - expect).abs() < 1e-3);
+        assert_eq!(r.goodput_ips(&tech), r.throughput_ips(&tech));
+    }
+
+    #[test]
     fn empty_report_is_calm() {
         let r = ServeReport {
             arch: "TEST".into(),
+            policy: "fixed".into(),
             outcomes: vec![],
             batches: 0,
             workers: vec![],
@@ -270,6 +477,7 @@ mod tests {
         assert_eq!(r.p50_cycles(), 0);
         assert_eq!(r.mean_utilization(), 0.0);
         assert_eq!(r.mean_batch_size(), 0.0);
+        assert_eq!(r.drop_rate(), 0.0);
         let tech = TechParams::tsmc16();
         assert_eq!(r.throughput_ips(&tech), 0.0);
         assert_eq!(r.uj_per_inference(&tech), 0.0);
@@ -283,6 +491,6 @@ mod tests {
         // 1 request / (100 cycles / clock)
         let expect = tech.clock_hz / 100.0;
         assert!((r.throughput_ips(&tech) - expect).abs() < 1e-3);
-        assert!(r.summary(&tech).contains("throughput"));
+        assert!(r.summary(&tech).contains("goodput"));
     }
 }

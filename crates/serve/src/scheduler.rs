@@ -6,8 +6,8 @@
 //!
 //! 1. **Batch formation** ([`Scheduler::form_batches`]) folds the
 //!    arrival stream through a [`RequestQueue`], closing a batch when it
-//!    reaches [`BatchPolicy::max_batch`] requests or when its oldest
-//!    member has waited [`BatchPolicy::max_wait_cycles`]. Formation
+//!    reaches [`BatchLimits::max_batch`] requests or when its oldest
+//!    member has waited [`BatchLimits::max_wait_cycles`]. Formation
 //!    depends only on the arrival stream — never on worker availability
 //!    — so the batch set (and therefore every simulated event count) is
 //!    identical for every fleet size.
@@ -17,33 +17,29 @@
 //!    latency/throughput behaviour of an N-worker fleet exactly, while
 //!    the actual cycle simulation runs on a host thread pool in any
 //!    order.
+//!
+//! Timeout closure is tracked with a deadline-ordered min-heap
+//! ([`DeadlineHeap`]) instead of scanning every model lane per arrival:
+//! each lane's *front* request defines its deadline, entries are pushed
+//! when a lane front changes and invalidated lazily on pop, so an
+//! arrival costs O(log models) amortized instead of O(models).
+//!
+//! **Deadline boundary semantics:** a batch closes only when its
+//! deadline is *strictly* before the current time (`deadline < now`).
+//! A request arriving exactly at the deadline of its lane's open batch
+//! still joins that batch; the batch closes (at `ready == deadline`)
+//! the moment any strictly later event is processed.
+//!
+//! The adaptive serving engine ([`crate::Fleet::serve_closed_loop`])
+//! re-queries a [`crate::BatchPolicy`] for fresh limits as it runs;
+//! this module's stream-fold path deliberately takes a fixed
+//! [`BatchLimits`] so the independence property above is structural.
 
+use crate::policy::{BatchLimits, FixedPolicy};
 use crate::queue::RequestQueue;
 use crate::workload::Request;
-
-/// When the scheduler closes a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BatchPolicy {
-    /// Maximum requests per batch.
-    pub max_batch: usize,
-    /// Maximum cycles the oldest request of a batch may wait before the
-    /// batch is dispatched anyway.
-    pub max_wait_cycles: u64,
-}
-
-impl Default for BatchPolicy {
-    fn default() -> Self {
-        Self { max_batch: 8, max_wait_cycles: 100_000 }
-    }
-}
-
-impl BatchPolicy {
-    /// Batch-of-one: every request dispatches immediately (the paper's
-    /// batch-1 mobile setting).
-    pub fn unbatched() -> Self {
-        Self { max_batch: 1, max_wait_cycles: 0 }
-    }
-}
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A group of same-model requests dispatched together.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,24 +67,87 @@ pub struct Placement {
     pub completion: u64,
 }
 
+/// Deadline-ordered min-heap over lane fronts.
+///
+/// An entry `(deadline, model, front_id)` is pushed whenever a lane
+/// gains a new front request. Entries are invalidated lazily: a popped
+/// entry whose `front_id` no longer matches the lane's current front is
+/// stale (the front already left in an earlier batch) and is discarded.
+/// At most one entry per lane is live at any time, and each request
+/// pushes at most one entry over its lifetime, so the heap stays
+/// O(pending) with O(log models) amortized cost per arrival.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeadlineHeap {
+    heap: BinaryHeap<Reverse<(u64, usize, u64)>>,
+}
+
+impl DeadlineHeap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `model`'s new front request and its wait deadline.
+    pub(crate) fn arm(&mut self, model: usize, front: &Request, max_wait_cycles: u64) {
+        let deadline = front.arrival.saturating_add(max_wait_cycles);
+        self.heap.push(Reverse((deadline, model, front.id)));
+    }
+
+    /// The earliest live `(deadline, model)` pair, discarding stale
+    /// entries against the queue's current lane fronts.
+    pub(crate) fn peek_live(&mut self, queue: &RequestQueue) -> Option<(u64, usize)> {
+        while let Some(&Reverse((deadline, model, front_id))) = self.heap.peek() {
+            match queue.front(model) {
+                Some(front) if front.id == front_id => return Some((deadline, model)),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Drops the current top entry (after a `peek_live` hit was acted
+    /// on).
+    pub(crate) fn pop(&mut self) {
+        self.heap.pop();
+    }
+}
+
 /// The deterministic batching scheduler.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Scheduler {
-    policy: BatchPolicy,
+    policy: FixedPolicy,
+}
+
+/// Everything open-loop batch formation produced: the sealed batches
+/// plus the requests refused at admission (empty for unbounded queues).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Formation {
+    /// Sealed batches in dispatch order.
+    pub batches: Vec<Batch>,
+    /// Requests tail-dropped because their lane was at capacity, in
+    /// arrival order.
+    pub dropped: Vec<Request>,
 }
 
 impl Scheduler {
-    /// A scheduler with the given policy.
-    pub fn new(policy: BatchPolicy) -> Self {
+    /// A scheduler with the given fixed policy.
+    pub fn new(policy: FixedPolicy) -> Self {
         Self { policy }
     }
 
     /// The batching policy.
-    pub fn policy(&self) -> BatchPolicy {
+    pub fn policy(&self) -> FixedPolicy {
         self.policy
     }
 
-    /// Folds a sorted arrival stream into batches.
+    /// The policy's closure bounds.
+    fn limits(&self) -> BatchLimits {
+        self.policy.into()
+    }
+
+    /// Folds a sorted arrival stream into batches (unbounded lanes —
+    /// every request is admitted).
     ///
     /// Every request appears in exactly one batch; batches hold one
     /// model's requests in arrival order; no batch exceeds
@@ -100,9 +159,38 @@ impl Scheduler {
     /// Panics if `max_batch` is zero, a request names a model `>=
     /// models`, or arrivals are not sorted.
     pub fn form_batches(&self, requests: &[Request], models: usize) -> Vec<Batch> {
-        assert!(self.policy.max_batch > 0, "max_batch must be non-zero");
-        let mut queue = RequestQueue::new(models);
+        let formation = self.form_batches_bounded(requests, models, None);
+        debug_assert!(formation.dropped.is_empty(), "unbounded lanes cannot drop");
+        formation.batches
+    }
+
+    /// Folds a sorted arrival stream into batches with optional
+    /// per-lane admission bounds: a request arriving while its model's
+    /// lane already holds `capacity` pending requests is tail-dropped
+    /// instead of queued.
+    ///
+    /// Drop decisions depend only on the arrival stream and the closure
+    /// history — never on worker availability — so bounded formation is
+    /// exactly as fleet-size independent as the unbounded path.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Scheduler::form_batches`].
+    pub fn form_batches_bounded(
+        &self,
+        requests: &[Request],
+        models: usize,
+        capacity: Option<usize>,
+    ) -> Formation {
+        let limits = self.limits();
+        assert!(limits.max_batch > 0, "max_batch must be non-zero");
+        let mut queue = match capacity {
+            Some(cap) => RequestQueue::bounded(models, cap),
+            None => RequestQueue::new(models),
+        };
+        let mut deadlines = DeadlineHeap::new();
         let mut batches: Vec<Batch> = Vec::new();
+        let mut dropped: Vec<Request> = Vec::new();
         let mut last_arrival = 0u64;
         for r in requests {
             assert!(r.arrival >= last_arrival, "arrival stream must be sorted");
@@ -111,39 +199,50 @@ impl Scheduler {
             // before this arrival. Only r's own lane can be affected by
             // the push below, but timeouts on other lanes must also
             // fire in time order to keep batch ids chronological.
-            self.close_timed_out(&mut queue, r.arrival, &mut batches);
-            queue.push(*r);
+            self.close_timed_out(&mut queue, r.arrival, &mut batches, &mut deadlines);
             let lane = r.model;
-            if queue.pending(lane) == self.policy.max_batch {
-                let members = queue.pop_batch(lane, self.policy.max_batch);
+            let was_empty = queue.pending(lane) == 0;
+            if !queue.try_push(*r) {
+                dropped.push(*r);
+                continue;
+            }
+            if was_empty {
+                deadlines.arm(lane, r, limits.max_wait_cycles);
+            }
+            if queue.pending(lane) == limits.max_batch {
+                let members = queue.pop_batch(lane, limits.max_batch);
                 batches.push(Self::sealed(batches.len(), lane, members, r.arrival));
             }
         }
         // End of stream: remaining open batches dispatch at their
         // timeout (no later arrival can extend them).
-        self.close_timed_out(&mut queue, u64::MAX, &mut batches);
-        batches
+        self.close_timed_out(&mut queue, u64::MAX, &mut batches, &mut deadlines);
+        Formation { batches, dropped }
     }
 
     /// Closes every open batch whose oldest member would exceed its
-    /// wait bound at time `now`, in timeout order.
-    fn close_timed_out(&self, queue: &mut RequestQueue, now: u64, batches: &mut Vec<Batch>) {
-        loop {
-            // Earliest deadline first, ties broken by model index so
-            // closure order is deterministic.
-            let next = (0..queue.models())
-                .filter_map(|m| {
-                    queue
-                        .front(m)
-                        .map(|r| (r.arrival.saturating_add(self.policy.max_wait_cycles), m))
-                })
-                .min();
-            match next {
-                Some((deadline, model)) if deadline < now || now == u64::MAX => {
-                    let members = queue.pop_batch(model, self.policy.max_batch);
-                    batches.push(Self::sealed(batches.len(), model, members, deadline));
+    /// wait bound at time `now` (strictly: `deadline < now`; an arrival
+    /// exactly at the deadline still joins), in deadline order with
+    /// ties broken by model index.
+    fn close_timed_out(
+        &self,
+        queue: &mut RequestQueue,
+        now: u64,
+        batches: &mut Vec<Batch>,
+        deadlines: &mut DeadlineHeap,
+    ) {
+        let limits = self.limits();
+        while let Some((deadline, model)) = deadlines.peek_live(queue) {
+            if deadline < now || now == u64::MAX {
+                deadlines.pop();
+                let members = queue.pop_batch(model, limits.max_batch);
+                batches.push(Self::sealed(batches.len(), model, members, deadline));
+                if let Some(front) = queue.front(model) {
+                    let front = *front;
+                    deadlines.arm(model, &front, limits.max_wait_cycles);
                 }
-                _ => return,
+            } else {
+                return;
             }
         }
     }
@@ -190,6 +289,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::WorkloadSpec;
 
     fn req(id: u64, model: usize, arrival: u64) -> Request {
         Request { id, model, arrival, act_seed: id }
@@ -199,9 +299,62 @@ mod tests {
         b.requests.iter().map(|r| r.id).collect()
     }
 
+    /// The pre-heap O(models)-scan implementation, kept verbatim as the
+    /// reference the heap path must match byte-for-byte.
+    fn form_batches_reference(s: &Scheduler, requests: &[Request], models: usize) -> Vec<Batch> {
+        let policy = s.policy();
+        assert!(policy.max_batch > 0, "max_batch must be non-zero");
+        let mut queue = RequestQueue::new(models);
+        let mut batches: Vec<Batch> = Vec::new();
+        let close_timed_out = |queue: &mut RequestQueue, now: u64, batches: &mut Vec<Batch>| loop {
+            let next = (0..queue.models())
+                .filter_map(|m| {
+                    queue.front(m).map(|r| (r.arrival.saturating_add(policy.max_wait_cycles), m))
+                })
+                .min();
+            match next {
+                Some((deadline, model)) if deadline < now || now == u64::MAX => {
+                    let members = queue.pop_batch(model, policy.max_batch);
+                    batches.push(Scheduler::sealed(batches.len(), model, members, deadline));
+                }
+                _ => return,
+            }
+        };
+        let mut last_arrival = 0u64;
+        for r in requests {
+            assert!(r.arrival >= last_arrival, "arrival stream must be sorted");
+            last_arrival = r.arrival;
+            close_timed_out(&mut queue, r.arrival, &mut batches);
+            queue.push(*r);
+            let lane = r.model;
+            if queue.pending(lane) == policy.max_batch {
+                let members = queue.pop_batch(lane, policy.max_batch);
+                batches.push(Scheduler::sealed(batches.len(), lane, members, r.arrival));
+            }
+        }
+        close_timed_out(&mut queue, u64::MAX, &mut batches);
+        batches
+    }
+
+    #[test]
+    fn heap_path_is_byte_identical_to_scan_reference() {
+        for seed in 0..20u64 {
+            let models = 1 + (seed as usize % 4);
+            let reqs = WorkloadSpec::uniform(seed, 400, 700.0, models).generate();
+            for (max_batch, max_wait) in [(1, 0), (3, 500), (8, 5_000), (4, u64::MAX)] {
+                let s = Scheduler::new(FixedPolicy { max_batch, max_wait_cycles: max_wait });
+                assert_eq!(
+                    s.form_batches(&reqs, models),
+                    form_batches_reference(&s, &reqs, models),
+                    "seed {seed}, max_batch {max_batch}, max_wait {max_wait}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn size_closure() {
-        let s = Scheduler::new(BatchPolicy { max_batch: 2, max_wait_cycles: 1_000_000 });
+        let s = Scheduler::new(FixedPolicy { max_batch: 2, max_wait_cycles: 1_000_000 });
         let reqs: Vec<Request> = (0..5).map(|i| req(i, 0, i * 10)).collect();
         let batches = s.form_batches(&reqs, 1);
         assert_eq!(batches.len(), 3);
@@ -215,7 +368,7 @@ mod tests {
 
     #[test]
     fn timeout_closure_bounds_waiting() {
-        let s = Scheduler::new(BatchPolicy { max_batch: 8, max_wait_cycles: 100 });
+        let s = Scheduler::new(FixedPolicy { max_batch: 8, max_wait_cycles: 100 });
         let reqs = vec![req(0, 0, 0), req(1, 0, 50), req(2, 0, 200), req(3, 0, 220)];
         let batches = s.form_batches(&reqs, 1);
         assert_eq!(batches.len(), 2);
@@ -225,9 +378,41 @@ mod tests {
         assert_eq!(batches[1].ready, 300);
     }
 
+    /// Pins the `deadline < now` boundary: an arrival *exactly at* the
+    /// open batch's deadline joins it; one cycle later it does not.
+    #[test]
+    fn arrival_exactly_at_deadline_joins_the_batch() {
+        let s = Scheduler::new(FixedPolicy { max_batch: 8, max_wait_cycles: 100 });
+        // Second request lands exactly at 0 + 100.
+        let at = s.form_batches(&[req(0, 0, 0), req(1, 0, 100)], 1);
+        assert_eq!(at.len(), 1, "deadline == now must not close the batch early");
+        assert_eq!(ids(&at[0]), vec![0, 1]);
+        assert_eq!(at[0].ready, 100, "joined batch still seals at the deadline");
+
+        // One cycle past the deadline: the batch has already closed.
+        let past = s.form_batches(&[req(0, 0, 0), req(1, 0, 101)], 1);
+        assert_eq!(past.len(), 2, "deadline < now must close the batch");
+        assert_eq!(ids(&past[0]), vec![0]);
+        assert_eq!(past[0].ready, 100);
+        assert_eq!(ids(&past[1]), vec![1]);
+    }
+
+    /// A cross-lane arrival strictly after another lane's deadline
+    /// seals that lane's batch first, keeping batch ids chronological.
+    #[test]
+    fn cross_lane_timeouts_fire_in_deadline_order() {
+        let s = Scheduler::new(FixedPolicy { max_batch: 8, max_wait_cycles: 10 });
+        let reqs = vec![req(0, 0, 0), req(1, 1, 5), req(2, 2, 100)];
+        let batches = s.form_batches(&reqs, 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!((batches[0].model, batches[0].ready), (0, 10));
+        assert_eq!((batches[1].model, batches[1].ready), (1, 15));
+        assert_eq!((batches[2].model, batches[2].ready), (2, 110));
+    }
+
     #[test]
     fn batches_never_mix_models_and_lose_nothing() {
-        let s = Scheduler::new(BatchPolicy { max_batch: 3, max_wait_cycles: 500 });
+        let s = Scheduler::new(FixedPolicy { max_batch: 3, max_wait_cycles: 500 });
         let reqs: Vec<Request> = (0..40).map(|i| req(i, (i % 3) as usize, i * 37)).collect();
         let batches = s.form_batches(&reqs, 3);
         let mut seen: Vec<u64> = Vec::new();
@@ -248,7 +433,7 @@ mod tests {
 
     #[test]
     fn fifo_within_and_across_batches_per_model() {
-        let s = Scheduler::new(BatchPolicy { max_batch: 4, max_wait_cycles: 100 });
+        let s = Scheduler::new(FixedPolicy { max_batch: 4, max_wait_cycles: 100 });
         let reqs: Vec<Request> = (0..30).map(|i| req(i, (i % 2) as usize, i * 9)).collect();
         let batches = s.form_batches(&reqs, 2);
         for model in 0..2 {
@@ -261,8 +446,34 @@ mod tests {
     }
 
     #[test]
+    fn bounded_formation_tail_drops_and_reopens() {
+        let s = Scheduler::new(FixedPolicy { max_batch: 4, max_wait_cycles: 1_000 });
+        // Five rapid arrivals against a lane capacity of 2: the first
+        // two queue, the next three drop, until the size/timeout
+        // closure drains the lane.
+        let reqs: Vec<Request> = (0..5).map(|i| req(i, 0, i)).collect();
+        let Formation { batches, dropped } = s.form_batches_bounded(&reqs, 1, Some(2));
+        let dropped_ids: Vec<u64> = dropped.iter().map(|r| r.id).collect();
+        assert_eq!(dropped_ids, vec![2, 3, 4], "tail drop must refuse the newest arrivals");
+        assert_eq!(batches.len(), 1);
+        assert_eq!(ids(&batches[0]), vec![0, 1]);
+        // Admitted + dropped partition the stream.
+        let admitted: usize = batches.iter().map(|b| b.requests.len()).sum();
+        assert_eq!(admitted + dropped.len(), reqs.len());
+    }
+
+    #[test]
+    fn unbounded_capacity_matches_plain_formation() {
+        let reqs = WorkloadSpec::uniform(13, 200, 300.0, 2).generate();
+        let s = Scheduler::new(FixedPolicy { max_batch: 4, max_wait_cycles: 2_000 });
+        let bounded = s.form_batches_bounded(&reqs, 2, Some(usize::MAX));
+        assert!(bounded.dropped.is_empty());
+        assert_eq!(bounded.batches, s.form_batches(&reqs, 2));
+    }
+
+    #[test]
     fn placement_is_earliest_free_worker() {
-        let s = Scheduler::new(BatchPolicy::default());
+        let s = Scheduler::new(FixedPolicy::default());
         let batches: Vec<Batch> = (0..4)
             .map(|i| Batch { id: i, model: 0, requests: vec![req(i as u64, 0, 0)], ready: 0 })
             .collect();
@@ -290,7 +501,7 @@ mod tests {
 
     #[test]
     fn placement_respects_ready_times() {
-        let s = Scheduler::new(BatchPolicy::default());
+        let s = Scheduler::new(FixedPolicy::default());
         let batches: Vec<Batch> = (0..3)
             .map(|i| Batch {
                 id: i,

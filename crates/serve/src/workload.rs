@@ -1,11 +1,17 @@
-//! Open-loop workload generation: a deterministic stream of inference
-//! requests.
+//! Workload generation: deterministic streams of inference requests in
+//! open-loop and closed-loop client modes.
 //!
-//! The generator is **open loop** (arrivals do not depend on service
-//! progress, the standard serving-benchmark methodology) and fully
-//! deterministic: a seeded 64-bit LCG drives exponential interarrival
-//! gaps and the model mix, so a `(seed, spec)` pair always produces the
-//! identical request stream — no wall clocks, no OS randomness.
+//! * **Open loop** ([`WorkloadSpec`]) — arrivals do not depend on
+//!   service progress (the standard serving-benchmark methodology): a
+//!   seeded 64-bit LCG drives exponential interarrival gaps and the
+//!   model mix, so a `(seed, spec)` pair always produces the identical
+//!   request stream — no wall clocks, no OS randomness.
+//! * **Closed loop** ([`ClosedLoopSpec`] / [`ClosedLoopClient`]) — each
+//!   of C concurrent clients issues its next request only after its
+//!   previous one completes (plus an exponential think gap). Arrivals
+//!   are therefore a fixed point of the placement: the serving engine
+//!   iterates them per-request in simulated time, and the stream stays
+//!   deterministic for a fixed `(seed, policy, workers)` triple.
 
 use std::fmt;
 
@@ -52,6 +58,75 @@ impl Lcg {
     }
 }
 
+/// Validated traffic mix shared by the open- and closed-loop
+/// generators: relative weights plus the index of the last model with
+/// positive weight, so floating-point exhaustion in sampling can never
+/// route traffic to a zero-weight model.
+#[derive(Debug, Clone, PartialEq)]
+struct Mix {
+    weights: Vec<f64>,
+    total: f64,
+    last_positive: usize,
+}
+
+impl Mix {
+    fn validate(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "workload mix must name at least one model");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "mix weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "mix weights must not all be zero");
+        let last_positive =
+            weights.iter().rposition(|w| *w > 0.0).expect("total > 0 implies a positive weight");
+        Self { weights: weights.to_vec(), total, last_positive }
+    }
+
+    /// Samples a model index proportional to the weights. The fallback
+    /// when floating-point error exhausts `pick` past the end is the
+    /// last *positive-weight* model, so zero-weight models never
+    /// receive traffic.
+    fn sample(&self, rng: &mut Lcg) -> usize {
+        let mut pick = rng.next_f64() * self.total;
+        for (i, w) in self.weights.iter().enumerate().take(self.last_positive) {
+            if pick < *w {
+                return i;
+            }
+            pick -= w;
+        }
+        self.last_positive
+    }
+}
+
+/// Exponential interarrival sampler that carries the fractional part of
+/// every gap forward instead of flooring it, so the realized mean gap
+/// tracks the spec even when the mean is well below one cycle.
+#[derive(Debug, Clone, PartialEq)]
+struct GapSampler {
+    mean: f64,
+    carry: f64,
+}
+
+impl GapSampler {
+    fn new(mean: f64) -> Self {
+        assert!(mean >= 0.0 && mean.is_finite(), "mean gap must be finite and non-negative");
+        Self { mean, carry: 0.0 }
+    }
+
+    /// The next whole-cycle gap. Exponentially distributed with the
+    /// configured mean; the sub-cycle remainder accumulates into the
+    /// next draw rather than being truncated away.
+    fn next_gap(&mut self, rng: &mut Lcg) -> u64 {
+        // Exponential gap: -mean * ln(1 - U). U < 1 so the log argument
+        // is in (0, 1].
+        let gap = -self.mean * (1.0 - rng.next_f64()).ln() + self.carry;
+        let whole = gap.floor();
+        self.carry = gap - whole;
+        whole as u64
+    }
+}
+
 /// Specification of an open-loop request stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
@@ -86,32 +161,14 @@ impl WorkloadSpec {
     /// Panics if the mix is empty, has non-finite/negative weights or
     /// sums to zero, or if `mean_interarrival_cycles` is negative.
     pub fn generate(&self) -> Vec<Request> {
-        assert!(!self.mix.is_empty(), "workload mix must name at least one model");
-        assert!(
-            self.mix.iter().all(|w| w.is_finite() && *w >= 0.0),
-            "mix weights must be finite and non-negative"
-        );
-        let total: f64 = self.mix.iter().sum();
-        assert!(total > 0.0, "mix weights must not all be zero");
-        assert!(self.mean_interarrival_cycles >= 0.0, "mean interarrival must be non-negative");
-
+        let mix = Mix::validate(&self.mix);
+        let mut gaps = GapSampler::new(self.mean_interarrival_cycles);
         let mut rng = Lcg::new(self.seed);
         let mut now = 0u64;
         (0..self.requests as u64)
             .map(|id| {
-                // Exponential gap: -mean * ln(1 - U). U < 1 so the log
-                // argument is in (0, 1].
-                let gap = -self.mean_interarrival_cycles * (1.0 - rng.next_f64()).ln();
-                now = now.saturating_add(gap as u64);
-                let mut pick = rng.next_f64() * total;
-                let mut model = self.mix.len() - 1;
-                for (i, w) in self.mix.iter().enumerate() {
-                    if pick < *w {
-                        model = i;
-                        break;
-                    }
-                    pick -= w;
-                }
+                now = now.saturating_add(gaps.next_gap(&mut rng));
+                let model = mix.sample(&mut rng);
                 Request { id, model, arrival: now, act_seed: rng.next_u64() }
             })
             .collect()
@@ -128,6 +185,98 @@ impl fmt::Display for WorkloadSpec {
             self.mean_interarrival_cycles,
             self.seed
         )
+    }
+}
+
+/// Specification of a closed-loop client population.
+///
+/// C concurrent clients each keep exactly one request outstanding:
+/// after a request completes (or is dropped at admission), the client
+/// thinks for an exponential gap and issues the next one. The offered
+/// load therefore adapts to service capacity instead of piling up
+/// unboundedly — the defining property of closed-loop benchmarking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Seed for the whole population (each client derives its own
+    /// stream from it).
+    pub seed: u64,
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Total requests issued across all clients before the run drains.
+    pub requests: usize,
+    /// Mean think gap in cycles between a completion and the client's
+    /// next issue (exponentially distributed).
+    pub mean_think_cycles: f64,
+    /// Relative traffic weight per model (need not be normalized).
+    pub mix: Vec<f64>,
+}
+
+impl ClosedLoopSpec {
+    /// A uniform mix over `models` models.
+    pub fn uniform(
+        seed: u64,
+        clients: usize,
+        requests: usize,
+        mean_think_cycles: f64,
+        models: usize,
+    ) -> Self {
+        Self { seed, clients, requests, mean_think_cycles, mix: vec![1.0; models] }
+    }
+
+    /// The client population, each with an independent deterministic
+    /// stream derived from the spec seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no clients, an invalid mix, or a negative
+    /// think time.
+    pub fn spawn_clients(&self) -> Vec<ClosedLoopClient> {
+        assert!(self.clients > 0, "a closed-loop population needs at least one client");
+        let mix = Mix::validate(&self.mix);
+        (0..self.clients as u64)
+            .map(|c| ClosedLoopClient {
+                // Splitmix-style spacing keeps sibling streams
+                // decorrelated even for adjacent client indices.
+                rng: Lcg::new(self.seed ^ c.wrapping_mul(0xa076_1d64_78bd_642f)),
+                gaps: GapSampler::new(self.mean_think_cycles),
+                mix: mix.clone(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ClosedLoopSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} closed-loop clients, {} requests over {} models, mean think {:.0} cycles, seed {}",
+            self.clients,
+            self.requests,
+            self.mix.len(),
+            self.mean_think_cycles,
+            self.seed
+        )
+    }
+}
+
+/// One closed-loop client: a deterministic request source that the
+/// serving engine advances each time the client's previous request
+/// finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopClient {
+    rng: Lcg,
+    gaps: GapSampler,
+    mix: Mix,
+}
+
+impl ClosedLoopClient {
+    /// Issues the client's next request: called by the engine with the
+    /// completion (or drop) time of the previous request and the dense
+    /// id to assign. The request arrives one think gap later.
+    pub fn issue(&mut self, previous_done: u64, id: u64) -> Request {
+        let arrival = previous_done.saturating_add(self.gaps.next_gap(&mut self.rng));
+        let model = self.mix.sample(&mut self.rng);
+        Request { id, model, arrival, act_seed: self.rng.next_u64() }
     }
 }
 
@@ -168,6 +317,44 @@ mod tests {
         );
     }
 
+    /// Regression: `gap as u64` used to floor every draw, which biased
+    /// the realized mean below spec and collapsed sub-cycle means to
+    /// all-zero gaps. The carry accumulator must keep the realized mean
+    /// on spec even when the mean is far below one cycle.
+    #[test]
+    fn sub_cycle_mean_gap_is_not_truncated_to_zero() {
+        for mean in [0.25, 0.7, 1.3] {
+            let n = 20_000;
+            let reqs = WorkloadSpec::uniform(17, n, mean, 1).generate();
+            let span = reqs.last().expect("non-empty").arrival as f64;
+            let measured = span / (n - 1) as f64;
+            assert!(
+                (measured - mean).abs() < mean * 0.05,
+                "mean {mean}: measured {measured:.4} drifted off spec"
+            );
+            assert!(span > 0.0, "mean {mean}: all arrivals collapsed to cycle 0");
+        }
+    }
+
+    /// Regression: flooring each gap independently lost up to one cycle
+    /// per request, so large streams drifted several percent below the
+    /// spec mean. With the carry the loss is bounded by one cycle total.
+    #[test]
+    fn realized_mean_has_no_systematic_floor_bias() {
+        let mean = 3.5;
+        let n = 50_000;
+        let reqs = WorkloadSpec::uniform(23, n, mean, 1).generate();
+        let span = reqs.last().expect("non-empty").arrival as f64;
+        let measured = span / (n - 1) as f64;
+        // An exponential mean estimate over n samples has stderr
+        // mean/sqrt(n) ~ 0.016 here; the old floor bias was ~0.5 — two
+        // orders of magnitude larger than the tolerance below.
+        assert!(
+            (measured - mean).abs() < mean * 0.02,
+            "measured {measured:.4} vs spec {mean} (floor bias?)"
+        );
+    }
+
     #[test]
     fn mix_weights_steer_traffic() {
         let spec = WorkloadSpec {
@@ -179,6 +366,42 @@ mod tests {
         let reqs = spec.generate();
         let m0 = reqs.iter().filter(|r| r.model == 0).count() as f64 / reqs.len() as f64;
         assert!((m0 - 0.75).abs() < 0.05, "model 0 share {m0:.3}, expected ~0.75");
+    }
+
+    /// Regression: the sampling fallback used to be `mix.len() - 1`,
+    /// which could route a request to a *zero-weight* trailing model
+    /// when floating-point error exhausted `pick` past the last
+    /// positive weight.
+    #[test]
+    fn zero_weight_models_never_receive_traffic() {
+        let spec = WorkloadSpec {
+            seed: 99,
+            requests: 50_000,
+            mean_interarrival_cycles: 10.0,
+            mix: vec![0.0, 1.0, 0.3, 0.0, 0.0],
+        };
+        for r in spec.generate() {
+            assert!(
+                spec.mix[r.model] > 0.0,
+                "request {} routed to zero-weight model {}",
+                r.id,
+                r.model
+            );
+        }
+        // Same property on the closed-loop sampler.
+        let spec = ClosedLoopSpec {
+            seed: 99,
+            clients: 4,
+            requests: 0,
+            mean_think_cycles: 10.0,
+            mix: vec![1.0, 0.0],
+        };
+        for mut client in spec.spawn_clients() {
+            for i in 0..5_000 {
+                let r = client.issue(i * 10, i);
+                assert!(spec.mix[r.model] > 0.0, "closed-loop routed to zero-weight model");
+            }
+        }
     }
 
     #[test]
@@ -195,5 +418,40 @@ mod tests {
     fn zero_mix_rejected() {
         WorkloadSpec { seed: 0, requests: 1, mean_interarrival_cycles: 1.0, mix: vec![0.0] }
             .generate();
+    }
+
+    #[test]
+    fn closed_loop_clients_are_deterministic_and_decorrelated() {
+        let spec = ClosedLoopSpec::uniform(7, 3, 100, 500.0, 2);
+        let mut a = spec.spawn_clients();
+        let mut b = spec.spawn_clients();
+        for (ca, cb) in a.iter_mut().zip(b.iter_mut()) {
+            for i in 0..50 {
+                assert_eq!(ca.issue(i * 100, i), cb.issue(i * 100, i));
+            }
+        }
+        // Distinct clients must not mirror each other's streams.
+        let mut c = spec.spawn_clients();
+        let (first, second) = (c[0].issue(0, 0), c[1].issue(0, 0));
+        assert_ne!(first.act_seed, second.act_seed, "sibling clients share a stream");
+    }
+
+    #[test]
+    fn closed_loop_think_time_tracks_spec() {
+        let mean = 700.0;
+        let spec = ClosedLoopSpec::uniform(11, 1, 0, mean, 1);
+        let mut client = spec.spawn_clients().remove(0);
+        let n = 10_000u64;
+        let mut total = 0u64;
+        for i in 0..n {
+            // Issue from a fixed completion time so the gap is exactly
+            // the think time.
+            total += client.issue(0, i).arrival;
+        }
+        let measured = total as f64 / n as f64;
+        assert!(
+            (measured - mean).abs() < mean * 0.05,
+            "measured think {measured:.1} vs spec {mean:.1}"
+        );
     }
 }

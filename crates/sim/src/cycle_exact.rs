@@ -52,15 +52,14 @@ pub fn run(geom: &ArrayGeometry, zvcg: bool, w: &Matrix, a: &Matrix) -> GemmRun 
         }
 
         // Shift east/south (reverse order so we read pre-shift values).
-        for i in 0..rows {
+        for regs in w_regs.iter_mut() {
             for j in (1..cols).rev() {
-                w_regs[i][j] = w_regs[i][j - 1];
+                regs[j] = regs[j - 1];
             }
         }
-        for j in 0..cols {
-            for i in (1..rows).rev() {
-                a_regs[i][j] = a_regs[i - 1][j];
-            }
+        for i in (1..rows).rev() {
+            let (above, below) = a_regs.split_at_mut(i);
+            below[0].copy_from_slice(&above[i - 1]);
         }
         // Feed edges: row i gets w[i][t - i]; column j gets a[t - j][j].
         for (i, regs) in w_regs.iter_mut().enumerate() {
@@ -71,9 +70,9 @@ pub fn run(geom: &ArrayGeometry, zvcg: bool, w: &Matrix, a: &Matrix) -> GemmRun 
                 Operand::default()
             };
         }
-        for j in 0..cols {
+        for (j, slot) in a_regs[0].iter_mut().enumerate() {
             let t = cycle as i64 - j as i64;
-            a_regs[0][j] = if t >= 0 && (t as usize) < k {
+            *slot = if t >= 0 && (t as usize) < k {
                 Operand { value: a.get(t as usize, j), valid: true }
             } else {
                 Operand::default()

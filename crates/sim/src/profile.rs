@@ -52,6 +52,9 @@ impl ColStripProfile {
     pub(crate) fn new(a: &Matrix, strip_cols: usize) -> Self {
         let strips = a.cols().div_ceil(strip_cols);
         let mut counts = vec![vec![0u32; a.rows()]; strips];
+        // `p` indexes the transposed layout (counts[strip][row]), so an
+        // iterator over `counts` cannot replace the row index.
+        #[allow(clippy::needless_range_loop)]
         for p in 0..a.rows() {
             let row = a.row(p);
             for (c, &v) in row.iter().enumerate() {

@@ -127,9 +127,9 @@ mod tests {
         let w: Vec<_> = (0..2).map(|_| wdbb_vec(32, 0.3, &mut rng)).collect();
         let a: Vec<_> = (0..2).map(|_| adbb_vec(32, 0.4, 3, &mut rng)).collect();
         let run = run_tpe(&g, &w, &a);
-        for ai in 0..2 {
-            for ci in 0..2 {
-                assert_eq!(run.acc.get(ai, ci), dot(&a[ai], &w[ci]), "acc[{ai}][{ci}]");
+        for (ai, av) in a.iter().enumerate() {
+            for (ci, wv) in w.iter().enumerate() {
+                assert_eq!(run.acc.get(ai, ci), dot(av, wv), "acc[{ai}][{ci}]");
             }
         }
     }
@@ -221,9 +221,9 @@ mod tests {
             let w: Vec<_> = (0..2).map(|_| wdbb_vec(k, wsp, &mut rng)).collect();
             let a: Vec<_> = (0..2).map(|_| adbb_vec(k, asp, nnz, &mut rng)).collect();
             let run = run_tpe(&g, &w, &a);
-            for ai in 0..2 {
-                for ci in 0..2 {
-                    prop_assert_eq!(run.acc.get(ai, ci), dot(&a[ai], &w[ci]));
+            for (ai, av) in a.iter().enumerate() {
+                for (ci, wv) in w.iter().enumerate() {
+                    prop_assert_eq!(run.acc.get(ai, ci), dot(av, wv));
                 }
             }
             prop_assert_eq!(run.events.cycles, (kb * nnz) as u64);

@@ -44,19 +44,19 @@ pub fn im2col(shape: &ConvShape, x: &Tensor4) -> Matrix {
 /// Panics if the inner dimensions disagree.
 pub fn gemm_ref(a: &Matrix, b: &Matrix) -> AccMatrix {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims mismatch: {} vs {}", a.cols(), b.rows());
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (m, n) = (a.rows(), b.cols());
     let mut c = AccMatrix::zeros(m, n);
     for i in 0..m {
         let arow = a.row(i);
-        for p in 0..k {
-            let av = arow[p] as i32;
+        for (p, &ab) in arow.iter().enumerate() {
+            let av = ab as i32;
             if av == 0 {
                 continue;
             }
             let brow = b.row(p);
-            for j in 0..n {
+            for (j, &bb) in brow.iter().enumerate() {
                 let cur = c.get(i, j);
-                c.set(i, j, cur + av * brow[j] as i32);
+                c.set(i, j, cur + av * bb as i32);
             }
         }
     }

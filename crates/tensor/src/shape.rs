@@ -59,6 +59,7 @@ impl ConvShape {
     ///
     /// Panics if any dimension is zero, or if the kernel (minus padding)
     /// does not fit in the input.
+    #[allow(clippy::too_many_arguments)] // K,C,H,W,R,S,stride,pad is the conv vocabulary
     pub fn new(
         k: usize,
         c: usize,

@@ -1,5 +1,5 @@
-//! Serving demo: an open-loop request stream over two models, batched
-//! and dispatched across a fleet of simulated S2TA-AW accelerators.
+//! Serving demo: open-loop, closed-loop, and SLO-aware adaptive serving
+//! of a two-model mix across a fleet of simulated S2TA-AW accelerators.
 //!
 //! Run with:
 //!
@@ -7,16 +7,21 @@
 //! cargo run --release --example serving
 //! ```
 //!
-//! The run is fully deterministic: the same seed reproduces the same
-//! `ServeReport` byte-for-byte, and the aggregate (order-independent)
-//! metrics — request count, batch set, total simulated events, energy —
-//! are identical for any fleet size. The demo re-serves the stream to
-//! demonstrate both properties.
+//! Every run is fully deterministic: the same seed reproduces the same
+//! `ServeReport` byte-for-byte (for every client mode), and for the
+//! open-loop fixed-policy path the aggregate (order-independent)
+//! metrics — request count, batch set, drop set, total simulated
+//! events, energy — are identical for any fleet size. The demo
+//! re-serves the stream to demonstrate both properties, then shows
+//! admission control shedding load and the SLO-aware policy trading
+//! batch depth against tail latency.
 
 use s2ta::core::ArchKind;
 use s2ta::energy::TechParams;
 use s2ta::models::{cifar10_convnet, lenet5};
-use s2ta::serve::{BatchPolicy, Fleet, ServeReport, WorkloadSpec};
+use s2ta::serve::{
+    BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, ServeReport, SloAwarePolicy, WorkloadSpec,
+};
 
 fn main() {
     let models = [lenet5(), cifar10_convnet()];
@@ -34,8 +39,8 @@ fn main() {
     println!("models: {} and {}", models[0], models[1]);
     println!();
 
-    let fleet = Fleet::new(ArchKind::S2taAw, 6)
-        .with_policy(BatchPolicy { max_batch: 8, max_wait_cycles: 50_000 });
+    let policy = FixedPolicy { max_batch: 8, max_wait_cycles: 50_000 };
+    let fleet = Fleet::new(ArchKind::S2taAw, 6).with_policy(policy);
     let report = fleet.serve(&models, &requests);
     print!("{}", report.summary(&tech));
     println!();
@@ -46,9 +51,7 @@ fn main() {
     println!("re-served with the same seed: reports identical");
 
     // Fleet-size independence of the aggregate metrics.
-    let smaller = Fleet::new(ArchKind::S2taAw, 4)
-        .with_policy(BatchPolicy { max_batch: 8, max_wait_cycles: 50_000 })
-        .serve(&models, &requests);
+    let smaller = Fleet::new(ArchKind::S2taAw, 4).with_policy(policy).serve(&models, &requests);
     assert_eq!(report.total_events, smaller.total_events);
     assert_eq!(report.batches, smaller.batches);
     assert_eq!(report.outcomes.len(), smaller.outcomes.len());
@@ -60,11 +63,61 @@ fn main() {
     );
 
     // What batching buys: the same traffic served batch-1.
-    let unbatched = fleet.with_policy(BatchPolicy::unbatched()).serve(&models, &requests);
+    let unbatched = fleet.clone().with_policy(FixedPolicy::unbatched()).serve(&models, &requests);
     println!(
         "batching win: {} -> {} kcycles of accelerator time ({:.1}% saved on weight streaming)",
         unbatched.total_events.cycles / 1_000,
         report.total_events.cycles / 1_000,
         (1.0 - report.total_events.cycles as f64 / unbatched.total_events.cycles as f64) * 100.0,
     );
+    println!();
+
+    // Admission control: bound each model lane and shed the overload.
+    let bounded = fleet.clone().with_queue_capacity(4).serve(&models, &requests);
+    println!(
+        "admission control (lane capacity 4): {} served, {} dropped ({:.1}% drop rate), \
+         goodput {:.0} inf/s",
+        bounded.served_count(),
+        bounded.dropped_count(),
+        bounded.drop_rate() * 100.0,
+        bounded.goodput_ips(&tech),
+    );
+    println!();
+
+    // SLO-aware adaptive batching against the same stream.
+    let mut slo =
+        SloAwarePolicy::new(40_000, BatchLimits { max_batch: 8, max_wait_cycles: 50_000 });
+    let adaptive = fleet.serve_adaptive(&models, &requests, &mut slo);
+    println!(
+        "fixed policy:     p99 {:.3} ms, goodput {:.0} inf/s",
+        ServeReport::cycles_to_ms(&tech, report.p99_cycles()),
+        report.goodput_ips(&tech),
+    );
+    println!(
+        "SLO-aware policy: p99 {:.3} ms, goodput {:.0} inf/s (target p99 {:.3} ms)",
+        ServeReport::cycles_to_ms(&tech, adaptive.p99_cycles()),
+        adaptive.goodput_ips(&tech),
+        ServeReport::cycles_to_ms(&tech, slo.target_p99_cycles()),
+    );
+    println!();
+
+    // Closed-loop clients: offered load adapts to service capacity.
+    let closed_spec = ClosedLoopSpec {
+        seed: 2022,
+        clients: 12,
+        requests: 240,
+        mean_think_cycles: 2_000.0,
+        mix: vec![2.0, 1.0],
+    };
+    let mut closed_policy = FixedPolicy { max_batch: 4, max_wait_cycles: 10_000 };
+    let closed = fleet.serve_closed_loop(&models, &closed_spec, &mut closed_policy);
+    println!("closed loop: {closed_spec}");
+    print!("{}", closed.summary(&tech));
+    let mut closed_policy2 = closed_policy;
+    assert_eq!(
+        closed,
+        fleet.serve_closed_loop(&models, &closed_spec, &mut closed_policy2),
+        "closed loop must be deterministic for a fixed (seed, policy, workers)"
+    );
+    println!("closed loop re-served: reports identical");
 }

@@ -1,14 +1,18 @@
 //! Cross-crate serving tests: scheduler invariants, end-to-end
-//! determinism of the fleet, and bit-exactness of the cached weight
-//! plans against the uncached path.
+//! determinism of the fleet across client modes, admission control,
+//! SLO-aware batching, and bit-exactness of the cached weight plans
+//! against the uncached path.
 
 use proptest::prelude::*;
 use s2ta::core::{Accelerator, ArchKind, ModelReport, WeightResidency};
-use s2ta::models::{lenet5, LayerSpec, ModelSpec};
-use s2ta::serve::{BatchPolicy, Fleet, Scheduler, WorkloadSpec};
+use s2ta::models::{cifar10_convnet, lenet5, LayerSpec, ModelSpec};
+use s2ta::serve::{
+    Batch, BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, Request, Scheduler, SloAwarePolicy,
+    WorkloadSpec,
+};
 use s2ta::tensor::{GemmShape, LayerKind};
 
-fn workload(seed: u64, n: usize, models: usize) -> Vec<s2ta::serve::Request> {
+fn workload(seed: u64, n: usize, models: usize) -> Vec<Request> {
     WorkloadSpec::uniform(seed, n, 15_000.0, models).generate()
 }
 
@@ -33,7 +37,7 @@ fn two_models() -> Vec<ModelSpec> {
 fn no_request_is_dropped_or_duplicated() {
     let models = two_models();
     let requests = workload(3, 120, models.len());
-    let scheduler = Scheduler::new(BatchPolicy { max_batch: 6, max_wait_cycles: 40_000 });
+    let scheduler = Scheduler::new(FixedPolicy { max_batch: 6, max_wait_cycles: 40_000 });
     let batches = scheduler.form_batches(&requests, models.len());
     let mut ids: Vec<u64> = batches.iter().flat_map(|b| b.requests.iter().map(|r| r.id)).collect();
     ids.sort_unstable();
@@ -52,7 +56,7 @@ fn per_model_fifo_fairness() {
     // Requests of one model must start (and ride in batches) in
     // arrival order: arrival order == id order for a generated stream.
     for model in models.iter().map(|m| m.name) {
-        let of_model: Vec<_> = report.outcomes.iter().filter(|o| o.model == model).collect();
+        let of_model: Vec<_> = report.served_outcomes().filter(|o| o.model == model).collect();
         for pair in of_model.windows(2) {
             assert!(
                 pair[0].start <= pair[1].start,
@@ -86,10 +90,39 @@ fn aggregate_metrics_are_worker_count_independent() {
         assert_eq!(r.batches, reports[0].batches);
         assert_eq!(r.outcomes.len(), reports[0].outcomes.len());
         // Same batch composition implies the same per-request batch ids.
-        for (a, b) in r.outcomes.iter().zip(&reports[0].outcomes) {
+        for (a, b) in r.served_outcomes().zip(reports[0].served_outcomes()) {
             assert_eq!(a.batch, b.batch);
         }
     }
+}
+
+#[test]
+fn admission_bounded_drops_are_worker_count_independent() {
+    let models = two_models();
+    // Dense traffic against a lane bound below max_batch forces drops.
+    let requests = WorkloadSpec::uniform(9, 150, 800.0, models.len()).generate();
+    let reports: Vec<_> = [1usize, 3, 6]
+        .iter()
+        .map(|&w| {
+            Fleet::new(ArchKind::S2taAw, w)
+                .with_policy(FixedPolicy { max_batch: 8, max_wait_cycles: 20_000 })
+                .with_queue_capacity(2)
+                .serve(&models, &requests)
+        })
+        .collect();
+    assert!(reports[0].dropped_count() > 0, "the workload must overload the bound");
+    for r in &reports[1..] {
+        assert_eq!(r.dropped_count(), reports[0].dropped_count());
+        assert_eq!(r.total_events, reports[0].total_events);
+        // The same requests drop regardless of fleet size.
+        for (a, b) in r.outcomes.iter().zip(&reports[0].outcomes) {
+            assert_eq!(a.is_served(), b.is_served(), "drop set must not depend on workers");
+        }
+    }
+    // Served + dropped partition the issued stream.
+    let r = &reports[0];
+    assert_eq!(r.served_count() + r.dropped_count(), requests.len());
+    assert!(r.drop_rate() > 0.0 && r.drop_rate() < 1.0);
 }
 
 #[test]
@@ -103,6 +136,66 @@ fn fleet_scales_throughput_on_backlogged_traffic() {
     let four = Fleet::new(ArchKind::S2taAw, 4).serve(&models, &requests);
     let speedup = one.makespan_cycles as f64 / four.makespan_cycles as f64;
     assert!(speedup > 2.0, "4 workers only {speedup:.2}x faster than 1");
+}
+
+#[test]
+fn closed_loop_serving_is_deterministic_and_self_limiting() {
+    let models = two_models();
+    let spec = ClosedLoopSpec::uniform(41, 5, 60, 10_000.0, models.len());
+    let fleet = Fleet::new(ArchKind::S2taAw, 2);
+    let mut p1 = FixedPolicy { max_batch: 4, max_wait_cycles: 25_000 };
+    let mut p2 = p1;
+    let a = fleet.serve_closed_loop(&models, &spec, &mut p1);
+    let b = fleet.serve_closed_loop(&models, &spec, &mut p2);
+    assert_eq!(a, b, "closed loop must reproduce byte-for-byte");
+    assert_eq!(a.outcomes.len(), 60);
+    // Closed loop self-limits: a client never has two requests in
+    // flight, so the number of requests in the system never exceeds
+    // the client count.
+    let mut events: Vec<(u64, i64)> = Vec::new();
+    for o in a.served_outcomes() {
+        events.push((o.arrival, 1));
+        events.push((o.completion, -1));
+    }
+    events.sort_unstable();
+    let mut open = 0i64;
+    for (_, delta) in events {
+        open += delta;
+        assert!(open <= 5, "closed loop exceeded one outstanding request per client");
+    }
+}
+
+/// The acceptance comparison: on the lenet5 + cifar10_convnet mix, the
+/// SLO-aware policy must beat the default fixed policy's p99 at equal
+/// or better goodput.
+#[test]
+fn slo_aware_policy_beats_default_fixed_policy_on_the_model_mix() {
+    let models = vec![lenet5(), cifar10_convnet()];
+    let spec = WorkloadSpec {
+        seed: 77,
+        requests: 96,
+        mean_interarrival_cycles: 6_000.0,
+        mix: vec![2.0, 1.0],
+    };
+    let requests = spec.generate();
+    let fleet = Fleet::new(ArchKind::S2taAw, 2);
+    let fixed = fleet.clone().with_policy(FixedPolicy::default()).serve(&models, &requests);
+    let mut slo =
+        SloAwarePolicy::new(60_000, BatchLimits { max_batch: 8, max_wait_cycles: 100_000 });
+    let adaptive = fleet.serve_adaptive(&models, &requests, &mut slo);
+    assert!(
+        adaptive.p99_cycles() < fixed.p99_cycles(),
+        "SLO-aware p99 {} must beat fixed p99 {}",
+        adaptive.p99_cycles(),
+        fixed.p99_cycles()
+    );
+    assert!(
+        adaptive.makespan_cycles <= fixed.makespan_cycles,
+        "SLO-aware makespan {} must not exceed fixed {} (goodput parity)",
+        adaptive.makespan_cycles,
+        fixed.makespan_cycles
+    );
+    assert_eq!(adaptive.served_count(), fixed.served_count());
 }
 
 proptest! {
@@ -142,5 +235,77 @@ proptest! {
             .collect();
         let composed = ModelReport::from_layers(model.name, "S2TA-AW", layers);
         prop_assert_eq!(composed, acc.run_model(&model, seed));
+    }
+
+    /// Placement invariants over random batch sets: no worker lane ever
+    /// overlaps two batches, and no batch starts before its ready time.
+    #[test]
+    fn prop_placement_never_overlaps_and_respects_ready(
+        seed in any::<u64>(),
+        workers in 1usize..6,
+    ) {
+        // Derive a random batch set from the seed with a cheap LCG so
+        // the case space is wide without a vec-strategy.
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state ^ (state >> 32)
+        };
+        let n = (next() % 24) as usize;
+        let mut id = 0u64;
+        let batches: Vec<Batch> = (0..n)
+            .map(|i| {
+                let members = 1 + (next() % 5) as usize;
+                let ready = next() % 50_000;
+                let requests: Vec<Request> = (0..members)
+                    .map(|_| {
+                        let r = Request {
+                            id,
+                            model: 0,
+                            arrival: ready.saturating_sub(next() % 1_000),
+                            act_seed: next(),
+                        };
+                        id += 1;
+                        r
+                    })
+                    .collect();
+                Batch { id: i, model: 0, requests, ready }
+            })
+            .collect();
+        let service: Vec<u64> = (0..n).map(|_| 1 + next() % 30_000).collect();
+        let placements = Scheduler::default().place(&batches, &service, workers);
+
+        for (p, b) in placements.iter().zip(&batches) {
+            prop_assert!(p.start >= b.ready, "batch {} started before ready", b.id);
+            prop_assert!(p.worker < workers);
+            prop_assert_eq!(p.completion, p.start + service[p.batch]);
+        }
+        for w in 0..workers {
+            let mut spans: Vec<(u64, u64)> = placements
+                .iter()
+                .filter(|p| p.worker == w)
+                .map(|p| (p.start, p.completion))
+                .collect();
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0, "worker {} overlapped", w);
+            }
+        }
+    }
+
+    /// Open-loop fixed-policy formation and the event-driven engine
+    /// (satisfying the same fixed policy) agree for any seed.
+    #[test]
+    fn prop_engine_matches_vectorized_for_fixed_policies(seed in any::<u64>()) {
+        let models = vec![lenet5()];
+        let requests = WorkloadSpec::uniform(seed, 24, 25_000.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 3, max_wait_cycles: 40_000 };
+        let fleet = Fleet::new(ArchKind::S2taAw, 2).with_policy(policy);
+        let vectorized = fleet.serve(&models, &requests);
+        let mut fixed = policy;
+        let event_driven = fleet.serve_adaptive(&models, &requests, &mut fixed);
+        prop_assert_eq!(vectorized, event_driven);
     }
 }
