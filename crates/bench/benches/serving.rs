@@ -11,13 +11,36 @@
 //! clients and the fixed vs SLO-aware batch policies on the
 //! lenet5 + cifar10_convnet mix.
 
-use s2ta_bench::{header, SEED};
+use s2ta_bench::{header, hetero_scenario, json_num, write_bench_artifact, SEED};
 use s2ta_core::ArchKind;
 use s2ta_energy::TechParams;
 use s2ta_models::{cifar10_convnet, lenet5};
 use s2ta_serve::{
-    BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, ServeReport, SloAwarePolicy, WorkloadSpec,
+    BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, PlacementStrategy, ServeReport,
+    SloAwarePolicy, WorkloadSpec,
 };
+
+/// One JSON record of a serving run: the metrics tracked across PRs.
+fn json_report(label: &str, r: &ServeReport, tech: &TechParams) -> String {
+    format!(
+        "{{\"label\": \"{label}\", \"arch\": \"{}\", \"policy\": \"{}\", \
+         \"served\": {}, \"dropped\": {}, \"batches\": {}, \"lanes\": {}, \
+         \"throughput_ips\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
+         \"uj_per_inference\": {}, \"mean_utilization\": {}}}",
+        r.arch,
+        r.policy,
+        r.served_count(),
+        r.dropped_count(),
+        r.batches,
+        r.workers.len(),
+        json_num(r.throughput_ips(tech)),
+        json_num(ServeReport::cycles_to_ms(tech, r.p50_cycles())),
+        json_num(ServeReport::cycles_to_ms(tech, r.p95_cycles())),
+        json_num(ServeReport::cycles_to_ms(tech, r.p99_cycles())),
+        json_num(r.uj_per_inference(tech)),
+        json_num(r.mean_utilization()),
+    )
+}
 
 fn main() {
     header("Serving", "Fleet throughput/latency/energy under identical traffic");
@@ -39,11 +62,13 @@ fn main() {
         "arch", "inf/s", "p50 ms", "p99 ms", "uJ/inf", "util %"
     );
 
+    let mut records: Vec<String> = Vec::new();
     let archs = [ArchKind::SaZvcg, ArchKind::SaSmtT2Q2, ArchKind::S2taW, ArchKind::S2taAw];
     let mut baseline: Option<ServeReport> = None;
     let mut last: Option<ServeReport> = None;
     for kind in archs {
         let report = Fleet::new(kind, workers).with_policy(policy).serve(&models, &requests);
+        records.push(json_report(&format!("sweep/{kind}"), &report, &tech));
         println!(
             "{:<12} {:>12.0} {:>10.4} {:>10.4} {:>10.2} {:>10.1}",
             kind.to_string(),
@@ -92,6 +117,7 @@ fn main() {
     );
     let open = Fleet::new(ArchKind::S2taAw, workers).with_policy(policy).serve(&models, &requests);
     print_mode_row("open loop (320 req)", &open, &tech);
+    records.push(json_report("mode/open-loop", &open, &tech));
     for clients in [4usize, 16] {
         let closed_spec = ClosedLoopSpec {
             seed: SEED,
@@ -107,6 +133,7 @@ fn main() {
             &mut closed_policy,
         );
         print_mode_row(&format!("closed loop ({clients} clients)"), &closed, &tech);
+        records.push(json_report(&format!("mode/closed-loop-{clients}"), &closed, &tech));
     }
     println!();
 
@@ -155,6 +182,60 @@ fn main() {
             && adaptive.throughput_ips(&tech) >= fixed_default.throughput_ips(&tech),
         "SLO-aware policy must beat the default fixed policy's p99 at >= throughput"
     );
+    records.push(json_report("policy/fixed-default", &fixed_default, &tech));
+    records.push(json_report("policy/slo-aware", &adaptive, &tech));
+    println!();
+
+    // --- Heterogeneous fleet: earliest-free vs affinity placement ----
+    // A mixed 2xS2TA-AW + 2xSA-ZVCG fleet under one stream: arch-blind
+    // earliest-free dispatch wastes tail latency (and energy) on the
+    // slow dense lanes; the affinity cost model learns per-(arch,
+    // model) service estimates from its own completions and routes
+    // batches to the lane that finishes them soonest.
+    let hetero_spec = hetero_scenario::fleet_spec();
+    let hetero_models = hetero_scenario::models();
+    let hetero_requests = hetero_scenario::workload().generate();
+    let mk =
+        || Fleet::from_spec(hetero_scenario::fleet_spec()).with_policy(hetero_scenario::policy());
+    let earliest_free = mk().serve(&hetero_models, &hetero_requests);
+    let affinity =
+        mk().with_placement(PlacementStrategy::Affinity).serve(&hetero_models, &hetero_requests);
+    println!("heterogeneous fleet ({}): earliest-free vs affinity:", hetero_spec.label());
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "placement", "inf/s", "p50 ms", "p99 ms", "uJ/inf"
+    );
+    for (name, r) in [("earliest-free", &earliest_free), ("affinity", &affinity)] {
+        println!(
+            "{:<26} {:>10.0} {:>10.4} {:>10.4} {:>10.2}",
+            name,
+            r.throughput_ips(&tech),
+            ServeReport::cycles_to_ms(&tech, r.p50_cycles()),
+            ServeReport::cycles_to_ms(&tech, r.p99_cycles()),
+            r.uj_per_inference(&tech),
+        );
+    }
+    println!(
+        "affinity: {:.2}x lower p99, {:.2}x less energy/inf on the mixed fleet",
+        earliest_free.p99_cycles() as f64 / affinity.p99_cycles() as f64,
+        earliest_free.uj_per_inference(&tech) / affinity.uj_per_inference(&tech),
+    );
+    assert!(
+        affinity.p99_cycles() < earliest_free.p99_cycles()
+            && affinity.uj_per_inference(&tech) < earliest_free.uj_per_inference(&tech),
+        "affinity placement must beat earliest-free on p99 and energy on the mixed fleet"
+    );
+    records.push(json_report("hetero/earliest-free", &earliest_free, &tech));
+    records.push(json_report("hetero/affinity", &affinity, &tech));
+
+    // --- Machine-readable artifact ----------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"seed\": {SEED},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        records.join(",\n    ")
+    );
+    let path = write_bench_artifact("BENCH_serving.json", &json);
+    println!();
+    println!("wrote {} ({} runs)", path.display(), records.len());
 }
 
 fn print_mode_row(name: &str, r: &ServeReport, tech: &TechParams) {

@@ -14,6 +14,63 @@ use s2ta_tensor::Matrix;
 /// The master seed all benches share, for reproducible output.
 pub const SEED: u64 = 42;
 
+/// The canonical heterogeneous-serving scenario, shared verbatim by
+/// the serving bench, the `serving_hetero` example, and the acceptance
+/// test in `tests/serving.rs`: a mixed 2×S2TA-AW + 2×SA-ZVCG fleet
+/// under a LeNet-heavy two-model mix, on which affinity placement must
+/// beat earliest-free placement on both p99 latency and energy per
+/// inference. Single-sourcing it keeps the three gates in lockstep
+/// when the workload is retuned.
+pub mod hetero_scenario {
+    use s2ta_core::ArchKind;
+    use s2ta_models::{cifar10_convnet, lenet5, ModelSpec};
+    use s2ta_serve::{FixedPolicy, FleetSpec, WorkloadSpec};
+
+    /// The two served models: LeNet-5 (latency-light) and the CIFAR-10
+    /// convnet (heavier).
+    pub fn models() -> Vec<ModelSpec> {
+        vec![lenet5(), cifar10_convnet()]
+    }
+
+    /// The traffic: 160 requests at a 6000-cycle mean gap, LeNet
+    /// taking two thirds of the mix.
+    pub fn workload() -> WorkloadSpec {
+        WorkloadSpec::mixed(super::SEED, 160, 6_000.0, vec![2.0, 1.0])
+    }
+
+    /// The mixed fleet: two S2TA-AW lanes plus two dense-baseline
+    /// SA-ZVCG lanes.
+    pub fn fleet_spec() -> FleetSpec {
+        FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 2)])
+    }
+
+    /// The fixed batching policy both placements run under.
+    pub fn policy() -> FixedPolicy {
+        FixedPolicy { max_batch: 8, max_wait_cycles: 30_000 }
+    }
+}
+
+/// Writes a machine-readable bench artifact (e.g. `BENCH_serving.json`)
+/// to the workspace root, so the perf trajectory is trackable across
+/// PRs, and returns the path written. Benches run from varying working
+/// directories, so the path is anchored at this crate's manifest.
+pub fn write_bench_artifact(file_name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file_name);
+    std::fs::write(&path, contents).expect("bench artifact must be writable");
+    path
+}
+
+/// Formats an `f64` for the JSON artifacts: finite, fixed 4-decimal
+/// precision (stable across runs and locales, and valid JSON — no
+/// `NaN`/`inf` tokens).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Prints the standard bench header.
 pub fn header(id: &str, title: &str) {
     println!();

@@ -18,7 +18,7 @@
 //! Planned runs are bit-exact with the unplanned paths: `run_model` is
 //! itself routed through the cache.
 
-use crate::{Accelerator, LayerReport};
+use crate::{Accelerator, ArchConfig, ArchKind, LayerReport};
 use s2ta_dbb::dap::LayerNnz;
 use s2ta_dbb::DbbMatrix;
 use s2ta_models::{LayerSpec, ModelSpec};
@@ -145,15 +145,39 @@ pub(crate) fn model_fingerprint(model: &ModelSpec) -> u64 {
     h
 }
 
-type PlanKey = (String, u64, u64); // (model name, structure fingerprint, weight seed)
+/// A fingerprint of the **entire** accelerator configuration, so two
+/// accelerators only ever share a cache entry when their configs are
+/// identical. Deliberately conservative: plan compilation today reads
+/// only `kind.uses_wdbb()`, the W-DBB bound and `geometry.bz`, but
+/// hashing every field (via the derived `Debug` form, which includes
+/// any field added later) means a future plan-relevant knob can never
+/// silently alias two different configs onto one plan — at worst, two
+/// configs differing only in plan-irrelevant fields compile the same
+/// plan twice. The cache is in-memory only, so the fingerprint never
+/// needs to be stable across builds.
+pub(crate) fn plan_scope_fingerprint(config: &ArchConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{config:?}").bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// (arch kind, plan-scope fingerprint, model name, structure
+// fingerprint, weight seed)
+type PlanKey = (ArchKind, u64, String, u64, u64);
 
 /// A thread-safe memo table of compiled [`ModelPlan`]s.
 ///
-/// The cache is keyed by `(model, weight seed)` (plus a structural
-/// fingerprint) and is scoped to one architecture configuration: every
-/// clone of an [`Accelerator`] shares its cache, so repeated
-/// `run_model` calls — and every worker of a serving fleet built from
-/// clones — compile each model's W-DBB layers exactly once.
+/// The cache is keyed by `(arch, model, weight seed)` — the
+/// architecture kind plus a fingerprint of its plan-relevant
+/// configuration, the model name plus a structural fingerprint, and the
+/// weight seed — so one table can be shared by accelerators of
+/// *different* architectures (a heterogeneous serving fleet) without
+/// ever serving a mismatched plan. Every clone of an [`Accelerator`]
+/// shares its cache, so repeated `run_model` calls — and every lane of
+/// a serving fleet — compile each `(arch, model, seed)` triple's W-DBB
+/// layers exactly once.
 #[derive(Debug, Clone, Default)]
 pub struct WeightPlanCache {
     inner: Arc<Mutex<HashMap<PlanKey, Arc<ModelPlan>>>>,
@@ -182,7 +206,13 @@ impl WeightPlanCache {
         if !acc.config().kind.uses_wdbb() {
             return Arc::new(acc.plan_model_uncached(model, weight_seed));
         }
-        let key = (model.name.to_string(), model_fingerprint(model), weight_seed);
+        let key = (
+            acc.config().kind,
+            plan_scope_fingerprint(acc.config()),
+            model.name.to_string(),
+            model_fingerprint(model),
+            weight_seed,
+        );
         if let Some(plan) = self.inner.lock().expect("plan cache poisoned").get(&key) {
             return Arc::clone(plan);
         }
@@ -350,6 +380,43 @@ mod tests {
         // structural, not positional.
         let other = mobilenet_v1();
         acc.run_model_planned(&plan, &other, 3);
+    }
+
+    /// A single cache shared by accelerators of *different*
+    /// architectures must key plans by arch: each kind compiles its own
+    /// plan exactly once, and neither is served the other's.
+    #[test]
+    fn shared_cache_keys_plans_by_architecture() {
+        let cache = WeightPlanCache::new();
+        let w = Accelerator::preset(ArchKind::S2taW).sharing_plans(cache.clone());
+        let aw = Accelerator::preset(ArchKind::S2taAw).sharing_plans(cache.clone());
+        let m = lenet5();
+        let pw = w.plan_model(&m, 3);
+        let paw = aw.plan_model(&m, 3);
+        assert_eq!(cache.len(), 2, "each arch compiles its own plan");
+        assert!(!Arc::ptr_eq(&pw, &paw), "kinds must not share a plan");
+        // Second lane of the same kind hits the memo.
+        let aw2 = Accelerator::preset(ArchKind::S2taAw).sharing_plans(cache.clone());
+        assert!(Arc::ptr_eq(&paw, &aw2.plan_model(&m, 3)));
+        assert_eq!(cache.len(), 2);
+        // Shared-cache plans are the same plans a private cache builds.
+        assert_eq!(*paw, *Accelerator::preset(ArchKind::S2taAw).plan_model(&m, 3));
+    }
+
+    /// Same kind, different W-DBB bound: the scope fingerprint keeps
+    /// the plans apart even inside one shared cache.
+    #[test]
+    fn scope_fingerprint_separates_configs_of_one_kind() {
+        let cache = WeightPlanCache::new();
+        let a = Accelerator::preset(ArchKind::S2taAw).sharing_plans(cache.clone());
+        let mut cfg = *Accelerator::preset(ArchKind::S2taAw).config();
+        cfg.wdbb = s2ta_dbb::DbbConfig::new(2, 8);
+        let b = Accelerator::new(cfg).sharing_plans(cache.clone());
+        let m = lenet5();
+        let pa = a.plan_model(&m, 3);
+        let pb = b.plan_model(&m, 3);
+        assert_eq!(cache.len(), 2, "different bounds must not collide");
+        assert_ne!(*pa, *pb, "2/8 and 4/8 plans differ");
     }
 
     #[test]

@@ -19,6 +19,14 @@ pub fn default_workers() -> usize {
     thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The worker count for a fan-out over `jobs` jobs: `cap` (or the
+/// machine's parallelism when `cap` is `None`), never more workers
+/// than jobs, and **at least one** — a tick that formed zero jobs must
+/// not request a zero-worker pool.
+pub fn worker_count_for(jobs: usize, cap: Option<usize>) -> usize {
+    cap.unwrap_or_else(default_workers).min(jobs).max(1)
+}
+
 /// Applies `f` to every item on a pool of `workers` OS threads and
 /// returns the results in input order.
 ///
@@ -96,5 +104,21 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    /// Regression guard for the fleet's sizing expression: an empty
+    /// batch list used to compute `default_workers().min(0) == 0`
+    /// workers. The helper must never return zero, and `parallel_map`
+    /// must tolerate a zero worker request anyway (serial fall-back).
+    #[test]
+    fn worker_count_never_zero_and_zero_workers_still_run() {
+        assert_eq!(worker_count_for(0, None), 1);
+        assert_eq!(worker_count_for(0, Some(8)), 1);
+        assert_eq!(worker_count_for(3, Some(8)), 3);
+        assert_eq!(worker_count_for(100, Some(4)), 4);
+        assert!(worker_count_for(100, None) >= 1);
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, 0, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[1u32, 2], 0, |&x| x * 2), vec![2, 4]);
     }
 }

@@ -58,6 +58,16 @@ impl Accelerator {
         &self.plans
     }
 
+    /// Replaces this accelerator's plan cache with `plans`, so a set of
+    /// accelerators — possibly of **different** architectures, such as
+    /// the lanes of a heterogeneous serving fleet — share one memo
+    /// table. The cache is keyed by `(arch, model, seed)`, so sharing
+    /// across kinds can never serve a mismatched plan.
+    pub fn sharing_plans(mut self, plans: WeightPlanCache) -> Self {
+        self.plans = plans;
+        self
+    }
+
     /// Runs one GEMM with explicit operands and an explicit A-DBB
     /// decision. `first_layer` selects the dense weight fall-back (the
     /// paper leaves layer 1 unpruned, Table 3 note 2).

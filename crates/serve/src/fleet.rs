@@ -1,9 +1,12 @@
-//! The accelerator fleet: N simulated S2TA instances served by a host
-//! worker pool.
+//! The accelerator fleet: N simulated accelerator **lanes** — possibly
+//! of mixed architectures — served by a host worker pool.
 //!
-//! A [`Fleet`] owns one [`Accelerator`] configuration whose clones share
-//! a [`s2ta_core::WeightPlanCache`], so every worker reuses the same
-//! compiled W-DBB weight plans. Three client modes are served:
+//! A [`Fleet`] is built from a [`FleetSpec`]: an ordered list of lanes,
+//! each owning its own [`Accelerator`] of any [`ArchKind`] (e.g.
+//! 2×S2TA-AW + 2×SA-ZVCG). Every lane shares one fleet-wide
+//! [`s2ta_core::WeightPlanCache`] keyed by `(arch, model, seed)`, so
+//! each architecture compiles each model's W-DBB plans exactly once.
+//! Three client modes are served:
 //!
 //! * [`Fleet::serve`] — **open loop, fixed policy**: the arrival stream
 //!   is folded into batches up front (fleet-size independent, see
@@ -12,12 +15,36 @@
 //!   the batches are then placed on the N simulated lanes.
 //! * [`Fleet::serve_adaptive`] — **open loop, adaptive policy**: the
 //!   same arrival stream driven through the event-driven engine so a
-//!   [`BatchPolicy`] can steer `max_batch`/`max_wait` from observed
-//!   completions.
+//!   [`BatchPolicy`] can steer per-model `max_batch`/`max_wait` from
+//!   observed completions.
 //! * [`Fleet::serve_closed_loop`] — **closed loop**: C concurrent
 //!   clients ([`crate::ClosedLoopSpec`]) each issue their next request
 //!   only after the previous one completes; arrivals are iterated
 //!   per-request in simulated time as a fixed point of the placement.
+//!
+//! **Placement** is governed by [`PlacementStrategy`]: the default
+//! earliest-free rule is arch-blind, while
+//! [`PlacementStrategy::Affinity`] routes each batch to the lane
+//! minimizing its predicted completion time using per-`(arch, model)`
+//! service estimates ([`crate::ServiceEstimator`]) bootstrapped from
+//! the run's own completed batches. On a homogeneous fleet the affinity
+//! rule collapses to earliest-free exactly, so enabling it can never
+//! change a clone-fleet's results.
+//!
+//! **Concurrent lane execution**: a batch's service time is a pure
+//! function of `(batch, lane architecture)`, so the event-driven engine
+//! executes multi-batch bursts *speculatively* on the host pool — when
+//! several batches seal at one event, each later placement depends on
+//! the earlier batches' measured completions, so every sealed batch
+//! simulates on every distinct lane architecture ahead of the (serial,
+//! deterministic) placement decisions, which then consume the memoized
+//! result of whichever lane they pick. (A single-batch seal resolves
+//! its lane first and simulates only that lane's scope — its choice
+//! never depends on its own execution.) Parallel execution is
+//! byte-identical to the serial engine because the simulations are
+//! pure and [`s2ta_core::pool::parallel_map`] is order-preserving;
+//! [`Fleet::with_host_parallelism`] pins the host worker count (it can
+//! change wall-clock time only, never results).
 //!
 //! All three modes honor the fleet's admission bound
 //! ([`Fleet::with_queue_capacity`]): a request arriving while its model
@@ -25,57 +52,215 @@
 //! [`RequestOutcome::Dropped`].
 //!
 //! Simulated results never depend on host thread timing: batch events
-//! are a pure function of the batch, and both the up-front placement
-//! and the event-driven engine are deterministic. The `outcomes` list
-//! in the returned [`ServeReport`] is sorted by request id
-//! post-placement (it is assembled in batch/dispatch order internally),
-//! so `outcomes[i].id() == i` always holds for a dense arrival stream.
+//! are a pure function of the batch and the executing lane's
+//! architecture, and both the up-front placement and the event-driven
+//! engine are deterministic. The `outcomes` list in the returned
+//! [`ServeReport`] is sorted by request id post-placement (it is
+//! assembled in batch/dispatch order internally), so
+//! `outcomes[i].id() == i` always holds for a dense arrival stream.
 
-use crate::policy::{BatchLimits, BatchObservation, BatchPolicy, FixedPolicy};
+use crate::policy::{BatchObservation, BatchPolicy, FixedPolicy};
 use crate::queue::RequestQueue;
 use crate::report::{DroppedRequest, RequestOutcome, ServeReport, ServedRequest, WorkerStats};
-use crate::scheduler::{Batch, DeadlineHeap, Formation, Scheduler};
+use crate::scheduler::{
+    affinity_lane, earliest_free_lane, DeadlineHeap, Formation, PlacementStrategy, Scheduler,
+    ServiceEstimator,
+};
 use crate::workload::{ClosedLoopClient, ClosedLoopSpec, Request};
-use s2ta_core::{pool, Accelerator, ArchKind, WeightResidency};
+use s2ta_core::{pool, Accelerator, ArchKind, WeightPlanCache, WeightResidency};
 use s2ta_models::ModelSpec;
 use s2ta_sim::EventCounts;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A pool of N identical simulated accelerators behind one scheduler.
+/// One serving lane: a simulated accelerator instance with its own
+/// architecture, executing one batch at a time in simulated time.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    accelerator: Accelerator,
+}
+
+impl Lane {
+    /// The architecture this lane simulates.
+    pub fn arch(&self) -> ArchKind {
+        self.accelerator.config().kind
+    }
+
+    /// The lane's accelerator.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    /// Simulates one batch on this lane, layer-major: each layer's
+    /// weights stream once and stay resident for the rest of the batch,
+    /// which is where batching wins on the memory-bound FC/depthwise
+    /// layers (paper Sec. 8.3).
+    fn execute_batch(
+        &self,
+        model: &ModelSpec,
+        requests: &[Request],
+        weight_seed: u64,
+    ) -> BatchExecution {
+        let plan = self.accelerator.plan_model(model, weight_seed);
+        let mut events = EventCounts::default();
+        for (layer, layer_plan) in model.layers.iter().zip(plan.layers()) {
+            for (i, request) in requests.iter().enumerate() {
+                let residency =
+                    if i == 0 { WeightResidency::Streamed } else { WeightResidency::Resident };
+                let report = self.accelerator.run_layer_planned(
+                    layer_plan,
+                    layer,
+                    request.act_seed,
+                    residency,
+                );
+                events += report.events;
+            }
+        }
+        BatchExecution { service_cycles: events.cycles, events }
+    }
+}
+
+/// The composition of a fleet: an ordered list of lanes, each with its
+/// own accelerator configuration — homogeneous clone-fleets and mixed
+/// SA/S2TA deployments are both just specs.
+#[derive(Debug, Clone, Default)]
+pub struct FleetSpec {
+    accelerators: Vec<Accelerator>,
+}
+
+impl FleetSpec {
+    /// An empty spec; add lanes with [`FleetSpec::lane`] /
+    /// [`FleetSpec::lane_with`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `lanes` preset lanes of one `kind` (the clone-fleet of PR 1).
+    pub fn homogeneous(kind: ArchKind, lanes: usize) -> Self {
+        Self::mixed(&[(kind, lanes)])
+    }
+
+    /// A mixed fleet from `(kind, lanes)` groups, in order: e.g.
+    /// `FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 2)])`.
+    pub fn mixed(groups: &[(ArchKind, usize)]) -> Self {
+        let mut spec = Self::new();
+        for &(kind, lanes) in groups {
+            for _ in 0..lanes {
+                spec = spec.lane(kind);
+            }
+        }
+        spec
+    }
+
+    /// Appends one preset lane of `kind`.
+    pub fn lane(self, kind: ArchKind) -> Self {
+        self.lane_with(Accelerator::preset(kind))
+    }
+
+    /// Appends one lane with an explicit accelerator configuration.
+    pub fn lane_with(mut self, accelerator: Accelerator) -> Self {
+        self.accelerators.push(accelerator);
+        self
+    }
+
+    /// Number of lanes in the spec.
+    pub fn lanes(&self) -> usize {
+        self.accelerators.len()
+    }
+
+    /// `true` if the spec has no lanes yet.
+    pub fn is_empty(&self) -> bool {
+        self.accelerators.is_empty()
+    }
+
+    /// A compact label: the lane kinds grouped in first-appearance
+    /// order (`"2xS2TA-AW + 2xSA-ZVCG"`), or just the kind for a
+    /// homogeneous spec (`"S2TA-AW"`).
+    pub fn label(&self) -> String {
+        arch_label(self.accelerators.iter().map(|a| a.config().kind))
+    }
+}
+
+/// Groups kinds in first-appearance order; a single kind renders bare
+/// so homogeneous fleets keep the PR 1 report label.
+fn arch_label(kinds: impl Iterator<Item = ArchKind>) -> String {
+    let mut groups: Vec<(ArchKind, usize)> = Vec::new();
+    for kind in kinds {
+        match groups.iter_mut().find(|g| g.0 == kind) {
+            Some(g) => g.1 += 1,
+            None => groups.push((kind, 1)),
+        }
+    }
+    match groups.as_slice() {
+        [] => "empty".to_string(),
+        [(kind, _)] => kind.to_string(),
+        _ => groups.iter().map(|(kind, n)| format!("{n}x{kind}")).collect::<Vec<_>>().join(" + "),
+    }
+}
+
+/// A pool of simulated accelerator lanes behind one scheduler.
 #[derive(Debug, Clone)]
 pub struct Fleet {
-    accelerator: Accelerator,
-    workers: usize,
+    lanes: Vec<Lane>,
     scheduler: Scheduler,
     weight_seed: u64,
     queue_capacity: Option<usize>,
+    placement: PlacementStrategy,
+    host_parallelism: Option<usize>,
 }
 
 impl Fleet {
-    /// A fleet of `workers` preset accelerators of `kind` with the
+    /// A homogeneous fleet of `workers` preset lanes of `kind` with the
     /// default batching policy and unbounded admission.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(kind: ArchKind, workers: usize) -> Self {
-        Self::with_accelerator(Accelerator::preset(kind), workers)
+        Self::from_spec(FleetSpec::homogeneous(kind, workers))
     }
 
-    /// A fleet of `workers` clones of an explicit accelerator.
+    /// A homogeneous fleet of `workers` clones of an explicit
+    /// accelerator. The clones share the accelerator's **existing**
+    /// plan cache (an [`Accelerator`] clone always does), so plans the
+    /// caller compiled up front stay warm and plans the fleet compiles
+    /// are visible to the caller afterwards.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn with_accelerator(accelerator: Accelerator, workers: usize) -> Self {
         assert!(workers > 0, "a fleet needs at least one worker");
+        Self::from_lanes((0..workers).map(|_| Lane { accelerator: accelerator.clone() }).collect())
+    }
+
+    /// Builds the fleet a spec describes. Every lane's accelerator is
+    /// re-pointed at one fresh **shared** [`WeightPlanCache`] — keyed
+    /// by `(arch, model, seed)`, so mixed-architecture lanes coexist in
+    /// one memo table and each arch compiles each model exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no lanes.
+    pub fn from_spec(spec: FleetSpec) -> Self {
+        assert!(!spec.is_empty(), "a fleet needs at least one lane");
+        let plans = WeightPlanCache::new();
+        Self::from_lanes(
+            spec.accelerators
+                .into_iter()
+                .map(|acc| Lane { accelerator: acc.sharing_plans(plans.clone()) })
+                .collect(),
+        )
+    }
+
+    fn from_lanes(lanes: Vec<Lane>) -> Self {
         Self {
-            accelerator,
-            workers,
+            lanes,
             scheduler: Scheduler::new(FixedPolicy::default()),
             weight_seed: 42,
             queue_capacity: None,
+            placement: PlacementStrategy::default(),
+            host_parallelism: None,
         }
     }
 
@@ -99,19 +284,50 @@ impl Fleet {
         self
     }
 
-    /// The fleet's accelerator template.
-    pub fn accelerator(&self) -> &Accelerator {
-        &self.accelerator
+    /// Replaces the placement strategy (default: earliest-free).
+    pub fn with_placement(mut self, placement: PlacementStrategy) -> Self {
+        self.placement = placement;
+        self
     }
 
-    /// Number of simulated workers.
+    /// Pins the **host** worker count used to fan out batch
+    /// simulations (default: the machine's parallelism). This knob
+    /// changes wall-clock time only — simulated results are
+    /// byte-identical for every host worker count.
+    pub fn with_host_parallelism(mut self, workers: usize) -> Self {
+        self.host_parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// The first lane's accelerator (for a homogeneous fleet, the
+    /// template every lane clones).
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.lanes[0].accelerator
+    }
+
+    /// The fleet's lanes, in placement order.
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Number of simulated lanes.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.lanes.len()
+    }
+
+    /// The placement strategy batches are routed with.
+    pub fn placement(&self) -> PlacementStrategy {
+        self.placement
     }
 
     /// The per-lane admission bound, if any.
     pub fn queue_capacity(&self) -> Option<usize> {
         self.queue_capacity
+    }
+
+    /// The fleet's composition label (see [`FleetSpec::label`]).
+    pub fn arch_label(&self) -> String {
+        arch_label(self.lanes.iter().map(Lane::arch))
     }
 
     fn queue(&self, models: usize) -> RequestQueue {
@@ -121,56 +337,122 @@ impl Fleet {
         }
     }
 
+    /// Groups the lanes into execution scopes: lanes with equal
+    /// accelerator configurations produce byte-identical batch
+    /// executions, so each batch only ever simulates once per scope.
+    fn scopes(&self) -> LaneScopes {
+        let mut rep: Vec<usize> = Vec::new();
+        let mut of_lane: Vec<usize> = Vec::with_capacity(self.lanes.len());
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let config = lane.accelerator.config();
+            match rep.iter().position(|&r| self.lanes[r].accelerator.config() == config) {
+                Some(scope) => of_lane.push(scope),
+                None => {
+                    rep.push(i);
+                    of_lane.push(rep.len() - 1);
+                }
+            }
+        }
+        LaneScopes { of_lane, rep }
+    }
+
+    /// Simulates every batch of `work` (`(model index, members)`
+    /// pairs) on **every** distinct lane scope in one order-preserving
+    /// host-pool fan-out — the speculative execution shared by the
+    /// vectorized path and the event-driven engine. The result for
+    /// batch `b` on lane `l` lives at [`LaneScopes::exec_index`]`(b,
+    /// l)`; results are pure, so any host worker count produces the
+    /// identical vector.
+    fn execute_on_scopes(
+        &self,
+        scopes: &LaneScopes,
+        models: &[ModelSpec],
+        work: &[(usize, &[Request])],
+    ) -> Vec<BatchExecution> {
+        // Compile each used model's weight plan once per DBB scope,
+        // before fan-out, so the parallel phase starts with a warm
+        // cache instead of racing compiles of the same plan.
+        let mut used: Vec<usize> = work.iter().map(|&(model, _)| model).collect();
+        used.sort_unstable();
+        used.dedup();
+        for &rep in &scopes.rep {
+            let acc = &self.lanes[rep].accelerator;
+            if !acc.config().kind.uses_wdbb() {
+                continue; // dense plans are not memoized; nothing to warm
+            }
+            for &m in &used {
+                acc.plan_model(&models[m], self.weight_seed);
+            }
+        }
+        // The host pool is sized to the machine, not to the simulated
+        // fleet: only placement sees the N lanes.
+        let n_scopes = scopes.count();
+        let jobs: Vec<usize> = (0..work.len() * n_scopes).collect();
+        let host_workers = pool::worker_count_for(jobs.len(), self.host_parallelism);
+        pool::parallel_map(&jobs, host_workers, |&j| {
+            let (b, s) = (j / n_scopes, j % n_scopes);
+            let (model, members) = work[b];
+            self.lanes[scopes.rep[s]].execute_batch(&models[model], members, self.weight_seed)
+        })
+    }
+
     /// Serves an open-loop request stream against `models` with the
     /// fleet's fixed policy and reports.
     ///
     /// Batch formation (and admission, if a queue capacity is set)
-    /// depends only on the arrival stream, so the batch set, drop set
-    /// and aggregate event totals are identical for every fleet size;
-    /// batch simulation fans out over the host thread pool.
+    /// depends only on the arrival stream, so the batch set and drop
+    /// set are identical for every fleet size; on a **homogeneous**
+    /// fleet the aggregate event totals are fleet-size independent too
+    /// (a heterogeneous fleet's totals depend on which lane ran each
+    /// batch, by design). Batch simulation fans out over the host
+    /// thread pool. With [`PlacementStrategy::Affinity`] the stream is
+    /// driven through the event-driven engine instead, so the service
+    /// estimates can bootstrap as the run progresses.
     ///
     /// # Panics
     ///
     /// Panics if a request names a model index outside `models`, or if
     /// arrivals are unsorted.
     pub fn serve(&self, models: &[ModelSpec], requests: &[Request]) -> ServeReport {
+        if self.placement == PlacementStrategy::Affinity {
+            // Affinity needs the run's own completion feedback; the
+            // engine replays the same formation decisions in event
+            // order, so this is the identical computation with a
+            // richer dispatch rule.
+            let mut policy = self.scheduler.policy();
+            return self.serve_adaptive(models, requests, &mut policy);
+        }
         let Formation { batches, dropped } =
             self.scheduler.form_batches_bounded(requests, models.len(), self.queue_capacity);
+        let scopes = self.scopes();
 
-        // Compile each model's weight plan once, before fan-out, so the
-        // parallel phase starts with a warm cache instead of racing
-        // compiles of the same plan.
-        let mut used: Vec<usize> = batches.iter().map(|b| b.model).collect();
-        used.sort_unstable();
-        used.dedup();
-        for &m in &used {
-            self.accelerator.plan_model(&models[m], self.weight_seed);
-        }
+        let work: Vec<(usize, &[Request])> =
+            batches.iter().map(|b| (b.model, b.requests.as_slice())).collect();
+        let executions = self.execute_on_scopes(&scopes, models, &work);
+        let exec_of = |batch: usize, lane: usize| executions[scopes.exec_index(batch, lane)];
 
-        // Simulate every batch on the host pool (order-preserving, so
-        // the result is identical for any host worker count). The host
-        // pool is sized to the machine, not to the simulated fleet:
-        // only placement below sees the N lanes.
-        let host_workers = pool::default_workers().min(batches.len());
-        let executions =
-            pool::parallel_map(&batches, host_workers, |b| self.execute_batch(models, b));
-
-        // Deterministic placement of the measured batches on the
-        // simulated lanes.
-        let service: Vec<u64> = executions.iter().map(|e| e.service_cycles).collect();
-        let placements = self.scheduler.place(&batches, &service, self.workers);
+        // Deterministic earliest-free placement of the measured batches
+        // on the simulated lanes, with each lane's own service time.
+        let placements = self.scheduler.place_on_lanes(
+            &batches,
+            |batch, lane| exec_of(batch, lane).service_cycles,
+            self.lanes.len(),
+        );
 
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len() + dropped.len());
-        let mut workers = vec![WorkerStats::default(); self.workers];
+        let mut workers: Vec<WorkerStats> =
+            self.lanes.iter().map(|l| WorkerStats::new(l.arch())).collect();
         let mut total_events = EventCounts::default();
         let mut makespan = 0u64;
-        for (batch, (exec, placement)) in batches.iter().zip(executions.iter().zip(&placements)) {
+        for (batch, placement) in batches.iter().zip(&placements) {
+            let exec = exec_of(batch.id, placement.worker);
             total_events += exec.events;
             makespan = makespan.max(placement.completion);
             let lane = &mut workers[placement.worker];
             lane.busy_cycles += exec.service_cycles;
             lane.batches += 1;
             lane.requests += batch.requests.len();
+            lane.events += exec.events;
             for r in &batch.requests {
                 outcomes.push(RequestOutcome::Served(ServedRequest {
                     id: r.id,
@@ -193,7 +475,7 @@ impl Fleet {
         outcomes.sort_by_key(RequestOutcome::id);
 
         ServeReport {
-            arch: self.accelerator.config().kind.to_string(),
+            arch: self.arch_label(),
             policy: "fixed".to_string(),
             outcomes,
             batches: batches.len(),
@@ -207,12 +489,13 @@ impl Fleet {
     /// engine, letting `policy` adapt its batch bounds from observed
     /// completions.
     ///
-    /// With a [`FixedPolicy`] matching the fleet's, this produces the
-    /// identical report to [`Fleet::serve`] (the engine replays the
-    /// same formation and placement decisions in event order); an
-    /// adaptive policy such as [`crate::SloAwarePolicy`] trades batch
-    /// depth against observed tail latency as the run progresses. The
-    /// run is deterministic for a fixed `(stream, policy, workers)`.
+    /// With a [`FixedPolicy`] matching the fleet's and earliest-free
+    /// placement, this produces the identical report to
+    /// [`Fleet::serve`] (the engine replays the same formation and
+    /// placement decisions in event order); an adaptive policy such as
+    /// [`crate::SloAwarePolicy`] trades batch depth against observed
+    /// tail latency as the run progresses. The run is deterministic for
+    /// a fixed `(stream, policy, fleet spec, placement)`.
     ///
     /// # Panics
     ///
@@ -233,7 +516,7 @@ impl Fleet {
     /// completes (or is dropped), plus an exponential think gap.
     /// Arrivals are therefore computed per-request in simulated time as
     /// the engine advances — a deterministic fixed point of the
-    /// placement for a fixed `(seed, policy, workers)`.
+    /// placement for a fixed `(seed, policy, fleet spec, placement)`.
     ///
     /// # Panics
     ///
@@ -249,37 +532,34 @@ impl Fleet {
         let mut arrivals = ArrivalSource::closed(spec);
         Engine::new(self, models).run(&mut arrivals, policy)
     }
-
-    /// Simulates one batch, layer-major: each layer's weights stream
-    /// once and stay resident for the rest of the batch, which is where
-    /// batching wins on the memory-bound FC/depthwise layers (paper
-    /// Sec. 8.3).
-    fn execute_batch(&self, models: &[ModelSpec], batch: &Batch) -> BatchExecution {
-        let model = &models[batch.model];
-        let plan = self.accelerator.plan_model(model, self.weight_seed);
-        let mut events = EventCounts::default();
-        for (layer, layer_plan) in model.layers.iter().zip(plan.layers()) {
-            for (i, request) in batch.requests.iter().enumerate() {
-                let residency =
-                    if i == 0 { WeightResidency::Streamed } else { WeightResidency::Resident };
-                let report = self.accelerator.run_layer_planned(
-                    layer_plan,
-                    layer,
-                    request.act_seed,
-                    residency,
-                );
-                events += report.events;
-            }
-        }
-        BatchExecution { service_cycles: events.cycles, events }
-    }
 }
 
-/// The measured outcome of simulating one batch.
+/// The measured outcome of simulating one batch on one lane scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BatchExecution {
     service_cycles: u64,
     events: EventCounts,
+}
+
+/// Lanes grouped by accelerator configuration: `of_lane[l]` is lane
+/// `l`'s scope index, `rep[s]` a representative lane of scope `s`.
+#[derive(Debug, Clone)]
+struct LaneScopes {
+    of_lane: Vec<usize>,
+    rep: Vec<usize>,
+}
+
+impl LaneScopes {
+    /// Number of distinct scopes.
+    fn count(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Index of batch `batch`'s execution on lane `lane` inside a
+    /// [`Fleet::execute_on_scopes`] result (scope-minor layout).
+    fn exec_index(&self, batch: usize, lane: usize) -> usize {
+        batch * self.rep.len() + self.of_lane[lane]
+    }
 }
 
 /// A batch sealed and dispatched by the event-driven engine.
@@ -289,6 +569,10 @@ struct EngineBatch {
     requests: Vec<Request>,
     ready: u64,
     start: u64,
+    /// Lane the batch ran on.
+    lane: usize,
+    /// Measured service time on that lane.
+    service_cycles: u64,
 }
 
 /// Where the engine's next request comes from: a pre-generated sorted
@@ -388,9 +672,16 @@ impl<'a> ArrivalSource<'a> {
 /// (completions, then arrivals, then deadlines at equal times, which
 /// reproduces the stream-fold path's `deadline < now` boundary: an
 /// arrival exactly at a deadline still joins the batch).
+///
+/// Batches sealed at one event are executed **speculatively**: every
+/// sealed batch simulates on every distinct lane scope through the
+/// host pool before the serial placement loop picks lanes, so the
+/// expensive cycle simulations overlap on host threads while the
+/// simulated-time decisions stay exactly serial.
 struct Engine<'a> {
     fleet: &'a Fleet,
     models: &'a [ModelSpec],
+    scopes: LaneScopes,
     queue: RequestQueue,
     deadlines: DeadlineHeap,
     /// In-flight batches ordered by `(completion, batch index)`.
@@ -401,6 +692,8 @@ struct Engine<'a> {
     worker_stats: Vec<WorkerStats>,
     total_events: EventCounts,
     makespan: u64,
+    /// Per-`(arch, model)` service estimates, fed by completions.
+    estimator: ServiceEstimator,
     /// Issuing client per request id (closed loop only).
     client_of: Vec<Option<usize>>,
     next_id: u64,
@@ -411,15 +704,17 @@ impl<'a> Engine<'a> {
         Self {
             fleet,
             models,
+            scopes: fleet.scopes(),
             queue: fleet.queue(models.len()),
             deadlines: DeadlineHeap::new(),
             in_flight: BinaryHeap::new(),
             batches: Vec::new(),
-            free_at: vec![0u64; fleet.workers],
+            free_at: vec![0u64; fleet.lanes.len()],
             outcomes: Vec::new(),
-            worker_stats: vec![WorkerStats::default(); fleet.workers],
+            worker_stats: fleet.lanes.iter().map(|l| WorkerStats::new(l.arch())).collect(),
             total_events: EventCounts::default(),
             makespan: 0,
+            estimator: ServiceEstimator::new(),
             client_of: Vec::new(),
             next_id: 0,
         }
@@ -465,6 +760,14 @@ impl<'a> Engine<'a> {
             completion: t,
             max_latency_cycles,
         });
+        // The affinity cost model learns from completed batches only —
+        // a lane's speed becomes evidence once its batch finishes.
+        self.estimator.record(
+            self.fleet.lanes[batch.lane].arch(),
+            batch.model,
+            batch.requests.len(),
+            batch.service_cycles,
+        );
         // Closed-loop clients issue their next request now. The map is
         // only populated in closed-loop mode, where engine-assigned ids
         // are dense; open-loop lookups miss and no-op.
@@ -486,9 +789,9 @@ impl<'a> Engine<'a> {
             debug_assert_eq!(self.client_of.len() as u64, request.id);
             self.client_of.push(client);
         }
-        let limits = policy.limits();
-        assert!(limits.max_batch > 0, "max_batch must be non-zero");
         let lane = request.model;
+        let limits = policy.limits_for(lane);
+        assert!(limits.max_batch > 0, "max_batch must be non-zero");
         let was_empty = self.queue.pending(lane) == 0;
         if !self.queue.try_push(request) {
             self.outcomes.push(RequestOutcome::Dropped(DroppedRequest {
@@ -504,74 +807,141 @@ impl<'a> Engine<'a> {
         if was_empty {
             self.deadlines.arm(lane, &request, limits.max_wait_cycles);
         }
-        // `>=` rather than `==`: an adaptive policy may have shrunk
-        // `max_batch` below the lane's backlog, in which case several
-        // batches seal back-to-back at this arrival.
-        while self.queue.pending(lane) >= limits.max_batch {
-            self.seal(lane, request.arrival, limits);
+        // Several batches may seal back-to-back at this arrival when an
+        // adaptive policy shrank `max_batch` below the lane's backlog;
+        // they dispatch as one burst so their simulations fan out
+        // together.
+        let sealed = self.queue.pop_full_batches(lane, limits.max_batch);
+        if sealed.is_empty() {
+            return;
         }
+        if let Some(front) = self.queue.front(lane) {
+            let front = *front;
+            self.deadlines.arm(lane, &front, limits.max_wait_cycles);
+        }
+        let now = request.arrival;
+        let sealed: Vec<(Vec<Request>, u64)> = sealed
+            .into_iter()
+            .map(|members| {
+                // A batch is never ready before its newest member.
+                let ready = now.max(members.last().map_or(0, |r| r.arrival));
+                (members, ready)
+            })
+            .collect();
+        self.dispatch_burst(lane, sealed);
     }
 
     fn on_deadline(&mut self, policy: &mut dyn BatchPolicy) {
         let (deadline, lane) =
             self.deadlines.peek_live(&self.queue).expect("peeked before dispatch");
         self.deadlines.pop();
-        let limits = policy.limits();
-        self.seal(lane, deadline, limits);
-    }
-
-    /// Seals one batch off `lane` (up to `max_batch` members), arms the
-    /// lane's next deadline if requests remain, and dispatches the
-    /// batch to the earliest-free simulated worker.
-    fn seal(&mut self, lane: usize, ready: u64, limits: BatchLimits) {
+        let limits = policy.limits_for(lane);
         let members = self.queue.pop_batch(lane, limits.max_batch.max(1));
         debug_assert!(!members.is_empty());
         // An adaptive shrink can leave a lane's re-armed deadline in
         // the past relative to later members; a batch is never ready
         // before its newest member arrived.
-        let ready = ready.max(members.last().map_or(0, |r| r.arrival));
+        let ready = deadline.max(members.last().map_or(0, |r| r.arrival));
         if let Some(front) = self.queue.front(lane) {
             let front = *front;
             self.deadlines.arm(lane, &front, limits.max_wait_cycles);
         }
+        self.dispatch_burst(lane, vec![(members, ready)]);
+    }
 
-        let batch = Batch { id: self.batches.len(), model: lane, requests: members, ready };
-        let exec = self.fleet.execute_batch(self.models, &batch);
-        let (worker, &free) =
-            self.free_at.iter().enumerate().min_by_key(|&(idx, &t)| (t, idx)).expect("workers > 0");
-        let start = free.max(ready);
-        let completion = start + exec.service_cycles;
-        self.free_at[worker] = completion;
-        self.total_events += exec.events;
-        self.makespan = self.makespan.max(completion);
-        let stats = &mut self.worker_stats[worker];
-        stats.busy_cycles += exec.service_cycles;
-        stats.batches += 1;
-        stats.requests += batch.requests.len();
-        for r in &batch.requests {
-            self.outcomes.push(RequestOutcome::Served(ServedRequest {
-                id: r.id,
-                model: self.models[batch.model].name.to_string(),
-                arrival: r.arrival,
-                start,
-                completion,
-                batch: batch.id,
-                worker,
-            }));
+    /// Picks the lane a `members`-request batch of `model`, ready at
+    /// `ready`, dispatches to under the fleet's placement strategy.
+    /// The choice depends only on `free_at`, the estimator, and the
+    /// batch metadata — never on the batch's own (not yet known)
+    /// execution, which is what makes speculative execution possible.
+    fn choose_lane(&self, model: usize, members: usize, ready: u64) -> usize {
+        match self.fleet.placement {
+            PlacementStrategy::EarliestFree => earliest_free_lane(&self.free_at),
+            PlacementStrategy::Affinity => {
+                // Predicted service per lane; lanes without evidence
+                // predict zero (optimistic), which makes the rule
+                // collapse to earliest-free until the estimator has
+                // data — and always on homogeneous fleets, where every
+                // lane predicts alike.
+                let predicted: Vec<u64> = self
+                    .fleet
+                    .lanes
+                    .iter()
+                    .map(|l| self.estimator.predict(l.arch(), model, members).unwrap_or(0))
+                    .collect();
+                affinity_lane(&self.free_at, ready, &predicted)
+            }
         }
-        self.in_flight.push(Reverse((completion, batch.id)));
-        self.batches.push(EngineBatch {
-            model: batch.model,
-            requests: batch.requests,
-            ready,
-            start,
-        });
+    }
+
+    /// Executes and places a burst of batches sealed off one model
+    /// lane at one event.
+    ///
+    /// A single-batch burst (the common case) resolves its lane first —
+    /// the choice never depends on the batch's own execution — and
+    /// simulates only that lane's scope. A multi-batch burst executes
+    /// **speculatively**: later batches' placements depend on earlier
+    /// batches' measured completions, so every batch simulates on every
+    /// distinct lane scope in one host-pool fan-out before the serial
+    /// placement loop consumes the memoized result of whichever lane it
+    /// picks. Either way the result is byte-identical to a serial
+    /// engine, because every simulation is a pure function of
+    /// `(batch, lane scope)`.
+    fn dispatch_burst(&mut self, model: usize, sealed: Vec<(Vec<Request>, u64)>) {
+        let fleet = self.fleet;
+        let spec = &self.models[model];
+        let speculative = if sealed.len() > 1 {
+            let work: Vec<(usize, &[Request])> =
+                sealed.iter().map(|(members, _)| (model, members.as_slice())).collect();
+            Some(fleet.execute_on_scopes(&self.scopes, self.models, &work))
+        } else {
+            None
+        };
+
+        for (b, (members, ready)) in sealed.into_iter().enumerate() {
+            let lane = self.choose_lane(model, members.len(), ready);
+            let exec = match &speculative {
+                Some(executions) => executions[self.scopes.exec_index(b, lane)],
+                None => fleet.lanes[lane].execute_batch(spec, &members, fleet.weight_seed),
+            };
+            let start = self.free_at[lane].max(ready);
+            let completion = start + exec.service_cycles;
+            self.free_at[lane] = completion;
+            self.total_events += exec.events;
+            self.makespan = self.makespan.max(completion);
+            let stats = &mut self.worker_stats[lane];
+            stats.busy_cycles += exec.service_cycles;
+            stats.batches += 1;
+            stats.requests += members.len();
+            stats.events += exec.events;
+            let batch_id = self.batches.len();
+            for r in &members {
+                self.outcomes.push(RequestOutcome::Served(ServedRequest {
+                    id: r.id,
+                    model: spec.name.to_string(),
+                    arrival: r.arrival,
+                    start,
+                    completion,
+                    batch: batch_id,
+                    worker: lane,
+                }));
+            }
+            self.in_flight.push(Reverse((completion, batch_id)));
+            self.batches.push(EngineBatch {
+                model,
+                requests: members,
+                ready,
+                start,
+                lane,
+                service_cycles: exec.service_cycles,
+            });
+        }
     }
 
     fn into_report(mut self, policy_name: &str) -> ServeReport {
         self.outcomes.sort_by_key(RequestOutcome::id);
         ServeReport {
-            arch: self.fleet.accelerator.config().kind.to_string(),
+            arch: self.fleet.arch_label(),
             policy: policy_name.to_string(),
             outcomes: self.outcomes,
             batches: self.batches.len(),
@@ -585,7 +955,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::SloAwarePolicy;
+    use crate::policy::{BatchLimits, SloAwarePolicy};
     use crate::workload::WorkloadSpec;
     use s2ta_models::lenet5;
 
@@ -744,5 +1114,145 @@ mod tests {
             adaptive.p99_cycles(),
             baseline.p99_cycles()
         );
+    }
+
+    #[test]
+    fn fleet_spec_builders_and_labels() {
+        let spec = FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 2)]);
+        assert_eq!(spec.lanes(), 4);
+        assert_eq!(spec.label(), "2xS2TA-AW + 2xSA-ZVCG");
+        assert_eq!(FleetSpec::homogeneous(ArchKind::S2taW, 3).label(), "S2TA-W");
+        let fleet = Fleet::from_spec(spec);
+        assert_eq!(fleet.workers(), 4);
+        assert_eq!(fleet.arch_label(), "2xS2TA-AW + 2xSA-ZVCG");
+        assert_eq!(fleet.lanes()[0].arch(), ArchKind::S2taAw);
+        assert_eq!(fleet.lanes()[3].arch(), ArchKind::SaZvcg);
+        // Interleaved lanes still group by first appearance.
+        let interleaved =
+            FleetSpec::new().lane(ArchKind::SaZvcg).lane(ArchKind::S2taAw).lane(ArchKind::SaZvcg);
+        assert_eq!(interleaved.label(), "2xSA-ZVCG + 1xS2TA-AW");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_spec_rejected() {
+        let _ = Fleet::from_spec(FleetSpec::new());
+    }
+
+    /// An empty request stream must produce a calm empty report — this
+    /// pins the host-pool sizing guard (`min(0)` used to be able to
+    /// request a zero-worker pool).
+    #[test]
+    fn empty_request_stream_is_served_calmly() {
+        let models = vec![lenet5()];
+        let fleet = Fleet::new(ArchKind::S2taAw, 2);
+        let report = fleet.serve(&models, &[]);
+        assert_eq!(report.outcomes.len(), 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.makespan_cycles, 0);
+        let mut policy = FixedPolicy::default();
+        let engine = fleet.serve_adaptive(&models, &[], &mut policy);
+        assert_eq!(engine.outcomes.len(), 0);
+        assert_eq!(engine.batches, 0);
+    }
+
+    /// `with_accelerator` keeps the caller's plan cache: plans compiled
+    /// up front stay warm, and the fleet's compilations flow back.
+    #[test]
+    fn with_accelerator_shares_the_callers_plan_cache() {
+        let (models, reqs) = tiny_workload(8);
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        // Pre-warm with the fleet's default weight seed (42).
+        let prewarmed = acc.plan_model(&models[0], 42);
+        let fleet = Fleet::with_accelerator(acc.clone(), 2);
+        assert!(
+            std::sync::Arc::ptr_eq(
+                &prewarmed,
+                &fleet.lanes()[0].accelerator().plan_model(&models[0], 42)
+            ),
+            "lanes must reuse the caller's pre-compiled plan"
+        );
+        let _ = fleet.with_weight_seed(7).serve(&models, &reqs);
+        assert_eq!(
+            acc.plans().len(),
+            2,
+            "the fleet's seed-7 compilation must be visible to the caller"
+        );
+    }
+
+    /// Mixed-fleet lanes share one plan cache: each DBB architecture
+    /// compiles the model exactly once, keyed apart by arch.
+    #[test]
+    fn mixed_fleet_lanes_share_one_plan_cache() {
+        let (models, reqs) = tiny_workload(12);
+        let fleet =
+            Fleet::from_spec(FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::S2taW, 2)]));
+        let _ = fleet.serve(&models, &reqs);
+        // Both DBB archs planned lenet5 once each in the shared cache.
+        assert_eq!(fleet.lanes()[0].accelerator().plans().len(), 2);
+        for lane in fleet.lanes() {
+            assert_eq!(
+                lane.accelerator().plans().len(),
+                2,
+                "every lane must see the same shared cache"
+            );
+        }
+    }
+
+    /// Affinity placement on a homogeneous fleet must be byte-identical
+    /// to earliest-free: with lane-indistinguishable predictions the
+    /// cost model collapses to the same choice.
+    #[test]
+    fn affinity_collapses_to_earliest_free_on_homogeneous_fleets() {
+        let (models, reqs) = tiny_workload(40);
+        let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 30_000 };
+        for workers in [1usize, 3] {
+            let base = Fleet::new(ArchKind::S2taAw, workers).with_policy(policy);
+            let ef = base.clone().serve(&models, &reqs);
+            let affinity = base.with_placement(PlacementStrategy::Affinity).serve(&models, &reqs);
+            assert_eq!(ef, affinity, "workers {workers}");
+        }
+    }
+
+    /// The host worker count is a wall-clock knob only: any
+    /// parallelism level reproduces the serial engine byte-for-byte.
+    #[test]
+    fn host_parallelism_never_changes_results() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(3, 30, 2_000.0, 1).generate();
+        let spec = FleetSpec::mixed(&[(ArchKind::S2taAw, 1), (ArchKind::SaZvcg, 1)]);
+        let mk = |host: usize| {
+            Fleet::from_spec(spec.clone())
+                .with_placement(PlacementStrategy::Affinity)
+                .with_host_parallelism(host)
+        };
+        let serial = mk(1).serve(&models, &reqs);
+        let parallel = mk(8).serve(&models, &reqs);
+        assert_eq!(serial, parallel, "host pool size must never leak into results");
+        assert!(serial.workers.iter().any(|w| w.batches > 0));
+    }
+
+    /// Heterogeneous earliest-free: the vectorized path and the engine
+    /// still agree for fixed policies, and per-lane stats reflect each
+    /// lane's own architecture.
+    #[test]
+    fn mixed_fleet_engine_matches_vectorized_serve() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(7, 32, 8_000.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 30_000 };
+        let fleet =
+            Fleet::from_spec(FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 1)]))
+                .with_policy(policy);
+        let vectorized = fleet.serve(&models, &reqs);
+        let mut fixed = policy;
+        let event_driven = fleet.serve_adaptive(&models, &reqs, &mut fixed);
+        assert_eq!(vectorized, event_driven);
+        assert_eq!(vectorized.workers[0].arch, ArchKind::S2taAw);
+        assert_eq!(vectorized.workers[2].arch, ArchKind::SaZvcg);
+        assert_eq!(vectorized.arch, "2xS2TA-AW + 1xSA-ZVCG");
+        // Per-lane events must sum to the fleet totals.
+        let summed =
+            vectorized.workers.iter().fold(EventCounts::default(), |acc, w| acc + w.events);
+        assert_eq!(summed, vectorized.total_events);
     }
 }

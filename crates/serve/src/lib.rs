@@ -4,9 +4,10 @@
 //! The paper evaluates single inferences on a single accelerator; this
 //! crate turns the cycle-accurate core into a throughput/latency
 //! engine: a stream of inference requests is batched per model and
-//! dispatched across a fleet of N simulated S2TA instances, with the
+//! dispatched across a fleet of simulated accelerator **lanes** —
+//! homogeneous clones or a mixed SA/S2TA deployment — with the
 //! expensive W-DBB weight compilation shared fleet-wide through the
-//! [`s2ta_core::WeightPlanCache`].
+//! [`s2ta_core::WeightPlanCache`] (keyed by `(arch, model, seed)`).
 //!
 //! * [`WorkloadSpec`] / [`Request`] — deterministic seeded open-loop
 //!   request generation over the `s2ta-models` zoo (no wall clock, no
@@ -19,18 +20,29 @@
 //! * [`Scheduler`] — groups compatible requests into batches (size- or
 //!   timeout-closed) and places them on simulated worker lanes. Batch
 //!   formation under a fixed policy is fleet-size independent, so
-//!   aggregate simulation results are identical for every worker count.
+//!   aggregate simulation results are identical for every worker count
+//!   on a homogeneous fleet.
 //! * [`BatchPolicy`] — the closure-rule trait: [`FixedPolicy`] (static
 //!   bounds) or [`SloAwarePolicy`] (shrinks/grows `max_wait`/
-//!   `max_batch` against an observed-p99 target).
-//! * [`Fleet`] — N accelerator clones served by a host thread pool
-//!   ([`s2ta_core::pool`]); batches run layer-major so memory-bound
-//!   layers pay their weight DMA once per batch. Open-loop
-//!   ([`Fleet::serve`]), adaptive ([`Fleet::serve_adaptive`]) and
-//!   closed-loop ([`Fleet::serve_closed_loop`]) client modes.
-//! * [`ServeReport`] — goodput, drop rate, p50/p95/p99 latency,
-//!   per-worker utilization, aggregate [`s2ta_sim::EventCounts`] and
-//!   energy via `s2ta-energy`.
+//!   `max_batch` against an observed-p99 target — one global class, or
+//!   one independent [`SloClass`] per model).
+//! * [`FleetSpec`] / [`Lane`] / [`Fleet`] — a fleet built from an
+//!   ordered list of lanes of any [`s2ta_core::ArchKind`] (e.g.
+//!   `FleetSpec::mixed(&[(S2taAw, 2), (SaZvcg, 2)])`), served by a
+//!   host thread pool ([`s2ta_core::pool`]); batches run layer-major
+//!   so memory-bound layers pay their weight DMA once per batch.
+//!   Open-loop ([`Fleet::serve`]), adaptive ([`Fleet::serve_adaptive`])
+//!   and closed-loop ([`Fleet::serve_closed_loop`]) client modes.
+//! * [`PlacementStrategy`] / [`ServiceEstimator`] — how batches route
+//!   to lanes: arch-blind earliest-free (default), or affinity-aware
+//!   placement that minimizes predicted completion time from
+//!   per-`(arch, model)` service estimates bootstrapped out of the
+//!   run's own completed batches. Affinity collapses to earliest-free
+//!   on homogeneous fleets, byte-for-byte.
+//! * [`ServeReport`] — goodput, drop rate, p50/p95/p99 latency
+//!   (overall and per model), per-lane arch/busy/idle/energy breakdown
+//!   ([`ServeReport::lane_breakdown`]), aggregate
+//!   [`s2ta_sim::EventCounts`] and energy via `s2ta-energy`.
 //!
 //! # Example
 //!
@@ -38,11 +50,15 @@
 //! use s2ta_core::ArchKind;
 //! use s2ta_energy::TechParams;
 //! use s2ta_models::lenet5;
-//! use s2ta_serve::{Fleet, WorkloadSpec};
+//! use s2ta_serve::{Fleet, FleetSpec, PlacementStrategy, WorkloadSpec};
 //!
 //! let models = [lenet5()];
 //! let requests = WorkloadSpec::uniform(7, 32, 10_000.0, models.len()).generate();
-//! let report = Fleet::new(ArchKind::S2taAw, 4).serve(&models, &requests);
+//! // A mixed fleet: two S2TA-AW lanes plus one dense-baseline lane,
+//! // with affinity-aware batch routing.
+//! let spec = FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 1)]);
+//! let fleet = Fleet::from_spec(spec).with_placement(PlacementStrategy::Affinity);
+//! let report = fleet.serve(&models, &requests);
 //! assert_eq!(report.outcomes.len(), 32);
 //! assert!(report.throughput_ips(&TechParams::tsmc16()) > 0.0);
 //! ```
@@ -56,9 +72,11 @@ mod report;
 mod scheduler;
 mod workload;
 
-pub use fleet::Fleet;
-pub use policy::{BatchLimits, BatchObservation, BatchPolicy, FixedPolicy, SloAwarePolicy};
+pub use fleet::{Fleet, FleetSpec, Lane};
+pub use policy::{
+    BatchLimits, BatchObservation, BatchPolicy, FixedPolicy, SloAwarePolicy, SloClass,
+};
 pub use queue::RequestQueue;
 pub use report::{DroppedRequest, RequestOutcome, ServeReport, ServedRequest, WorkerStats};
-pub use scheduler::{Batch, Formation, Placement, Scheduler};
+pub use scheduler::{Batch, Formation, Placement, PlacementStrategy, Scheduler, ServiceEstimator};
 pub use workload::{ClosedLoopClient, ClosedLoopSpec, Request, WorkloadSpec};

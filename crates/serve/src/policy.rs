@@ -3,8 +3,8 @@
 //! [`BatchPolicy`] is a trait so the dispatch rule can *adapt* to the
 //! serving loop: after every batch completes, the engine feeds the
 //! policy a [`BatchObservation`], and the policy answers the next
-//! [`BatchLimits`] query with (possibly updated) bounds. Two policies
-//! ship:
+//! [`BatchPolicy::limits_for`] query with (possibly updated) bounds.
+//! Two policies ship:
 //!
 //! * [`FixedPolicy`] — static `max_batch`/`max_wait_cycles`, the PR 1
 //!   behaviour. Its limits never move, so open-loop batch formation
@@ -14,9 +14,14 @@
 //!   latencies and steers the limits toward a p99 target with an
 //!   AIMD-style rule: shrink `max_wait`/`max_batch` when the observed
 //!   tail approaches the SLO, grow them back toward the configured
-//!   ceiling when there is slack. Every adjustment is a deterministic
-//!   function of the observation sequence, so a `(seed, policy,
-//!   workers)` triple reproduces a run exactly.
+//!   ceiling when there is slack. The policy runs either one **global**
+//!   class (every model feeds one window and shares one pair of
+//!   limits) or **per-model** [`SloClass`]es: each model gets its own
+//!   target, ceiling, latency window and AIMD state, so a
+//!   latency-critical model can run batch-tight while a throughput
+//!   model on the same fleet batches deep. Every adjustment is a
+//!   deterministic function of the observation sequence, so a `(seed,
+//!   policy, workers)` triple reproduces a run exactly.
 
 use std::fmt;
 
@@ -68,8 +73,15 @@ pub struct BatchObservation {
 /// depend only on the sequence of observations fed so far, never on
 /// wall clocks or ambient state.
 pub trait BatchPolicy: fmt::Debug {
-    /// The bounds the scheduler should apply right now.
+    /// The policy's global bounds (for policies with per-model classes,
+    /// the bounds of the first class).
     fn limits(&self) -> BatchLimits;
+
+    /// The bounds the scheduler should apply to `model`'s lane right
+    /// now. Policies without per-model state return the global limits.
+    fn limits_for(&self, _model: usize) -> BatchLimits {
+        self.limits()
+    }
 
     /// Feedback after a batch completes (in completion order). Fixed
     /// policies ignore this.
@@ -132,35 +144,35 @@ impl BatchPolicy for FixedPolicy {
     }
 }
 
-/// Latency-SLO-aware adaptive policy.
-///
-/// Starts **tight** (batch-of-one, a small fraction of the target as
-/// `max_wait`) so no request pays a deep batching window before the
-/// policy has evidence, then keeps a sliding window of the most recent
-/// observed request latencies (each batch contributes its worst
-/// member). After every observation, once the window holds
-/// [`SloAwarePolicy::WARMUP`] samples, the windowed p99 is compared
-/// against the target:
-///
-/// * **tail pressure** (`p99 > 4/5 · target`, i.e. the tail
-///   *approaches* the SLO): multiplicative decrease — halve
-///   `max_wait_cycles` and drop one off `max_batch` (floors:
-///   `min_wait_cycles`, batch 1). Smaller batches dispatch sooner and
-///   shed queueing delay at the cost of weight-streaming amortization.
-/// * **slack** (`p99 < 2/5 · target`): additive increase — grow
-///   `max_wait_cycles` by a quarter (at least 1) and `max_batch` by
-///   one, capped at the configured ceiling, recovering batching
-///   efficiency when the tail allows it.
-///
-/// The rule is the classic AIMD shape (as in congestion control):
-/// conservative growth, aggressive backoff, converging to the deepest
-/// batching window the SLO tolerates.
+/// One model's latency SLO: the p99 target its batching window is
+/// steered under and the deepest batching the model may ever use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloClass {
+    /// Latency target the model's windowed p99 is steered under.
+    pub target_p99_cycles: u64,
+    /// Ceiling the model's limits may grow back to.
+    pub ceiling: BatchLimits,
+}
+
+impl SloClass {
+    /// A class steering toward `target_p99_cycles` with the default
+    /// batching ceiling.
+    pub fn new(target_p99_cycles: u64) -> Self {
+        Self { target_p99_cycles, ceiling: BatchLimits::default() }
+    }
+
+    /// Replaces the batching ceiling.
+    pub fn with_ceiling(mut self, ceiling: BatchLimits) -> Self {
+        self.ceiling = ceiling;
+        self
+    }
+}
+
+/// The AIMD state of one SLO class: its configuration plus the current
+/// limits and the sliding window of observed worst-member latencies.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SloAwarePolicy {
-    /// Latency target the windowed p99 is steered under.
-    target_p99_cycles: u64,
-    /// Ceiling the limits may grow back to.
-    ceiling: BatchLimits,
+struct ClassState {
+    class: SloClass,
     /// Floor for `max_wait_cycles` under backoff.
     min_wait_cycles: u64,
     /// Current limits.
@@ -171,45 +183,27 @@ pub struct SloAwarePolicy {
     cursor: usize,
 }
 
-impl SloAwarePolicy {
-    /// Observations kept in the sliding latency window.
-    pub const WINDOW: usize = 64;
-    /// Observations required before the first adjustment.
-    pub const WARMUP: usize = 4;
-
-    /// A policy steering toward `target_p99_cycles`, allowed to batch
-    /// up to `ceiling`. The starting limits are tight (batch-of-one,
-    /// an eighth of the target as `max_wait`) and grow only as the
-    /// observed tail shows slack.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the target is zero or `ceiling.max_batch` is zero.
-    pub fn new(target_p99_cycles: u64, ceiling: BatchLimits) -> Self {
-        assert!(target_p99_cycles > 0, "SLO target must be non-zero");
-        assert!(ceiling.max_batch > 0, "max_batch ceiling must be non-zero");
+impl ClassState {
+    fn new(class: SloClass) -> Self {
+        assert!(class.target_p99_cycles > 0, "SLO target must be non-zero");
+        assert!(class.ceiling.max_batch > 0, "max_batch ceiling must be non-zero");
         // The backoff floor must itself respect the ceiling, or a
         // ceiling below target/64 would make "multiplicative decrease"
         // *raise* the wait bound past the configured cap.
-        let min_wait_cycles = (target_p99_cycles / 64).max(1).min(ceiling.max_wait_cycles);
+        let min_wait_cycles =
+            (class.target_p99_cycles / 64).max(1).min(class.ceiling.max_wait_cycles);
         Self {
-            target_p99_cycles,
-            ceiling,
+            class,
             min_wait_cycles,
             current: BatchLimits {
                 max_batch: 1,
-                max_wait_cycles: (target_p99_cycles / 8)
+                max_wait_cycles: (class.target_p99_cycles / 8)
                     .max(min_wait_cycles)
-                    .min(ceiling.max_wait_cycles),
+                    .min(class.ceiling.max_wait_cycles),
             },
-            window: Vec::with_capacity(Self::WINDOW),
+            window: Vec::with_capacity(SloAwarePolicy::WINDOW),
             cursor: 0,
         }
-    }
-
-    /// The latency target.
-    pub fn target_p99_cycles(&self) -> u64 {
-        self.target_p99_cycles
     }
 
     /// Windowed nearest-rank p99 of the observed latencies.
@@ -218,41 +212,150 @@ impl SloAwarePolicy {
         lat.sort_unstable();
         crate::report::nearest_rank(&lat, 99.0)
     }
-}
 
-impl BatchPolicy for SloAwarePolicy {
-    fn limits(&self) -> BatchLimits {
-        self.current
-    }
-
-    fn observe(&mut self, observation: &BatchObservation) {
-        if self.window.len() < Self::WINDOW {
-            self.window.push(observation.max_latency_cycles);
+    fn observe(&mut self, max_latency_cycles: u64) {
+        if self.window.len() < SloAwarePolicy::WINDOW {
+            self.window.push(max_latency_cycles);
         } else {
-            self.window[self.cursor] = observation.max_latency_cycles;
-            self.cursor = (self.cursor + 1) % Self::WINDOW;
+            self.window[self.cursor] = max_latency_cycles;
+            self.cursor = (self.cursor + 1) % SloAwarePolicy::WINDOW;
         }
-        if self.window.len() < Self::WARMUP {
+        if self.window.len() < SloAwarePolicy::WARMUP {
             return;
         }
         let p99 = self.windowed_p99();
-        if p99 > self.target_p99_cycles / 5 * 4 {
+        let target = self.class.target_p99_cycles;
+        let ceiling = self.class.ceiling;
+        if p99 > target / 5 * 4 {
             // Tail approaches the SLO: multiplicative decrease —
             // dispatch sooner, batch less.
             self.current.max_wait_cycles =
                 (self.current.max_wait_cycles / 2).max(self.min_wait_cycles);
             self.current.max_batch = (self.current.max_batch - 1).max(1);
-        } else if p99 < self.target_p99_cycles / 5 * 2 {
+        } else if p99 < target / 5 * 2 {
             // Slack: additive increase toward the ceiling.
             let step = (self.current.max_wait_cycles / 4).max(1);
             self.current.max_wait_cycles =
-                (self.current.max_wait_cycles + step).min(self.ceiling.max_wait_cycles);
-            self.current.max_batch = (self.current.max_batch + 1).min(self.ceiling.max_batch);
+                (self.current.max_wait_cycles + step).min(ceiling.max_wait_cycles);
+            self.current.max_batch = (self.current.max_batch + 1).min(ceiling.max_batch);
+        }
+    }
+}
+
+/// Latency-SLO-aware adaptive policy.
+///
+/// Each class starts **tight** (batch-of-one, a small fraction of the
+/// target as `max_wait`) so no request pays a deep batching window
+/// before the policy has evidence, then keeps a sliding window of the
+/// most recent observed request latencies (each batch contributes its
+/// worst member). After every observation, once the window holds
+/// [`SloAwarePolicy::WARMUP`] samples, the windowed p99 is compared
+/// against the class target:
+///
+/// * **tail pressure** (`p99 > 4/5 · target`, i.e. the tail
+///   *approaches* the SLO — a p99 exactly at the target is pressure):
+///   multiplicative decrease — halve `max_wait_cycles` and drop one off
+///   `max_batch` (floors: `min_wait_cycles`, batch 1). Smaller batches
+///   dispatch sooner and shed queueing delay at the cost of
+///   weight-streaming amortization.
+/// * **slack** (`p99 < 2/5 · target`): additive increase — grow
+///   `max_wait_cycles` by a quarter (at least 1) and `max_batch` by
+///   one, capped at the configured ceiling, recovering batching
+///   efficiency when the tail allows it.
+///
+/// The rule is the classic AIMD shape (as in congestion control):
+/// conservative growth, aggressive backoff, converging to the deepest
+/// batching window the SLO tolerates.
+///
+/// Built with [`SloAwarePolicy::new`], the policy runs one **global**
+/// class: every model's observations feed one window and every lane
+/// sees the same limits (the PR 2 behaviour). Built with
+/// [`SloAwarePolicy::per_model`], model `m`'s lane is steered by
+/// `classes[m]` alone: its own target, window and AIMD state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAwarePolicy {
+    classes: Vec<ClassState>,
+    per_model: bool,
+}
+
+impl SloAwarePolicy {
+    /// Observations kept in each class's sliding latency window.
+    pub const WINDOW: usize = 64;
+    /// Observations required in a class before its first adjustment.
+    pub const WARMUP: usize = 4;
+
+    /// A policy steering every model toward one global
+    /// `target_p99_cycles`, allowed to batch up to `ceiling`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is zero or `ceiling.max_batch` is zero.
+    pub fn new(target_p99_cycles: u64, ceiling: BatchLimits) -> Self {
+        Self {
+            classes: vec![ClassState::new(SloClass { target_p99_cycles, ceiling })],
+            per_model: false,
         }
     }
 
+    /// A policy with one independent [`SloClass`] per model: model `m`
+    /// is steered by `classes[m]` — its own target, ceiling, latency
+    /// window and AIMD state. The classes list must match the fleet's
+    /// model list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, or any class has a zero target or
+    /// a zero `max_batch` ceiling.
+    pub fn per_model(classes: Vec<SloClass>) -> Self {
+        assert!(!classes.is_empty(), "per-model policy needs at least one class");
+        Self { classes: classes.into_iter().map(ClassState::new).collect(), per_model: true }
+    }
+
+    /// The global latency target (for per-model policies, the first
+    /// class's target; see [`SloAwarePolicy::class_target`]).
+    pub fn target_p99_cycles(&self) -> u64 {
+        self.classes[0].class.target_p99_cycles
+    }
+
+    /// The latency target steering `model`'s lane.
+    pub fn class_target(&self, model: usize) -> u64 {
+        self.classes[self.class_index(model)].class.target_p99_cycles
+    }
+
+    fn class_index(&self, model: usize) -> usize {
+        if self.per_model {
+            assert!(
+                model < self.classes.len(),
+                "model {model} has no SLO class (policy has {})",
+                self.classes.len()
+            );
+            model
+        } else {
+            0
+        }
+    }
+}
+
+impl BatchPolicy for SloAwarePolicy {
+    fn limits(&self) -> BatchLimits {
+        self.classes[0].current
+    }
+
+    fn limits_for(&self, model: usize) -> BatchLimits {
+        self.classes[self.class_index(model)].current
+    }
+
+    fn observe(&mut self, observation: &BatchObservation) {
+        let idx = self.class_index(observation.model);
+        self.classes[idx].observe(observation.max_latency_cycles);
+    }
+
     fn name(&self) -> &'static str {
-        "slo-aware"
+        if self.per_model {
+            "slo-aware-per-model"
+        } else {
+            "slo-aware"
+        }
     }
 }
 
@@ -261,8 +364,12 @@ mod tests {
     use super::*;
 
     fn obs(latency: u64) -> BatchObservation {
+        obs_for(0, latency)
+    }
+
+    fn obs_for(model: usize, latency: u64) -> BatchObservation {
         BatchObservation {
-            model: 0,
+            model,
             batch_size: 1,
             ready: 0,
             start: 0,
@@ -279,6 +386,7 @@ mod tests {
             p.observe(&obs(latency));
         }
         assert_eq!(p.limits(), before);
+        assert_eq!(p.limits_for(3), before, "fixed limits are model-independent");
         assert_eq!(p.name(), "fixed");
     }
 
@@ -359,5 +467,107 @@ mod tests {
         }
         assert_eq!(a, b);
         assert_eq!(a.limits(), b.limits());
+    }
+
+    /// AIMD boundary: when the wait floor equals the wait ceiling, the
+    /// wait bound is pinned — neither pressure nor slack may move it,
+    /// and `max_batch` still walks its own [1, ceiling] box.
+    #[test]
+    fn aimd_wait_floor_equal_to_ceiling_pins_the_wait_bound() {
+        // target/64 = 1_000 >= ceiling wait 40, so min_wait clamps to
+        // the ceiling: floor == ceiling == 40.
+        let ceiling = BatchLimits { max_batch: 4, max_wait_cycles: 40 };
+        let mut p = SloAwarePolicy::new(64_000, ceiling);
+        assert_eq!(p.limits().max_wait_cycles, 40, "start clamps into the degenerate box");
+        for i in 0..128u64 {
+            p.observe(&obs(if i % 2 == 0 { 1_000_000 } else { 1 }));
+            assert_eq!(p.limits().max_wait_cycles, 40, "floor == ceiling must pin the wait");
+            assert!(p.limits().max_batch >= 1 && p.limits().max_batch <= 4);
+        }
+    }
+
+    /// AIMD boundary: a single observation is below the warm-up count,
+    /// so the limits must not move off their tight start.
+    #[test]
+    fn aimd_single_sample_window_never_adjusts() {
+        let mut p = SloAwarePolicy::new(10_000, BatchLimits::default());
+        let start = p.limits();
+        p.observe(&obs(1_000_000)); // wild outlier, but only one sample
+        assert_eq!(p.limits(), start, "one sample is not evidence");
+        // Two more still sit below WARMUP = 4.
+        p.observe(&obs(1_000_000));
+        p.observe(&obs(1_000_000));
+        assert_eq!(p.limits(), start);
+        // The fourth completes the warm-up and finally backs off.
+        p.observe(&obs(1_000_000));
+        assert!(p.limits().max_wait_cycles < start.max_wait_cycles);
+    }
+
+    /// AIMD boundary: an observed p99 exactly at the target is
+    /// pressure (`p99 > 4/5 · target` holds), so the policy backs off —
+    /// running *at* the SLO leaves no headroom.
+    #[test]
+    fn aimd_p99_exactly_at_target_backs_off() {
+        let target = 80_000u64;
+        let mut p = SloAwarePolicy::new(target, BatchLimits::default());
+        let start = p.limits();
+        assert_eq!(start.max_wait_cycles, target / 8);
+        for _ in 0..SloAwarePolicy::WARMUP {
+            p.observe(&obs(target)); // windowed p99 == target exactly
+        }
+        let after = p.limits();
+        assert_eq!(
+            after.max_wait_cycles,
+            start.max_wait_cycles / 2,
+            "p99 == target must trigger multiplicative decrease"
+        );
+        assert_eq!(after.max_batch, 1);
+    }
+
+    /// Per-model classes adjust independently: pressure on model 0
+    /// must not shrink model 1's window, and slack on model 1 must not
+    /// grow model 0's.
+    #[test]
+    fn per_model_classes_have_independent_aimd_state() {
+        let classes = vec![
+            SloClass::new(10_000),
+            SloClass::new(500_000)
+                .with_ceiling(BatchLimits { max_batch: 16, max_wait_cycles: 200_000 }),
+        ];
+        let mut p = SloAwarePolicy::per_model(classes);
+        assert_eq!(p.name(), "slo-aware-per-model");
+        assert_eq!(p.class_target(0), 10_000);
+        assert_eq!(p.class_target(1), 500_000);
+        let start0 = p.limits_for(0);
+        let start1 = p.limits_for(1);
+        // Hammer model 0 with pressure, model 1 with slack.
+        for _ in 0..64 {
+            p.observe(&obs_for(0, 1_000_000));
+            p.observe(&obs_for(1, 100));
+        }
+        assert!(p.limits_for(0).max_wait_cycles < start0.max_wait_cycles, "model 0 backs off");
+        assert_eq!(p.limits_for(0).max_batch, 1);
+        assert!(p.limits_for(1).max_wait_cycles > start1.max_wait_cycles, "model 1 grows");
+        assert_eq!(p.limits_for(1).max_batch, 16, "model 1 reaches its own ceiling");
+    }
+
+    #[test]
+    #[should_panic(expected = "no SLO class")]
+    fn per_model_policy_rejects_unknown_models() {
+        let p = SloAwarePolicy::per_model(vec![SloClass::new(1_000)]);
+        let _ = p.limits_for(1);
+    }
+
+    #[test]
+    fn global_policy_ignores_model_index() {
+        let mut p = SloAwarePolicy::new(10_000, BatchLimits::default());
+        for m in 0..4 {
+            assert_eq!(p.limits_for(m), p.limits(), "global class covers every model");
+        }
+        // Observations from any model feed the one global window.
+        for m in 0..SloAwarePolicy::WARMUP {
+            p.observe(&obs_for(m, 1_000_000));
+        }
+        assert!(p.limits_for(9).max_wait_cycles < 10_000 / 8);
     }
 }

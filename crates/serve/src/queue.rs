@@ -91,6 +91,25 @@ impl RequestQueue {
         batch
     }
 
+    /// Dequeues every **full** batch of exactly `max_batch` requests
+    /// from `model`'s lane, preserving arrival order, and leaves the
+    /// sub-`max_batch` remainder queued. Equivalent to calling
+    /// [`RequestQueue::pop_batch`] while `pending >= max_batch` — the
+    /// engine's size-trigger burst when an adaptive policy shrinks
+    /// `max_batch` below a lane's backlog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn pop_full_batches(&mut self, model: usize, max_batch: usize) -> Vec<Vec<Request>> {
+        assert!(max_batch > 0, "max_batch must be non-zero");
+        let mut batches = Vec::new();
+        while self.pending(model) >= max_batch {
+            batches.push(self.pop_batch(model, max_batch));
+        }
+        batches
+    }
+
     /// Pending requests for one model.
     pub fn pending(&self, model: usize) -> usize {
         self.lanes.get(model).map_or(0, VecDeque::len)
@@ -141,6 +160,21 @@ mod tests {
     #[should_panic(expected = "lanes")]
     fn unknown_model_rejected() {
         RequestQueue::new(1).push(req(0, 3, 0));
+    }
+
+    #[test]
+    fn pop_full_batches_drains_whole_chunks_and_keeps_the_remainder() {
+        let mut q = RequestQueue::new(1);
+        for i in 0..7 {
+            q.push(req(i, 0, i));
+        }
+        let batches = q.pop_full_batches(0, 3);
+        assert_eq!(batches.len(), 2, "7 pending at max_batch 3 -> two full batches");
+        assert_eq!(batches[0].iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(batches[1].iter().map(|r| r.id).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(q.pending(0), 1, "sub-max_batch remainder stays queued");
+        assert_eq!(q.front(0).map(|r| r.id), Some(6));
+        assert!(q.pop_full_batches(0, 3).is_empty(), "remainder below max_batch seals nothing");
     }
 
     #[test]

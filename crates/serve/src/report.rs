@@ -1,5 +1,6 @@
 //! The serving report: per-request outcomes and fleet-level metrics.
 
+use s2ta_core::ArchKind;
 use s2ta_energy::{EnergyBreakdown, TechParams};
 use s2ta_sim::EventCounts;
 use std::fmt;
@@ -117,18 +118,31 @@ pub(crate) fn nearest_rank(sorted_latencies: &[u64], pct: f64) -> u64 {
     sorted_latencies[rank.clamp(1, sorted_latencies.len()) - 1]
 }
 
-/// Per-worker occupancy statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Per-lane occupancy statistics: which architecture the lane runs,
+/// how busy it was, and the simulated events (hence energy) its
+/// batches produced. In a heterogeneous fleet each lane may run a
+/// different [`ArchKind`], so the per-lane split is where utilization
+/// and energy skew between architectures becomes visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerStats {
+    /// Architecture this lane simulates.
+    pub arch: ArchKind,
     /// Cycles the lane spent executing batches.
     pub busy_cycles: u64,
     /// Batches the lane served.
     pub batches: usize,
     /// Requests the lane served.
     pub requests: usize,
+    /// Simulated events of the batches this lane executed.
+    pub events: EventCounts,
 }
 
 impl WorkerStats {
+    /// A fresh (all-zero) record for a lane of `arch`.
+    pub fn new(arch: ArchKind) -> Self {
+        Self { arch, busy_cycles: 0, batches: 0, requests: 0, events: EventCounts::default() }
+    }
+
     /// Busy fraction of the fleet makespan.
     pub fn utilization(&self, makespan_cycles: u64) -> f64 {
         if makespan_cycles == 0 {
@@ -136,6 +150,16 @@ impl WorkerStats {
         } else {
             self.busy_cycles as f64 / makespan_cycles as f64
         }
+    }
+
+    /// Cycles the lane sat idle over the fleet makespan.
+    pub fn idle_cycles(&self, makespan_cycles: u64) -> u64 {
+        makespan_cycles.saturating_sub(self.busy_cycles)
+    }
+
+    /// Energy this lane's batches consumed under `tech`.
+    pub fn energy(&self, tech: &TechParams) -> EnergyBreakdown {
+        EnergyBreakdown::of(&self.events, tech)
     }
 }
 
@@ -215,8 +239,28 @@ impl ServeReport {
     ///
     /// Panics unless `0.0 < pct <= 100.0`.
     pub fn latency_percentile_cycles(&self, pct: f64) -> u64 {
+        self.percentile_where(pct, |_| true)
+    }
+
+    /// Latency of the `pct`-th percentile **served** request of the
+    /// named model (nearest-rank). Returns 0 when no request of that
+    /// model was served. Per-model [`crate::SloClass`] targets are
+    /// checked against exactly this number.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < pct <= 100.0`.
+    pub fn latency_percentile_for_model(&self, model: &str, pct: f64) -> u64 {
+        self.percentile_where(pct, |o| o.model == model)
+    }
+
+    /// Nearest-rank percentile over the served requests `keep` admits
+    /// (0 when none match) — the single implementation behind the
+    /// overall and per-model percentile views.
+    fn percentile_where(&self, pct: f64, keep: impl Fn(&ServedRequest) -> bool) -> u64 {
         assert!(pct > 0.0 && pct <= 100.0, "percentile out of range: {pct}");
-        let mut lat: Vec<u64> = self.served_outcomes().map(ServedRequest::latency_cycles).collect();
+        let mut lat: Vec<u64> =
+            self.served_outcomes().filter(|o| keep(o)).map(ServedRequest::latency_cycles).collect();
         if lat.is_empty() {
             return 0;
         }
@@ -343,6 +387,30 @@ impl ServeReport {
         s.push('\n');
         s
     }
+
+    /// A per-lane table under `tech`: architecture, busy/idle split,
+    /// batches, requests and energy — the view that makes utilization
+    /// skew across a heterogeneous fleet visible.
+    pub fn lane_breakdown(&self, tech: &TechParams) -> String {
+        let mut s = format!(
+            "  {:<6} {:<12} {:>10} {:>10} {:>7} {:>8} {:>8} {:>10}\n",
+            "lane", "arch", "busy cyc", "idle cyc", "util %", "batches", "requests", "uJ"
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            s.push_str(&format!(
+                "  L{:<5} {:<12} {:>10} {:>10} {:>7.1} {:>8} {:>8} {:>10.2}\n",
+                i,
+                w.arch.to_string(),
+                w.busy_cycles,
+                w.idle_cycles(self.makespan_cycles),
+                w.utilization(self.makespan_cycles) * 100.0,
+                w.batches,
+                w.requests,
+                w.energy(tech).total_pj() * 1e-6,
+            ));
+        }
+        s
+    }
 }
 
 impl fmt::Display for ServeReport {
@@ -387,7 +455,13 @@ mod tests {
             policy: "fixed".into(),
             outcomes: latencies.iter().enumerate().map(|(i, &l)| outcome(i as u64, 0, l)).collect(),
             batches: latencies.len(),
-            workers: vec![WorkerStats { busy_cycles: 50, batches: 1, requests: 1 }],
+            workers: vec![WorkerStats {
+                busy_cycles: 50,
+                batches: 1,
+                requests: 1,
+                events: EventCounts { cycles: 50, macs_active: 1_000, ..Default::default() },
+                ..WorkerStats::new(ArchKind::S2taAw)
+            }],
             total_events: EventCounts { cycles: 100, ..Default::default() },
             makespan_cycles: 100,
         }
@@ -429,7 +503,7 @@ mod tests {
             policy: "fixed".into(),
             outcomes: (0..5).map(|i| dropped(i, i * 10)).collect(),
             batches: 0,
-            workers: vec![WorkerStats::default()],
+            workers: vec![WorkerStats::new(ArchKind::S2taAw)],
             total_events: EventCounts::default(),
             makespan_cycles: 0,
         };
@@ -481,6 +555,39 @@ mod tests {
         let tech = TechParams::tsmc16();
         assert_eq!(r.throughput_ips(&tech), 0.0);
         assert_eq!(r.uj_per_inference(&tech), 0.0);
+    }
+
+    #[test]
+    fn per_model_percentiles_split_by_model_name() {
+        let mut r = report(&[10, 20, 30, 40]);
+        // Rename two outcomes to a second model with slower latencies.
+        for (i, o) in r.outcomes.iter_mut().enumerate() {
+            if let RequestOutcome::Served(s) = o {
+                if i >= 2 {
+                    s.model = "heavy".into();
+                }
+            }
+        }
+        assert_eq!(r.latency_percentile_for_model("m", 100.0), 20);
+        assert_eq!(r.latency_percentile_for_model("heavy", 100.0), 40);
+        assert_eq!(r.latency_percentile_for_model("heavy", 50.0), 30);
+        assert_eq!(r.latency_percentile_for_model("absent", 99.0), 0, "unknown model is calm");
+        // The all-model percentile is unchanged by the split.
+        assert_eq!(r.latency_percentile_cycles(100.0), 40);
+    }
+
+    #[test]
+    fn lane_stats_carry_arch_idle_and_energy() {
+        let r = report(&[100]);
+        let w = &r.workers[0];
+        assert_eq!(w.arch, ArchKind::S2taAw);
+        assert_eq!(w.idle_cycles(r.makespan_cycles), 50);
+        assert_eq!(w.idle_cycles(10), 0, "idle saturates below busy");
+        let tech = TechParams::tsmc16();
+        assert!(w.energy(&tech).total_pj() > 0.0);
+        let table = r.lane_breakdown(&tech);
+        assert!(table.contains("S2TA-AW"), "breakdown names the lane arch:\n{table}");
+        assert!(table.contains("L0"), "breakdown lists each lane:\n{table}");
     }
 
     #[test]

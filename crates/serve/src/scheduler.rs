@@ -11,12 +11,18 @@
 //!    depends only on the arrival stream — never on worker availability
 //!    — so the batch set (and therefore every simulated event count) is
 //!    identical for every fleet size.
-//! 2. **Placement** ([`Scheduler::place`]) assigns the formed batches,
-//!    in ready order, to the earliest-free worker lane (lowest index on
-//!    ties). Given the per-batch service times this reproduces the
-//!    latency/throughput behaviour of an N-worker fleet exactly, while
-//!    the actual cycle simulation runs on a host thread pool in any
-//!    order.
+//! 2. **Placement** ([`Scheduler::place`] /
+//!    [`Scheduler::place_on_lanes`]) assigns the formed batches, in
+//!    ready order, to the earliest-free worker lane (lowest index on
+//!    ties); `place_on_lanes` additionally lets the service time depend
+//!    on the lane, which is what a heterogeneous (mixed-architecture)
+//!    fleet needs. Given the per-batch service times this reproduces
+//!    the latency/throughput behaviour of an N-lane fleet exactly,
+//!    while the actual cycle simulation runs on a host thread pool in
+//!    any order. The *affinity* dispatch rule
+//!    ([`PlacementStrategy::Affinity`], backed by a per-`(arch, model)`
+//!    [`ServiceEstimator`]) lives in the event-driven engine, which
+//!    learns service estimates as the run progresses.
 //!
 //! Timeout closure is tracked with a deadline-ordered min-heap
 //! ([`DeadlineHeap`]) instead of scanning every model lane per arrival:
@@ -38,8 +44,9 @@
 use crate::policy::{BatchLimits, FixedPolicy};
 use crate::queue::RequestQueue;
 use crate::workload::Request;
+use s2ta_core::ArchKind;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A group of same-model requests dispatched together.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +118,107 @@ impl DeadlineHeap {
     pub(crate) fn pop(&mut self) {
         self.heap.pop();
     }
+}
+
+/// How the fleet routes a sealed batch onto a lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Dispatch to the lane that frees up first (lowest index on ties)
+    /// — arch-blind, the PR 1 behaviour and the default.
+    #[default]
+    EarliestFree,
+    /// Dispatch to the lane minimizing the *predicted completion time*
+    /// `max(free, ready) + estimated service`, where the estimate comes
+    /// from a per-`(arch, model)` [`ServiceEstimator`] bootstrapped
+    /// from the run's own completed batches. Lanes whose `(arch,
+    /// model)` pair has no estimate yet predict zero service
+    /// (optimistic), which both explores unknown lanes and makes the
+    /// rule collapse to earliest-free before any evidence exists — and
+    /// **always** collapse to earliest-free on homogeneous fleets,
+    /// where every lane predicts the same service.
+    Affinity,
+}
+
+/// Per-`(arch, model)` service-cycle estimates, bootstrapped from the
+/// batches a serving run has executed.
+///
+/// The estimate is the running mean of observed service cycles *per
+/// request* on that architecture for that model, scaled by the
+/// candidate batch size. Integer arithmetic keeps predictions exactly
+/// reproducible for a fixed observation sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceEstimator {
+    /// `(arch, model) -> (requests observed, service cycles observed)`.
+    stats: HashMap<(ArchKind, usize), (u64, u64)>,
+}
+
+impl ServiceEstimator {
+    /// An empty estimator (every prediction is `None`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed batch: `requests` requests of `model` took
+    /// `service_cycles` on an `arch` lane.
+    pub fn record(&mut self, arch: ArchKind, model: usize, requests: usize, service_cycles: u64) {
+        let entry = self.stats.entry((arch, model)).or_insert((0, 0));
+        entry.0 += requests as u64;
+        entry.1 += service_cycles;
+    }
+
+    /// Predicted service cycles of a `batch_size`-request batch of
+    /// `model` on an `arch` lane, or `None` before any batch of that
+    /// `(arch, model)` pair has executed.
+    pub fn predict(&self, arch: ArchKind, model: usize, batch_size: usize) -> Option<u64> {
+        let &(requests, cycles) = self.stats.get(&(arch, model))?;
+        if requests == 0 {
+            return None;
+        }
+        Some((cycles as u128 * batch_size as u128 / requests as u128) as u64)
+    }
+
+    /// Number of `(arch, model)` pairs with at least one observation.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+}
+
+/// The earliest-free lane: minimum `free_at`, ties to the lowest index.
+///
+/// # Panics
+///
+/// Panics if `free_at` is empty.
+pub(crate) fn earliest_free_lane(free_at: &[u64]) -> usize {
+    free_at
+        .iter()
+        .enumerate()
+        .min_by_key(|&(idx, &t)| (t, idx))
+        .expect("a fleet needs at least one lane")
+        .0
+}
+
+/// The affinity choice: minimum predicted completion `max(free, ready)
+/// + predicted_service[lane]`, ties broken by `free_at` then index.
+///
+/// The tie-break order matters: when every lane predicts the same
+/// service (a homogeneous fleet, or no estimates yet), the choice
+/// reduces exactly to [`earliest_free_lane`] — predicted completions
+/// tie whenever the batch's `ready` dominates, and the `free_at`
+/// tie-break then picks the same lane the earliest-free rule would.
+pub(crate) fn affinity_lane(free_at: &[u64], ready: u64, predicted_service: &[u64]) -> usize {
+    debug_assert_eq!(free_at.len(), predicted_service.len());
+    free_at
+        .iter()
+        .zip(predicted_service)
+        .enumerate()
+        .min_by_key(|&(idx, (&free, &svc))| (free.max(ready).saturating_add(svc), free, idx))
+        .expect("a fleet needs at least one lane")
+        .0
 }
 
 /// The deterministic batching scheduler.
@@ -252,10 +360,13 @@ impl Scheduler {
         Batch { id, model, requests, ready }
     }
 
-    /// Places batches onto `workers` simulated lanes: batches dispatch
-    /// in ready order (ties by id) to the earliest-free lane (ties to
-    /// the lowest index). `service_cycles[i]` is batch `i`'s execution
-    /// time.
+    /// Places batches onto `workers` **identical** simulated lanes:
+    /// batches dispatch in ready order (ties by id) to the
+    /// earliest-free lane (ties to the lowest index).
+    /// `service_cycles[i]` is batch `i`'s execution time, the same on
+    /// every lane. The heterogeneous generalization is
+    /// [`Scheduler::place_on_lanes`], of which this is the
+    /// lane-independent special case.
     ///
     /// # Panics
     ///
@@ -267,18 +378,40 @@ impl Scheduler {
         service_cycles: &[u64],
         workers: usize,
     ) -> Vec<Placement> {
-        assert!(workers > 0, "a fleet needs at least one worker");
         assert!(service_cycles.len() >= batches.len(), "missing service times");
+        self.place_on_lanes(batches, |batch, _lane| service_cycles[batch], workers)
+    }
+
+    /// Places batches onto `lanes` simulated lanes whose service time
+    /// may differ per lane (a heterogeneous fleet): batches dispatch in
+    /// ready order (ties by id) to the earliest-free lane (ties to the
+    /// lowest index), and `service_cycles(batch, lane)` answers how
+    /// long `batch` runs on the chosen lane.
+    ///
+    /// The dispatch rule stays arch-blind (earliest-free); only the
+    /// *measured* service time depends on the lane. Affinity-aware
+    /// routing lives in the event-driven engine, which can grow its
+    /// estimates as the run progresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn place_on_lanes(
+        &self,
+        batches: &[Batch],
+        service_cycles: impl Fn(usize, usize) -> u64,
+        lanes: usize,
+    ) -> Vec<Placement> {
+        assert!(lanes > 0, "a fleet needs at least one worker");
         let mut order: Vec<usize> = (0..batches.len()).collect();
         order.sort_by_key(|&i| (batches[i].ready, batches[i].id));
-        let mut free_at = vec![0u64; workers];
+        let mut free_at = vec![0u64; lanes];
         let mut placements =
             vec![Placement { batch: 0, worker: 0, start: 0, completion: 0 }; batches.len()];
         for i in order {
-            let (worker, &free) =
-                free_at.iter().enumerate().min_by_key(|&(idx, &t)| (t, idx)).expect("workers > 0");
-            let start = free.max(batches[i].ready);
-            let completion = start + service_cycles[i];
+            let worker = earliest_free_lane(&free_at);
+            let start = free_at[worker].max(batches[i].ready);
+            let completion = start + service_cycles(i, worker);
             free_at[worker] = completion;
             placements[i] = Placement { batch: i, worker, start, completion };
         }
@@ -497,6 +630,63 @@ mod tests {
                 assert!(pair[0].1 <= pair[1].0, "worker {w} overlapped");
             }
         }
+    }
+
+    #[test]
+    fn place_on_lanes_uses_per_lane_service_times() {
+        let s = Scheduler::default();
+        let batches: Vec<Batch> = (0..2)
+            .map(|i| Batch { id: i, model: 0, requests: vec![req(i as u64, 0, 0)], ready: 0 })
+            .collect();
+        // Lane 0 is 10x slower: dispatch stays earliest-free (batch 0
+        // -> lane 0, batch 1 -> lane 1) but the completions reflect
+        // each lane's own speed.
+        let svc = |_batch: usize, lane: usize| if lane == 0 { 1_000 } else { 100 };
+        let p = s.place_on_lanes(&batches, svc, 2);
+        assert_eq!((p[0].worker, p[0].completion), (0, 1_000));
+        assert_eq!((p[1].worker, p[1].completion), (1, 100));
+    }
+
+    #[test]
+    fn estimator_predicts_mean_per_request_scaled_by_batch_size() {
+        let mut e = ServiceEstimator::new();
+        assert!(e.is_empty());
+        assert_eq!(e.predict(ArchKind::S2taAw, 0, 4), None, "no evidence, no estimate");
+        e.record(ArchKind::S2taAw, 0, 2, 2_000);
+        e.record(ArchKind::S2taAw, 0, 4, 4_600);
+        // Mean per request = 6600 / 6 = 1100.
+        assert_eq!(e.predict(ArchKind::S2taAw, 0, 3), Some(3_300));
+        assert_eq!(e.predict(ArchKind::S2taAw, 1, 3), None, "models do not share estimates");
+        assert_eq!(e.predict(ArchKind::SaZvcg, 0, 3), None, "archs do not share estimates");
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn affinity_lane_reduces_to_earliest_free_on_equal_predictions() {
+        // Exhaustive tie-break check over a few free/ready shapes: with
+        // lane-independent predictions, affinity must pick exactly the
+        // earliest-free lane.
+        for free_at in [vec![0, 0, 0], vec![10, 5, 20], vec![7, 7, 3], vec![100, 2, 2]] {
+            for ready in [0u64, 4, 50, 1_000] {
+                for svc in [0u64, 123] {
+                    let pred = vec![svc; free_at.len()];
+                    assert_eq!(
+                        affinity_lane(&free_at, ready, &pred),
+                        earliest_free_lane(&free_at),
+                        "free {free_at:?} ready {ready} svc {svc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_lane_prefers_the_faster_lane_even_when_busy() {
+        // Lane 0 frees at 100 but is predicted 10x faster than lane 1
+        // (free now): completion 100+50=150 vs 0+500=500.
+        assert_eq!(affinity_lane(&[100, 0], 0, &[50, 500]), 0);
+        // If the fast lane is backed up far enough, the slow lane wins.
+        assert_eq!(affinity_lane(&[600, 0], 0, &[50, 500]), 1);
     }
 
     #[test]

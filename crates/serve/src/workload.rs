@@ -153,6 +153,13 @@ impl WorkloadSpec {
         Self { seed, requests, mean_interarrival_cycles, mix: vec![1.0; models] }
     }
 
+    /// An explicitly weighted mix (e.g. `[2.0, 1.0]`: the first model
+    /// gets two thirds of the traffic). Weights need not be
+    /// normalized; validation happens in [`WorkloadSpec::generate`].
+    pub fn mixed(seed: u64, requests: usize, mean_interarrival_cycles: f64, mix: Vec<f64>) -> Self {
+        Self { seed, requests, mean_interarrival_cycles, mix }
+    }
+
     /// Generates the request stream (sorted by arrival, ids dense in
     /// arrival order).
     ///
@@ -357,12 +364,7 @@ mod tests {
 
     #[test]
     fn mix_weights_steer_traffic() {
-        let spec = WorkloadSpec {
-            seed: 5,
-            requests: 4_000,
-            mean_interarrival_cycles: 100.0,
-            mix: vec![3.0, 1.0],
-        };
+        let spec = WorkloadSpec::mixed(5, 4_000, 100.0, vec![3.0, 1.0]);
         let reqs = spec.generate();
         let m0 = reqs.iter().filter(|r| r.model == 0).count() as f64 / reqs.len() as f64;
         assert!((m0 - 0.75).abs() < 0.05, "model 0 share {m0:.3}, expected ~0.75");

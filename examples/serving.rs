@@ -13,14 +13,18 @@
 //! metrics — request count, batch set, drop set, total simulated
 //! events, energy — are identical for any fleet size. The demo
 //! re-serves the stream to demonstrate both properties, then shows
-//! admission control shedding load and the SLO-aware policy trading
-//! batch depth against tail latency.
+//! admission control shedding load, the SLO-aware policy trading batch
+//! depth against tail latency (globally and with per-model SLO
+//! classes), and the per-lane utilization breakdown. For mixed
+//! SA/S2TA fleets with affinity placement, see the `serving_hetero`
+//! example.
 
 use s2ta::core::ArchKind;
 use s2ta::energy::TechParams;
 use s2ta::models::{cifar10_convnet, lenet5};
 use s2ta::serve::{
-    BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, ServeReport, SloAwarePolicy, WorkloadSpec,
+    BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, ServeReport, SloAwarePolicy, SloClass,
+    WorkloadSpec,
 };
 
 fn main() {
@@ -43,6 +47,7 @@ fn main() {
     let fleet = Fleet::new(ArchKind::S2taAw, 6).with_policy(policy);
     let report = fleet.serve(&models, &requests);
     print!("{}", report.summary(&tech));
+    print!("{}", report.lane_breakdown(&tech));
     println!();
 
     // Determinism: same seed, same fleet -> identical report.
@@ -99,6 +104,24 @@ fn main() {
         adaptive.goodput_ips(&tech),
         ServeReport::cycles_to_ms(&tech, slo.target_p99_cycles()),
     );
+    println!();
+
+    // Per-model SLO classes: a tight target for LeNet (the
+    // latency-critical model), a loose one for the CIFAR convnet.
+    let ceiling = BatchLimits { max_batch: 8, max_wait_cycles: 50_000 };
+    let mut per_model = SloAwarePolicy::per_model(vec![
+        SloClass::new(25_000).with_ceiling(ceiling),
+        SloClass::new(120_000).with_ceiling(ceiling),
+    ]);
+    let classed = fleet.serve_adaptive(&models, &requests, &mut per_model);
+    for (model, target) in [(models[0].name, 25_000u64), (models[1].name, 120_000)] {
+        println!(
+            "SLO class {model}: p99 {:.3} ms vs target {:.3} ms (global policy gave {:.3} ms)",
+            ServeReport::cycles_to_ms(&tech, classed.latency_percentile_for_model(model, 99.0)),
+            ServeReport::cycles_to_ms(&tech, target),
+            ServeReport::cycles_to_ms(&tech, adaptive.latency_percentile_for_model(model, 99.0)),
+        );
+    }
     println!();
 
     // Closed-loop clients: offered load adapts to service capacity.

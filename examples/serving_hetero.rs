@@ -1,0 +1,80 @@
+//! Heterogeneous-fleet serving demo: a mixed 2×S2TA-AW + 2×SA-ZVCG
+//! lane fleet serving one traffic stream, comparing arch-blind
+//! earliest-free placement against affinity-aware placement (the
+//! cost-model path that routes each batch to the lane minimizing its
+//! predicted completion time, with per-`(arch, model)` service
+//! estimates bootstrapped from the run's own completed batches).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example serving_hetero
+//! ```
+//!
+//! The run is fully deterministic, and the asserts at the bottom are
+//! the CI smoke gate for heterogeneous serving: affinity must beat
+//! earliest-free on both p99 latency and energy per inference on this
+//! workload, and the host-pool parallelism must never leak into
+//! simulated results.
+
+use s2ta::energy::TechParams;
+use s2ta::serve::{Fleet, PlacementStrategy, ServeReport};
+use s2ta_bench::hetero_scenario;
+
+fn main() {
+    let tech = TechParams::tsmc16();
+    // The canonical scenario shared with the serving bench and the
+    // acceptance test in tests/serving.rs — retune it in one place.
+    let models = hetero_scenario::models();
+    let spec = hetero_scenario::workload();
+    let requests = spec.generate();
+    let fleet_spec = hetero_scenario::fleet_spec();
+    let policy = hetero_scenario::policy();
+
+    println!("== s2ta-serve heterogeneous fleet demo ==");
+    println!("workload: {spec}");
+    println!("fleet: {} ({} lanes, shared plan cache)", fleet_spec.label(), fleet_spec.lanes());
+    println!();
+
+    let mk = || Fleet::from_spec(fleet_spec.clone()).with_policy(policy);
+    let earliest_free = mk().serve(&models, &requests);
+    let affinity = mk().with_placement(PlacementStrategy::Affinity).serve(&models, &requests);
+
+    for (name, report) in [("earliest-free", &earliest_free), ("affinity", &affinity)] {
+        println!("placement: {name}");
+        print!("{}", report.summary(&tech));
+        print!("{}", report.lane_breakdown(&tech));
+        println!();
+    }
+
+    println!(
+        "affinity vs earliest-free: {:.2}x lower p99, {:.2}x less energy/inf, {:.2}x makespan",
+        earliest_free.p99_cycles() as f64 / affinity.p99_cycles() as f64,
+        earliest_free.uj_per_inference(&tech) / affinity.uj_per_inference(&tech),
+        affinity.makespan_cycles as f64 / earliest_free.makespan_cycles as f64,
+    );
+
+    // Determinism across host-pool sizes: the speculative parallel
+    // execution is byte-identical to a serial engine.
+    let serial = Fleet::from_spec(fleet_spec.clone())
+        .with_policy(policy)
+        .with_placement(PlacementStrategy::Affinity)
+        .with_host_parallelism(1)
+        .serve(&models, &requests);
+    assert_eq!(affinity, serial, "host parallelism must never change simulated results");
+    println!("re-served with a serial host pool: reports identical");
+
+    // The CI smoke gate: the cost model must actually pay off here.
+    assert!(
+        affinity.p99_cycles() < earliest_free.p99_cycles(),
+        "affinity p99 {} must beat earliest-free {}",
+        affinity.p99_cycles(),
+        earliest_free.p99_cycles()
+    );
+    assert!(
+        affinity.uj_per_inference(&tech) < earliest_free.uj_per_inference(&tech),
+        "affinity energy must beat earliest-free"
+    );
+    let _ = ServeReport::cycles_to_ms(&tech, affinity.p99_cycles());
+    println!("affinity placement beats earliest-free on p99 and energy: OK");
+}

@@ -1,14 +1,16 @@
 //! Cross-crate serving tests: scheduler invariants, end-to-end
 //! determinism of the fleet across client modes, admission control,
-//! SLO-aware batching, and bit-exactness of the cached weight plans
-//! against the uncached path.
+//! SLO-aware batching (global and per-model classes), heterogeneous
+//! lane fleets with affinity-aware placement, and bit-exactness of the
+//! cached weight plans against the uncached path.
 
 use proptest::prelude::*;
 use s2ta::core::{Accelerator, ArchKind, ModelReport, WeightResidency};
+use s2ta::energy::TechParams;
 use s2ta::models::{cifar10_convnet, lenet5, LayerSpec, ModelSpec};
 use s2ta::serve::{
-    Batch, BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, Request, Scheduler, SloAwarePolicy,
-    WorkloadSpec,
+    Batch, BatchLimits, ClosedLoopSpec, FixedPolicy, Fleet, FleetSpec, PlacementStrategy, Request,
+    Scheduler, SloAwarePolicy, SloClass, WorkloadSpec,
 };
 use s2ta::tensor::{GemmShape, LayerKind};
 
@@ -198,6 +200,148 @@ fn slo_aware_policy_beats_default_fixed_policy_on_the_model_mix() {
     assert_eq!(adaptive.served_count(), fixed.served_count());
 }
 
+/// Clone-fleet regression: the lane-based refactor must reproduce the
+/// homogeneous-clone fleet **byte-for-byte**. The pinned numbers were
+/// captured from the pre-refactor implementation (PR 2) on this exact
+/// workload; any drift in batch formation, placement, event totals or
+/// latency percentiles fails here.
+#[test]
+fn homogeneous_fleet_matches_pre_refactor_golden() {
+    let models = [lenet5(), cifar10_convnet()];
+    let spec = WorkloadSpec {
+        seed: 2024,
+        requests: 120,
+        mean_interarrival_cycles: 5_000.0,
+        mix: vec![2.0, 1.0],
+    };
+    let requests = spec.generate();
+    let policy = FixedPolicy { max_batch: 6, max_wait_cycles: 30_000 };
+
+    let one = Fleet::new(ArchKind::S2taAw, 1).with_policy(policy).serve(&models, &requests);
+    assert_eq!(one.batches, 28);
+    assert_eq!(one.makespan_cycles, 546_521);
+    assert_eq!(one.total_events.cycles, 282_640);
+    assert_eq!(one.total_events.macs_active, 61_887_596);
+    assert_eq!((one.p50_cycles(), one.p99_cycles()), (30_562, 49_994));
+    assert_eq!(one.arch, "S2TA-AW", "homogeneous label must stay the bare kind");
+
+    let three = Fleet::new(ArchKind::S2taAw, 3).with_policy(policy).serve(&models, &requests);
+    assert_eq!(three.batches, 28);
+    assert_eq!(three.makespan_cycles, 546_521);
+    assert_eq!(three.total_events.cycles, 282_640);
+    assert_eq!((three.p50_cycles(), three.p99_cycles()), (29_210, 42_164));
+
+    let closed_spec = ClosedLoopSpec::uniform(7, 4, 60, 4_000.0, models.len());
+    let mut p = policy;
+    let closed = Fleet::new(ArchKind::S2taAw, 2).with_policy(policy).serve_closed_loop(
+        &models,
+        &closed_spec,
+        &mut p,
+    );
+    assert_eq!(closed.batches, 27);
+    assert_eq!(closed.makespan_cycles, 578_397);
+    assert_eq!(closed.total_events.cycles, 156_661);
+    assert_eq!((closed.p50_cycles(), closed.p99_cycles()), (34_945, 39_587));
+
+    let zvcg = Fleet::new(ArchKind::SaZvcg, 2).with_policy(policy).serve(&models, &requests);
+    assert_eq!(zvcg.batches, 28);
+    assert_eq!(zvcg.makespan_cycles, 557_307);
+    assert_eq!(zvcg.total_events.cycles, 615_559);
+    assert_eq!(zvcg.p99_cycles(), 56_730);
+}
+
+/// Every homogeneous construction path builds the same fleet: the
+/// clone constructor, the spec, and the explicit-accelerator form.
+#[test]
+fn clone_fleet_construction_paths_are_equivalent() {
+    let models = two_models();
+    let requests = workload(13, 60, models.len());
+    let a = Fleet::new(ArchKind::S2taAw, 3).serve(&models, &requests);
+    let b = Fleet::from_spec(FleetSpec::homogeneous(ArchKind::S2taAw, 3)).serve(&models, &requests);
+    let c =
+        Fleet::with_accelerator(Accelerator::preset(ArchKind::S2taAw), 3).serve(&models, &requests);
+    assert_eq!(a, b, "spec-built clone fleet must match Fleet::new");
+    assert_eq!(a, c, "explicit-accelerator clone fleet must match Fleet::new");
+}
+
+/// The acceptance comparison for heterogeneous serving: on a mixed
+/// 2×S2TA-AW + 2×SA-ZVCG fleet, affinity-aware placement must beat
+/// arch-blind earliest-free placement on **both** p99 latency and
+/// energy per inference — the cost model routes batches onto the lanes
+/// that finish them sooner, which on this fleet are also the lanes
+/// that burn less energy per inference.
+#[test]
+fn mixed_fleet_affinity_beats_earliest_free() {
+    let tech = TechParams::tsmc16();
+    // The canonical scenario shared with the serving bench and the
+    // serving_hetero example (the CI smoke gate) — one tuning point.
+    let models = s2ta_bench::hetero_scenario::models();
+    let requests = s2ta_bench::hetero_scenario::workload().generate();
+    let mk = || {
+        Fleet::from_spec(s2ta_bench::hetero_scenario::fleet_spec())
+            .with_policy(s2ta_bench::hetero_scenario::policy())
+    };
+    let earliest_free = mk().serve(&models, &requests);
+    let affinity = mk().with_placement(PlacementStrategy::Affinity).serve(&models, &requests);
+
+    assert_eq!(earliest_free.served_count(), requests.len());
+    assert_eq!(affinity.served_count(), requests.len());
+    assert!(
+        affinity.p99_cycles() < earliest_free.p99_cycles(),
+        "affinity p99 {} must beat earliest-free p99 {}",
+        affinity.p99_cycles(),
+        earliest_free.p99_cycles()
+    );
+    assert!(
+        affinity.uj_per_inference(&tech) < earliest_free.uj_per_inference(&tech),
+        "affinity {:.3} uJ/inf must beat earliest-free {:.3} uJ/inf",
+        affinity.uj_per_inference(&tech),
+        earliest_free.uj_per_inference(&tech)
+    );
+    // The skew that produces the win must be visible in the per-lane
+    // breakdown: affinity shifts requests toward the S2TA-AW lanes.
+    let aw_requests = |r: &s2ta::serve::ServeReport| {
+        r.workers.iter().filter(|w| w.arch == ArchKind::S2taAw).map(|w| w.requests).sum::<usize>()
+    };
+    assert!(
+        aw_requests(&affinity) > aw_requests(&earliest_free),
+        "affinity must route more work to the faster lanes"
+    );
+}
+
+/// Per-model SLO classes: a tight class for the latency-critical model
+/// must cut that model's p99 far below what one loose global class
+/// gives it, while the heavy model stays inside its own (looser)
+/// target.
+#[test]
+fn per_model_slo_classes_protect_the_tight_model() {
+    let models = [lenet5(), cifar10_convnet()];
+    let spec = WorkloadSpec::mixed(42, 160, 5_000.0, vec![2.0, 1.0]);
+    let requests = spec.generate();
+    let fleet = Fleet::new(ArchKind::S2taAw, 2);
+    let ceiling = BatchLimits { max_batch: 8, max_wait_cycles: 100_000 };
+    let (lenet_target, cifar_target) = (25_000u64, 120_000u64);
+
+    // One global class, sized for the heavy model.
+    let mut global = SloAwarePolicy::new(cifar_target, ceiling);
+    let g = fleet.serve_adaptive(&models, &requests, &mut global);
+    // Independent per-model classes: tight for LeNet, loose for CIFAR.
+    let mut per_model = SloAwarePolicy::per_model(vec![
+        SloClass::new(lenet_target).with_ceiling(ceiling),
+        SloClass::new(cifar_target).with_ceiling(ceiling),
+    ]);
+    let p = fleet.serve_adaptive(&models, &requests, &mut per_model);
+
+    let lenet_g = g.latency_percentile_for_model("LeNet-5", 99.0);
+    let lenet_p = p.latency_percentile_for_model("LeNet-5", 99.0);
+    assert!(lenet_p < lenet_g, "per-model class must cut LeNet p99: {lenet_p} vs global {lenet_g}");
+    assert!(lenet_p <= lenet_target, "LeNet p99 {lenet_p} must meet its {lenet_target} target");
+    let cifar_p = p.latency_percentile_for_model("CIFAR10-ConvNet", 99.0);
+    assert!(cifar_p <= cifar_target, "CIFAR p99 {cifar_p} must stay inside its own target");
+    assert_eq!(p.served_count(), g.served_count(), "class split must not lose requests");
+    assert_eq!(p.policy, "slo-aware-per-model");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -307,5 +451,24 @@ proptest! {
         let mut fixed = policy;
         let event_driven = fleet.serve_adaptive(&models, &requests, &mut fixed);
         prop_assert_eq!(vectorized, event_driven);
+    }
+
+    /// The same equivalence on a **mixed-architecture** fleet: the
+    /// vectorized path's all-scopes speculative execution plus
+    /// earliest-free placement replays the engine exactly, and the
+    /// speculative fan-out is byte-identical at any host parallelism.
+    #[test]
+    fn prop_mixed_fleet_engine_matches_vectorized(seed in any::<u64>()) {
+        let models = vec![lenet5()];
+        let requests = WorkloadSpec::uniform(seed, 16, 20_000.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 3, max_wait_cycles: 40_000 };
+        let spec = FleetSpec::mixed(&[(ArchKind::S2taAw, 1), (ArchKind::SaZvcg, 1)]);
+        let fleet = Fleet::from_spec(spec).with_policy(policy);
+        let vectorized = fleet.serve(&models, &requests);
+        let mut fixed = policy;
+        let event_driven = fleet.serve_adaptive(&models, &requests, &mut fixed);
+        prop_assert_eq!(&vectorized, &event_driven);
+        let serial = fleet.clone().with_host_parallelism(1).serve(&models, &requests);
+        prop_assert_eq!(&vectorized, &serial);
     }
 }
