@@ -23,12 +23,17 @@ fn main() {
     let mut w_energy = Vec::new();
     let mut smt_speed = Vec::new();
 
-    for model in &models {
+    // Per-model report sets fan out over the host pool (each model in
+    // turn fans its architectures out too); order-preserving, so the
+    // printed tables are byte-identical to the serial loops.
+    let workers = s2ta_core::pool::worker_count_for(models.len(), None);
+    let all_reports = s2ta_core::pool::parallel_map(&models, workers, |m| conv_reports(m, &archs));
+
+    for (model, reports) in models.iter().zip(&all_reports) {
         println!("\n--- {} ---", model.name);
-        let reports = conv_reports(model, &archs);
         let base = &reports[0].1;
         println!("{:<14} {:>16} {:>9}", "arch", "energy reduction", "speedup");
-        for (k, r) in &reports {
+        for (k, r) in reports {
             let red = r.energy_reduction_vs(base, &tech);
             let speed = r.speedup_vs(base);
             println!("{:<14} {:>15.2}x {:>8.2}x", k.to_string(), red, speed);

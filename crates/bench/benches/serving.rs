@@ -11,7 +11,9 @@
 //! clients and the fixed vs SLO-aware batch policies on the
 //! lenet5 + cifar10_convnet mix.
 
-use s2ta_bench::{header, hetero_scenario, json_num, write_bench_artifact, SEED};
+use s2ta_bench::{
+    header, hetero_scenario, json_num, pipeline_scenario, write_bench_artifact, SEED,
+};
 use s2ta_core::ArchKind;
 use s2ta_energy::TechParams;
 use s2ta_models::{cifar10_convnet, lenet5};
@@ -227,6 +229,51 @@ fn main() {
     );
     records.push(json_report("hetero/earliest-free", &earliest_free, &tech));
     records.push(json_report("hetero/affinity", &affinity, &tech));
+    println!();
+
+    // --- Deep-model layer pipeline: monolithic vs pipelined ----------
+    // The 14-layer Deep-ConvNet on the mixed fleet: monolithic
+    // placement serializes a whole inference per lane, while the
+    // SCNN-style layer pipeline partitions the model into stages sized
+    // to their lanes' architectures and overlaps stage s of batch b
+    // with stage s+1 of batch b-1.
+    let pipe_models = pipeline_scenario::models();
+    let pipe_requests = pipeline_scenario::workload().generate();
+    let monolithic = pipeline_scenario::monolithic_fleet().serve(&pipe_models, &pipe_requests);
+    let pipelined = pipeline_scenario::pipelined_fleet().serve(&pipe_models, &pipe_requests);
+    println!(
+        "deep-model pipeline ({} on {}): monolithic vs {} stages:",
+        pipe_models[0].name,
+        pipeline_scenario::fleet_spec().label(),
+        pipeline_scenario::STAGES,
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "placement", "inf/s", "p50 ms", "p99 ms", "uJ/inf"
+    );
+    for (name, r) in [("monolithic (EF)", &monolithic), ("pipelined", &pipelined)] {
+        println!(
+            "{:<26} {:>10.0} {:>10.4} {:>10.4} {:>10.2}",
+            name,
+            r.throughput_ips(&tech),
+            ServeReport::cycles_to_ms(&tech, r.p50_cycles()),
+            ServeReport::cycles_to_ms(&tech, r.p99_cycles()),
+            r.uj_per_inference(&tech),
+        );
+    }
+    print!("{}", pipelined.pipeline_breakdown());
+    let p99_win = monolithic.p99_cycles() as f64 / pipelined.p99_cycles() as f64;
+    println!(
+        "pipelined: {:.2}x lower p99 at {:.2}x throughput on the deep-model mixed fleet",
+        p99_win,
+        pipelined.throughput_ips(&tech) / monolithic.throughput_ips(&tech),
+    );
+    assert!(
+        p99_win >= 1.1 && pipelined.makespan_cycles <= monolithic.makespan_cycles,
+        "pipelined placement must beat monolithic p99 by >= 1.1x at no worse throughput"
+    );
+    records.push(json_report("pipeline/monolithic-ef", &monolithic, &tech));
+    records.push(json_report("pipeline/pipelined", &pipelined, &tech));
 
     // --- Machine-readable artifact ----------------------------------
     let json = format!(

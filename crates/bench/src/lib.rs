@@ -6,7 +6,7 @@
 //! outputs — the reproduction target is the *shape*: orderings, ratios
 //! and crossovers (see EXPERIMENTS.md for paper-vs-measured).
 
-use s2ta_core::{Accelerator, ArchKind, ModelReport};
+use s2ta_core::{pool, Accelerator, ArchKind, ModelReport};
 use s2ta_energy::comparators::LayerStats;
 use s2ta_models::ModelSpec;
 use s2ta_tensor::Matrix;
@@ -50,6 +50,56 @@ pub mod hetero_scenario {
     }
 }
 
+/// The canonical **deep-model pipeline** scenario, shared verbatim by
+/// the serving bench, the `serving_pipeline` example, and the
+/// acceptance test in `tests/serving.rs`: the 14-layer `Deep-ConvNet`
+/// served by a mixed 2×S2TA-AW + 2×SA-ZVCG fleet, on which
+/// layer-pipelined placement (`PlacementStrategy::Pipelined`, 4 stages
+/// across the 4 lanes) must beat monolithic earliest-free placement on
+/// p99 latency by at least 1.1x at no worse throughput.
+/// Single-sourcing it keeps the three gates in lockstep when the
+/// workload is retuned.
+pub mod pipeline_scenario {
+    use s2ta_core::ArchKind;
+    use s2ta_models::{deep_convnet, ModelSpec};
+    use s2ta_serve::{FixedPolicy, Fleet, FleetSpec, WorkloadSpec};
+
+    /// The served model: the deep serving convnet (14 layers).
+    pub fn models() -> Vec<ModelSpec> {
+        vec![deep_convnet()]
+    }
+
+    /// The traffic: a steady open-loop stream dense enough that
+    /// monolithic lanes queue but a 4-stage pipeline keeps up.
+    pub fn workload() -> WorkloadSpec {
+        WorkloadSpec::uniform(super::SEED, 96, 8_000.0, 1)
+    }
+
+    /// The mixed fleet: two S2TA-AW lanes plus two dense-baseline
+    /// SA-ZVCG lanes.
+    pub fn fleet_spec() -> FleetSpec {
+        FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 2)])
+    }
+
+    /// The fixed batching policy both placements run under.
+    pub fn policy() -> FixedPolicy {
+        FixedPolicy { max_batch: 4, max_wait_cycles: 20_000 }
+    }
+
+    /// Stages of the pipeline under test (one per lane).
+    pub const STAGES: usize = 4;
+
+    /// The monolithic baseline fleet (earliest-free placement).
+    pub fn monolithic_fleet() -> Fleet {
+        Fleet::from_spec(fleet_spec()).with_policy(policy())
+    }
+
+    /// The pipelined fleet under test.
+    pub fn pipelined_fleet() -> Fleet {
+        monolithic_fleet().with_pipeline(STAGES)
+    }
+}
+
 /// Writes a machine-readable bench artifact (e.g. `BENCH_serving.json`)
 /// to the workspace root, so the perf trajectory is trackable across
 /// PRs, and returns the path written. Benches run from varying working
@@ -82,13 +132,26 @@ pub fn header(id: &str, title: &str) {
 /// Runs a model's **convolution layers** on every evaluated
 /// architecture, returning `(arch, report)` pairs. (The paper's Fig. 11
 /// and Fig. 12 are convolution-only.)
+///
+/// The per-architecture simulations fan out over the host thread pool
+/// (`s2ta_core::pool`); results come back in input order, so the output
+/// is byte-identical to the serial loop it replaces.
 pub fn conv_reports(model: &ModelSpec, archs: &[ArchKind]) -> Vec<(ArchKind, ModelReport)> {
-    archs.iter().map(|&k| (k, Accelerator::preset(k).run_model_conv_only(model, SEED))).collect()
+    let workers = pool::worker_count_for(archs.len(), None);
+    let reports = pool::parallel_map(archs, workers, |&k| {
+        Accelerator::preset(k).run_model_conv_only(model, SEED)
+    });
+    archs.iter().copied().zip(reports).collect()
 }
 
-/// Runs a model's full layer list on every evaluated architecture.
+/// Runs a model's full layer list on every evaluated architecture, the
+/// per-arch simulations fanned out over the host pool (order-preserving
+/// — byte-identical to the serial loop).
 pub fn full_reports(model: &ModelSpec, archs: &[ArchKind]) -> Vec<(ArchKind, ModelReport)> {
-    archs.iter().map(|&k| (k, Accelerator::preset(k).run_model(model, SEED))).collect()
+    let workers = pool::worker_count_for(archs.len(), None);
+    let reports =
+        pool::parallel_map(archs, workers, |&k| Accelerator::preset(k).run_model(model, SEED));
+    archs.iter().copied().zip(reports).collect()
 }
 
 /// Computes the [`LayerStats`] the comparator models need from a

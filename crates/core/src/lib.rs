@@ -35,6 +35,9 @@ pub mod summary;
 pub mod sweep;
 
 pub use arch::{ArchConfig, ArchKind};
-pub use plan::{LayerPlan, ModelPlan, PlannedWeights, WeightPlanCache, WeightResidency};
+pub use plan::{
+    stage_handoff_bytes, CacheStats, LayerPlan, ModelPlan, PlannedWeights, WeightPlanCache,
+    WeightResidency,
+};
 pub use report::{LayerReport, ModelReport};
 pub use runner::Accelerator;

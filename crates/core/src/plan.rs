@@ -24,6 +24,8 @@ use s2ta_dbb::DbbMatrix;
 use s2ta_models::{LayerSpec, ModelSpec};
 use s2ta_tensor::Matrix;
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Weights compiled for a specific architecture: dense architectures
@@ -115,6 +117,85 @@ impl ModelPlan {
     pub fn matches(&self, model: &ModelSpec) -> bool {
         self.model == model.name && self.fingerprint == model_fingerprint(model)
     }
+
+    /// Splits the plan's layer list into at most `stages` contiguous,
+    /// non-empty ranges that **minimize the maximum per-stage cost**,
+    /// where `layer_cost(i)` prices layer `i` (cycles, MACs — any
+    /// additive cost). The ranges cover every layer in order, so
+    /// executing them back-to-back with [`Accelerator::run_stage`]
+    /// recomposes [`Accelerator::run_model_planned`] exactly.
+    ///
+    /// The split is deterministic: exact dynamic programming over
+    /// prefix sums, ties resolved toward the earliest cut. When the
+    /// plan has fewer layers than `stages`, every layer becomes its own
+    /// stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero or the plan has no layers.
+    pub fn stage_split(
+        &self,
+        stages: usize,
+        layer_cost: impl Fn(usize) -> u64,
+    ) -> Vec<Range<usize>> {
+        let n = self.layers.len();
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        assert!(n > 0, "cannot stage-split an empty plan");
+        let k = stages.min(n);
+        // Prefix sums: cost of layers [a, b) = prefix[b] - prefix[a].
+        let mut prefix = vec![0u64; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i].saturating_add(layer_cost(i));
+        }
+        let span = |a: usize, b: usize| prefix[b] - prefix[a];
+        // dp[s][i]: minimum possible max-stage-cost covering the first
+        // `i` layers with exactly `s` stages; cut[s][i] the first cut
+        // achieving it (earliest optimal cut for determinism).
+        let mut dp = vec![vec![u64::MAX; n + 1]; k + 1];
+        let mut cut = vec![vec![0usize; n + 1]; k + 1];
+        for (i, slot) in dp[1].iter_mut().enumerate().skip(1) {
+            *slot = span(0, i);
+        }
+        for s in 2..=k {
+            for i in s..=n {
+                for j in (s - 1)..i {
+                    let cost = dp[s - 1][j].max(span(j, i));
+                    if cost < dp[s][i] {
+                        dp[s][i] = cost;
+                        cut[s][i] = j;
+                    }
+                }
+            }
+        }
+        // Walk the cuts back into ranges.
+        let mut bounds = vec![n];
+        let mut i = n;
+        for s in (2..=k).rev() {
+            i = cut[s][i];
+            bounds.push(i);
+        }
+        bounds.push(0);
+        bounds.reverse();
+        bounds.windows(2).map(|w| w[0]..w[1]).collect()
+    }
+}
+
+/// Bytes of activation data handed from layer `boundary - 1` into layer
+/// `boundary`: the `K x N` input activation matrix of the receiving
+/// layer (one byte per INT8 element). This is what an inter-stage
+/// pipeline handoff must move between lanes.
+///
+/// # Panics
+///
+/// Panics if `boundary` is not an interior layer index (`1..layers`).
+pub fn stage_handoff_bytes(model: &ModelSpec, boundary: usize) -> u64 {
+    assert!(
+        boundary >= 1 && boundary < model.layers.len(),
+        "boundary {boundary} is not interior to {} layers",
+        model.layers.len()
+    );
+    let gemm = &model.layers[boundary].gemm;
+    (gemm.k * gemm.n) as u64
 }
 
 /// A stable fingerprint of a model's structure, so cached plans can
@@ -167,6 +248,62 @@ pub(crate) fn plan_scope_fingerprint(config: &ArchConfig) -> u64 {
 // fingerprint, weight seed)
 type PlanKey = (ArchKind, u64, String, u64, u64);
 
+/// Monotonic lookup counters of a [`WeightPlanCache`], shared (like the
+/// memo table itself) by every accelerator pointed at the cache.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+/// A point-in-time snapshot of a [`WeightPlanCache`]'s lookup counters.
+///
+/// * `hits` — memoized lookups answered from the table.
+/// * `misses` — memoized lookups that had to compile a plan.
+/// * `bypasses` — lookups for dense (non-W-DBB) architectures, which
+///   deliberately skip the memo table (their "plans" are regenerable
+///   raw weights; see [`WeightPlanCache::get_or_plan`]).
+///
+/// Counters only ever grow; per-run deltas come from
+/// [`CacheStats::since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Memoized lookups served from the table.
+    pub hits: u64,
+    /// Memoized lookups that compiled a new plan.
+    pub misses: u64,
+    /// Dense-architecture lookups that bypassed memoization.
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// The activity between `earlier` and `self` (both snapshots of the
+    /// same cache, `self` taken later).
+    pub fn since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            bypasses: self.bypasses - earlier.bypasses,
+        }
+    }
+
+    /// Total memoized lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of memoized lookups served from the table (0 before the
+    /// first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 /// A thread-safe memo table of compiled [`ModelPlan`]s.
 ///
 /// The cache is keyed by `(arch, model, weight seed)` — the
@@ -181,6 +318,7 @@ type PlanKey = (ArchKind, u64, String, u64, u64);
 #[derive(Debug, Clone, Default)]
 pub struct WeightPlanCache {
     inner: Arc<Mutex<HashMap<PlanKey, Arc<ModelPlan>>>>,
+    counters: Arc<CacheCounters>,
 }
 
 impl WeightPlanCache {
@@ -204,6 +342,7 @@ impl WeightPlanCache {
         weight_seed: u64,
     ) -> Arc<ModelPlan> {
         if !acc.config().kind.uses_wdbb() {
+            self.counters.bypasses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(acc.plan_model_uncached(model, weight_seed));
         }
         let key = (
@@ -214,14 +353,27 @@ impl WeightPlanCache {
             weight_seed,
         );
         if let Some(plan) = self.inner.lock().expect("plan cache poisoned").get(&key) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(plan);
         }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         // Compile outside the lock: plans can be large and compilation
         // is the expensive part. A racing thread may compile the same
         // plan; the first insert wins and the duplicate is dropped.
         let plan = Arc::new(acc.plan_model_uncached(model, weight_seed));
         let mut map = self.inner.lock().expect("plan cache poisoned");
         Arc::clone(map.entry(key).or_insert(plan))
+    }
+
+    /// A snapshot of the cache's lookup counters (hits / misses /
+    /// dense bypasses). Counters are monotone; diff two snapshots with
+    /// [`CacheStats::since`] to scope them to one run.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            bypasses: self.counters.bypasses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cached plans.
@@ -428,6 +580,120 @@ mod tests {
         c.layers[1].weight_sparsity = 0.9;
         assert_ne!(model_fingerprint(&a), model_fingerprint(&c));
         assert_eq!(model_fingerprint(&a), model_fingerprint(&lenet5()));
+    }
+
+    /// Concatenated `run_stage` reports over **every** contiguous
+    /// partition of LeNet-5 must reproduce `run_model_planned` (and
+    /// therefore `run_model`) byte-for-byte — the golden identity the
+    /// serving pipeline relies on.
+    #[test]
+    fn stage_runs_recompose_run_model_for_every_partition() {
+        for kind in [ArchKind::SaZvcg, ArchKind::S2taAw] {
+            let acc = Accelerator::preset(kind);
+            let m = lenet5();
+            let n = m.layers.len();
+            let plan = acc.plan_model(&m, 23);
+            let direct = acc.run_model(&m, 23);
+            // All 2-stage partitions, plus the full per-layer split.
+            let mut partitions: Vec<Vec<std::ops::Range<usize>>> =
+                (1..n).map(|cut| vec![0..cut, cut..n]).collect();
+            partitions.push((0..n).map(|i| i..i + 1).collect());
+            partitions.push(std::iter::once(0..n).collect());
+            for partition in partitions {
+                let layers: Vec<LayerReport> = partition
+                    .iter()
+                    .flat_map(|r| {
+                        acc.run_stage(&plan, &m, r.clone(), 23, WeightResidency::Streamed)
+                    })
+                    .collect();
+                let composed = ModelReport::from_layers(m.name, kind.to_string(), layers);
+                assert_eq!(composed, direct, "{kind} partition {partition:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_split_balances_and_covers() {
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let m = mobilenet_v1();
+        let plan = acc.plan_model(&m, 3);
+        let macs: Vec<u64> = m.layers.iter().map(|l| l.macs()).collect();
+        for stages in [1usize, 2, 3, 4, 7] {
+            let split = plan.stage_split(stages, |i| macs[i]);
+            assert_eq!(split.len(), stages.min(m.layers.len()));
+            // Contiguous cover in order, every stage non-empty.
+            assert_eq!(split[0].start, 0);
+            assert_eq!(split.last().unwrap().end, m.layers.len());
+            for pair in split.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "stages must tile the layer list");
+            }
+            assert!(split.iter().all(|r| !r.is_empty()));
+        }
+        // The DP is optimal: for uniform costs the 4-way split of 28
+        // layers is exactly balanced (max stage = 7 layers).
+        let even = plan.stage_split(4, |_| 1);
+        assert!(even.iter().all(|r| r.len() == 7), "{even:?}");
+        // And it actually balances skewed costs better than a naive
+        // equal-count split would: one huge layer gets its own stage.
+        let skew = plan.stage_split(2, |i| if i == 0 { 1_000 } else { 1 });
+        assert_eq!(skew[0], 0..1, "the expensive head layer must sit alone: {skew:?}");
+    }
+
+    #[test]
+    fn more_stages_never_worsen_the_bottleneck() {
+        let acc = Accelerator::preset(ArchKind::S2taAw);
+        let m = mobilenet_v1();
+        let plan = acc.plan_model(&m, 3);
+        let macs: Vec<u64> = m.layers.iter().map(|l| l.macs()).collect();
+        let bottleneck = |split: &[std::ops::Range<usize>]| {
+            split.iter().map(|r| r.clone().map(|i| macs[i]).sum::<u64>()).max().unwrap()
+        };
+        let mut prev = u64::MAX;
+        for stages in 1..=8 {
+            let b = bottleneck(&plan.stage_split(stages, |i| macs[i]));
+            assert!(b <= prev, "stage {stages} bottleneck {b} worse than {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn handoff_bytes_price_the_receiving_activation() {
+        let m = lenet5();
+        for boundary in 1..m.layers.len() {
+            let gemm = &m.layers[boundary].gemm;
+            assert_eq!(stage_handoff_bytes(&m, boundary), (gemm.k * gemm.n) as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not interior")]
+    fn handoff_bytes_reject_exterior_boundaries() {
+        stage_handoff_bytes(&lenet5(), 0);
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_bypasses() {
+        let cache = WeightPlanCache::new();
+        assert_eq!(cache.stats(), CacheStats::default());
+        let aw = Accelerator::preset(ArchKind::S2taAw).sharing_plans(cache.clone());
+        let m = lenet5();
+        aw.plan_model(&m, 3);
+        aw.plan_model(&m, 3);
+        aw.plan_model(&m, 4);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses), (1, 2, 0));
+        // Dense architectures bypass memoization entirely.
+        let zv = Accelerator::preset(ArchKind::SaZvcg).sharing_plans(cache.clone());
+        zv.plan_model(&m, 3);
+        zv.plan_model(&m, 3);
+        let s2 = cache.stats();
+        assert_eq!((s2.hits, s2.misses, s2.bypasses), (1, 2, 2));
+        // Deltas and rates.
+        let delta = s2.since(s);
+        assert_eq!((delta.hits, delta.misses, delta.bypasses), (0, 0, 2));
+        assert_eq!(s2.lookups(), 3);
+        assert!((s2.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -178,19 +178,60 @@ impl Accelerator {
         model: &ModelSpec,
         act_seed: u64,
     ) -> ModelReport {
+        let layers =
+            self.run_stage(plan, model, 0..model.layers.len(), act_seed, WeightResidency::Streamed);
+        ModelReport::from_layers(model.name, self.config.kind.to_string(), layers)
+    }
+
+    /// Runs a **contiguous layer range** of a compiled plan — one
+    /// pipeline stage — on activation inputs drawn from `act_seed`,
+    /// returning the per-layer reports in execution order.
+    ///
+    /// The stage hands its intermediate activations forward implicitly:
+    /// activations are a pure function of `(layer, act_seed)`, so the
+    /// next stage resumes from the same seed at `layers.end` and the
+    /// cross-stage boundary carries no extra state (the *bytes* a real
+    /// handoff would move are priced by
+    /// [`crate::plan::stage_handoff_bytes`]). Concatenating the reports
+    /// of any partition of `0..model.layers.len()` is **byte-identical**
+    /// to [`Accelerator::run_model_planned`], which is itself the
+    /// single-stage special case.
+    ///
+    /// `residency` is the weight residency of every layer in the stage:
+    /// [`WeightResidency::Streamed`] for a cold stage,
+    /// [`WeightResidency::Resident`] when the executing lane just ran
+    /// the same stage of the same plan and the stage's weights are
+    /// still in its weight SRAM (the pinned-stage reuse a layer
+    /// pipeline exists to harvest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was not compiled from this `model`, or the
+    /// range exceeds the model's layer list.
+    pub fn run_stage(
+        &self,
+        plan: &crate::plan::ModelPlan,
+        model: &ModelSpec,
+        layers: std::ops::Range<usize>,
+        act_seed: u64,
+        residency: WeightResidency,
+    ) -> Vec<LayerReport> {
         assert!(
             plan.matches(model),
             "plan was compiled for '{}', not for '{}' (or the model structure changed)",
             plan.model(),
             model.name
         );
-        let layers = model
-            .layers
+        assert!(
+            layers.end <= model.layers.len(),
+            "stage {layers:?} exceeds the model's {} layers",
+            model.layers.len()
+        );
+        model.layers[layers.clone()]
             .iter()
-            .zip(&plan.layers)
-            .map(|(l, lp)| self.run_layer_planned(lp, l, act_seed, WeightResidency::Streamed))
-            .collect();
-        ModelReport::from_layers(model.name, self.config.kind.to_string(), layers)
+            .zip(&plan.layers[layers])
+            .map(|(l, lp)| self.run_layer_planned(lp, l, act_seed, residency))
+            .collect()
     }
 
     /// Runs only the convolution layers (the paper's "Conv only" rows).

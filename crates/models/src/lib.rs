@@ -37,5 +37,6 @@ mod zoo;
 
 pub use spec::{LayerSpec, ModelSpec, SparsityProfile};
 pub use zoo::{
-    alexnet, cifar10_convnet, ibert_encoder_fc, lenet5, mobilenet_v1, resnet50_v1, vgg16,
+    alexnet, cifar10_convnet, deep_convnet, ibert_encoder_fc, lenet5, mobilenet_v1, resnet50_v1,
+    vgg16,
 };

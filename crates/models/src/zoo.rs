@@ -165,6 +165,36 @@ pub fn cifar10_convnet() -> ModelSpec {
     build("CIFAR10-ConvNet", layers, SparsityProfile::default())
 }
 
+/// A deep, narrow convnet (~23 MMAC over 14 layers): six 3x3 conv
+/// stages interleaved with two depthwise-separable blocks and a
+/// two-layer classifier head.
+///
+/// Not part of the paper's evaluation — it is the serving subsystem's
+/// **deep** workload: enough layers that stage partitioning
+/// (`s2ta-serve`'s layer pipeline) is meaningful, memory-bound
+/// depthwise/FC layers sprinkled through the body so pinned-stage
+/// weight residency pays off, yet light enough that hundreds of
+/// requests simulate in seconds.
+pub fn deep_convnet() -> ModelSpec {
+    let layers = vec![
+        conv("conv1", ConvShape::new(16, 3, 32, 32, 3, 3, 1, 1)),
+        conv("conv2", ConvShape::new(32, 16, 32, 32, 3, 3, 1, 1)),
+        conv("conv3", ConvShape::new(32, 32, 16, 16, 3, 3, 1, 1)),
+        conv("conv4", ConvShape::new(64, 32, 16, 16, 3, 3, 1, 1)),
+        conv("conv5", ConvShape::new(64, 64, 8, 8, 3, 3, 1, 1)),
+        conv("conv6", ConvShape::new(64, 64, 8, 8, 3, 3, 1, 1)),
+        dw("dw7", 64, 8, 1),
+        conv("pw7", ConvShape::new(128, 64, 8, 8, 1, 1, 1, 0)),
+        conv("conv8", ConvShape::new(128, 128, 4, 4, 3, 3, 1, 1)),
+        conv("conv9", ConvShape::new(128, 128, 4, 4, 3, 3, 1, 1)),
+        dw("dw10", 128, 4, 1),
+        conv("pw10", ConvShape::new(256, 128, 4, 4, 1, 1, 1, 0)),
+        fc("fc11", 256 * 2 * 2, 256),
+        fc("fc12", 256, 10),
+    ];
+    build("Deep-ConvNet", layers, SparsityProfile::default())
+}
+
 /// The I-BERT base encoder FC sub-layers (FC1 768->3072, FC2 3072->768)
 /// over a sequence of `seq_len` tokens — the layers the paper prunes
 /// with A/W-DBB (Table 3 note 4).
@@ -237,6 +267,25 @@ mod tests {
         assert!((4.0..8.0).contains(&mmacs), "CIFAR convnet MMACs {mmacs:.2}");
         assert_eq!(m.conv_layers().count(), 3);
         assert_eq!(m.layers.len(), 4);
+    }
+
+    #[test]
+    fn deep_convnet_is_deep_but_light() {
+        let m = deep_convnet();
+        assert_eq!(m.layers.len(), 14);
+        let mmacs = m.total_macs() as f64 / 1e6;
+        assert!((15.0..35.0).contains(&mmacs), "Deep-ConvNet MMACs {mmacs:.2}");
+        // Memory-bound layers sit in the body, not just the head — the
+        // property pinned-stage residency exploits.
+        let bound: Vec<usize> = m
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_memory_bound())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(bound.len() >= 4, "needs several memory-bound layers: {bound:?}");
+        assert!(bound.iter().any(|&i| i > 2 && i < m.layers.len() - 2), "{bound:?}");
     }
 
     #[test]

@@ -108,9 +108,86 @@ fn trained_baseline(cfg: &Table3Config, data: &Dataset) -> Mlp {
     model
 }
 
+/// One pruning variant of the Table 3 study (everything but the shared
+/// baseline row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// A-DBB only at `nnz`/8: enable DAP, measure the drop, fine-tune
+    /// with DAP in the loop (paper: MobileNet 71% -> 56.1% -> 70.2%).
+    /// The 2/8 row shows the drop more clearly (ReLU activations are
+    /// already fairly sparse, so 4/8 DAP prunes little).
+    Adbb(usize),
+    /// W-DBB only at `nnz`/8 (progressive pruning + fine-tuning).
+    Wdbb(usize),
+    /// Joint A/W-DBB 4/8 + 4/8.
+    Joint,
+}
+
+/// Runs one variant from the shared trained baseline. Each variant
+/// clones the baseline and fine-tunes independently with its own
+/// deterministic seed, so the rows are embarrassingly parallel.
+fn run_variant(
+    v: Variant,
+    base: &Mlp,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    finetune_stages: usize,
+    ft: &TrainConfig,
+) -> Table3Row {
+    match v {
+        Variant::Adbb(nnz) => {
+            let mut m = base.clone();
+            m.dap_nnz = Some(nnz);
+            let pre = accuracy_int8(&m, test_set) * 100.0;
+            train(&mut m, train_set, ft);
+            Table3Row {
+                label: format!("A-DBB {nnz}/8"),
+                adbb: Some(nnz),
+                wdbb: None,
+                accuracy_pct: accuracy_int8(&m, test_set) * 100.0,
+                pre_finetune_pct: pre,
+            }
+        }
+        Variant::Wdbb(nnz) => {
+            let mut m = base.clone();
+            let mut oneshot = base.clone();
+            oneshot.set_wdbb_masks(nnz);
+            let pre = accuracy_int8(&oneshot, test_set) * 100.0;
+            progressive_wdbb(&mut m, train_set, nnz, finetune_stages, ft);
+            Table3Row {
+                label: format!("W-DBB {nnz}/8"),
+                adbb: None,
+                wdbb: Some(nnz),
+                accuracy_pct: accuracy_int8(&m, test_set) * 100.0,
+                pre_finetune_pct: pre,
+            }
+        }
+        Variant::Joint => {
+            let mut m = base.clone();
+            progressive_wdbb(&mut m, train_set, 4, finetune_stages, ft);
+            m.dap_nnz = Some(4);
+            let pre = accuracy_int8(&m, test_set) * 100.0;
+            train(&mut m, train_set, ft);
+            Table3Row {
+                label: "A/W-DBB 4/8 + 4/8".into(),
+                adbb: Some(4),
+                wdbb: Some(4),
+                accuracy_pct: accuracy_int8(&m, test_set) * 100.0,
+                pre_finetune_pct: pre,
+            }
+        }
+    }
+}
+
 /// Runs the full Table 3 experiment: baseline, A-DBB only, W-DBB only,
 /// joint, and a tighter 2/8 W-DBB row (the paper's ResNet 4/8 vs 3/8 vs
 /// 2/8 trend).
+///
+/// Every variant fine-tunes independently from one shared baseline, so
+/// the five studies fan out over the host thread pool
+/// (`s2ta_core::pool::parallel_map`, order-preserving) — byte-identical
+/// to the serial loops they replace, because each variant's training is
+/// a pure function of `(baseline, variant, seeds)`.
 pub fn run_table3(cfg: &Table3Config) -> Vec<Table3Row> {
     let (train_set, test_set) = generate(
         cfg.dim,
@@ -133,55 +210,12 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<Table3Row> {
         pre_finetune_pct: base_acc,
     }];
 
-    // A-DBB only: enable DAP, measure the drop, fine-tune with DAP in
-    // the loop (paper: MobileNet 71% -> 56.1% -> 70.2%). The 2/8 row
-    // shows the drop more clearly (ReLU activations are already fairly
-    // sparse, so 4/8 DAP prunes little).
-    for nnz in [4usize, 2] {
-        let mut m = base.clone();
-        m.dap_nnz = Some(nnz);
-        let pre = accuracy_int8(&m, &test_set) * 100.0;
-        train(&mut m, &train_set, &ft);
-        rows.push(Table3Row {
-            label: format!("A-DBB {nnz}/8"),
-            adbb: Some(nnz),
-            wdbb: None,
-            accuracy_pct: accuracy_int8(&m, &test_set) * 100.0,
-            pre_finetune_pct: pre,
-        });
-    }
-
-    // W-DBB only at 4/8 and 2/8 (progressive pruning + fine-tuning).
-    for nnz in [4usize, 2] {
-        let mut m = base.clone();
-        let mut oneshot = base.clone();
-        oneshot.set_wdbb_masks(nnz);
-        let pre = accuracy_int8(&oneshot, &test_set) * 100.0;
-        progressive_wdbb(&mut m, &train_set, nnz, cfg.finetune_epochs, &ft);
-        rows.push(Table3Row {
-            label: format!("W-DBB {nnz}/8"),
-            adbb: None,
-            wdbb: Some(nnz),
-            accuracy_pct: accuracy_int8(&m, &test_set) * 100.0,
-            pre_finetune_pct: pre,
-        });
-    }
-
-    // Joint A/W-DBB 4/8 + 4/8.
-    {
-        let mut m = base.clone();
-        progressive_wdbb(&mut m, &train_set, 4, cfg.finetune_epochs, &ft);
-        m.dap_nnz = Some(4);
-        let pre = accuracy_int8(&m, &test_set) * 100.0;
-        train(&mut m, &train_set, &ft);
-        rows.push(Table3Row {
-            label: "A/W-DBB 4/8 + 4/8".into(),
-            adbb: Some(4),
-            wdbb: Some(4),
-            accuracy_pct: accuracy_int8(&m, &test_set) * 100.0,
-            pre_finetune_pct: pre,
-        });
-    }
+    let variants =
+        [Variant::Adbb(4), Variant::Adbb(2), Variant::Wdbb(4), Variant::Wdbb(2), Variant::Joint];
+    let workers = s2ta_core::pool::worker_count_for(variants.len(), None);
+    rows.extend(s2ta_core::pool::parallel_map(&variants, workers, |&v| {
+        run_variant(v, &base, &train_set, &test_set, cfg.finetune_epochs, &ft)
+    }));
     rows
 }
 

@@ -59,19 +59,22 @@
 //! assembled in batch/dispatch order internally), so
 //! `outcomes[i].id() == i` always holds for a dense arrival stream.
 
+use crate::pipeline::PipelinePlan;
 use crate::policy::{BatchObservation, BatchPolicy, FixedPolicy};
 use crate::queue::RequestQueue;
-use crate::report::{DroppedRequest, RequestOutcome, ServeReport, ServedRequest, WorkerStats};
+use crate::report::{
+    DroppedRequest, PipelineStageStats, RequestOutcome, ServeReport, ServedRequest, WorkerStats,
+};
 use crate::scheduler::{
     affinity_lane, earliest_free_lane, DeadlineHeap, Formation, PlacementStrategy, Scheduler,
     ServiceEstimator,
 };
 use crate::workload::{ClosedLoopClient, ClosedLoopSpec, Request};
-use s2ta_core::{pool, Accelerator, ArchKind, WeightPlanCache, WeightResidency};
+use s2ta_core::{pool, Accelerator, ArchKind, CacheStats, WeightPlanCache, WeightResidency};
 use s2ta_models::ModelSpec;
 use s2ta_sim::EventCounts;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 /// One serving lane: a simulated accelerator instance with its own
 /// architecture, executing one batch at a time in simulated time.
@@ -91,28 +94,51 @@ impl Lane {
         &self.accelerator
     }
 
-    /// Simulates one batch on this lane, layer-major: each layer's
-    /// weights stream once and stay resident for the rest of the batch,
-    /// which is where batching wins on the memory-bound FC/depthwise
-    /// layers (paper Sec. 8.3).
+    /// Simulates one batch on this lane: each layer's weights stream
+    /// once and stay resident for the rest of the batch, which is where
+    /// batching wins on the memory-bound FC/depthwise layers (paper
+    /// Sec. 8.3). The single-stage special case of
+    /// [`Lane::execute_stage`].
     fn execute_batch(
         &self,
         model: &ModelSpec,
         requests: &[Request],
         weight_seed: u64,
     ) -> BatchExecution {
+        self.execute_stage(model, 0..model.layers.len(), requests, weight_seed, false)
+    }
+
+    /// Simulates one batch through a contiguous layer range — one
+    /// pipeline stage — on this lane, via [`s2ta_core`]'s `run_stage`.
+    ///
+    /// The first request streams the stage's weights and every later
+    /// request finds them resident (the batching amortization), unless
+    /// `warm` is set: a warm stage lane just executed the **same**
+    /// stage of the same model, so its weights are still in the weight
+    /// SRAM and even the first request skips the weight DMA — the
+    /// pinned-stage reuse that layer pipelining exists to harvest.
+    /// Event totals at `warm == false` are byte-identical to the
+    /// monolithic [`Lane::execute_batch`] restricted to the range.
+    fn execute_stage(
+        &self,
+        model: &ModelSpec,
+        layers: std::ops::Range<usize>,
+        requests: &[Request],
+        weight_seed: u64,
+        warm: bool,
+    ) -> BatchExecution {
         let plan = self.accelerator.plan_model(model, weight_seed);
         let mut events = EventCounts::default();
-        for (layer, layer_plan) in model.layers.iter().zip(plan.layers()) {
-            for (i, request) in requests.iter().enumerate() {
-                let residency =
-                    if i == 0 { WeightResidency::Streamed } else { WeightResidency::Resident };
-                let report = self.accelerator.run_layer_planned(
-                    layer_plan,
-                    layer,
-                    request.act_seed,
-                    residency,
-                );
+        for (i, request) in requests.iter().enumerate() {
+            let residency =
+                if i == 0 && !warm { WeightResidency::Streamed } else { WeightResidency::Resident };
+            for report in self.accelerator.run_stage(
+                &plan,
+                model,
+                layers.clone(),
+                request.act_seed,
+                residency,
+            ) {
                 events += report.events;
             }
         }
@@ -207,6 +233,12 @@ pub struct Fleet {
     queue_capacity: Option<usize>,
     placement: PlacementStrategy,
     host_parallelism: Option<usize>,
+    /// Stage count for [`PlacementStrategy::Pipelined`] (clamped to
+    /// the lane and layer counts at partition time).
+    pipeline_stages: usize,
+    /// Bounded inter-stage activation queue depth (per pipeline
+    /// boundary).
+    pipeline_queue_capacity: usize,
 }
 
 impl Fleet {
@@ -261,6 +293,8 @@ impl Fleet {
             queue_capacity: None,
             placement: PlacementStrategy::default(),
             host_parallelism: None,
+            pipeline_stages: 2,
+            pipeline_queue_capacity: 2,
         }
     }
 
@@ -288,6 +322,50 @@ impl Fleet {
     pub fn with_placement(mut self, placement: PlacementStrategy) -> Self {
         self.placement = placement;
         self
+    }
+
+    /// Enables layer-pipelined execution
+    /// ([`PlacementStrategy::Pipelined`]) with `stages` pipeline stages
+    /// per model: every model is partitioned into at most `stages`
+    /// contiguous layer ranges, each pinned to a distinct lane, and
+    /// batches flow through the stage lanes so stage `s` of batch `b`
+    /// overlaps stage `s+1` of batch `b-1` (see [`crate::PipelinePlan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn with_pipeline(mut self, stages: usize) -> Self {
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        self.pipeline_stages = stages;
+        self.placement = PlacementStrategy::Pipelined;
+        self
+    }
+
+    /// Bounds every inter-stage activation queue to `capacity` pending
+    /// handoffs (default 2 — double buffering): stage `s` may not begin
+    /// batch `b` before stage `s+1` started draining batch
+    /// `b - capacity`, so a fast upstream stage stalls instead of
+    /// running unboundedly ahead of a slow consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-slot boundary could never
+    /// hand anything forward).
+    pub fn with_pipeline_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "an inter-stage queue needs at least one slot");
+        self.pipeline_queue_capacity = capacity;
+        self
+    }
+
+    /// The configured pipeline stage count (meaningful under
+    /// [`PlacementStrategy::Pipelined`]).
+    pub fn pipeline_stages(&self) -> usize {
+        self.pipeline_stages
+    }
+
+    /// The bounded inter-stage activation queue depth.
+    pub fn pipeline_queue_capacity(&self) -> usize {
+        self.pipeline_queue_capacity
     }
 
     /// Pins the **host** worker count used to fan out batch
@@ -414,14 +492,16 @@ impl Fleet {
     /// Panics if a request names a model index outside `models`, or if
     /// arrivals are unsorted.
     pub fn serve(&self, models: &[ModelSpec], requests: &[Request]) -> ServeReport {
-        if self.placement == PlacementStrategy::Affinity {
-            // Affinity needs the run's own completion feedback; the
-            // engine replays the same formation decisions in event
-            // order, so this is the identical computation with a
-            // richer dispatch rule.
+        if self.placement != PlacementStrategy::EarliestFree {
+            // Affinity needs the run's own completion feedback and the
+            // pipeline needs per-stage scheduling state; the engine
+            // replays the same formation decisions in event order, so
+            // this is the identical computation with a richer dispatch
+            // rule.
             let mut policy = self.scheduler.policy();
             return self.serve_adaptive(models, requests, &mut policy);
         }
+        let cache_before = self.accelerator().plans().stats();
         let Formation { batches, dropped } =
             self.scheduler.form_batches_bounded(requests, models.len(), self.queue_capacity);
         let scopes = self.scopes();
@@ -482,6 +562,8 @@ impl Fleet {
             workers,
             total_events,
             makespan_cycles: makespan,
+            pipeline_stages: Vec::new(),
+            plan_cache: self.accelerator().plans().stats().since(cache_before).into(),
         }
     }
 
@@ -562,6 +644,15 @@ impl LaneScopes {
     }
 }
 
+/// One stage execution of a pipelined batch: where it ran and what it
+/// measured, kept so completions can feed the per-stage estimator.
+#[derive(Debug, Clone)]
+struct StageExec {
+    lane: usize,
+    layers: std::ops::Range<usize>,
+    service_cycles: u64,
+}
+
 /// A batch sealed and dispatched by the event-driven engine.
 #[derive(Debug, Clone)]
 struct EngineBatch {
@@ -569,10 +660,13 @@ struct EngineBatch {
     requests: Vec<Request>,
     ready: u64,
     start: u64,
-    /// Lane the batch ran on.
+    /// Lane the batch ran on (the final stage's lane when pipelined).
     lane: usize,
-    /// Measured service time on that lane.
+    /// Measured service time on that lane (whole-model), or the
+    /// end-to-end execution span when pipelined.
     service_cycles: u64,
+    /// Per-stage executions (empty for monolithic placement).
+    stage_execs: Vec<StageExec>,
 }
 
 /// Where the engine's next request comes from: a pre-generated sorted
@@ -697,6 +791,33 @@ struct Engine<'a> {
     /// Issuing client per request id (closed loop only).
     client_of: Vec<Option<usize>>,
     next_id: u64,
+    /// Lazily partitioned pipeline plans per model (pipelined mode).
+    pipelines: HashMap<usize, PipelinePlan>,
+    /// Bounded inter-stage activation queues: `(model, boundary)` ->
+    /// recent downstream-stage start times (at most the queue capacity
+    /// retained).
+    boundary_starts: HashMap<(usize, usize), VecDeque<u64>>,
+    /// The `(model, stage)` each lane last executed, for warm-weight
+    /// residency on pinned stage lanes.
+    last_stage_on_lane: Vec<Option<(usize, usize)>>,
+    /// Per-`(model, stage)` occupancy accumulators (pipelined mode).
+    stage_stats: BTreeMap<(usize, usize), StageStatsAccum>,
+    /// Plan-cache counters at engine start, so the report carries this
+    /// run's delta.
+    cache_before: CacheStats,
+}
+
+/// Accumulator behind one [`PipelineStageStats`] row.
+#[derive(Debug, Clone, Default)]
+struct StageStatsAccum {
+    layers: (usize, usize),
+    lane: usize,
+    batches: usize,
+    requests: usize,
+    busy_cycles: u64,
+    bubble_cycles: u64,
+    handoff_cycles: u64,
+    last_completion: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -717,6 +838,11 @@ impl<'a> Engine<'a> {
             estimator: ServiceEstimator::new(),
             client_of: Vec::new(),
             next_id: 0,
+            pipelines: HashMap::new(),
+            boundary_starts: HashMap::new(),
+            last_stage_on_lane: vec![None; fleet.lanes.len()],
+            stage_stats: BTreeMap::new(),
+            cache_before: fleet.accelerator().plans().stats(),
         }
     }
 
@@ -760,14 +886,28 @@ impl<'a> Engine<'a> {
             completion: t,
             max_latency_cycles,
         });
-        // The affinity cost model learns from completed batches only —
-        // a lane's speed becomes evidence once its batch finishes.
-        self.estimator.record(
-            self.fleet.lanes[batch.lane].arch(),
-            batch.model,
-            batch.requests.len(),
-            batch.service_cycles,
-        );
+        // The cost models learn from completed batches only — a lane's
+        // speed becomes evidence once its batch finishes. Pipelined
+        // batches feed the per-stage estimates; monolithic batches the
+        // whole-model estimate the affinity rule consumes.
+        if batch.stage_execs.is_empty() {
+            self.estimator.record(
+                self.fleet.lanes[batch.lane].arch(),
+                batch.model,
+                batch.requests.len(),
+                batch.service_cycles,
+            );
+        } else {
+            for exec in &batch.stage_execs {
+                self.estimator.record_stage(
+                    self.fleet.lanes[exec.lane].arch(),
+                    batch.model,
+                    &exec.layers,
+                    batch.requests.len(),
+                    exec.service_cycles,
+                );
+            }
+        }
         // Closed-loop clients issue their next request now. The map is
         // only populated in closed-loop mode, where engine-assigned ids
         // are dense; open-loop lookups miss and no-op.
@@ -871,6 +1011,12 @@ impl<'a> Engine<'a> {
                     .collect();
                 affinity_lane(&self.free_at, ready, &predicted)
             }
+            // Pipelined batches never choose a single lane: their
+            // stages are pinned by the model's PipelinePlan and
+            // dispatch_burst routes them before reaching here.
+            PlacementStrategy::Pipelined => {
+                unreachable!("pipelined dispatch bypasses single-lane choice")
+            }
         }
     }
 
@@ -888,6 +1034,12 @@ impl<'a> Engine<'a> {
     /// engine, because every simulation is a pure function of
     /// `(batch, lane scope)`.
     fn dispatch_burst(&mut self, model: usize, sealed: Vec<(Vec<Request>, u64)>) {
+        if self.fleet.placement == PlacementStrategy::Pipelined {
+            for (members, ready) in sealed {
+                self.dispatch_pipelined(model, members, ready);
+            }
+            return;
+        }
         let fleet = self.fleet;
         let spec = &self.models[model];
         let speculative = if sealed.len() > 1 {
@@ -934,12 +1086,172 @@ impl<'a> Engine<'a> {
                 start,
                 lane,
                 service_cycles: exec.service_cycles,
+                stage_execs: Vec::new(),
             });
         }
     }
 
+    /// The model's pipeline plan, partitioned on first use (the
+    /// partition is deterministic, so lazy construction never leaks
+    /// host timing into results).
+    fn pipeline_plan(&mut self, model: usize) -> PipelinePlan {
+        if let Some(plan) = self.pipelines.get(&model) {
+            return plan.clone();
+        }
+        let plan = PipelinePlan::partition(
+            &self.fleet.lanes,
+            model,
+            &self.models[model],
+            self.fleet.pipeline_stages,
+            self.fleet.weight_seed,
+            &mut self.estimator,
+        );
+        self.pipelines.insert(model, plan.clone());
+        plan
+    }
+
+    /// Executes one sealed batch through its model's layer pipeline:
+    /// the batch flows through the pinned stage lanes in order, each
+    /// stage starting when its input activations arrive (previous
+    /// stage's completion plus the boundary handoff), its lane frees
+    /// up, and the bounded inter-stage queue has drained far enough.
+    /// Consecutive batches therefore overlap: stage `s` of this batch
+    /// runs while stage `s+1` still works on the previous one.
+    ///
+    /// A stage lane whose immediately-preceding execution was the same
+    /// `(model, stage)` runs **warm** — its stage weights are still in
+    /// the weight SRAM, so even the batch's first request skips the
+    /// weight DMA on memory-bound layers (this is where pinning layers
+    /// to lanes beats monolithic rotation on FC/depthwise-heavy
+    /// models).
+    fn dispatch_pipelined(&mut self, model: usize, members: Vec<Request>, ready: u64) {
+        let plan = self.pipeline_plan(model);
+        let fleet = self.fleet;
+        let spec = &self.models[model];
+        let queue_capacity = fleet.pipeline_queue_capacity;
+        let batch_id = self.batches.len();
+        let mut stage_execs: Vec<StageExec> = Vec::with_capacity(plan.stages().len());
+        let mut stage_starts: Vec<u64> = Vec::with_capacity(plan.stages().len());
+        // When the next stage's input becomes available (the batch's
+        // `ready` for stage 0, completion + handoff afterwards).
+        let mut input_at = ready;
+        let mut first_start = ready;
+        let mut completion = ready;
+        for (s, stage) in plan.stages().iter().enumerate() {
+            let lane = stage.lane;
+            let warm = self.last_stage_on_lane[lane] == Some((model, s));
+            let exec = fleet.lanes[lane].execute_stage(
+                spec,
+                stage.layers.clone(),
+                &members,
+                fleet.weight_seed,
+                warm,
+            );
+            let mut start = input_at.max(self.free_at[lane]);
+            // Backpressure: the boundary queue ahead holds at most
+            // `queue_capacity` undelivered handoffs, so this stage may
+            // not begin batch b before the next stage began batch
+            // b - capacity.
+            if s + 1 < plan.stages().len() {
+                if let Some(history) = self.boundary_starts.get(&(model, s)) {
+                    if history.len() == queue_capacity {
+                        start = start.max(*history.front().expect("non-empty at capacity"));
+                    }
+                }
+            }
+            completion = start + exec.service_cycles;
+            self.free_at[lane] = completion;
+            self.last_stage_on_lane[lane] = Some((model, s));
+            self.total_events += exec.events;
+            // Per-lane occupancy: every stage execution counts on its
+            // own lane (a pipelined batch touches one lane per stage,
+            // so per-lane batch/request tallies sum to more than the
+            // fleet totals — see [`WorkerStats::batches`]).
+            let lane_stats = &mut self.worker_stats[lane];
+            lane_stats.busy_cycles += exec.service_cycles;
+            lane_stats.events += exec.events;
+            lane_stats.batches += 1;
+            lane_stats.requests += members.len();
+            let handoff = if s == 0 { 0 } else { plan.handoff_cycles()[s - 1] };
+            let stats = self.stage_stats.entry((model, s)).or_insert_with(|| StageStatsAccum {
+                layers: (stage.layers.start, stage.layers.end),
+                lane,
+                ..StageStatsAccum::default()
+            });
+            stats.batches += 1;
+            stats.requests += members.len();
+            stats.busy_cycles += exec.service_cycles;
+            stats.handoff_cycles += handoff;
+            if stats.batches > 1 {
+                stats.bubble_cycles += start.saturating_sub(stats.last_completion);
+            }
+            stats.last_completion = completion;
+            if s == 0 {
+                first_start = start;
+            }
+            stage_starts.push(start);
+            stage_execs.push(StageExec {
+                lane,
+                layers: stage.layers.clone(),
+                service_cycles: exec.service_cycles,
+            });
+            input_at =
+                completion + if s + 1 < plan.stages().len() { plan.handoff_cycles()[s] } else { 0 };
+        }
+        // Record this batch's downstream starts into the boundary
+        // queues (trimmed to capacity: only the capacity-th most
+        // recent start can ever gate a future batch).
+        for (s, &start) in stage_starts.iter().enumerate().skip(1) {
+            let history = self.boundary_starts.entry((model, s - 1)).or_default();
+            history.push_back(start);
+            while history.len() > queue_capacity {
+                history.pop_front();
+            }
+        }
+
+        let final_lane = plan.stages().last().expect("a pipeline has stages").lane;
+        self.makespan = self.makespan.max(completion);
+        for r in &members {
+            self.outcomes.push(RequestOutcome::Served(ServedRequest {
+                id: r.id,
+                model: spec.name.to_string(),
+                arrival: r.arrival,
+                start: first_start,
+                completion,
+                batch: batch_id,
+                worker: final_lane,
+            }));
+        }
+        self.in_flight.push(Reverse((completion, batch_id)));
+        self.batches.push(EngineBatch {
+            model,
+            requests: members,
+            ready,
+            start: first_start,
+            lane: final_lane,
+            service_cycles: completion - first_start,
+            stage_execs,
+        });
+    }
+
     fn into_report(mut self, policy_name: &str) -> ServeReport {
         self.outcomes.sort_by_key(RequestOutcome::id);
+        let pipeline_stages = self
+            .stage_stats
+            .into_iter()
+            .map(|((model, stage), acc)| PipelineStageStats {
+                model: self.models[model].name.to_string(),
+                stage,
+                layers: acc.layers,
+                lane: acc.lane,
+                arch: self.fleet.lanes[acc.lane].arch(),
+                batches: acc.batches,
+                requests: acc.requests,
+                busy_cycles: acc.busy_cycles,
+                bubble_cycles: acc.bubble_cycles,
+                handoff_cycles: acc.handoff_cycles,
+            })
+            .collect();
         ServeReport {
             arch: self.fleet.arch_label(),
             policy: policy_name.to_string(),
@@ -948,6 +1260,8 @@ impl<'a> Engine<'a> {
             workers: self.worker_stats,
             total_events: self.total_events,
             makespan_cycles: self.makespan,
+            pipeline_stages,
+            plan_cache: self.fleet.accelerator().plans().stats().since(self.cache_before).into(),
         }
     }
 }
@@ -1056,6 +1370,35 @@ mod tests {
         let mut fixed = policy;
         let event_driven = fleet.serve_adaptive(&models, &reqs, &mut fixed);
         assert_eq!(vectorized, event_driven);
+    }
+
+    /// The admission boundary at capacities 0 and 1, end to end: a
+    /// zero-capacity fleet drops everything calmly, and a capacity-1
+    /// fleet admits exactly the requests that find their lane empty —
+    /// identically in the vectorized path and the engine.
+    #[test]
+    fn fleet_admission_boundaries_at_capacity_zero_and_one() {
+        let (models, reqs) = tiny_workload(20);
+        let drop_all = Fleet::new(ArchKind::S2taAw, 2).with_queue_capacity(0).serve(&models, &reqs);
+        assert_eq!(drop_all.dropped_count(), 20);
+        assert_eq!(drop_all.served_count(), 0);
+        assert_eq!(drop_all.batches, 0);
+        assert_eq!(drop_all.makespan_cycles, 0);
+        assert_eq!(drop_all.p99_cycles(), 0, "drop-only runs report calm percentiles");
+
+        let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 10_000 };
+        let one = Fleet::new(ArchKind::S2taAw, 2)
+            .with_policy(policy)
+            .with_queue_capacity(1)
+            .serve(&models, &reqs);
+        assert_eq!(one.served_count() + one.dropped_count(), 20);
+        assert!(one.served_count() > 0, "capacity 1 still serves the lane-empty arrivals");
+        let mut fixed = policy;
+        let engine = Fleet::new(ArchKind::S2taAw, 2)
+            .with_policy(policy)
+            .with_queue_capacity(1)
+            .serve_adaptive(&models, &reqs, &mut fixed);
+        assert_eq!(one, engine, "capacity-1 admission must agree across paths");
     }
 
     #[test]
@@ -1230,6 +1573,168 @@ mod tests {
         let parallel = mk(8).serve(&models, &reqs);
         assert_eq!(serial, parallel, "host pool size must never leak into results");
         assert!(serial.workers.iter().any(|w| w.batches > 0));
+    }
+
+    /// A single cold batch through the pipeline produces exactly the
+    /// monolithic event totals on a homogeneous fleet: stage splitting
+    /// changes *where* layers run, never what is computed. (Mixed
+    /// fleets are excluded by design: the same MAC classifies
+    /// differently per architecture.)
+    #[test]
+    fn pipelined_single_batch_is_event_identical_to_monolithic() {
+        let models = vec![s2ta_models::deep_convnet()];
+        // Four arrivals in a burst, max_batch 4: exactly one batch.
+        let reqs = WorkloadSpec::uniform(5, 4, 10.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 1_000 };
+        let mono = Fleet::new(ArchKind::S2taAw, 4).with_policy(policy).serve(&models, &reqs);
+        assert_eq!(mono.batches, 1, "workload must form a single batch");
+        for stages in [2usize, 3, 4] {
+            let pipe = Fleet::new(ArchKind::S2taAw, 4)
+                .with_policy(policy)
+                .with_pipeline(stages)
+                .serve(&models, &reqs);
+            assert_eq!(pipe.batches, 1);
+            assert_eq!(
+                pipe.total_events, mono.total_events,
+                "stages {stages}: a cold pipelined batch must be event-identical"
+            );
+            assert_eq!(pipe.served_count(), 4);
+            // The pipeline pays handoffs, so its single-batch latency
+            // can only be >= the monolithic run's.
+            assert!(pipe.p99_cycles() >= mono.p99_cycles());
+        }
+    }
+
+    /// Across many batches, pinned stage lanes keep their stage weights
+    /// resident, so a pipelined run *saves* simulated cycles on the
+    /// memory-bound layers while performing the identical arithmetic.
+    #[test]
+    fn pipelined_warm_stages_save_weight_dma_cycles() {
+        let models = vec![s2ta_models::deep_convnet()];
+        let reqs = WorkloadSpec::uniform(7, 24, 5_000.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 20_000 };
+        let mono = Fleet::new(ArchKind::S2taAw, 4).with_policy(policy).serve(&models, &reqs);
+        let pipe = Fleet::new(ArchKind::S2taAw, 4)
+            .with_policy(policy)
+            .with_pipeline(4)
+            .serve(&models, &reqs);
+        assert_eq!(
+            pipe.total_events.macs_active, mono.total_events.macs_active,
+            "pipelining changes time, not arithmetic"
+        );
+        assert!(
+            pipe.total_events.cycles < mono.total_events.cycles,
+            "warm pinned stages must save DMA-clamped cycles: {} vs {}",
+            pipe.total_events.cycles,
+            mono.total_events.cycles
+        );
+    }
+
+    #[test]
+    fn pipelined_run_is_deterministic_and_reports_stages() {
+        let models = vec![s2ta_models::deep_convnet()];
+        let reqs = WorkloadSpec::uniform(11, 20, 6_000.0, 1).generate();
+        let mk = || {
+            Fleet::from_spec(FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 2)]))
+                .with_policy(FixedPolicy { max_batch: 4, max_wait_cycles: 20_000 })
+                .with_pipeline(4)
+        };
+        let a = mk().serve(&models, &reqs);
+        let b = mk().serve(&models, &reqs);
+        assert_eq!(a, b, "pipelined serving must be deterministic");
+        assert_eq!(a.served_count(), 20);
+        for (i, o) in a.outcomes.iter().enumerate() {
+            assert_eq!(o.id(), i as u64);
+            let s = o.served().expect("no drops");
+            assert!(s.completion > s.arrival);
+        }
+        // Stage breakdown: tiles the model, distinct lanes, every
+        // request flowed through every stage.
+        let stages = &a.pipeline_stages;
+        assert!(!stages.is_empty());
+        assert_eq!(stages[0].layers.0, 0);
+        assert_eq!(stages.last().unwrap().layers.1, models[0].layers.len());
+        for pair in stages.windows(2) {
+            assert_eq!(pair[0].layers.1, pair[1].layers.0);
+        }
+        let mut lanes: Vec<usize> = stages.iter().map(|s| s.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), stages.len(), "stages must sit on distinct lanes");
+        for st in stages {
+            assert_eq!(st.requests, 20, "every request flows through stage {}", st.stage);
+            assert!(st.busy_cycles > 0);
+            assert_eq!(st.model, "Deep-ConvNet");
+        }
+        assert!(stages.iter().skip(1).all(|s| s.handoff_cycles > 0));
+        assert_eq!(stages[0].handoff_cycles, 0, "stage 0 receives no handoff");
+        // Lane events must still sum to the totals.
+        let summed = a.workers.iter().fold(EventCounts::default(), |acc, w| acc + w.events);
+        assert_eq!(summed, a.total_events);
+        // The rendered table carries the stage rows.
+        let table = a.pipeline_breakdown();
+        assert!(table.contains("Deep-ConvNet") && table.contains("stage"), "{table}");
+        // Monolithic runs render an empty table.
+        assert!(mkmono().serve(&models, &reqs).pipeline_breakdown().is_empty());
+
+        fn mkmono() -> Fleet {
+            Fleet::from_spec(FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 2)]))
+        }
+    }
+
+    /// The bounded inter-stage queue is real backpressure: with
+    /// capacity 1 an upstream stage may not start batch `b` before the
+    /// downstream stage started batch `b-1`, so under a burst starts
+    /// (and, when the induced bubble reaches the bottleneck stage,
+    /// completions) can only move later — never earlier, and never
+    /// change what is computed.
+    #[test]
+    fn bounded_interstage_queue_applies_backpressure() {
+        let models = vec![s2ta_models::deep_convnet()];
+        // A dense burst so many batches contend for the pipeline.
+        let reqs = WorkloadSpec::uniform(3, 32, 200.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 5_000 };
+        let mk = |cap: usize| {
+            Fleet::new(ArchKind::S2taAw, 4)
+                .with_policy(policy)
+                .with_pipeline(4)
+                .with_pipeline_queue_capacity(cap)
+                .serve(&models, &reqs)
+        };
+        let tight = mk(1);
+        let deep = mk(64);
+        let starts = |r: &ServeReport| r.served_outcomes().map(|o| o.start).sum::<u64>();
+        assert!(
+            starts(&tight) > starts(&deep),
+            "capacity-1 boundaries must delay upstream starts under a burst"
+        );
+        for (t, d) in tight.served_outcomes().zip(deep.served_outcomes()) {
+            assert!(t.start >= d.start, "backpressure can only delay starts");
+            assert!(t.completion >= d.completion, "backpressure can only delay completions");
+        }
+        assert!(tight.makespan_cycles >= deep.makespan_cycles);
+        assert_eq!(tight.total_events, deep.total_events, "buffers change time, not work");
+    }
+
+    /// The serving report surfaces the fleet plan cache's hit/miss
+    /// split: on a mixed fleet each DBB arch compiles each model once
+    /// (misses), every later execution hits, and dense lanes bypass.
+    #[test]
+    fn report_carries_plan_cache_activity() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(9, 16, 5_000.0, 1).generate();
+        let fleet =
+            Fleet::from_spec(FleetSpec::mixed(&[(ArchKind::S2taAw, 2), (ArchKind::SaZvcg, 2)]));
+        let report = fleet.serve(&models, &reqs);
+        assert_eq!(report.plan_cache.misses, 1, "one DBB arch, one model, one compile");
+        assert!(report.plan_cache.hits > 0, "per-batch executions must hit the memo");
+        assert!(report.plan_cache.bypasses > 0, "dense lanes bypass memoization");
+        assert!(report.plan_cache.hit_rate() > 0.5);
+        // A second run on the same fleet reports its own delta: the
+        // plan is already warm, so no new misses.
+        let again = fleet.serve(&models, &reqs);
+        assert_eq!(again.plan_cache.misses, 0, "warm cache: the delta has no compiles");
+        assert!(again.plan_cache.hits > 0);
     }
 
     /// Heterogeneous earliest-free: the vectorized path and the engine

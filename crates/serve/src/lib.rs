@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 mod fleet;
+mod pipeline;
 mod policy;
 mod queue;
 mod report;
@@ -73,10 +74,14 @@ mod scheduler;
 mod workload;
 
 pub use fleet::{Fleet, FleetSpec, Lane};
+pub use pipeline::{PipelinePlan, StageAssignment};
 pub use policy::{
     BatchLimits, BatchObservation, BatchPolicy, FixedPolicy, SloAwarePolicy, SloClass,
 };
 pub use queue::RequestQueue;
-pub use report::{DroppedRequest, RequestOutcome, ServeReport, ServedRequest, WorkerStats};
+pub use report::{
+    DroppedRequest, PipelineStageStats, PlanCacheActivity, RequestOutcome, ServeReport,
+    ServedRequest, WorkerStats,
+};
 pub use scheduler::{Batch, Formation, Placement, PlacementStrategy, Scheduler, ServiceEstimator};
 pub use workload::{ClosedLoopClient, ClosedLoopSpec, Request, WorkloadSpec};

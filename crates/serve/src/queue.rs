@@ -177,6 +177,72 @@ mod tests {
         assert!(q.pop_full_batches(0, 3).is_empty(), "remainder below max_batch seals nothing");
     }
 
+    /// Exact-multiple occupancy: every request drains into full
+    /// batches and nothing lingers.
+    #[test]
+    fn pop_full_batches_with_exact_multiple_occupancy_leaves_nothing() {
+        let mut q = RequestQueue::new(1);
+        for i in 0..6 {
+            q.push(req(i, 0, i));
+        }
+        let batches = q.pop_full_batches(0, 3);
+        assert_eq!(batches.len(), 2, "6 pending at max_batch 3 -> exactly two full batches");
+        assert!(batches.iter().all(|b| b.len() == 3));
+        assert!(q.is_empty(), "an exact multiple must drain the lane completely");
+        assert_eq!(q.front(0), None);
+        assert_eq!(q.pending(0), 0);
+        // An empty lane seals nothing, and max_batch == 1 drains each
+        // request as its own batch.
+        assert!(q.pop_full_batches(0, 1).is_empty());
+        q.push(req(6, 0, 6));
+        q.push(req(7, 0, 7));
+        let singles = q.pop_full_batches(0, 1);
+        assert_eq!(singles.len(), 2);
+        assert!(singles.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be non-zero")]
+    fn pop_full_batches_rejects_zero_max_batch() {
+        RequestQueue::new(1).pop_full_batches(0, 0);
+    }
+
+    /// Capacity 1 is the tail-drop boundary: one request occupies the
+    /// lane, the next drops, and draining reopens exactly one slot.
+    #[test]
+    fn capacity_one_admits_exactly_one_pending_request() {
+        let mut q = RequestQueue::bounded(2, 1);
+        assert!(q.try_push(req(0, 0, 0)));
+        assert!(!q.try_push(req(1, 0, 1)), "second request must tail-drop at capacity 1");
+        // The sibling lane has its own slot.
+        assert!(q.try_push(req(2, 1, 2)));
+        assert!(!q.try_push(req(3, 1, 3)));
+        assert_eq!(q.len(), 2);
+        // Popping the single pending request reopens exactly one slot.
+        assert_eq!(q.pop_batch(0, 8).len(), 1);
+        assert!(q.try_push(req(4, 0, 4)));
+        assert!(!q.try_push(req(5, 0, 5)));
+        assert_eq!(q.pending(0), 1);
+        assert_eq!(q.capacity(), Some(1));
+    }
+
+    /// Capacity 0 at the fleet level: every request is refused at
+    /// admission and the report stays calm (drop-only run).
+    #[test]
+    fn capacity_zero_queue_reports_every_push_refused() {
+        let mut q = RequestQueue::bounded(3, 0);
+        for i in 0..10 {
+            assert!(!q.try_push(req(i, (i % 3) as usize, i)));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        for m in 0..3 {
+            assert_eq!(q.front(m), None);
+            assert!(q.pop_full_batches(m, 1).is_empty());
+            assert!(q.pop_batch(m, 4).is_empty());
+        }
+    }
+
     #[test]
     fn bounded_lane_tail_drops_at_capacity() {
         let mut q = RequestQueue::bounded(2, 2);

@@ -1,6 +1,6 @@
 //! The serving report: per-request outcomes and fleet-level metrics.
 
-use s2ta_core::ArchKind;
+use s2ta_core::{ArchKind, CacheStats};
 use s2ta_energy::{EnergyBreakdown, TechParams};
 use s2ta_sim::EventCounts;
 use std::fmt;
@@ -129,9 +129,14 @@ pub struct WorkerStats {
     pub arch: ArchKind,
     /// Cycles the lane spent executing batches.
     pub busy_cycles: u64,
-    /// Batches the lane served.
+    /// Batch executions on this lane. Under monolithic placement a
+    /// batch runs on exactly one lane, so these sum to the fleet's
+    /// batch count; under [`crate::PlacementStrategy::Pipelined`] a
+    /// batch executes one **stage** per lane, so every stage lane
+    /// counts it and the per-lane sum exceeds the fleet total.
     pub batches: usize,
-    /// Requests the lane served.
+    /// Requests that executed (a stage) on this lane — same counting
+    /// rule as [`WorkerStats::batches`].
     pub requests: usize,
     /// Simulated events of the batches this lane executed.
     pub events: EventCounts,
@@ -160,6 +165,91 @@ impl WorkerStats {
     /// Energy this lane's batches consumed under `tech`.
     pub fn energy(&self, tech: &TechParams) -> EnergyBreakdown {
         EnergyBreakdown::of(&self.events, tech)
+    }
+}
+
+/// The fleet-wide [`s2ta_core::WeightPlanCache`] activity one serving
+/// run produced: how many plan lookups hit the memo table, how many
+/// compiled, and how many bypassed memoization (dense architectures).
+///
+/// **Excluded from report equality.** Two runs with byte-identical
+/// *simulated* results may take different cache paths on the host — the
+/// vectorized open-loop path warms every plan once up front, while the
+/// event-driven engine re-warms per dispatch burst — so cache traffic
+/// is a host-side diagnostic, not a simulated outcome. `PartialEq`
+/// therefore always answers `true`, keeping the engine-vs-vectorized
+/// equivalence guarantees about what was *computed*, not how it was
+/// memoized.
+#[derive(Debug, Clone, Copy, Default, Eq)]
+pub struct PlanCacheActivity(
+    /// The run's counter delta (hits / misses / dense bypasses).
+    pub CacheStats,
+);
+
+impl std::ops::Deref for PlanCacheActivity {
+    type Target = CacheStats;
+
+    /// All counter fields and helpers ([`CacheStats::hits`],
+    /// [`CacheStats::hit_rate`], ...) read straight through.
+    fn deref(&self) -> &CacheStats {
+        &self.0
+    }
+}
+
+impl PartialEq for PlanCacheActivity {
+    /// Always `true`: cache traffic is a host-side diagnostic (see the
+    /// type docs), never part of a run's simulated identity.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl From<CacheStats> for PlanCacheActivity {
+    fn from(s: CacheStats) -> Self {
+        Self(s)
+    }
+}
+
+/// Occupancy of one pipeline stage over a serving run: which layers it
+/// owned, which lane (and architecture) it was pinned to, and where its
+/// time went — busy executing, idle between executions (**bubbles**),
+/// or waiting on inter-stage activation **handoffs**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStageStats {
+    /// Name of the pipelined model.
+    pub model: String,
+    /// Stage index within the model's pipeline (execution order).
+    pub stage: usize,
+    /// The contiguous layer range the stage executes (`[start, end)`).
+    pub layers: (usize, usize),
+    /// The fleet lane the stage is pinned to.
+    pub lane: usize,
+    /// Architecture of the pinned lane.
+    pub arch: ArchKind,
+    /// Batches the stage executed.
+    pub batches: usize,
+    /// Requests that flowed through the stage.
+    pub requests: usize,
+    /// Cycles the stage spent executing.
+    pub busy_cycles: u64,
+    /// Idle cycles between the stage's consecutive executions — the
+    /// pipeline bubbles upstream stalls or thin traffic left.
+    pub bubble_cycles: u64,
+    /// Total activation-handoff latency paid entering this stage
+    /// (zero for every stage 0).
+    pub handoff_cycles: u64,
+}
+
+impl PipelineStageStats {
+    /// Busy fraction of the stage's own active span (first dispatch to
+    /// last completion); 0 before the stage ever ran.
+    pub fn occupancy(&self) -> f64 {
+        let span = self.busy_cycles + self.bubble_cycles;
+        if span == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / span as f64
+        }
     }
 }
 
@@ -205,6 +295,12 @@ pub struct ServeReport {
     /// Cycle the last batch completed (0 for an empty or drop-only
     /// run).
     pub makespan_cycles: u64,
+    /// Per-stage occupancy breakdown of pipelined execution (empty for
+    /// the monolithic placement modes).
+    pub pipeline_stages: Vec<PipelineStageStats>,
+    /// Weight-plan-cache activity during this run (host-side
+    /// diagnostic; excluded from equality — see [`PlanCacheActivity`]).
+    pub plan_cache: PlanCacheActivity,
 }
 
 impl ServeReport {
@@ -388,6 +484,44 @@ impl ServeReport {
         s
     }
 
+    /// A per-stage pipeline table: model, stage, layer range, pinned
+    /// lane/arch, busy/bubble/handoff split and occupancy. Empty string
+    /// when the run was not pipelined.
+    pub fn pipeline_breakdown(&self) -> String {
+        if self.pipeline_stages.is_empty() {
+            return String::new();
+        }
+        let mut s = format!(
+            "  {:<18} {:<6} {:<8} {:<6} {:<12} {:>7} {:>10} {:>10} {:>9} {:>7}\n",
+            "model",
+            "stage",
+            "layers",
+            "lane",
+            "arch",
+            "batches",
+            "busy cyc",
+            "bubble cyc",
+            "handoff",
+            "occ %"
+        );
+        for st in &self.pipeline_stages {
+            s.push_str(&format!(
+                "  {:<18} {:<6} {:<8} {:<6} {:<12} {:>7} {:>10} {:>10} {:>9} {:>7.1}\n",
+                st.model,
+                st.stage,
+                format!("{}..{}", st.layers.0, st.layers.1),
+                format!("L{}", st.lane),
+                st.arch.to_string(),
+                st.batches,
+                st.busy_cycles,
+                st.bubble_cycles,
+                st.handoff_cycles,
+                st.occupancy() * 100.0,
+            ));
+        }
+        s
+    }
+
     /// A per-lane table under `tech`: architecture, busy/idle split,
     /// batches, requests and energy — the view that makes utilization
     /// skew across a heterogeneous fleet visible.
@@ -464,6 +598,8 @@ mod tests {
             }],
             total_events: EventCounts { cycles: 100, ..Default::default() },
             makespan_cycles: 100,
+            pipeline_stages: vec![],
+            plan_cache: PlanCacheActivity::default(),
         }
     }
 
@@ -506,6 +642,8 @@ mod tests {
             workers: vec![WorkerStats::new(ArchKind::S2taAw)],
             total_events: EventCounts::default(),
             makespan_cycles: 0,
+            pipeline_stages: vec![],
+            plan_cache: PlanCacheActivity::default(),
         };
         assert_eq!(r.served_count(), 0);
         assert_eq!(r.dropped_count(), 5);
@@ -547,6 +685,8 @@ mod tests {
             workers: vec![],
             total_events: EventCounts::default(),
             makespan_cycles: 0,
+            pipeline_stages: vec![],
+            plan_cache: PlanCacheActivity::default(),
         };
         assert_eq!(r.p50_cycles(), 0);
         assert_eq!(r.mean_utilization(), 0.0);

@@ -77,4 +77,23 @@ fn main() {
     );
     let _ = ServeReport::cycles_to_ms(&tech, affinity.p99_cycles());
     println!("affinity placement beats earliest-free on p99 and energy: OK");
+
+    // Plan-cache effectiveness must be visible on the report: the one
+    // DBB architecture (S2TA-AW) compiles each of the two models
+    // exactly once, every later execution hits the shared memo, and
+    // the dense SA-ZVCG lanes bypass memoization by design.
+    for (name, report) in [("earliest-free", &earliest_free), ("affinity", &affinity)] {
+        let cache = report.plan_cache;
+        println!(
+            "{name}: plan cache {} hits / {} misses / {} bypasses ({:.0}% hit rate)",
+            cache.hits,
+            cache.misses,
+            cache.bypasses,
+            cache.hit_rate() * 100.0
+        );
+        assert_eq!(cache.misses, 2, "{name}: one compile per (DBB arch, model)");
+        assert!(cache.hits > cache.misses, "{name}: the memo must be doing real work");
+        assert!(cache.bypasses > 0, "{name}: dense lanes bypass memoization");
+    }
+    println!("fleet-wide weight-plan cache is effective: OK");
 }

@@ -309,6 +309,63 @@ fn mixed_fleet_affinity_beats_earliest_free() {
     );
 }
 
+/// The acceptance comparison for layer-pipelined serving: on the
+/// canonical deep-model mixed-fleet scenario (shared with the serving
+/// bench and the `serving_pipeline` example), pipelined placement must
+/// beat monolithic earliest-free placement on p99 by at least 1.1x at
+/// no worse throughput.
+#[test]
+fn pipelined_beats_monolithic_on_the_deep_model_scenario() {
+    let models = s2ta_bench::pipeline_scenario::models();
+    let requests = s2ta_bench::pipeline_scenario::workload().generate();
+    let monolithic = s2ta_bench::pipeline_scenario::monolithic_fleet().serve(&models, &requests);
+    let pipelined = s2ta_bench::pipeline_scenario::pipelined_fleet().serve(&models, &requests);
+
+    assert_eq!(monolithic.served_count(), requests.len());
+    assert_eq!(pipelined.served_count(), requests.len());
+    let p99_win = monolithic.p99_cycles() as f64 / pipelined.p99_cycles() as f64;
+    assert!(
+        p99_win >= 1.1,
+        "pipelined p99 {} must beat monolithic p99 {} by >= 1.1x (got {p99_win:.2}x)",
+        pipelined.p99_cycles(),
+        monolithic.p99_cycles()
+    );
+    // Equal served counts, so throughput parity is makespan parity.
+    assert!(
+        pipelined.makespan_cycles <= monolithic.makespan_cycles,
+        "pipelined makespan {} must not exceed monolithic {}",
+        pipelined.makespan_cycles,
+        monolithic.makespan_cycles
+    );
+    // The win comes from stage overlap across distinct lanes: the
+    // report must show the cross-arch stage map.
+    let stages = &pipelined.pipeline_stages;
+    assert!(stages.len() >= 2, "the deep model must actually pipeline");
+    let archs: std::collections::HashSet<ArchKind> = stages.iter().map(|s| s.arch).collect();
+    assert!(archs.len() >= 2, "the pipeline must span both architectures: {stages:?}");
+}
+
+/// Pipelined execution on a homogeneous fleet is byte-identical in
+/// event totals to monolithic execution for a single cold batch, for
+/// every stage count — the serve-level face of the core `run_stage`
+/// recomposition guarantee.
+#[test]
+fn pipelined_events_match_monolithic_for_every_partition() {
+    let models = vec![s2ta::models::deep_convnet()];
+    let requests = WorkloadSpec::uniform(13, 4, 10.0, 1).generate();
+    let policy = FixedPolicy { max_batch: 4, max_wait_cycles: 1_000 };
+    let mono = Fleet::new(ArchKind::S2taAw, 4).with_policy(policy).serve(&models, &requests);
+    assert_eq!(mono.batches, 1);
+    for stages in 1..=4 {
+        let pipe = Fleet::new(ArchKind::S2taAw, 4)
+            .with_policy(policy)
+            .with_pipeline(stages)
+            .serve(&models, &requests);
+        assert_eq!(pipe.total_events, mono.total_events, "{stages} stages");
+        assert_eq!(pipe.served_count(), mono.served_count());
+    }
+}
+
 /// Per-model SLO classes: a tight class for the latency-critical model
 /// must cut that model's p99 far below what one loose global class
 /// gives it, while the heavy model stays inside its own (looser)
