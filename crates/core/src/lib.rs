@@ -36,8 +36,8 @@ pub mod sweep;
 
 pub use arch::{ArchConfig, ArchKind};
 pub use plan::{
-    stage_handoff_bytes, CacheStats, LayerPlan, ModelPlan, PlannedWeights, WeightPlanCache,
-    WeightResidency,
+    stage_handoff_bytes, ActProfile, ActProfileCache, CacheStats, LayerPlan, ModelPlan,
+    PlannedWeights, WeightPlanCache, WeightResidency,
 };
 pub use report::{LayerReport, ModelReport};
-pub use runner::Accelerator;
+pub use runner::{Accelerator, ExecPath};

@@ -1,7 +1,7 @@
 //! The accelerator runner: layers and models through the simulated
 //! datapaths, with the DBB toolchain applied where configured.
 
-use crate::plan::{PlannedWeights, WeightPlanCache, WeightResidency};
+use crate::plan::{ActProfileCache, LayerPlan, PlannedWeights, WeightPlanCache, WeightResidency};
 use crate::{ArchConfig, ArchKind, LayerReport, ModelReport};
 use s2ta_dbb::dap::{dap_matrix, LayerNnz};
 use s2ta_dbb::{prune, BlockAxis, DbbConfig, DbbMatrix};
@@ -9,18 +9,41 @@ use s2ta_models::{LayerSpec, ModelSpec};
 use s2ta_sim::{smt, systolic, tpe, EventCounts};
 use s2ta_tensor::Matrix;
 
+/// Which host-side execution path planned runs
+/// ([`Accelerator::run_stage`] and everything built on it) take.
+///
+/// Both paths produce **byte-identical** [`EventCounts`] (golden- and
+/// property-tested per architecture); they differ only in host work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Materialize the dense activation operands per call and re-derive
+    /// their sparsity structure (the original path, kept as the golden
+    /// reference and for one-off runs where caching cannot pay off).
+    Reference,
+    /// Replay precompiled strip profiles — the weight profile baked
+    /// into the [`LayerPlan`], the activation profile memoized in the
+    /// shared [`ActProfileCache`] — so a repeated `(layer, act seed)`
+    /// simulation is an `O(K)`-per-tile profile dot product with no
+    /// matrix materialization (the serving hot loop).
+    #[default]
+    Profiled,
+}
+
 /// A configured accelerator instance.
 ///
 /// Construction is cheap; per-run state lives in the inputs, so one
 /// instance can be reused across layers, models and seeds. The instance
-/// additionally carries a shared [`WeightPlanCache`] so repeated model
-/// runs compile each model's weights (W-DBB pruning + compression)
-/// exactly once; clones share the cache. Equality compares the
-/// configuration only.
+/// additionally carries a shared [`WeightPlanCache`] (so repeated model
+/// runs compile each model's weights — W-DBB pruning + compression —
+/// exactly once) and a shared [`ActProfileCache`] (so repeated
+/// simulations of one `(layer, act seed)` reuse its strip profiles);
+/// clones share both caches. Equality compares the configuration only.
 #[derive(Debug, Clone)]
 pub struct Accelerator {
     config: ArchConfig,
     plans: WeightPlanCache,
+    act_profiles: ActProfileCache,
+    exec_path: ExecPath,
 }
 
 /// Borrowed view of weights in either datapath format, so the unplanned
@@ -40,7 +63,12 @@ impl PartialEq for Accelerator {
 impl Accelerator {
     /// Creates an accelerator from an explicit configuration.
     pub fn new(config: ArchConfig) -> Self {
-        Self { config, plans: WeightPlanCache::new() }
+        Self {
+            config,
+            plans: WeightPlanCache::new(),
+            act_profiles: ActProfileCache::new(),
+            exec_path: ExecPath::default(),
+        }
     }
 
     /// Creates the paper's preset design point for `kind`.
@@ -65,6 +93,37 @@ impl Accelerator {
     /// across kinds can never serve a mismatched plan.
     pub fn sharing_plans(mut self, plans: WeightPlanCache) -> Self {
         self.plans = plans;
+        self
+    }
+
+    /// The shared activation-profile cache.
+    pub fn act_profiles(&self) -> &ActProfileCache {
+        &self.act_profiles
+    }
+
+    /// Replaces this accelerator's activation-profile cache, so a set
+    /// of accelerators (e.g. a fleet's lanes) share one memo table.
+    /// Entries are keyed by `(layer, act seed, strip width, bz, adbb)`,
+    /// so sharing across architecture kinds can never serve a
+    /// mismatched profile — kinds whose geometries agree simply reuse
+    /// each other's work.
+    pub fn sharing_act_profiles(mut self, act_profiles: ActProfileCache) -> Self {
+        self.act_profiles = act_profiles;
+        self
+    }
+
+    /// The host-side execution path planned runs take (default:
+    /// [`ExecPath::Profiled`]).
+    pub fn exec_path(&self) -> ExecPath {
+        self.exec_path
+    }
+
+    /// Selects the host-side execution path for planned runs. Simulated
+    /// results are byte-identical either way; [`ExecPath::Reference`]
+    /// re-materializes operands per call and exists as the golden
+    /// oracle (and baseline for host-throughput benchmarking).
+    pub fn with_exec_path(mut self, path: ExecPath) -> Self {
+        self.exec_path = path;
         self
     }
 
@@ -127,6 +186,80 @@ impl Accelerator {
             }
             (kind, _) => panic!("weight plan format does not match architecture {kind}"),
         }
+    }
+
+    /// Runs one layer from its compiled plan on activation inputs drawn
+    /// from `act_seed`, **without materializing the activation matrix**
+    /// for the profile-factorizable datapaths: the weight strip profile
+    /// comes baked into the [`LayerPlan`], the activation strip profile
+    /// from the shared [`ActProfileCache`], and the per-tile event
+    /// counts from the `O(K)` profile dot product. Byte-identical to
+    /// [`Accelerator::run_layer_planned`] (golden- and property-tested
+    /// per architecture).
+    ///
+    /// The SMT architectures are the one exception: their FIFO
+    /// backpressure timing depends on the joint non-zero *positions* of
+    /// both operands, which no per-strip profile determines, so their
+    /// sampled tiles still regenerate the activation matrix — the
+    /// event counting is profile-driven regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was not compiled for this architecture.
+    pub fn run_layer_profiled(
+        &self,
+        plan: &LayerPlan,
+        layer: &LayerSpec,
+        act_seed: u64,
+        residency: WeightResidency,
+    ) -> LayerReport {
+        let geom = &self.config.geometry;
+        let prof = self.act_profiles.get_or_profile(
+            layer,
+            act_seed,
+            geom.tile_cols(),
+            geom.bz,
+            plan.adbb(),
+        );
+        let (k, n) = prof.shape();
+        let wp = plan.weight_profile();
+        let mut events = match (self.config.kind, plan.weights()) {
+            (ArchKind::Sa, PlannedWeights::Dense(w)) => {
+                systolic::run_perf_profiled(geom, false, w.rows(), k, n, wp, prof.dense())
+            }
+            (ArchKind::SaZvcg, PlannedWeights::Dense(w)) => {
+                systolic::run_perf_profiled(geom, true, w.rows(), k, n, wp, prof.dense())
+            }
+            (ArchKind::SaSmtT2Q2 | ArchKind::SaSmtT2Q4, PlannedWeights::Dense(w)) => {
+                let a = layer.gen_acts(act_seed);
+                smt::run_sampled_profiled(
+                    geom,
+                    self.config.smt,
+                    w,
+                    &a,
+                    self.config.smt_sample_tiles,
+                    wp,
+                    prof.dense_from(&a),
+                )
+            }
+            (ArchKind::S2taW, PlannedWeights::Dbb(wdbb)) => {
+                tpe::run_wdbb_perf_profiled(geom, wdbb, n, wp, prof.dense())
+            }
+            (ArchKind::S2taAw, PlannedWeights::Dbb(wdbb)) => {
+                let postdap = prof.postdap_side();
+                let mut events =
+                    tpe::run_aw_perf_profiled(geom, wdbb, n, postdap.config, wp, &postdap.profile);
+                events.dap_stages += postdap.events.stages;
+                events.dap_comparisons += postdap.events.comparisons;
+                events
+            }
+            (kind, _) => panic!("weight plan format does not match architecture {kind}"),
+        };
+        if layer.is_memory_bound() {
+            let clamp = self.dma_clamp_cycles(plan, (k * n) as u64, residency);
+            events.cycles = events.cycles.max(clamp);
+        }
+        LayerReport { name: layer.name.clone(), macs: layer.macs(), events }
     }
 
     /// Prunes+compresses weights to the configured W-DBB bound, or
@@ -230,7 +363,10 @@ impl Accelerator {
         model.layers[layers.clone()]
             .iter()
             .zip(&plan.layers[layers])
-            .map(|(l, lp)| self.run_layer_planned(lp, l, act_seed, residency))
+            .map(|(l, lp)| match self.exec_path {
+                ExecPath::Reference => self.run_layer_planned(lp, l, act_seed, residency),
+                ExecPath::Profiled => self.run_layer_profiled(lp, l, act_seed, residency),
+            })
             .collect()
     }
 

@@ -123,7 +123,7 @@ impl DapUnit {
 }
 
 /// The A-DBB density decision for one layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerNnz {
     /// Prune activations to `nnz` per block via DAP (1..=5).
     Prune(usize),
@@ -242,6 +242,87 @@ pub fn dap_matrix(m: &Matrix, bz: usize, nnz: LayerNnz) -> (DbbMatrix, DapEvents
     (compressed, events)
 }
 
+/// The column-strip non-zero profile of a DAP-pruned activation matrix,
+/// derived **without materializing** the pruned matrix or its
+/// compressed form — the operand the matrix-free `S2TA-AW` event path
+/// (`s2ta_sim::tpe::run_aw_perf_profiled`) consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DapColProfile {
+    /// `counts[strip][p]` = surviving non-zeros among the strip's
+    /// columns at reduction position `p`, for column strips of the
+    /// requested width. Identical to profiling
+    /// `dap_matrix(m, bz, nnz).0.decompress()` (asserted by tests).
+    pub counts: Vec<Vec<u32>>,
+    /// Aggregate DAP hardware events, identical to [`dap_matrix`]'s.
+    pub events: DapEvents,
+    /// The compression configuration [`dap_matrix`] would choose for
+    /// this `(bz, nnz)` (dense for [`LayerNnz::Dense`] and for bounds
+    /// at or above `bz`).
+    pub config: DbbConfig,
+}
+
+/// Runs the DAP decision of [`dap_matrix`] over `m` but keeps only the
+/// per-column-strip non-zero counts of the surviving elements (plus the
+/// hardware events), skipping the pruned-matrix materialization and
+/// compression entirely. For each strip `s` of `strip_cols` columns,
+/// `counts[s][p]` equals the number of columns in the strip whose
+/// post-DAP element at reduction position `p` is non-zero — exactly the
+/// column-strip profile of `dap_matrix(m, bz, nnz).0.decompress()`.
+///
+/// # Panics
+///
+/// Panics if `strip_cols` is zero.
+pub fn dap_col_profile(m: &Matrix, bz: usize, nnz: LayerNnz, strip_cols: usize) -> DapColProfile {
+    assert!(strip_cols > 0, "strip width must be non-zero");
+    let strips = m.cols().div_ceil(strip_cols);
+    let mut counts = vec![vec![0u32; m.rows()]; strips];
+    let mut events = DapEvents::default();
+    let config = match nnz {
+        // Dense (or a bound at/above BZ): nothing is pruned, the
+        // profile is the raw matrix's.
+        LayerNnz::Dense => DbbConfig::dense(bz),
+        LayerNnz::Prune(n) if n >= bz => DbbConfig::dense(bz),
+        LayerNnz::Prune(n) => {
+            let unit = (n <= MAX_DAP_STAGES).then(|| DapUnit::new(bz));
+            let mut block = vec![0i8; bz];
+            for c in 0..m.cols() {
+                let strip = &mut counts[c / strip_cols];
+                let mut r = 0;
+                while r < m.rows() {
+                    let end = (r + bz).min(m.rows());
+                    block.fill(0);
+                    for (bi, row) in (r..end).enumerate() {
+                        block[bi] = m.get(row, c);
+                    }
+                    if let Some(unit) = &unit {
+                        let (_, ev) = unit.prune(&mut block, n);
+                        events.stages += ev.stages;
+                        events.comparisons += ev.comparisons;
+                    } else {
+                        dap_block(&mut block, n);
+                    }
+                    for (bi, row) in (r..end).enumerate() {
+                        if block[bi] != 0 {
+                            strip[row] += 1;
+                        }
+                    }
+                    r = end;
+                }
+            }
+            return DapColProfile { counts, events, config: DbbConfig::new(n, bz) };
+        }
+    };
+    for c in 0..m.cols() {
+        let strip = &mut counts[c / strip_cols];
+        for (r, slot) in strip.iter_mut().enumerate() {
+            if m.get(r, c) != 0 {
+                *slot += 1;
+            }
+        }
+    }
+    DapColProfile { counts, events, config }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,7 +434,79 @@ mod tests {
         assert_eq!(events, DapEvents::default());
     }
 
+    /// Reference: profile of the materialized post-DAP matrix, as the
+    /// dense path computes it (dap_matrix -> decompress -> count per
+    /// column strip).
+    fn materialized_profile(
+        m: &Matrix,
+        bz: usize,
+        nnz: LayerNnz,
+        strip_cols: usize,
+    ) -> (Vec<Vec<u32>>, DapEvents) {
+        let (dm, events) = dap_matrix(m, bz, nnz);
+        let dense = dm.decompress();
+        let strips = dense.cols().div_ceil(strip_cols);
+        let mut counts = vec![vec![0u32; dense.rows()]; strips];
+        for c in 0..dense.cols() {
+            let strip = &mut counts[c / strip_cols];
+            for (r, slot) in strip.iter_mut().enumerate() {
+                if dense.get(r, c) != 0 {
+                    *slot += 1;
+                }
+            }
+        }
+        (counts, events)
+    }
+
+    #[test]
+    fn col_profile_matches_materialize_then_profile() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Includes a tail row block (rows 19 not a multiple of 8) and a
+        // tail column strip (10 cols over strips of 4).
+        let m = SparseSpec::random(0.4).matrix(19, 10, &mut rng);
+        for nnz in [
+            LayerNnz::Dense,
+            LayerNnz::Prune(1),
+            LayerNnz::Prune(3),
+            LayerNnz::Prune(5),
+            LayerNnz::Prune(7), // software-enforced (above the 5-stage cap)
+            LayerNnz::Prune(8), // at BZ: dense fall-back
+        ] {
+            let direct = dap_col_profile(&m, 8, nnz, 4);
+            let (counts, events) = materialized_profile(&m, 8, nnz, 4);
+            assert_eq!(direct.counts, counts, "{nnz:?}");
+            assert_eq!(direct.events, events, "{nnz:?}");
+        }
+    }
+
+    #[test]
+    fn col_profile_config_matches_dap_matrix() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = SparseSpec::random(0.3).matrix(16, 6, &mut rng);
+        for nnz in [LayerNnz::Dense, LayerNnz::Prune(2), LayerNnz::Prune(8)] {
+            let direct = dap_col_profile(&m, 8, nnz, 8);
+            assert_eq!(direct.config, dap_matrix(&m, 8, nnz).0.config(), "{nnz:?}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_dap_col_profile_equals_materialized(
+            rows in 1usize..24,
+            cols in 1usize..12,
+            sp in 0.0f64..0.95,
+            nnz in 1usize..=8,
+            strip_cols in 1usize..8,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = SparseSpec::random(sp).matrix(rows, cols, &mut rng);
+            let direct = dap_col_profile(&m, 8, LayerNnz::Prune(nnz), strip_cols);
+            let (counts, events) = materialized_profile(&m, 8, LayerNnz::Prune(nnz), strip_cols);
+            prop_assert_eq!(&direct.counts, &counts);
+            prop_assert_eq!(direct.events, events);
+        }
+
         #[test]
         fn prop_hw_sw_equivalence(
             data in prop::collection::vec(any::<i8>(), 8),

@@ -63,14 +63,18 @@ use crate::pipeline::PipelinePlan;
 use crate::policy::{BatchObservation, BatchPolicy, FixedPolicy};
 use crate::queue::RequestQueue;
 use crate::report::{
-    DroppedRequest, PipelineStageStats, RequestOutcome, ServeReport, ServedRequest, WorkerStats,
+    DroppedRequest, PipelineStageStats, PlanCacheActivity, RequestOutcome, ServeReport,
+    ServedRequest, WorkerStats,
 };
 use crate::scheduler::{
     affinity_lane, earliest_free_lane, DeadlineHeap, Formation, PlacementStrategy, Scheduler,
     ServiceEstimator,
 };
 use crate::workload::{ClosedLoopClient, ClosedLoopSpec, Request};
-use s2ta_core::{pool, Accelerator, ArchKind, CacheStats, WeightPlanCache, WeightResidency};
+use s2ta_core::{
+    pool, Accelerator, ActProfileCache, ArchKind, CacheStats, ExecPath, WeightPlanCache,
+    WeightResidency,
+};
 use s2ta_models::ModelSpec;
 use s2ta_sim::EventCounts;
 use std::cmp::Reverse;
@@ -189,6 +193,16 @@ impl FleetSpec {
         self
     }
 
+    /// Pins every lane's host-side execution path (default:
+    /// [`ExecPath::Profiled`]). Simulated results are byte-identical
+    /// either way; [`ExecPath::Reference`] re-materializes operands per
+    /// simulation and exists as the golden oracle and the
+    /// host-throughput baseline.
+    pub fn with_exec_path(mut self, path: ExecPath) -> Self {
+        self.accelerators = self.accelerators.into_iter().map(|a| a.with_exec_path(path)).collect();
+        self
+    }
+
     /// Number of lanes in the spec.
     pub fn lanes(&self) -> usize {
         self.accelerators.len()
@@ -269,7 +283,11 @@ impl Fleet {
     /// Builds the fleet a spec describes. Every lane's accelerator is
     /// re-pointed at one fresh **shared** [`WeightPlanCache`] — keyed
     /// by `(arch, model, seed)`, so mixed-architecture lanes coexist in
-    /// one memo table and each arch compiles each model exactly once.
+    /// one memo table and each arch compiles each model exactly once —
+    /// and one fresh shared [`ActProfileCache`], so a request's
+    /// activation strip profiles compile once fleet-wide and every
+    /// re-simulation (speculative scope execution, pipeline stages,
+    /// residency variants) replays them.
     ///
     /// # Panics
     ///
@@ -277,10 +295,15 @@ impl Fleet {
     pub fn from_spec(spec: FleetSpec) -> Self {
         assert!(!spec.is_empty(), "a fleet needs at least one lane");
         let plans = WeightPlanCache::new();
+        let act_profiles = ActProfileCache::new();
         Self::from_lanes(
             spec.accelerators
                 .into_iter()
-                .map(|acc| Lane { accelerator: acc.sharing_plans(plans.clone()) })
+                .map(|acc| Lane {
+                    accelerator: acc
+                        .sharing_plans(plans.clone())
+                        .sharing_act_profiles(act_profiles.clone()),
+                })
                 .collect(),
         )
     }
@@ -502,6 +525,7 @@ impl Fleet {
             return self.serve_adaptive(models, requests, &mut policy);
         }
         let cache_before = self.accelerator().plans().stats();
+        let act_cache_before = self.accelerator().act_profiles().stats();
         let Formation { batches, dropped } =
             self.scheduler.form_batches_bounded(requests, models.len(), self.queue_capacity);
         let scopes = self.scopes();
@@ -563,7 +587,10 @@ impl Fleet {
             total_events,
             makespan_cycles: makespan,
             pipeline_stages: Vec::new(),
-            plan_cache: self.accelerator().plans().stats().since(cache_before).into(),
+            plan_cache: PlanCacheActivity::new(
+                self.accelerator().plans().stats().since(cache_before),
+                self.accelerator().act_profiles().stats().since(act_cache_before),
+            ),
         }
     }
 
@@ -805,6 +832,8 @@ struct Engine<'a> {
     /// Plan-cache counters at engine start, so the report carries this
     /// run's delta.
     cache_before: CacheStats,
+    /// Activation-profile-cache counters at engine start.
+    act_cache_before: CacheStats,
 }
 
 /// Accumulator behind one [`PipelineStageStats`] row.
@@ -843,6 +872,7 @@ impl<'a> Engine<'a> {
             last_stage_on_lane: vec![None; fleet.lanes.len()],
             stage_stats: BTreeMap::new(),
             cache_before: fleet.accelerator().plans().stats(),
+            act_cache_before: fleet.accelerator().act_profiles().stats(),
         }
     }
 
@@ -1261,7 +1291,10 @@ impl<'a> Engine<'a> {
             total_events: self.total_events,
             makespan_cycles: self.makespan,
             pipeline_stages,
-            plan_cache: self.fleet.accelerator().plans().stats().since(self.cache_before).into(),
+            plan_cache: PlanCacheActivity::new(
+                self.fleet.accelerator().plans().stats().since(self.cache_before),
+                self.fleet.accelerator().act_profiles().stats().since(self.act_cache_before),
+            ),
         }
     }
 }
@@ -1730,11 +1763,21 @@ mod tests {
         assert!(report.plan_cache.hits > 0, "per-batch executions must hit the memo");
         assert!(report.plan_cache.bypasses > 0, "dense lanes bypass memoization");
         assert!(report.plan_cache.hit_rate() > 0.5);
-        // A second run on the same fleet reports its own delta: the
-        // plan is already warm, so no new misses.
+        // The activation-profile cache: the S2TA-AW and SA-ZVCG design
+        // points share (tile_cols, bz), so each (layer, act seed)
+        // profiles once and the other scope's execution hits; the cache
+        // never bypasses.
+        assert!(report.plan_cache.acts.misses > 0, "cold run must compile profiles");
+        assert!(report.plan_cache.acts.hits > 0, "the second scope must reuse them");
+        assert_eq!(report.plan_cache.acts.bypasses, 0, "every act lookup is memoized");
+        // A second run on the same fleet reports its own delta: plans
+        // and profiles are already warm, so no new compiles on either
+        // cache and the act side goes hits-only (steady state).
         let again = fleet.serve(&models, &reqs);
         assert_eq!(again.plan_cache.misses, 0, "warm cache: the delta has no compiles");
         assert!(again.plan_cache.hits > 0);
+        assert_eq!(again.plan_cache.acts.misses, 0, "warm act cache: no new profiles");
+        assert!(again.plan_cache.acts.hits > again.plan_cache.acts.misses);
     }
 
     /// Heterogeneous earliest-free: the vectorized path and the engine

@@ -93,12 +93,15 @@ impl PipelinePlan {
 
         // 1. Calibrate: one batch-1 probe of every layer per distinct
         // lane configuration. Probes are pure simulations; only their
-        // cycle counts survive, as estimator seeds. Layers are probed
-        // at **resident** weight residency — the pipeline's steady
-        // state: a pinned stage lane streams its weights once and then
-        // keeps them in SRAM across the whole run, so pricing
-        // memory-bound FC/depthwise layers at their cold streamed cost
-        // would wildly over-weight them in the split.
+        // cycle counts survive, as estimator seeds. They run through
+        // `run_stage`'s profile-compiled path, so the probes also warm
+        // the fleet's shared activation-profile cache for the
+        // calibration seed. Layers are probed at **resident** weight
+        // residency — the pipeline's steady state: a pinned stage lane
+        // streams its weights once and then keeps them in SRAM across
+        // the whole run, so pricing memory-bound FC/depthwise layers at
+        // their cold streamed cost would wildly over-weight them in the
+        // split.
         let mut scope_reps: Vec<usize> = Vec::new();
         for (l, lane) in lanes.iter().enumerate() {
             let config = lane.accelerator().config();

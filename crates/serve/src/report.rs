@@ -168,9 +168,12 @@ impl WorkerStats {
     }
 }
 
-/// The fleet-wide [`s2ta_core::WeightPlanCache`] activity one serving
-/// run produced: how many plan lookups hit the memo table, how many
-/// compiled, and how many bypassed memoization (dense architectures).
+/// The fleet-wide compile-cache activity one serving run produced, for
+/// **both** host-side memo tables: the
+/// [`s2ta_core::WeightPlanCache`] (W-DBB plan compilation — hits,
+/// compiles, dense bypasses) and the [`s2ta_core::ActProfileCache`]
+/// (activation strip-profile compilation for the matrix-free event
+/// path — every lookup is memoized, so its bypasses are always zero).
 ///
 /// **Excluded from report equality.** Two runs with byte-identical
 /// *simulated* results may take different cache paths on the host — the
@@ -181,18 +184,31 @@ impl WorkerStats {
 /// equivalence guarantees about what was *computed*, not how it was
 /// memoized.
 #[derive(Debug, Clone, Copy, Default, Eq)]
-pub struct PlanCacheActivity(
-    /// The run's counter delta (hits / misses / dense bypasses).
-    pub CacheStats,
-);
+pub struct PlanCacheActivity {
+    /// The run's weight-plan-cache counter delta (hits / misses /
+    /// dense bypasses). Also reachable through `Deref`, so
+    /// `report.plan_cache.hits` keeps reading the weight-plan side.
+    pub weights: CacheStats,
+    /// The run's activation-profile-cache counter delta.
+    pub acts: CacheStats,
+}
+
+impl PlanCacheActivity {
+    /// Bundles the two cache deltas of one run.
+    pub fn new(weights: CacheStats, acts: CacheStats) -> Self {
+        Self { weights, acts }
+    }
+}
 
 impl std::ops::Deref for PlanCacheActivity {
     type Target = CacheStats;
 
-    /// All counter fields and helpers ([`CacheStats::hits`],
-    /// [`CacheStats::hit_rate`], ...) read straight through.
+    /// The weight-plan counters read straight through
+    /// ([`CacheStats::hits`], [`CacheStats::hit_rate`], ...), keeping
+    /// the pre-existing `report.plan_cache.hits` call sites; the
+    /// activation side is explicit at `plan_cache.acts`.
     fn deref(&self) -> &CacheStats {
-        &self.0
+        &self.weights
     }
 }
 
@@ -201,12 +217,6 @@ impl PartialEq for PlanCacheActivity {
     /// type docs), never part of a run's simulated identity.
     fn eq(&self, _other: &Self) -> bool {
         true
-    }
-}
-
-impl From<CacheStats> for PlanCacheActivity {
-    fn from(s: CacheStats) -> Self {
-        Self(s)
     }
 }
 

@@ -42,6 +42,7 @@ mod events;
 mod geometry;
 
 pub mod cycle_exact;
+pub mod profile;
 pub mod smt;
 pub mod systolic;
 pub mod tpe;
@@ -50,6 +51,7 @@ pub mod tpe_wa;
 
 pub use events::EventCounts;
 pub use geometry::{ArrayGeometry, TileWalk};
+pub use profile::{ColStripProfile, RowStripProfile};
 
 use s2ta_tensor::AccMatrix;
 
@@ -61,5 +63,3 @@ pub struct GemmRun {
     /// Microarchitectural event counts for the run.
     pub events: EventCounts,
 }
-
-mod profile;

@@ -8,20 +8,36 @@
 //! instead of `O(rows * K * cols)` — exact, not an approximation (tests
 //! in `systolic`/`tpe` assert equality against the looped functional
 //! runs).
+//!
+//! The profile types are **public operands**: because a profile is a
+//! pure function of its matrix and strip width, a caller can build it
+//! once (e.g. bake the weight profile into a compiled layer plan, or
+//! memoize the activation profile per `(layer, act seed)`) and replay
+//! the events-only datapaths ([`crate::systolic::run_perf_profiled`],
+//! [`crate::tpe::run_wdbb_perf_profiled`],
+//! [`crate::tpe::run_aw_perf_profiled`],
+//! [`crate::smt::run_sampled_profiled`]) without ever re-materializing
+//! the dense matrices.
 
 use s2ta_tensor::Matrix;
 
 /// Per-reduction-position non-zero counts for each row strip of a weight
 /// matrix (`M x K`, rows are output channels).
-#[derive(Debug, Clone)]
-pub(crate) struct RowStripProfile {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowStripProfile {
     /// `counts[strip][p]` = non-zero weights among the strip's rows at
     /// reduction position `p`.
     counts: Vec<Vec<u32>>,
 }
 
 impl RowStripProfile {
-    pub(crate) fn new(w: &Matrix, strip_rows: usize) -> Self {
+    /// Profiles `w` with `strip_rows` rows per strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strip_rows` is zero.
+    pub fn new(w: &Matrix, strip_rows: usize) -> Self {
+        assert!(strip_rows > 0, "strip height must be non-zero");
         let strips = w.rows().div_ceil(strip_rows);
         let mut counts = vec![vec![0u32; w.cols()]; strips];
         for r in 0..w.rows() {
@@ -36,20 +52,32 @@ impl RowStripProfile {
         Self { counts }
     }
 
-    pub(crate) fn strip(&self, s: usize) -> &[u32] {
+    /// The per-position non-zero counts of strip `s`.
+    pub fn strip(&self, s: usize) -> &[u32] {
         &self.counts[s]
+    }
+
+    /// Number of row strips.
+    pub fn strips(&self) -> usize {
+        self.counts.len()
     }
 }
 
 /// Per-reduction-position non-zero counts for each column strip of an
 /// activation matrix (`K x N`, columns are output pixels).
-#[derive(Debug, Clone)]
-pub(crate) struct ColStripProfile {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColStripProfile {
     counts: Vec<Vec<u32>>,
 }
 
 impl ColStripProfile {
-    pub(crate) fn new(a: &Matrix, strip_cols: usize) -> Self {
+    /// Profiles `a` with `strip_cols` columns per strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strip_cols` is zero.
+    pub fn new(a: &Matrix, strip_cols: usize) -> Self {
+        assert!(strip_cols > 0, "strip width must be non-zero");
         let strips = a.cols().div_ceil(strip_cols);
         let mut counts = vec![vec![0u32; a.rows()]; strips];
         // `p` indexes the transposed layout (counts[strip][row]), so an
@@ -66,13 +94,33 @@ impl ColStripProfile {
         Self { counts }
     }
 
-    pub(crate) fn strip(&self, s: usize) -> &[u32] {
+    /// Builds a profile from raw `counts[strip][p]` tallies — the escape
+    /// hatch for producers (e.g. `s2ta_dbb::dap::dap_col_profile`) that
+    /// derive the counts without materializing the profiled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or its strips have unequal lengths.
+    pub fn from_counts(counts: Vec<Vec<u32>>) -> Self {
+        assert!(!counts.is_empty(), "a profile needs at least one strip");
+        let k = counts[0].len();
+        assert!(counts.iter().all(|s| s.len() == k), "strips must share the reduction length");
+        Self { counts }
+    }
+
+    /// The per-position non-zero counts of strip `s`.
+    pub fn strip(&self, s: usize) -> &[u32] {
         &self.counts[s]
+    }
+
+    /// Number of column strips.
+    pub fn strips(&self) -> usize {
+        self.counts.len()
     }
 }
 
 /// Active MACs for one tile: `sum_p nnzW[p] * nnzA[p]`.
-pub(crate) fn active_macs(w_strip: &[u32], a_strip: &[u32]) -> u64 {
+pub fn active_macs(w_strip: &[u32], a_strip: &[u32]) -> u64 {
     debug_assert_eq!(w_strip.len(), a_strip.len());
     w_strip.iter().zip(a_strip).map(|(&nw, &na)| nw as u64 * na as u64).sum()
 }
@@ -86,13 +134,29 @@ mod tests {
         // W: 3 rows, strips of 2 -> strips {0,1},{2}.
         let w = Matrix::from_vec(3, 2, vec![1, 0, 0, 2, 3, 4]);
         let p = RowStripProfile::new(&w, 2);
+        assert_eq!(p.strips(), 2);
         assert_eq!(p.strip(0), &[1, 1]);
         assert_eq!(p.strip(1), &[1, 1]);
 
         let a = Matrix::from_vec(2, 3, vec![1, 0, 2, 0, 0, 3]);
         let c = ColStripProfile::new(&a, 2);
+        assert_eq!(c.strips(), 2);
         assert_eq!(c.strip(0), &[1, 0]);
         assert_eq!(c.strip(1), &[1, 1]);
+    }
+
+    #[test]
+    fn from_counts_roundtrips_new() {
+        let a = Matrix::from_vec(2, 3, vec![1, 0, 2, 0, 0, 3]);
+        let direct = ColStripProfile::new(&a, 2);
+        let raw = ColStripProfile::from_counts(vec![vec![1, 0], vec![1, 1]]);
+        assert_eq!(direct, raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the reduction length")]
+    fn from_counts_rejects_ragged_strips() {
+        let _ = ColStripProfile::from_counts(vec![vec![1, 0], vec![1]]);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! (`fifo_bytes`) makes SMT *less* energy-efficient than `SA-ZVCG`
 //! (paper Fig. 3, Fig. 10).
 
+use crate::profile::{active_macs, ColStripProfile, RowStripProfile};
 use crate::{ArrayGeometry, EventCounts, GemmRun};
 use s2ta_tensor::{AccMatrix, Matrix};
 
@@ -163,6 +164,83 @@ pub fn run_sampled(
     run_inner(geom, cfg, w, a, sample_tiles)
 }
 
+/// Events-only fast path for the SMT-SA: identical [`EventCounts`] to
+/// [`run_sampled`] (asserted by tests), with the non-timing counts
+/// taken from precompiled strip profiles instead of the functional
+/// accumulation loop. `wp` must profile `w` at `geom.tile_rows()`
+/// strips, `ap` must profile `a` at `geom.tile_cols()` strips.
+///
+/// Unlike the DBB datapaths, the SMT FIFO *timing* is inherently
+/// position-dependent (backpressure follows the joint non-zero layout
+/// of both operands, not their per-strip counts), so the sampled tiles
+/// still simulate against the dense matrices; the profiles remove the
+/// `O(M*K*N)` functional pass that dominated [`run_sampled`] on the
+/// events-only path.
+///
+/// # Panics
+///
+/// Panics if `sample_tiles == 0`, the geometry is not scalar, dims
+/// disagree, or the profiles do not cover the operands.
+pub fn run_sampled_profiled(
+    geom: &ArrayGeometry,
+    cfg: SmtConfig,
+    w: &Matrix,
+    a: &Matrix,
+    sample_tiles: usize,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+) -> EventCounts {
+    assert!(sample_tiles > 0, "must sample at least one tile");
+    assert_eq!((geom.a, geom.b, geom.c), (1, 1, 1), "SMT runner is scalar only");
+    assert_eq!(w.cols(), a.rows(), "GEMM inner dims mismatch");
+    let k = w.cols();
+    let walk = geom.tile_walk(w.rows(), a.cols());
+    let (total_tiles, col_strips) = (walk.tiles(), walk.col_strips());
+    assert_eq!(wp.strips(), walk.row_strips(), "weight profile strip count mismatch");
+    assert_eq!(ap.strips(), col_strips, "activation profile strip count mismatch");
+    assert_eq!(wp.strip(0).len(), k, "weight profile reduction length mismatch");
+    assert_eq!(ap.strip(0).len(), k, "activation profile reduction length mismatch");
+    let outputs = (w.rows() * a.cols()) as u64;
+    let mut events = EventCounts {
+        weight_sram_bytes: (w.len() * walk.col_strips()) as u64,
+        act_sram_read_bytes: (a.len() * walk.row_strips()) as u64,
+        act_sram_write_bytes: outputs,
+        mcu_elements: outputs,
+        ..EventCounts::default()
+    };
+
+    let mut simulated_cycles: u64 = 0;
+    let mut simulated = 0usize;
+    for (ti, (rows, cols)) in geom.tile_walk(w.rows(), a.cols()).enumerate() {
+        let active = active_macs(wp.strip(ti / col_strips), ap.strip(ti % col_strips));
+        events.macs_active += active;
+        events.acc_updates += active;
+        events.fifo_bytes += 4 * active;
+        events.operand_reg_bytes += 2 * (rows.len() * k * cols.len()) as u64;
+        if ti < sample_tiles {
+            let timing = TileTiming { cfg, w, a, rows, cols };
+            let (cycles, pushes) = timing.simulate();
+            debug_assert_eq!(pushes, active);
+            simulated_cycles += cycles + geom.skew_cycles();
+            simulated += 1;
+        }
+    }
+    events.cycles = extrapolate_cycles(simulated_cycles, simulated, total_tiles);
+    events
+}
+
+/// Total-cycle estimate from `simulated` tiles' summed latency: exact
+/// when every tile was simulated, mean-extrapolated otherwise. Shared
+/// by the functional and profiled paths so their rounding is identical.
+fn extrapolate_cycles(simulated_cycles: u64, simulated: usize, total_tiles: usize) -> u64 {
+    if simulated == total_tiles {
+        simulated_cycles
+    } else {
+        let mean = simulated_cycles as f64 / simulated as f64;
+        (mean * total_tiles as f64).round() as u64
+    }
+}
+
 fn run_inner(
     geom: &ArrayGeometry,
     cfg: SmtConfig,
@@ -219,13 +297,7 @@ fn run_inner(
             simulated += 1;
         }
     }
-    events.cycles = if simulated == total_tiles {
-        simulated_cycles
-    } else {
-        // Extrapolate mean simulated tile latency to the remaining tiles.
-        let mean = simulated_cycles as f64 / simulated as f64;
-        (mean * total_tiles as f64).round() as u64
-    };
+    events.cycles = extrapolate_cycles(simulated_cycles, simulated, total_tiles);
     GemmRun { result: acc, events }
 }
 
@@ -308,6 +380,21 @@ mod tests {
         let err = (full.events.cycles as f64 - sampled.events.cycles as f64).abs()
             / full.events.cycles as f64;
         assert!(err < 0.15, "sampled timing off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn profiled_events_match_sampled() {
+        let g = ArrayGeometry::scalar(4, 4);
+        let (w, a) = pair(16, 96, 16, 0.5, 9);
+        let wp = RowStripProfile::new(&w, g.tile_rows());
+        let ap = ColStripProfile::new(&a, g.tile_cols());
+        for (cfg, sample) in
+            [(SmtConfig::t2q2(), 1), (SmtConfig::t2q2(), 3), (SmtConfig::t2q4(), usize::MAX)]
+        {
+            let full = run_inner(&g, cfg, &w, &a, sample).events;
+            let profiled = run_sampled_profiled(&g, cfg, &w, &a, sample, &wp, &ap);
+            assert_eq!(full, profiled, "{cfg} sample={sample}");
+        }
     }
 
     #[test]

@@ -18,12 +18,12 @@ fn check_inputs(geom: &ArrayGeometry, w: &Matrix, a: &Matrix) {
 /// SRAM traffic shared by the scalar variants: dense weights re-read once
 /// per column strip, dense activations once per row strip, 1-byte
 /// requantized outputs written once, every output post-processed by MCU.
-fn sram_events(geom: &ArrayGeometry, w: &Matrix, a: &Matrix) -> EventCounts {
-    let walk = geom.tile_walk(w.rows(), a.cols());
-    let outputs = (w.rows() * a.cols()) as u64;
+fn sram_events(geom: &ArrayGeometry, rows: usize, k: usize, cols: usize) -> EventCounts {
+    let walk = geom.tile_walk(rows, cols);
+    let outputs = (rows * cols) as u64;
     EventCounts {
-        weight_sram_bytes: (w.len() * walk.col_strips()) as u64,
-        act_sram_read_bytes: (a.len() * walk.row_strips()) as u64,
+        weight_sram_bytes: (rows * k * walk.col_strips()) as u64,
+        act_sram_read_bytes: (k * cols * walk.row_strips()) as u64,
         act_sram_write_bytes: outputs,
         mcu_elements: outputs,
         ..EventCounts::default()
@@ -43,7 +43,7 @@ pub fn run(geom: &ArrayGeometry, zvcg: bool, w: &Matrix, a: &Matrix) -> GemmRun 
     check_inputs(geom, w, a);
     let k = w.cols();
     let mut acc = AccMatrix::zeros(w.rows(), a.cols());
-    let mut events = sram_events(geom, w, a);
+    let mut events = sram_events(geom, w.rows(), k, a.cols());
 
     for (rows, cols) in geom.tile_walk(w.rows(), a.cols()) {
         events.cycles += cycle_exact::closed_form_cycles(k, geom.m, geom.n);
@@ -82,20 +82,46 @@ pub fn run(geom: &ArrayGeometry, zvcg: bool, w: &Matrix, a: &Matrix) -> GemmRun 
 /// Panics if the geometry is not scalar or the dims mismatch.
 pub fn run_perf(geom: &ArrayGeometry, zvcg: bool, w: &Matrix, a: &Matrix) -> EventCounts {
     check_inputs(geom, w, a);
-    let k = w.cols() as u64;
-    let mut events = sram_events(geom, w, a);
     let wp = RowStripProfile::new(w, geom.tile_rows());
     let ap = ColStripProfile::new(a, geom.tile_cols());
-    let walk = geom.tile_walk(w.rows(), a.cols());
+    run_perf_profiled(geom, zvcg, w.rows(), w.cols(), a.cols(), &wp, &ap)
+}
+
+/// Matrix-free event path: identical [`EventCounts`] to [`run`] and
+/// [`run_perf`], computed from **precompiled** per-strip profiles plus
+/// the GEMM dimensions alone. `wp` must profile the `m_rows x k` weight
+/// matrix at `geom.tile_rows()` strips, `ap` the `k x n_cols` activation
+/// matrix at `geom.tile_cols()` strips.
+///
+/// # Panics
+///
+/// Panics if the geometry is not scalar or the profiles do not cover
+/// the stated dimensions.
+pub fn run_perf_profiled(
+    geom: &ArrayGeometry,
+    zvcg: bool,
+    m_rows: usize,
+    k: usize,
+    n_cols: usize,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+) -> EventCounts {
+    assert_eq!((geom.a, geom.b, geom.c), (1, 1, 1), "systolic runner is scalar only");
+    let walk = geom.tile_walk(m_rows, n_cols);
     let (row_strips, col_strips) = (walk.row_strips(), walk.col_strips());
+    assert_eq!(wp.strips(), row_strips, "weight profile strip count mismatch");
+    assert_eq!(ap.strips(), col_strips, "activation profile strip count mismatch");
+    assert_eq!(wp.strip(0).len(), k, "weight profile reduction length mismatch");
+    assert_eq!(ap.strip(0).len(), k, "activation profile reduction length mismatch");
+    let mut events = sram_events(geom, m_rows, k, n_cols);
 
     for rs in 0..row_strips {
-        let rows = (w.rows() - rs * geom.tile_rows()).min(geom.tile_rows()) as u64;
+        let rows = (m_rows - rs * geom.tile_rows()).min(geom.tile_rows()) as u64;
         for cs in 0..col_strips {
-            let cols = (a.cols() - cs * geom.tile_cols()).min(geom.tile_cols()) as u64;
-            events.cycles += cycle_exact::closed_form_cycles(w.cols(), geom.m, geom.n);
+            let cols = (n_cols - cs * geom.tile_cols()).min(geom.tile_cols()) as u64;
+            events.cycles += cycle_exact::closed_form_cycles(k, geom.m, geom.n);
             let active = active_macs(wp.strip(rs), ap.strip(cs));
-            let issued = rows * k * cols;
+            let issued = rows * k as u64 * cols;
             events.macs_active += active;
             if zvcg {
                 events.macs_gated += issued - active;

@@ -144,21 +144,43 @@ pub fn run_wdbb(geom: &ArrayGeometry, w: &DbbMatrix, a: &Matrix) -> GemmRun {
 
 /// Event-only fast path for `S2TA-W`; identical counts to [`run_wdbb`].
 pub fn run_wdbb_perf(geom: &ArrayGeometry, w: &DbbMatrix, a: &Matrix) -> EventCounts {
+    let wp = RowStripProfile::new(&w.decompress(), geom.tile_rows());
+    let ap = ColStripProfile::new(a, geom.tile_cols());
+    run_wdbb_perf_profiled(geom, w, a.cols(), &wp, &ap)
+}
+
+/// Matrix-free event path for `S2TA-W`: identical counts to
+/// [`run_wdbb`] / [`run_wdbb_perf`], computed from precompiled strip
+/// profiles without touching the dense activation matrix. `wp` must
+/// profile `w.decompress()` at `geom.tile_rows()` strips, `ap` the
+/// dense `k x n_cols` activation at `geom.tile_cols()` strips.
+///
+/// # Panics
+///
+/// Panics if the weight blocking does not match the geometry or the
+/// profiles do not cover the stated dimensions.
+pub fn run_wdbb_perf_profiled(
+    geom: &ArrayGeometry,
+    w: &DbbMatrix,
+    n_cols: usize,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+) -> EventCounts {
     check_wdbb(geom, w);
     let (m_rows, k) = w.shape();
-    assert_eq!(k, a.rows(), "GEMM inner dims mismatch");
     let blocks_k = k.div_ceil(geom.bz);
     let cpb = wdbb_cycles_per_block(geom, w);
-    let dense_w = w.decompress();
-    let wp = RowStripProfile::new(&dense_w, geom.tile_rows());
-    let ap = ColStripProfile::new(a, geom.tile_cols());
+    let walk = geom.tile_walk(m_rows, n_cols);
+    assert_eq!(wp.strips(), walk.row_strips(), "weight profile strip count mismatch");
+    assert_eq!(ap.strips(), walk.col_strips(), "activation profile strip count mismatch");
+    assert_eq!(wp.strip(0).len(), k, "weight profile reduction length mismatch");
+    assert_eq!(ap.strip(0).len(), k, "activation profile reduction length mismatch");
 
-    let mut events = sram_events(geom, m_rows, a.cols(), w.storage_bytes(), a.len(), 1.0);
-    let walk = geom.tile_walk(m_rows, a.cols());
+    let mut events = sram_events(geom, m_rows, n_cols, w.storage_bytes(), k * n_cols, 1.0);
     for rs in 0..walk.row_strips() {
         let re = (m_rows - rs * geom.tile_rows()).min(geom.tile_rows());
         for cs in 0..walk.col_strips() {
-            let ce = (a.cols() - cs * geom.tile_cols()).min(geom.tile_cols());
+            let ce = (n_cols - cs * geom.tile_cols()).min(geom.tile_cols());
             events.cycles += blocks_k as u64 * cpb + geom.skew_cycles();
             let active = active_macs(wp.strip(rs), ap.strip(cs));
             let issued = (re * ce * blocks_k * geom.b) as u64 * cpb;
@@ -243,20 +265,50 @@ pub fn run_aw(geom: &ArrayGeometry, w: &DbbMatrix, a: &DbbMatrix) -> GemmRun {
 /// Event-only fast path for `S2TA-AW`; identical counts to [`run_aw`].
 pub fn run_aw_perf(geom: &ArrayGeometry, w: &DbbMatrix, a: &DbbMatrix) -> EventCounts {
     check_aw(geom, w, a);
+    let wp = RowStripProfile::new(&w.decompress(), geom.tile_rows());
+    let ap = ColStripProfile::new(&a.decompress(), geom.tile_cols());
+    run_aw_perf_profiled(geom, w, a.shape().1, a.config(), &wp, &ap)
+}
+
+/// Matrix-free event path for `S2TA-AW`: identical counts to [`run_aw`]
+/// / [`run_aw_perf`], computed without ever materializing (or
+/// decompressing) the A-DBB activation matrix. The activation operand
+/// is described by its column count, its DBB configuration (which fixes
+/// the per-block serialization and the compressed storage footprint:
+/// every column carries `ceil(k / bz)` blocks of
+/// `config.block_bytes()`), and the post-DAP column-strip profile `ap`
+/// at `geom.tile_cols()` strips (derivable straight from the dense
+/// activation via `s2ta_dbb::dap::dap_col_profile`). `wp` must profile
+/// `w.decompress()` at `geom.tile_rows()` strips.
+///
+/// # Panics
+///
+/// Panics if the blockings do not match the geometry or the profiles
+/// do not cover the stated dimensions.
+pub fn run_aw_perf_profiled(
+    geom: &ArrayGeometry,
+    w: &DbbMatrix,
+    n_cols: usize,
+    a_config: s2ta_dbb::DbbConfig,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+) -> EventCounts {
+    check_wdbb(geom, w);
+    assert_eq!(a_config.bz(), geom.bz, "activation block size must match array");
     let (m_rows, k) = w.shape();
-    let n_cols = a.shape().1;
     let blocks_k = k.div_ceil(geom.bz);
     let wpasses = if w.config().is_dense() { geom.bz.div_ceil(geom.b) as u64 } else { 1 };
-    let serial = a.config().nnz() as u64 * wpasses;
-    let dense_w = w.decompress();
-    let dense_a = a.decompress();
-    let wp = RowStripProfile::new(&dense_w, geom.tile_rows());
-    let ap = ColStripProfile::new(&dense_a, geom.tile_cols());
-
-    let write_ratio = a.config().block_bytes() as f64 / a.config().bz() as f64;
-    let mut events =
-        sram_events(geom, m_rows, n_cols, w.storage_bytes(), a.storage_bytes(), write_ratio);
+    let serial = a_config.nnz() as u64 * wpasses;
     let walk = geom.tile_walk(m_rows, n_cols);
+    assert_eq!(wp.strips(), walk.row_strips(), "weight profile strip count mismatch");
+    assert_eq!(ap.strips(), walk.col_strips(), "activation profile strip count mismatch");
+    assert_eq!(wp.strip(0).len(), k, "weight profile reduction length mismatch");
+    assert_eq!(ap.strip(0).len(), k, "activation profile reduction length mismatch");
+
+    let a_storage_bytes = n_cols * blocks_k * a_config.block_bytes();
+    let write_ratio = a_config.block_bytes() as f64 / a_config.bz() as f64;
+    let mut events =
+        sram_events(geom, m_rows, n_cols, w.storage_bytes(), a_storage_bytes, write_ratio);
     for rs in 0..walk.row_strips() {
         let re = (m_rows - rs * geom.tile_rows()).min(geom.tile_rows());
         for cs in 0..walk.col_strips() {
@@ -269,7 +321,7 @@ pub fn run_aw_perf(geom: &ArrayGeometry, w: &DbbMatrix, a: &DbbMatrix) -> EventC
             events.acc_updates += active;
             events.mux_selects += issued;
             let w_tile_bytes = (re * blocks_k * w.config().block_bytes()) as u64;
-            let a_tile_bytes = (ce * blocks_k * a.config().block_bytes()) as u64;
+            let a_tile_bytes = (ce * blocks_k * a_config.block_bytes()) as u64;
             events.operand_reg_bytes += operand_reg_bytes(geom, re, ce, w_tile_bytes, a_tile_bytes);
         }
     }

@@ -205,6 +205,12 @@ fn slo_aware_policy_beats_default_fixed_policy_on_the_model_mix() {
 /// captured from the pre-refactor implementation (PR 2) on this exact
 /// workload; any drift in batch formation, placement, event totals or
 /// latency percentiles fails here.
+///
+/// Re-pinned once when the memory-bound DMA clamp switched from
+/// truncating division to `div_ceil` (a sub-rate tail transfer now
+/// costs its full bus cycle): the S2TA-AW runs gained a few cycles on
+/// LeNet's FC layers (e.g. single-lane makespan 546_521 -> 546_523),
+/// while SA-ZVCG is untouched (its FC byte totals divide evenly).
 #[test]
 fn homogeneous_fleet_matches_pre_refactor_golden() {
     let models = [lenet5(), cifar10_convnet()];
@@ -219,17 +225,17 @@ fn homogeneous_fleet_matches_pre_refactor_golden() {
 
     let one = Fleet::new(ArchKind::S2taAw, 1).with_policy(policy).serve(&models, &requests);
     assert_eq!(one.batches, 28);
-    assert_eq!(one.makespan_cycles, 546_521);
-    assert_eq!(one.total_events.cycles, 282_640);
+    assert_eq!(one.makespan_cycles, 546_523);
+    assert_eq!(one.total_events.cycles, 282_672);
     assert_eq!(one.total_events.macs_active, 61_887_596);
-    assert_eq!((one.p50_cycles(), one.p99_cycles()), (30_562, 49_994));
+    assert_eq!((one.p50_cycles(), one.p99_cycles()), (30_564, 49_996));
     assert_eq!(one.arch, "S2TA-AW", "homogeneous label must stay the bare kind");
 
     let three = Fleet::new(ArchKind::S2taAw, 3).with_policy(policy).serve(&models, &requests);
     assert_eq!(three.batches, 28);
-    assert_eq!(three.makespan_cycles, 546_521);
-    assert_eq!(three.total_events.cycles, 282_640);
-    assert_eq!((three.p50_cycles(), three.p99_cycles()), (29_210, 42_164));
+    assert_eq!(three.makespan_cycles, 546_523);
+    assert_eq!(three.total_events.cycles, 282_672);
+    assert_eq!((three.p50_cycles(), three.p99_cycles()), (29_212, 42_164));
 
     let closed_spec = ClosedLoopSpec::uniform(7, 4, 60, 4_000.0, models.len());
     let mut p = policy;
@@ -239,9 +245,9 @@ fn homogeneous_fleet_matches_pre_refactor_golden() {
         &mut p,
     );
     assert_eq!(closed.batches, 27);
-    assert_eq!(closed.makespan_cycles, 578_397);
-    assert_eq!(closed.total_events.cycles, 156_661);
-    assert_eq!((closed.p50_cycles(), closed.p99_cycles()), (34_945, 39_587));
+    assert_eq!(closed.makespan_cycles, 578_415);
+    assert_eq!(closed.total_events.cycles, 156_691);
+    assert_eq!((closed.p50_cycles(), closed.p99_cycles()), (34_945, 39_589));
 
     let zvcg = Fleet::new(ArchKind::SaZvcg, 2).with_policy(policy).serve(&models, &requests);
     assert_eq!(zvcg.batches, 28);
