@@ -1,0 +1,166 @@
+//! Cluster-scale routing: global tail latency of a 4-shard
+//! heterogeneous cluster under a diurnal ~1M-request stream, comparing
+//! the routing tier's policies — random spray, join-shortest-queue,
+//! and power-of-two-choices — plus an (ungated) autoscaled run that
+//! exercises lane scaling against the same day curve.
+//!
+//! Queues are unbounded, so every policy serves the identical request
+//! set (zero drops, equal goodput) and the global-p99 gap is
+//! attributable to routing alone. The gate is **p2c >= 1.15x random on
+//! global p99** (merged per-request samples, never averaged per-shard
+//! percentiles), recorded in `BENCH_cluster.json`.
+//!
+//! Set `S2TA_BENCH_QUICK=1` for the CI smoke mode: a 40k-request
+//! prefix of the same diurnal profile, conservation and ordering
+//! checks only, no artifact rewrite (a scaled-down tail gap is not the
+//! committed gate; CI's python step re-checks the committed artifact).
+
+use s2ta_bench::{cluster_scenario as scenario, header, json_num, write_bench_artifact, SEED};
+use s2ta_energy::TechParams;
+use s2ta_models::ModelSpec;
+use s2ta_serve::{ClusterReport, Request, RoutingPolicy};
+use std::time::Instant;
+
+/// Everything the artifact keeps from one cluster run — the full
+/// [`ClusterReport`] (a million outcome rows) is dropped after this is
+/// extracted.
+struct RunSummary {
+    label: String,
+    served: usize,
+    dropped: usize,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    makespan: u64,
+    goodput_ips: f64,
+    energy_uj: f64,
+    scale_events: usize,
+    host_seconds: f64,
+}
+
+fn summarize(label: &str, report: &ClusterReport, tech: &TechParams, secs: f64) -> RunSummary {
+    RunSummary {
+        label: label.to_string(),
+        served: report.served_count(),
+        dropped: report.dropped_count(),
+        p50: report.p50_cycles(),
+        p95: report.p95_cycles(),
+        p99: report.p99_cycles(),
+        makespan: report.makespan_cycles(),
+        goodput_ips: report.goodput_ips(tech),
+        energy_uj: report.energy(tech).total_pj() * 1e-6,
+        scale_events: report.scale_events.len(),
+        host_seconds: secs,
+    }
+}
+
+fn run(
+    label: &str,
+    routing: RoutingPolicy,
+    autoscaled: bool,
+    models: &[ModelSpec],
+    requests: &[Request],
+    tech: &TechParams,
+) -> RunSummary {
+    let mut cluster = scenario::cluster(routing);
+    if autoscaled {
+        cluster = cluster.with_autoscale(scenario::autoscale());
+    }
+    let t = Instant::now();
+    let report = cluster.serve(models, requests);
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(report.total_requests(), requests.len(), "{label}: router must conserve the stream");
+    let s = summarize(label, &report, tech, secs);
+    println!(
+        "{label:<14} served {:>9} dropped {:>3} | p50 {:>7} p95 {:>7} p99 {:>7} cyc | \
+         goodput {:>9.0} inf/s | {} scale events | {secs:.1} host-s",
+        s.served, s.dropped, s.p50, s.p95, s.p99, s.goodput_ips, s.scale_events,
+    );
+    s
+}
+
+fn record(s: &RunSummary) -> String {
+    format!(
+        "{{\"routing\": \"{}\", \"served\": {}, \"dropped\": {}, \"p50_cycles\": {}, \
+         \"p95_cycles\": {}, \"p99_cycles\": {}, \"makespan_cycles\": {}, \
+         \"goodput_ips\": {}, \"energy_uj\": {}, \"scale_events\": {}, \"host_seconds\": {}}}",
+        s.label,
+        s.served,
+        s.dropped,
+        s.p50,
+        s.p95,
+        s.p99,
+        s.makespan,
+        json_num(s.goodput_ips),
+        json_num(s.energy_uj),
+        s.scale_events,
+        json_num(s.host_seconds),
+    )
+}
+
+fn main() {
+    header("Cluster", "Sharded serving: routing-policy tail latency at ~1M diurnal requests");
+    let quick = std::env::var("S2TA_BENCH_QUICK").is_ok();
+    let tech = TechParams::tsmc16();
+    let models = scenario::models();
+    let mut spec = scenario::workload();
+    if quick {
+        spec.requests = 40_000;
+    }
+    let requests = spec.generate();
+    println!(
+        "{} shards ({} lanes each), {} requests over a {}-cycle day, act-seed pool {}\n",
+        scenario::SHARDS,
+        scenario::shard_spec().lanes(),
+        requests.len(),
+        spec.period_cycles(),
+        scenario::ACT_SEED_POOL,
+    );
+
+    let random = run("random", RoutingPolicy::Random, false, &models, &requests, &tech);
+    let jsq = run("jsq", RoutingPolicy::JoinShortestQueue, false, &models, &requests, &tech);
+    let p2c = run("p2c", RoutingPolicy::PowerOfTwo, false, &models, &requests, &tech);
+    let scaled = run("p2c+autoscale", RoutingPolicy::PowerOfTwo, true, &models, &requests, &tech);
+
+    // Equal goodput by construction: unbounded queues, zero drops,
+    // identical served sets — so the p99 gap is routing, not admission.
+    for s in [&random, &jsq, &p2c] {
+        assert_eq!(s.dropped, 0, "{}: canonical scenario must not drop", s.label);
+        assert_eq!(s.served, requests.len(), "{}: must serve the whole stream", s.label);
+    }
+    let goodput_gap = (p2c.goodput_ips - random.goodput_ips).abs() / random.goodput_ips;
+    assert!(
+        goodput_gap < 0.02,
+        "p2c and random goodput diverged by {:.2}% — the p99 gate assumes equal goodput",
+        goodput_gap * 100.0
+    );
+    assert!(scaled.scale_events > 0, "the diurnal day must exercise the autoscaler");
+
+    let speedup = random.p99 as f64 / p2c.p99 as f64;
+    let jsq_speedup = random.p99 as f64 / jsq.p99 as f64;
+    println!();
+    println!("p2c global p99 is {speedup:.2}x better than random (jsq: {jsq_speedup:.2}x)");
+    if quick {
+        println!("quick mode: artifact left untouched");
+        return;
+    }
+    assert!(
+        speedup >= scenario::GATE_P99_SPEEDUP,
+        "p2c must beat random routing on global p99 by >= {:.2}x, got {speedup:.2}x",
+        scenario::GATE_P99_SPEEDUP,
+    );
+
+    let records: Vec<String> = [&random, &jsq, &p2c, &scaled].iter().map(|s| record(s)).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"seed\": {SEED},\n  \"shards\": {},\n  \
+         \"requests\": {},\n  \"runs\": [\n    {}\n  ],\n  \"gate\": {{\"p99_speedup_p2c_vs_random\": {}, \
+         \"threshold\": {}}}\n}}\n",
+        scenario::SHARDS,
+        requests.len(),
+        records.join(",\n    "),
+        json_num(speedup),
+        json_num(scenario::GATE_P99_SPEEDUP),
+    );
+    let path = write_bench_artifact("BENCH_cluster.json", &json);
+    println!("wrote {} ({} runs)", path.display(), records.len());
+}

@@ -130,6 +130,27 @@ impl ModelPlan {
         self.model == model.name && self.fingerprint == model_fingerprint(model)
     }
 
+    /// A deterministic estimate of the plan's resident bytes: per
+    /// layer, the weight storage (raw bytes for dense plans, compressed
+    /// DBB storage otherwise) plus the baked-in row-strip profile's
+    /// `u32` counts. This is the unit [`WeightPlanCache`] byte budgets
+    /// are accounted in — a pure function of the compiled shapes, so
+    /// budget accounting can never vary with host timing.
+    pub fn approx_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                let weights = match &l.weights {
+                    PlannedWeights::Dense(m) => m.len() as u64,
+                    PlannedWeights::Dbb(d) => d.storage_bytes() as u64,
+                };
+                let profile: u64 =
+                    (0..l.wprofile.strips()).map(|s| l.wprofile.strip(s).len() as u64 * 4).sum();
+                weights + profile
+            })
+            .sum()
+    }
+
     /// Splits the plan's layer list into at most `stages` contiguous,
     /// non-empty ranges that **minimize the maximum per-stage cost**,
     /// where `layer_cost(i)` prices layer `i` (cycles, MACs — any
@@ -267,6 +288,8 @@ struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     bypasses: AtomicU64,
+    evictions: AtomicU64,
+    bytes_evicted: AtomicU64,
 }
 
 /// A point-in-time snapshot of a [`WeightPlanCache`]'s lookup counters.
@@ -276,9 +299,16 @@ struct CacheCounters {
 /// * `bypasses` — lookups for dense (non-W-DBB) architectures, which
 ///   deliberately skip the memo table (their "plans" are regenerable
 ///   raw weights; see [`WeightPlanCache::get_or_plan`]).
+/// * `evictions` / `bytes_evicted` — entries (and their estimated
+///   bytes) an LRU byte budget pushed out; always zero on unbounded
+///   caches.
 ///
 /// Counters only ever grow; per-run deltas come from
-/// [`CacheStats::since`].
+/// [`CacheStats::since`]. On a budgeted cache the hit/miss/eviction
+/// *counters* may vary with host-thread interleaving (which lane
+/// touches an entry first decides recency), while the cached values
+/// themselves are pure recomputations — so simulated results stay
+/// byte-identical under any eviction schedule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Memoized lookups served from the table.
@@ -287,6 +317,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Dense-architecture lookups that bypassed memoization.
     pub bypasses: u64,
+    /// Entries evicted to stay within a byte budget.
+    pub evictions: u64,
+    /// Estimated bytes those evictions released.
+    pub bytes_evicted: u64,
 }
 
 impl CacheStats {
@@ -297,6 +331,8 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             bypasses: self.bypasses - earlier.bypasses,
+            evictions: self.evictions - earlier.evictions,
+            bytes_evicted: self.bytes_evicted - earlier.bytes_evicted,
         }
     }
 
@@ -316,6 +352,25 @@ impl CacheStats {
     }
 }
 
+/// One resident plan plus its LRU bookkeeping.
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<ModelPlan>,
+    /// Estimated resident bytes ([`ModelPlan::approx_bytes`]), frozen
+    /// at insert so insert/evict accounting always balances.
+    bytes: u64,
+    last_used: u64,
+}
+
+/// The lock-protected state of a [`WeightPlanCache`].
+#[derive(Debug, Default)]
+struct PlanTable {
+    map: HashMap<PlanKey, PlanEntry>,
+    /// LRU clock, bumped on every touch.
+    tick: u64,
+    resident_bytes: u64,
+}
+
 /// A thread-safe memo table of compiled [`ModelPlan`]s.
 ///
 /// The cache is keyed by `(arch, model, weight seed)` — the
@@ -326,17 +381,34 @@ impl CacheStats {
 /// ever serving a mismatched plan. Every clone of an [`Accelerator`]
 /// shares its cache, so repeated `run_model` calls — and every lane of
 /// a serving fleet — compile each `(arch, model, seed)` triple's W-DBB
-/// layers exactly once.
+/// layers exactly once (ever when unbounded, per residency when a byte
+/// budget evicts).
+///
+/// [`WeightPlanCache::with_byte_budget`] bounds the table: when the
+/// estimated resident bytes exceed the budget, least-recently-used
+/// plans are evicted (never the one just inserted — a budget smaller
+/// than a single plan still serves it, it just can't keep it). Evicted
+/// plans recompile on next use to byte-identical values, so a budget
+/// changes host time and the eviction counters, never simulated
+/// results.
 #[derive(Debug, Clone, Default)]
 pub struct WeightPlanCache {
-    inner: Arc<Mutex<HashMap<PlanKey, Arc<ModelPlan>>>>,
+    inner: Arc<Mutex<PlanTable>>,
     counters: Arc<CacheCounters>,
+    /// LRU byte budget; `None` = unbounded.
+    budget: Option<u64>,
 }
 
 impl WeightPlanCache {
-    /// An empty cache.
+    /// An empty unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that evicts least-recently-used plans whenever
+    /// the estimated resident bytes exceed `budget`.
+    pub fn with_byte_budget(budget: u64) -> Self {
+        Self { budget: Some(budget), ..Self::default() }
     }
 
     /// Returns the cached plan for `(model, weight_seed)`, compiling it
@@ -364,33 +436,85 @@ impl WeightPlanCache {
             model_fingerprint(model),
             weight_seed,
         );
-        if let Some(plan) = self.inner.lock().expect("plan cache poisoned").get(&key) {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(plan);
+        {
+            let mut table = self.inner.lock().expect("plan cache poisoned");
+            table.tick += 1;
+            let tick = table.tick;
+            if let Some(entry) = table.map.get_mut(&key) {
+                entry.last_used = tick;
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.plan);
+            }
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         // Compile outside the lock: plans can be large and compilation
         // is the expensive part. A racing thread may compile the same
         // plan; the first insert wins and the duplicate is dropped.
         let plan = Arc::new(acc.plan_model_uncached(model, weight_seed));
-        let mut map = self.inner.lock().expect("plan cache poisoned");
-        Arc::clone(map.entry(key).or_insert(plan))
+        let mut table = self.inner.lock().expect("plan cache poisoned");
+        table.tick += 1;
+        let tick = table.tick;
+        if let Some(entry) = table.map.get_mut(&key) {
+            entry.last_used = tick;
+            return Arc::clone(&entry.plan);
+        }
+        let bytes = plan.approx_bytes();
+        table.resident_bytes += bytes;
+        table
+            .map
+            .insert(key.clone(), PlanEntry { plan: Arc::clone(&plan), bytes, last_used: tick });
+        if let Some(budget) = self.budget {
+            self.evict_locked(&mut table, budget, &key);
+        }
+        plan
+    }
+
+    /// Evicts least-recently-used entries (never `keep`, the one just
+    /// inserted) until the table fits `budget`. The victim scan is
+    /// linear in the table size — fine for a model-zoo-scale plan
+    /// population, where eviction cost is dwarfed by one compile.
+    fn evict_locked(&self, table: &mut PlanTable, budget: u64, keep: &PlanKey) {
+        while table.resident_bytes > budget && table.map.len() > 1 {
+            let victim = table
+                .map
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            let e = table.map.remove(&k).expect("victim is resident");
+            table.resident_bytes -= e.bytes;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.counters.bytes_evicted.fetch_add(e.bytes, Ordering::Relaxed);
+        }
     }
 
     /// A snapshot of the cache's lookup counters (hits / misses /
-    /// dense bypasses). Counters are monotone; diff two snapshots with
-    /// [`CacheStats::since`] to scope them to one run.
+    /// dense bypasses / evictions). Counters are monotone; diff two
+    /// snapshots with [`CacheStats::since`] to scope them to one run.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             bypasses: self.counters.bypasses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            bytes_evicted: self.counters.bytes_evicted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Estimated bytes of the currently resident plans.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().expect("plan cache poisoned").resident_bytes
+    }
+
+    /// The LRU byte budget (`None` = unbounded).
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.budget
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache poisoned").len()
+        self.inner.lock().expect("plan cache poisoned").map.len()
     }
 
     /// `true` if nothing has been planned yet.
@@ -398,9 +522,11 @@ impl WeightPlanCache {
         self.len() == 0
     }
 
-    /// Drops every cached plan.
+    /// Drops every cached plan (not counted as evictions).
     pub fn clear(&self) {
-        self.inner.lock().expect("plan cache poisoned").clear();
+        let mut table = self.inner.lock().expect("plan cache poisoned");
+        table.map.clear();
+        table.resident_bytes = 0;
     }
 }
 
@@ -481,6 +607,17 @@ impl ActProfile {
         (self.layer.gemm.k, self.layer.gemm.n)
     }
 
+    /// A deterministic estimate of the entry's resident bytes with
+    /// **both** lazy sides compiled: two column-strip profiles of
+    /// `ceil(N / strip_cols)` strips × `K` `u32` counts each. The unit
+    /// [`ActProfileCache`] byte budgets are accounted in — deliberately
+    /// independent of which sides happen to be compiled yet, so budget
+    /// accounting can never vary with host timing.
+    pub fn approx_bytes(&self) -> u64 {
+        let (k, n) = self.shape();
+        2 * n.div_ceil(self.strip_cols) as u64 * k as u64 * 4
+    }
+
     /// Column-strip profile of the raw activation (compiled on first
     /// use: one matrix generation + one profiling pass, ever).
     pub fn dense(&self) -> &ColStripProfile {
@@ -533,16 +670,47 @@ impl ActProfile {
 /// cache: lanes whose geometries agree on `(tile_cols, bz)` — e.g. the
 /// paper's SA baseline and S2TA-AW design points — share entries even
 /// across architecture kinds.
+///
+/// [`ActProfileCache::with_byte_budget`] bounds the table with the same
+/// LRU story as the weight-plan cache: estimated resident bytes over
+/// budget evict the least-recently-used entries (never the one just
+/// inserted). Evicted profiles recompile byte-identically on next use.
 #[derive(Debug, Clone, Default)]
 pub struct ActProfileCache {
-    inner: Arc<Mutex<HashMap<ActKey, Arc<ActProfile>>>>,
+    inner: Arc<Mutex<ActTable>>,
     counters: Arc<CacheCounters>,
+    /// LRU byte budget; `None` = unbounded.
+    budget: Option<u64>,
+}
+
+/// One resident activation profile plus its LRU bookkeeping.
+#[derive(Debug)]
+struct ActEntry {
+    profile: Arc<ActProfile>,
+    /// Estimated resident bytes ([`ActProfile::approx_bytes`]).
+    bytes: u64,
+    last_used: u64,
+}
+
+/// The lock-protected state of an [`ActProfileCache`].
+#[derive(Debug, Default)]
+struct ActTable {
+    map: HashMap<ActKey, ActEntry>,
+    /// LRU clock, bumped on every touch.
+    tick: u64,
+    resident_bytes: u64,
 }
 
 impl ActProfileCache {
-    /// An empty cache.
+    /// An empty unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that evicts least-recently-used profiles whenever
+    /// the estimated resident bytes exceed `budget`.
+    pub fn with_byte_budget(budget: u64) -> Self {
+        Self { budget: Some(budget), ..Self::default() }
     }
 
     /// Returns the cached profile for `(layer, act_seed)` under the
@@ -550,12 +718,16 @@ impl ActProfileCache {
     /// (entry creation is cheap — the profile sides compile lazily, see
     /// [`ActProfile`]).
     ///
-    /// The hit/miss counters are **deterministic** for a deterministic
-    /// lookup sequence regardless of host threading: the entry is
-    /// created inside the lock (exactly one miss per key, ever) and
-    /// concurrent first users of a side block on its `OnceLock` rather
-    /// than double-compiling — so counter assertions in tests and
-    /// examples can be exact.
+    /// On an **unbounded** cache the hit/miss counters are
+    /// deterministic for a deterministic lookup sequence regardless of
+    /// host threading: the entry is created inside the lock (exactly
+    /// one miss per key, ever) and concurrent first users of a side
+    /// block on its `OnceLock` rather than double-compiling — so
+    /// counter assertions in tests and examples can be exact. A byte
+    /// budget gives that exactness up: which entry is least recent
+    /// depends on host-thread interleaving, so a once-evicted key can
+    /// re-miss — the profiles themselves are still pure, so simulated
+    /// results never change.
     ///
     /// # Panics
     ///
@@ -569,23 +741,35 @@ impl ActProfileCache {
         adbb: LayerNnz,
     ) -> Arc<ActProfile> {
         let key = (layer_act_fingerprint(layer), act_seed, strip_cols, bz, adbb);
-        let mut map = self.inner.lock().expect("act profile cache poisoned");
-        match map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(e.get())
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(v.insert(Arc::new(ActProfile::new(
-                    layer.clone(),
-                    act_seed,
-                    strip_cols,
-                    bz,
-                    adbb,
-                ))))
+        let mut table = self.inner.lock().expect("act profile cache poisoned");
+        table.tick += 1;
+        let tick = table.tick;
+        if let Some(entry) = table.map.get_mut(&key) {
+            entry.last_used = tick;
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&entry.profile);
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let profile = Arc::new(ActProfile::new(layer.clone(), act_seed, strip_cols, bz, adbb));
+        let bytes = profile.approx_bytes();
+        table.resident_bytes += bytes;
+        table.map.insert(key, ActEntry { profile: Arc::clone(&profile), bytes, last_used: tick });
+        if let Some(budget) = self.budget {
+            while table.resident_bytes > budget && table.map.len() > 1 {
+                let victim = table
+                    .map
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k);
+                let Some(k) = victim else { break };
+                let e = table.map.remove(&k).expect("victim is resident");
+                table.resident_bytes -= e.bytes;
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.counters.bytes_evicted.fetch_add(e.bytes, Ordering::Relaxed);
             }
         }
+        profile
     }
 
     /// A snapshot of the cache's lookup counters; every lookup is
@@ -596,12 +780,24 @@ impl ActProfileCache {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             bypasses: self.counters.bypasses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            bytes_evicted: self.counters.bytes_evicted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Estimated bytes of the currently resident profiles.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().expect("act profile cache poisoned").resident_bytes
+    }
+
+    /// The LRU byte budget (`None` = unbounded).
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.budget
     }
 
     /// Number of cached profiles.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("act profile cache poisoned").len()
+        self.inner.lock().expect("act profile cache poisoned").map.len()
     }
 
     /// `true` if nothing has been profiled yet.
@@ -609,9 +805,11 @@ impl ActProfileCache {
         self.len() == 0
     }
 
-    /// Drops every cached profile.
+    /// Drops every cached profile (not counted as evictions).
     pub fn clear(&self) {
-        self.inner.lock().expect("act profile cache poisoned").clear();
+        let mut table = self.inner.lock().expect("act profile cache poisoned");
+        table.map.clear();
+        table.resident_bytes = 0;
     }
 }
 
@@ -938,6 +1136,85 @@ mod tests {
         assert_eq!(s2.lookups(), 3);
         assert!((s2.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_the_lru_plan_exactly() {
+        let m = lenet5();
+        // Size three seeds' plans through a scratch unbounded cache.
+        let scratch = Accelerator::preset(ArchKind::S2taAw);
+        let b: Vec<u64> = (1..=3).map(|s| scratch.plan_model(&m, s).approx_bytes()).collect();
+        assert!(b.iter().all(|&x| x > 0));
+        // A budget one byte short of all three forces exactly one
+        // eviction when the third plan lands.
+        let cache = WeightPlanCache::with_byte_budget(b[0] + b[1] + b[2] - 1);
+        let acc = Accelerator::preset(ArchKind::S2taAw).sharing_plans(cache.clone());
+        let p1 = acc.plan_model(&m, 1);
+        let p2 = acc.plan_model(&m, 2);
+        assert_eq!((cache.len(), cache.stats().evictions), (2, 0));
+        assert_eq!(cache.resident_bytes(), b[0] + b[1]);
+        // Touch seed 1 so seed 2 is least recent, then overflow.
+        acc.plan_model(&m, 1);
+        acc.plan_model(&m, 3);
+        let s = cache.stats();
+        assert_eq!(cache.len(), 2, "third plan evicted one");
+        assert_eq!((s.evictions, s.bytes_evicted), (1, b[1]));
+        assert_eq!(cache.resident_bytes(), b[0] + b[2]);
+        // Seed 1 survived (hit, same Arc); seed 2 must recompile — to a
+        // byte-identical plan.
+        let before = cache.stats();
+        assert!(Arc::ptr_eq(&p1, &acc.plan_model(&m, 1)));
+        assert_eq!(cache.stats().since(before).hits, 1);
+        let before = cache.stats();
+        let p2b = acc.plan_model(&m, 2);
+        assert_eq!(cache.stats().since(before).misses, 1);
+        assert!(!Arc::ptr_eq(&p2, &p2b), "evicted plan is a fresh compilation");
+        assert_eq!(*p2, *p2b, "recompilation is byte-identical");
+    }
+
+    #[test]
+    fn tiny_budget_never_evicts_the_just_inserted_plan() {
+        let cache = WeightPlanCache::with_byte_budget(0);
+        let acc = Accelerator::preset(ArchKind::S2taAw).sharing_plans(cache.clone());
+        let m = lenet5();
+        acc.plan_model(&m, 1);
+        assert_eq!(cache.len(), 1, "a zero budget still serves the working plan");
+        assert_eq!(cache.stats().evictions, 0);
+        acc.plan_model(&m, 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1, "the older plan paid for the new one");
+        assert_eq!(cache.byte_budget(), Some(0));
+        assert_eq!(WeightPlanCache::new().byte_budget(), None);
+    }
+
+    #[test]
+    fn act_cache_byte_budget_evicts_lru_and_recounts() {
+        let m = lenet5();
+        let layer = &m.layers[0];
+        let probe = ActProfileCache::new();
+        let b = probe.get_or_profile(layer, 1, 8, 8, LayerNnz::Dense).approx_bytes();
+        assert!(b > 0);
+        // Same layer and scope: every entry costs exactly `b`, so a
+        // two-entry budget is exact.
+        let cache = ActProfileCache::with_byte_budget(2 * b);
+        for seed in [1u64, 2, 1, 3] {
+            cache.get_or_profile(layer, seed, 8, 8, LayerNnz::Dense);
+        }
+        let s = cache.stats();
+        assert_eq!(cache.len(), 2);
+        assert_eq!((s.hits, s.misses, s.evictions, s.bytes_evicted), (1, 3, 1, b));
+        assert_eq!(cache.resident_bytes(), 2 * b);
+        // Seed 2 was least recent and got evicted: 1 and 3 hit, 2
+        // re-misses (and evicts the next LRU in turn).
+        let before = cache.stats();
+        cache.get_or_profile(layer, 1, 8, 8, LayerNnz::Dense);
+        cache.get_or_profile(layer, 3, 8, 8, LayerNnz::Dense);
+        let d = cache.stats().since(before);
+        assert_eq!((d.hits, d.misses), (2, 0));
+        let before = cache.stats();
+        cache.get_or_profile(layer, 2, 8, 8, LayerNnz::Dense);
+        let d = cache.stats().since(before);
+        assert_eq!((d.hits, d.misses, d.evictions), (0, 1, 1));
     }
 
     #[test]

@@ -70,6 +70,7 @@ use crate::scheduler::{
     affinity_lane, earliest_free_lane, DeadlineHeap, Formation, PlacementStrategy, Scheduler,
     ServiceEstimator,
 };
+use crate::timewheel::TimerWheel;
 use crate::workload::{ClosedLoopClient, ClosedLoopSpec, Request};
 use s2ta_core::{
     pool, Accelerator, ActProfileCache, ArchKind, CacheStats, ExecPath, WeightPlanCache,
@@ -335,6 +336,37 @@ impl Fleet {
         self
     }
 
+    /// Re-points every lane at fresh shared **byte-budgeted** caches:
+    /// a [`WeightPlanCache`] bounded to `weight_bytes` and an
+    /// [`ActProfileCache`] bounded to `act_bytes`, both evicting
+    /// least-recently-used entries past the budget. Evicted entries
+    /// recompile byte-identically on next use, so a budget changes
+    /// host time and the cache counters — never simulated results.
+    pub fn with_cache_budgets(self, weight_bytes: u64, act_bytes: u64) -> Self {
+        self.sharing_caches(
+            WeightPlanCache::with_byte_budget(weight_bytes),
+            ActProfileCache::with_byte_budget(act_bytes),
+        )
+    }
+
+    /// Re-points every lane at the given shared caches (handles to the
+    /// same underlying tables — cloning a cache shares it). Cached
+    /// values are pure, so cache topology changes host time and the
+    /// counters, never simulated results.
+    pub(crate) fn sharing_caches(mut self, plans: WeightPlanCache, acts: ActProfileCache) -> Self {
+        self.lanes = self
+            .lanes
+            .into_iter()
+            .map(|l| Lane {
+                accelerator: l
+                    .accelerator
+                    .sharing_plans(plans.clone())
+                    .sharing_act_profiles(acts.clone()),
+            })
+            .collect();
+        self
+    }
+
     /// Replaces the weight seed (the models' shared parameters).
     pub fn with_weight_seed(mut self, seed: u64) -> Self {
         self.weight_seed = seed;
@@ -424,6 +456,12 @@ impl Fleet {
     /// The per-lane admission bound, if any.
     pub fn queue_capacity(&self) -> Option<usize> {
         self.queue_capacity
+    }
+
+    /// The configured fixed batching policy (a fresh copy — the
+    /// cluster router gives each shard engine its own instance).
+    pub(crate) fn fixed_policy(&self) -> FixedPolicy {
+        self.scheduler.policy()
     }
 
     /// The fleet's composition label (see [`FleetSpec::label`]).
@@ -698,8 +736,9 @@ struct EngineBatch {
 
 /// Where the engine's next request comes from: a pre-generated sorted
 /// open-loop stream, or a closed-loop client population advanced on
-/// completions.
-enum ArrivalSource<'a> {
+/// completions. (The cluster router drives shard engines with an empty
+/// open source and injects routed arrivals itself.)
+pub(crate) enum ArrivalSource<'a> {
     Open {
         stream: &'a [Request],
         next: usize,
@@ -717,7 +756,7 @@ enum ArrivalSource<'a> {
 }
 
 impl<'a> ArrivalSource<'a> {
-    fn open(stream: &'a [Request]) -> Self {
+    pub(crate) fn open(stream: &'a [Request]) -> Self {
         Self::Open { stream, next: 0 }
     }
 
@@ -787,6 +826,12 @@ impl<'a> ArrivalSource<'a> {
     }
 }
 
+/// Event-kind tie-breakers: at equal times, completions fire before
+/// arrivals, arrivals before deadlines.
+const COMPLETION_KIND: u8 = 0;
+const ARRIVAL_KIND: u8 = 1;
+const DEADLINE_KIND: u8 = 2;
+
 /// The event-driven serving engine: advances simulated time through
 /// three event kinds — batch completions, request arrivals, and batch
 /// wait-deadline expiries — processed in `(time, kind)` order
@@ -799,16 +844,28 @@ impl<'a> ArrivalSource<'a> {
 /// host pool before the serial placement loop picks lanes, so the
 /// expensive cycle simulations overlap on host threads while the
 /// simulated-time decisions stay exactly serial.
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     fleet: &'a Fleet,
     models: &'a [ModelSpec],
     scopes: LaneScopes,
     queue: RequestQueue,
     deadlines: DeadlineHeap,
-    /// In-flight batches ordered by `(completion, batch index)`.
-    in_flight: BinaryHeap<Reverse<(u64, usize)>>,
+    /// In-flight batches ordered by `(completion, batch index)` — a
+    /// hierarchical timer wheel, so a million pending completions cost
+    /// O(1) amortized per event instead of a heap rebalance.
+    in_flight: TimerWheel<usize>,
     batches: Vec<EngineBatch>,
     free_at: Vec<u64>,
+    /// Lanes `0..active_lanes` accept new monolithic batches; the
+    /// cluster autoscaler shrinks/grows this against queue depth
+    /// (in-flight work on a deactivated lane drains naturally).
+    active_lanes: usize,
+    /// Cumulative idle cycles per lane (gaps between consecutive
+    /// executions on that lane), so pipeline stage stats can attribute
+    /// true lane idle — not another model's busy time — as bubbles.
+    lane_cum_idle: Vec<u64>,
+    /// Latest injected arrival time, to enforce sorted arrival order.
+    last_arrival: u64,
     outcomes: Vec<RequestOutcome>,
     worker_stats: Vec<WorkerStats>,
     total_events: EventCounts,
@@ -846,20 +903,28 @@ struct StageStatsAccum {
     busy_cycles: u64,
     bubble_cycles: u64,
     handoff_cycles: u64,
-    last_completion: u64,
+    /// The stage's lane's cumulative idle at the end of this stage's
+    /// latest execution: the baseline the next execution's bubble delta
+    /// is measured from. Counting lane *idle* (not wall time since this
+    /// stage's last completion) keeps a shared lane's time on another
+    /// model's stage out of this stage's bubbles.
+    idle_seen: u64,
 }
 
 impl<'a> Engine<'a> {
-    fn new(fleet: &'a Fleet, models: &'a [ModelSpec]) -> Self {
+    pub(crate) fn new(fleet: &'a Fleet, models: &'a [ModelSpec]) -> Self {
         Self {
             fleet,
             models,
             scopes: fleet.scopes(),
             queue: fleet.queue(models.len()),
             deadlines: DeadlineHeap::new(),
-            in_flight: BinaryHeap::new(),
+            in_flight: TimerWheel::new(),
             batches: Vec::new(),
             free_at: vec![0u64; fleet.lanes.len()],
+            active_lanes: fleet.lanes.len(),
+            lane_cum_idle: vec![0u64; fleet.lanes.len()],
+            last_arrival: 0,
             outcomes: Vec::new(),
             worker_stats: fleet.lanes.iter().map(|l| WorkerStats::new(l.arch())).collect(),
             total_events: EventCounts::default(),
@@ -877,35 +942,121 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) -> ServeReport {
-        let mut last_arrival = 0u64;
         loop {
             // The next event is the earliest of (completion, arrival,
             // deadline); kind breaks ties so same-cycle events fire in
             // a fixed order.
-            let completion = self.in_flight.peek().map(|Reverse((t, _))| (*t, 0u8));
-            let arrival = arrivals.peek_time().map(|t| (t, 1u8));
-            let deadline = self.deadlines.peek_live(&self.queue).map(|(t, _)| (t, 2u8));
-            let Some((_, kind)) = [completion, arrival, deadline].into_iter().flatten().min()
-            else {
+            let internal = self.next_internal_event();
+            let arrival = arrivals.peek_time().map(|t| (t, ARRIVAL_KIND));
+            let Some((_, kind)) = [internal, arrival].into_iter().flatten().min() else {
                 break;
             };
-            match kind {
-                0 => self.on_completion(arrivals, policy),
-                1 => {
-                    let (r, client) = arrivals.pop(self.next_id);
-                    self.next_id += 1;
-                    assert!(r.arrival >= last_arrival, "arrival stream must be sorted");
-                    last_arrival = r.arrival;
-                    self.on_arrival(r, client, arrivals, policy);
-                }
-                _ => self.on_deadline(policy),
+            if kind == ARRIVAL_KIND {
+                let (r, client) = arrivals.pop(self.next_id);
+                self.inject(r, client, arrivals, policy);
+            } else {
+                self.step_internal(kind, arrivals, policy);
             }
         }
         self.into_report(policy.name())
     }
 
+    /// The earliest pending internal event as `(time, kind)`:
+    /// completions (kind 0) and live batch deadlines (kind 2), with
+    /// arrivals (kind 1) slotting between them at equal times.
+    fn next_internal_event(&mut self) -> Option<(u64, u8)> {
+        let completion = self.in_flight.peek().map(|(t, _)| (t, COMPLETION_KIND));
+        let deadline = self.deadlines.peek_live(&self.queue).map(|(t, _)| (t, DEADLINE_KIND));
+        [completion, deadline].into_iter().flatten().min()
+    }
+
+    /// Processes one internal event previously returned by
+    /// [`Engine::next_internal_event`].
+    fn step_internal(
+        &mut self,
+        kind: u8,
+        arrivals: &mut ArrivalSource,
+        policy: &mut dyn BatchPolicy,
+    ) {
+        match kind {
+            COMPLETION_KIND => self.on_completion(arrivals, policy),
+            _ => self.on_deadline(policy),
+        }
+    }
+
+    /// Injects one externally-routed arrival (the cluster router's
+    /// entry point), assigning it the next dense engine id and running
+    /// the full admission/batching path.
+    pub(crate) fn inject(
+        &mut self,
+        request: Request,
+        client: Option<usize>,
+        arrivals: &mut ArrivalSource,
+        policy: &mut dyn BatchPolicy,
+    ) {
+        self.next_id += 1;
+        assert!(request.arrival >= self.last_arrival, "arrival stream must be sorted");
+        self.last_arrival = request.arrival;
+        self.on_arrival(request, client, arrivals, policy);
+    }
+
+    /// Advances simulated time through every internal event that
+    /// precedes an arrival at `t` in `(time, kind)` order: completions
+    /// with time <= `t` and deadlines strictly before `t`. After this,
+    /// the engine's queue depths are exactly what an arrival at `t`
+    /// would observe — the router's probe point.
+    pub(crate) fn advance_to_arrival(
+        &mut self,
+        t: u64,
+        arrivals: &mut ArrivalSource,
+        policy: &mut dyn BatchPolicy,
+    ) {
+        while let Some((et, kind)) = self.next_internal_event() {
+            if (et, kind) >= (t, ARRIVAL_KIND) {
+                break;
+            }
+            self.step_internal(kind, arrivals, policy);
+        }
+    }
+
+    /// Drains every remaining internal event (end of the arrival
+    /// stream).
+    pub(crate) fn drain(&mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) {
+        while let Some((_, kind)) = self.next_internal_event() {
+            self.step_internal(kind, arrivals, policy);
+        }
+    }
+
+    /// The engine's **backlog**: requests injected but not yet
+    /// resolved (queued for batching *plus* riding in-flight batches;
+    /// tail-dropped requests resolve at arrival and never count).
+    ///
+    /// This is what the cluster's routing policies probe and the
+    /// autoscaler thresholds compare against. Counting in-flight work
+    /// matters: sealed batches leave the request queues immediately,
+    /// so queue length alone would make a shard whose lanes are booked
+    /// solid for thousands of cycles look idle — the
+    /// least-outstanding-requests signal sees through that.
+    pub(crate) fn backlog(&self) -> usize {
+        self.next_id as usize - self.outcomes.len()
+    }
+
+    /// Lanes currently accepting new batches (an `active_lanes`-prefix
+    /// of the fleet's lanes).
+    pub(crate) fn active_lanes(&self) -> usize {
+        self.active_lanes
+    }
+
+    /// Resizes the active-lane prefix (the cluster autoscaler's
+    /// actuator). Clamped to `1..=lanes`; in-flight work on a
+    /// deactivated lane completes normally, the lane just stops
+    /// receiving new batches.
+    pub(crate) fn set_active_lanes(&mut self, lanes: usize) {
+        self.active_lanes = lanes.clamp(1, self.fleet.lanes.len());
+    }
+
     fn on_completion(&mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) {
-        let Reverse((t, index)) = self.in_flight.pop().expect("peeked");
+        let (t, index) = self.in_flight.pop().expect("peeked");
         let batch = &self.batches[index];
         let max_latency_cycles = batch.requests.iter().map(|r| t - r.arrival).max().unwrap_or(0);
         policy.observe(&BatchObservation {
@@ -1025,21 +1176,23 @@ impl<'a> Engine<'a> {
     /// batch metadata — never on the batch's own (not yet known)
     /// execution, which is what makes speculative execution possible.
     fn choose_lane(&self, model: usize, members: usize, ready: u64) -> usize {
+        // Only the active-lane prefix receives new batches (the
+        // autoscaler's contract); with every lane active — the default
+        // — the slices are the full fleet.
+        let active = &self.free_at[..self.active_lanes];
         match self.fleet.placement {
-            PlacementStrategy::EarliestFree => earliest_free_lane(&self.free_at),
+            PlacementStrategy::EarliestFree => earliest_free_lane(active),
             PlacementStrategy::Affinity => {
                 // Predicted service per lane; lanes without evidence
                 // predict zero (optimistic), which makes the rule
                 // collapse to earliest-free until the estimator has
                 // data — and always on homogeneous fleets, where every
                 // lane predicts alike.
-                let predicted: Vec<u64> = self
-                    .fleet
-                    .lanes
+                let predicted: Vec<u64> = self.fleet.lanes[..self.active_lanes]
                     .iter()
                     .map(|l| self.estimator.predict(l.arch(), model, members).unwrap_or(0))
                     .collect();
-                affinity_lane(&self.free_at, ready, &predicted)
+                affinity_lane(active, ready, &predicted)
             }
             // Pipelined batches never choose a single lane: their
             // stages are pinned by the model's PipelinePlan and
@@ -1088,6 +1241,7 @@ impl<'a> Engine<'a> {
             };
             let start = self.free_at[lane].max(ready);
             let completion = start + exec.service_cycles;
+            self.lane_cum_idle[lane] += start - self.free_at[lane];
             self.free_at[lane] = completion;
             self.total_events += exec.events;
             self.makespan = self.makespan.max(completion);
@@ -1108,7 +1262,7 @@ impl<'a> Engine<'a> {
                     worker: lane,
                 }));
             }
-            self.in_flight.push(Reverse((completion, batch_id)));
+            self.in_flight.push(completion, batch_id);
             self.batches.push(EngineBatch {
                 model,
                 requests: members,
@@ -1190,6 +1344,7 @@ impl<'a> Engine<'a> {
                 }
             }
             completion = start + exec.service_cycles;
+            self.lane_cum_idle[lane] += start - self.free_at[lane];
             self.free_at[lane] = completion;
             self.last_stage_on_lane[lane] = Some((model, s));
             self.total_events += exec.events;
@@ -1212,10 +1367,17 @@ impl<'a> Engine<'a> {
             stats.requests += members.len();
             stats.busy_cycles += exec.service_cycles;
             stats.handoff_cycles += handoff;
+            // A stage's bubbles are the cycles its lane sat *idle*
+            // between this stage's consecutive executions. On a lane
+            // shared with another model's stage, wall time since this
+            // stage's last completion would wrongly charge the other
+            // stage's busy cycles here; the per-lane idle accumulator
+            // excludes them by construction. (On a single-model
+            // pipeline the two accountings coincide exactly.)
             if stats.batches > 1 {
-                stats.bubble_cycles += start.saturating_sub(stats.last_completion);
+                stats.bubble_cycles += self.lane_cum_idle[lane] - stats.idle_seen;
             }
-            stats.last_completion = completion;
+            stats.idle_seen = self.lane_cum_idle[lane];
             if s == 0 {
                 first_start = start;
             }
@@ -1252,7 +1414,7 @@ impl<'a> Engine<'a> {
                 worker: final_lane,
             }));
         }
-        self.in_flight.push(Reverse((completion, batch_id)));
+        self.in_flight.push(completion, batch_id);
         self.batches.push(EngineBatch {
             model,
             requests: members,
@@ -1264,7 +1426,7 @@ impl<'a> Engine<'a> {
         });
     }
 
-    fn into_report(mut self, policy_name: &str) -> ServeReport {
+    pub(crate) fn into_report(mut self, policy_name: &str) -> ServeReport {
         self.outcomes.sort_by_key(RequestOutcome::id);
         let pipeline_stages = self
             .stage_stats
@@ -1747,6 +1909,56 @@ mod tests {
         }
         assert!(tight.makespan_cycles >= deep.makespan_cycles);
         assert_eq!(tight.total_events, deep.total_events, "buffers change time, not work");
+    }
+
+    /// Regression test for the bubble-attribution skew: on a lane
+    /// shared by **two models'** pipeline stages, a stage's bubbles
+    /// must count only cycles its lane sat idle — not the other
+    /// model's busy time on the same lane (wall-clock-since-my-last-
+    /// completion accounting charged it here). The physical bound: a
+    /// stage's bubbles are a subset of its lane's idle increments, so
+    /// no stage can report more bubbles than its lane's idle span.
+    /// (Two co-resident stages may both wait through the same idle
+    /// gap, so bubbles deliberately do NOT sum to lane idle.)
+    #[test]
+    fn shared_lane_bubbles_exclude_other_models_busy_time() {
+        let models = vec![lenet5(), s2ta_models::deep_convnet()];
+        // Dense two-model traffic over a 2-lane pipeline: each model
+        // splits into 2 stages, so both models' stages land on both
+        // lanes and their executions interleave per lane.
+        let reqs = WorkloadSpec::mixed(13, 48, 3_000.0, vec![1.0, 1.0]).generate();
+        let report = Fleet::new(ArchKind::S2taAw, 2)
+            .with_policy(FixedPolicy { max_batch: 4, max_wait_cycles: 8_000 })
+            .with_pipeline(2)
+            .serve(&models, &reqs);
+        assert_eq!(report.served_count(), 48);
+        let mut by_lane: HashMap<usize, Vec<&PipelineStageStats>> = HashMap::new();
+        for st in &report.pipeline_stages {
+            by_lane.entry(st.lane).or_default().push(st);
+        }
+        // The scenario must actually share a lane across models, or
+        // the test proves nothing.
+        assert!(
+            by_lane.values().any(|stages| stages.iter().any(|s| s.model != stages[0].model)),
+            "no lane is shared across models: {:?}",
+            report.pipeline_stages
+        );
+        for st in &report.pipeline_stages {
+            let busy = report.workers[st.lane].busy_cycles;
+            let idle = report.makespan_cycles - busy;
+            assert!(
+                st.bubble_cycles <= idle,
+                "{} stage {} on lane {}: bubbles ({}) exceed the lane's idle span \
+                 ({idle}) — another model's busy time is being counted as bubbles",
+                st.model,
+                st.stage,
+                st.lane,
+                st.bubble_cycles
+            );
+        }
+        // And the accounting is still live: some stage sees real
+        // bubbles in this contended scenario.
+        assert!(report.pipeline_stages.iter().any(|s| s.bubble_cycles > 0));
     }
 
     /// The serving report surfaces the fleet plan cache's hit/miss

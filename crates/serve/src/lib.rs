@@ -43,6 +43,13 @@
 //!   (overall and per model), per-lane arch/busy/idle/energy breakdown
 //!   ([`ServeReport::lane_breakdown`]), aggregate
 //!   [`s2ta_sim::EventCounts`] and energy via `s2ta-energy`.
+//! * [`Cluster`] / [`RoutingPolicy`] / [`ClusterReport`] — the shard
+//!   tier: N independent fleets behind a deterministic router (random
+//!   spray, join-shortest-queue, or power-of-two-choices over shard
+//!   backlogs), with per-shard lane autoscaling against a diurnal day
+//!   curve ([`AutoscalePolicy`], [`DiurnalSpec`], [`ScaleEvent`]) and
+//!   global percentiles merged from per-request samples — never
+//!   averaged per-shard percentiles.
 //!
 //! # Example
 //!
@@ -65,14 +72,19 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cluster;
 mod fleet;
 mod pipeline;
 mod policy;
 mod queue;
 mod report;
 mod scheduler;
+mod timewheel;
 mod workload;
 
+pub use cluster::{
+    AutoscalePolicy, Cluster, ClusterReport, RoutingPolicy, ScaleEvent, ShardSummary,
+};
 pub use fleet::{Fleet, FleetSpec, Lane};
 pub use pipeline::{PipelinePlan, StageAssignment};
 pub use policy::{
@@ -84,4 +96,7 @@ pub use report::{
     ServedRequest, WorkerStats,
 };
 pub use scheduler::{Batch, Formation, Placement, PlacementStrategy, Scheduler, ServiceEstimator};
-pub use workload::{ClosedLoopClient, ClosedLoopSpec, Request, WorkloadSpec};
+pub use timewheel::TimerWheel;
+pub use workload::{
+    ClosedLoopClient, ClosedLoopSpec, DiurnalSpec, RateSegment, Request, WorkloadSpec,
+};

@@ -43,10 +43,10 @@
 
 use crate::policy::{BatchLimits, FixedPolicy};
 use crate::queue::RequestQueue;
+use crate::timewheel::TimerWheel;
 use crate::workload::Request;
 use s2ta_core::ArchKind;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::ops::Range;
 
 /// A group of same-model requests dispatched together.
@@ -86,7 +86,10 @@ pub struct Placement {
 /// O(pending) with O(log models) amortized cost per arrival.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct DeadlineHeap {
-    heap: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Deadline-ordered timer wheel keyed by `(model, front_id)` — the
+    /// same `(deadline, model, front_id)` pop order as the binary heap
+    /// it replaced, at O(1) amortized per event.
+    wheel: TimerWheel<(usize, u64)>,
 }
 
 impl DeadlineHeap {
@@ -97,17 +100,17 @@ impl DeadlineHeap {
     /// Records `model`'s new front request and its wait deadline.
     pub(crate) fn arm(&mut self, model: usize, front: &Request, max_wait_cycles: u64) {
         let deadline = front.arrival.saturating_add(max_wait_cycles);
-        self.heap.push(Reverse((deadline, model, front.id)));
+        self.wheel.push(deadline, (model, front.id));
     }
 
     /// The earliest live `(deadline, model)` pair, discarding stale
     /// entries against the queue's current lane fronts.
     pub(crate) fn peek_live(&mut self, queue: &RequestQueue) -> Option<(u64, usize)> {
-        while let Some(&Reverse((deadline, model, front_id))) = self.heap.peek() {
+        while let Some((deadline, (model, front_id))) = self.wheel.peek() {
             match queue.front(model) {
                 Some(front) if front.id == front_id => return Some((deadline, model)),
                 _ => {
-                    self.heap.pop();
+                    self.wheel.pop();
                 }
             }
         }
@@ -117,7 +120,7 @@ impl DeadlineHeap {
     /// Drops the current top entry (after a `peek_live` hit was acted
     /// on).
     pub(crate) fn pop(&mut self) {
-        self.heap.pop();
+        self.wheel.pop();
     }
 }
 

@@ -195,6 +195,127 @@ impl fmt::Display for WorkloadSpec {
     }
 }
 
+/// One constant-rate span of a diurnal (piecewise-rate) arrival
+/// profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSegment {
+    /// Segment length in cycles.
+    pub duration_cycles: u64,
+    /// Mean interarrival gap during the segment (exponentially
+    /// distributed, i.e. Poisson within the segment).
+    pub mean_interarrival_cycles: f64,
+}
+
+/// Specification of an open-loop stream whose arrival rate follows a
+/// repeating piecewise-constant profile — the diurnal load curve of a
+/// production service: off-peak valleys, ramp hours, a peak plateau,
+/// and back, cycling for as long as the stream runs.
+///
+/// Each request's interarrival gap is drawn exponentially with the
+/// mean of the segment the *current* time falls in, with the same
+/// sub-cycle carry accumulator the stationary generator uses, so
+/// realized rates track the profile segment by segment.
+///
+/// `act_seed_pool` optionally bounds the distinct activation seeds:
+/// with a pool of `k`, every request draws its input from `k` fixed
+/// seeds instead of a fresh one, which is what keeps a multi-million
+/// request run inside a bounded [`s2ta_core::ActProfileCache`] —
+/// production traffic re-sees the same inputs, it does not invent a
+/// new tensor per request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalSpec {
+    /// Seed for the whole stream.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// The repeating rate profile, in order; the period is the sum of
+    /// the segment durations.
+    pub segments: Vec<RateSegment>,
+    /// Relative traffic weight per model (need not be normalized).
+    pub mix: Vec<f64>,
+    /// Distinct activation seeds to draw from (`0` = a fresh seed per
+    /// request, like [`WorkloadSpec`]).
+    pub act_seed_pool: usize,
+}
+
+impl DiurnalSpec {
+    /// The profile period: one full cycle through the segments.
+    pub fn period_cycles(&self) -> u64 {
+        self.segments.iter().map(|s| s.duration_cycles).sum()
+    }
+
+    /// The mean interarrival gap in force at cycle `now`.
+    fn mean_at(&self, now: u64, period: u64) -> f64 {
+        let mut offset = now % period;
+        for s in &self.segments {
+            if offset < s.duration_cycles {
+                return s.mean_interarrival_cycles;
+            }
+            offset -= s.duration_cycles;
+        }
+        unreachable!("offset < period = sum of durations")
+    }
+
+    /// Generates the request stream (sorted by arrival, ids dense in
+    /// arrival order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no segments, a segment has zero duration or
+    /// a non-finite/negative mean, or the mix is invalid.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(!self.segments.is_empty(), "a diurnal profile needs at least one segment");
+        for s in &self.segments {
+            assert!(s.duration_cycles > 0, "segment durations must be positive");
+            assert!(
+                s.mean_interarrival_cycles.is_finite() && s.mean_interarrival_cycles >= 0.0,
+                "segment mean gaps must be finite and non-negative"
+            );
+        }
+        let mix = Mix::validate(&self.mix);
+        let period = self.period_cycles();
+        // The bounded activation-seed pool, derived from a split
+        // stream so pool membership does not perturb arrival draws.
+        let pool: Vec<u64> = {
+            let mut sub = Lcg::new(self.seed ^ 0x517c_c1b7_2722_0a95);
+            (0..self.act_seed_pool).map(|_| sub.next_u64()).collect()
+        };
+        let mut rng = Lcg::new(self.seed);
+        let mut now = 0u64;
+        let mut carry = 0.0f64;
+        (0..self.requests as u64)
+            .map(|id| {
+                let mean = self.mean_at(now, period);
+                let gap = -mean * (1.0 - rng.next_f64()).ln() + carry;
+                let whole = gap.floor();
+                carry = gap - whole;
+                now = now.saturating_add(whole as u64);
+                let model = mix.sample(&mut rng);
+                let draw = rng.next_u64();
+                let act_seed =
+                    if pool.is_empty() { draw } else { pool[(draw % pool.len() as u64) as usize] };
+                Request { id, model, arrival: now, act_seed }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for DiurnalSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gaps: Vec<String> =
+            self.segments.iter().map(|s| format!("{:.0}", s.mean_interarrival_cycles)).collect();
+        write!(
+            f,
+            "{} requests over {} models, diurnal gaps [{}] over a {}-cycle period, seed {}",
+            self.requests,
+            self.mix.len(),
+            gaps.join("/"),
+            self.period_cycles(),
+            self.seed
+        )
+    }
+}
+
 /// Specification of a closed-loop client population.
 ///
 /// C concurrent clients each keep exactly one request outstanding:
@@ -436,6 +557,106 @@ mod tests {
         let mut c = spec.spawn_clients();
         let (first, second) = (c[0].issue(0, 0), c[1].issue(0, 0));
         assert_ne!(first.act_seed, second.act_seed, "sibling clients share a stream");
+    }
+
+    /// A two-segment day: peak (short gaps) then valley (long gaps).
+    fn diurnal(seed: u64, requests: usize, pool: usize) -> DiurnalSpec {
+        DiurnalSpec {
+            seed,
+            requests,
+            segments: vec![
+                RateSegment { duration_cycles: 50_000, mean_interarrival_cycles: 50.0 },
+                RateSegment { duration_cycles: 50_000, mean_interarrival_cycles: 1_000.0 },
+            ],
+            mix: vec![1.0, 1.0],
+            act_seed_pool: pool,
+        }
+    }
+
+    #[test]
+    fn diurnal_generation_is_deterministic_sorted_and_dense() {
+        let spec = diurnal(21, 2_000, 64);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b, "same spec must yield byte-identical streams");
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "ids must be dense in arrival order");
+            if i > 0 {
+                assert!(r.arrival >= a[i - 1].arrival, "arrivals must be sorted");
+            }
+            assert!(r.model < 2);
+        }
+    }
+
+    #[test]
+    fn diurnal_peak_segments_receive_more_arrivals() {
+        let spec = diurnal(22, 20_000, 0);
+        let period = spec.period_cycles();
+        let reqs = spec.generate();
+        let (mut peak, mut valley) = (0usize, 0usize);
+        for r in &reqs {
+            if r.arrival % period < 50_000 {
+                peak += 1;
+            } else {
+                valley += 1;
+            }
+        }
+        // 20x rate ratio over equal spans: the peak half of each period
+        // must dominate decisively (~95% of traffic in expectation).
+        assert!(
+            peak > valley * 5,
+            "peak half got {peak} arrivals vs valley {valley}; profile is not steering rate"
+        );
+    }
+
+    #[test]
+    fn diurnal_act_seed_pool_bounds_distinct_inputs() {
+        let pool = 16usize;
+        let reqs = diurnal(23, 5_000, pool).generate();
+        let mut seeds: Vec<u64> = reqs.iter().map(|r| r.act_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert!(seeds.len() <= pool, "{} distinct seeds exceed the pool of {pool}", seeds.len());
+        // 5_000 draws over 16 slots: every slot should be exercised.
+        assert_eq!(seeds.len(), pool, "a busy stream should touch the whole pool");
+        // Pool of zero behaves like the stationary generator: fresh
+        // seeds per request.
+        let fresh = diurnal(23, 500, 0).generate();
+        let mut fresh_seeds: Vec<u64> = fresh.iter().map(|r| r.act_seed).collect();
+        fresh_seeds.sort_unstable();
+        fresh_seeds.dedup();
+        assert_eq!(fresh_seeds.len(), 500);
+    }
+
+    #[test]
+    fn diurnal_pool_membership_does_not_perturb_arrivals() {
+        // The pool is drawn from a split seed stream, so changing its
+        // size must leave arrival times and model routing untouched.
+        let a = diurnal(24, 1_000, 8).generate();
+        let b = diurnal(24, 1_000, 512).generate();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.id, x.model, x.arrival), (y.id, y.model, y.arrival));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn diurnal_empty_profile_rejected() {
+        DiurnalSpec { seed: 0, requests: 1, segments: vec![], mix: vec![1.0], act_seed_pool: 0 }
+            .generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "durations must be positive")]
+    fn diurnal_zero_duration_segment_rejected() {
+        DiurnalSpec {
+            seed: 0,
+            requests: 1,
+            segments: vec![RateSegment { duration_cycles: 0, mean_interarrival_cycles: 1.0 }],
+            mix: vec![1.0],
+            act_seed_pool: 0,
+        }
+        .generate();
     }
 
     #[test]

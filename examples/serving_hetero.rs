@@ -18,7 +18,7 @@
 //! simulated results.
 
 use s2ta::energy::TechParams;
-use s2ta::serve::{Fleet, PlacementStrategy, ServeReport};
+use s2ta::serve::{DiurnalSpec, Fleet, PlacementStrategy, RateSegment, ServeReport};
 use s2ta_bench::hetero_scenario;
 
 fn main() {
@@ -130,4 +130,59 @@ fn main() {
     assert!(cache.acts.hits > cache.acts.misses, "steady: act cache is all hits");
     assert!(cache.hits > cache.misses, "steady: plan cache is all hits");
     println!("fleet-wide activation-profile cache is effective: OK");
+
+    // Bounded caches: serving under byte budgets smaller than the
+    // zoo's cached footprint, so both LRUs must evict. The traffic
+    // here is production-shaped — a bounded pool of recurring inputs
+    // with an 8:1 model skew — so LeNet's act profiles stay hot and
+    // resident while the rare CIFAR visits cycle through the leftover
+    // budget; the plan budget holds one weight plan at a time, so
+    // model switches recompile while same-model runs keep hitting.
+    // Evicted entries recompile byte-identically on next use: a
+    // budget changes host time and the cache counters, never
+    // simulated results (`ServeReport` equality excludes the cache
+    // diagnostics precisely so this assert is exact). The bounded
+    // fleet runs a serial host pool so the LRU touch order, and with
+    // it the counters themselves, are deterministic.
+    let zoo_requests = DiurnalSpec {
+        seed: 77,
+        requests: 400,
+        segments: vec![RateSegment { duration_cycles: 100_000, mean_interarrival_cycles: 2_500.0 }],
+        mix: vec![8.0, 1.0],
+        act_seed_pool: 24,
+    }
+    .generate();
+    let unbounded = Fleet::from_spec(fleet_spec.clone())
+        .with_policy(policy)
+        .with_host_parallelism(1)
+        .serve(&models, &zoo_requests);
+    let bounded_fleet = Fleet::from_spec(fleet_spec.clone())
+        .with_policy(policy)
+        .with_cache_budgets(1 << 16, 1 << 18)
+        .with_host_parallelism(1);
+    let _warm = bounded_fleet.serve(&models, &zoo_requests);
+    let bounded = bounded_fleet.serve(&models, &zoo_requests);
+    assert_eq!(bounded, unbounded, "a cache budget must never change simulated results");
+    let cache = bounded.plan_cache;
+    println!(
+        "steady-state under budget: plan cache {} hits / {} misses / {} evictions; \
+         act profiles {} hits / {} misses / {} evictions ({} bytes evicted)",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.acts.hits,
+        cache.acts.misses,
+        cache.acts.evictions,
+        cache.acts.bytes_evicted,
+    );
+    assert!(cache.evictions > 0, "a plan budget below the two-plan zoo must evict");
+    assert!(cache.hits > 0, "runs of same-model batches still reuse the resident plan");
+    assert!(cache.acts.evictions > 0, "an act budget below the zoo must evict act profiles");
+    assert!(cache.acts.bytes_evicted > 0, "evictions must release bytes");
+    assert!(cache.acts.hits > cache.acts.misses, "hot-model act profiles must stay resident");
+    assert!(
+        cache.hits + cache.acts.hits > cache.misses + cache.acts.misses,
+        "bounded steady state: hits must dominate misses across the caches"
+    );
+    println!("bounded caches evict under pressure and stay byte-identical: OK");
 }

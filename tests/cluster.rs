@@ -1,0 +1,211 @@
+//! Cross-crate cluster tests: router conservation invariants,
+//! single-shard degeneration to a bare fleet, determinism of sharded
+//! runs, merged-percentile rollup, and lane autoscaling.
+
+use s2ta::core::ArchKind;
+use s2ta::energy::TechParams;
+use s2ta::models::{lenet5, ModelSpec};
+use s2ta::serve::{
+    AutoscalePolicy, Cluster, DiurnalSpec, FixedPolicy, Fleet, FleetSpec, RateSegment, Request,
+    RoutingPolicy, WorkloadSpec,
+};
+
+fn models() -> Vec<ModelSpec> {
+    vec![lenet5()]
+}
+
+fn stream(seed: u64, n: usize) -> Vec<Request> {
+    WorkloadSpec::uniform(seed, n, 2_000.0, 1).generate()
+}
+
+fn shards(count: usize, lanes: usize) -> Vec<Fleet> {
+    (0..count).map(|_| Fleet::new(ArchKind::S2taAw, lanes)).collect()
+}
+
+/// Every input request must land on exactly one shard — no loss, no
+/// duplication — under every routing policy, and the router's own
+/// per-shard tallies must agree with the shard reports.
+#[test]
+fn router_conserves_requests_under_every_policy() {
+    let models = models();
+    let requests = stream(5, 200);
+    for routing in
+        [RoutingPolicy::Random, RoutingPolicy::JoinShortestQueue, RoutingPolicy::PowerOfTwo]
+    {
+        let report = Cluster::new(shards(3, 2))
+            .with_routing(routing)
+            .with_router_seed(11)
+            .serve(&models, &requests);
+        assert_eq!(report.total_requests(), 200, "{routing:?}");
+        assert_eq!(report.routed.iter().sum::<usize>(), 200, "{routing:?}");
+        let mut ids: Vec<u64> =
+            report.shards.iter().flat_map(|s| s.outcomes.iter().map(|o| o.id())).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..200).collect::<Vec<u64>>(),
+            "{routing:?}: every id exactly once across shards"
+        );
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.outcomes.len(), report.routed[i], "{routing:?} shard {i} tally");
+        }
+    }
+}
+
+/// Conservation must survive admission drops: a bounded shard queue
+/// tail-drops requests, but every id still appears exactly once in the
+/// union of served + dropped outcomes.
+#[test]
+fn conservation_holds_under_admission_drops() {
+    let models = models();
+    // A hot stream against queues bounded below `max_batch` forces
+    // drops: each shard's queue fills long before the timeout can
+    // close a batch (~250-cycle global gaps → ~500 per shard).
+    let requests = WorkloadSpec::uniform(9, 300, 250.0, 1).generate();
+    let fleets = (0..2)
+        .map(|_| {
+            Fleet::new(ArchKind::S2taAw, 2)
+                .with_policy(FixedPolicy { max_batch: 8, max_wait_cycles: 10_000 })
+                .with_queue_capacity(3)
+        })
+        .collect();
+    let report =
+        Cluster::new(fleets).with_routing(RoutingPolicy::PowerOfTwo).serve(&models, &requests);
+    assert!(report.dropped_count() > 0, "scenario must actually drop");
+    assert!(report.served_count() > 0);
+    assert_eq!(report.served_count() + report.dropped_count(), 300);
+    let mut ids: Vec<u64> =
+        report.shards.iter().flat_map(|s| s.outcomes.iter().map(|o| o.id())).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..300).collect::<Vec<u64>>());
+    assert!(report.drop_rate() > 0.0 && report.drop_rate() < 1.0);
+}
+
+/// A single-shard cluster is the degenerate case: whatever the routing
+/// policy, every request goes to shard 0, and the shard's report must
+/// be **identical** to serving the same stream on the bare fleet.
+#[test]
+fn single_shard_cluster_matches_bare_fleet_exactly() {
+    let models = models();
+    let requests = stream(13, 150);
+    let bare = Fleet::new(ArchKind::S2taAw, 3).serve(&models, &requests);
+    for routing in
+        [RoutingPolicy::Random, RoutingPolicy::JoinShortestQueue, RoutingPolicy::PowerOfTwo]
+    {
+        let cluster = Cluster::new(shards(1, 3)).with_routing(routing).serve(&models, &requests);
+        assert_eq!(cluster.shards.len(), 1);
+        assert_eq!(
+            cluster.shards[0], bare,
+            "{routing:?}: routing through a 1-shard cluster must not perturb the simulation"
+        );
+        assert_eq!(cluster.p99_cycles(), bare.p99_cycles());
+        assert_eq!(cluster.makespan_cycles(), bare.makespan_cycles);
+    }
+}
+
+/// The same cluster spec must reproduce the identical report, and the
+/// router seed is the only randomness: a different seed reroutes a
+/// random-policy run.
+#[test]
+fn cluster_runs_are_deterministic_in_the_router_seed() {
+    let models = models();
+    let requests = stream(21, 180);
+    let run = |seed: u64| {
+        Cluster::new(shards(4, 1))
+            .with_routing(RoutingPolicy::Random)
+            .with_router_seed(seed)
+            .serve(&models, &requests)
+    };
+    let a = run(3);
+    let b = run(3);
+    assert_eq!(a, b, "same seed must reproduce the identical cluster report");
+    let c = run(4);
+    assert_ne!(a.routed, c.routed, "a different router seed must reroute");
+    // JSQ consumes no randomness, so its runs ignore the seed entirely.
+    let jsq = |seed: u64| {
+        Cluster::new(shards(4, 1))
+            .with_routing(RoutingPolicy::JoinShortestQueue)
+            .with_router_seed(seed)
+            .serve(&models, &requests)
+    };
+    assert_eq!(jsq(3), jsq(999));
+}
+
+/// Global percentiles are taken over the merged per-request samples:
+/// the cluster p99 must be a latency some shard actually observed, and
+/// must sit within the range of per-shard extremes (an averaged
+/// percentile generally is neither).
+#[test]
+fn global_percentiles_come_from_merged_samples() {
+    let models = models();
+    let requests = stream(31, 240);
+    let report = Cluster::new(shards(3, 2))
+        .with_routing(RoutingPolicy::PowerOfTwo)
+        .serve(&models, &requests);
+    let mut all: Vec<u64> = report
+        .shards
+        .iter()
+        .flat_map(|s| s.served_outcomes().map(|r| r.latency_cycles()))
+        .collect();
+    all.sort_unstable();
+    for pct in [50.0, 95.0, 99.0] {
+        let global = report.latency_percentile_cycles(pct);
+        assert!(all.contains(&global), "p{pct} {global} is not an observed sample");
+    }
+    assert!(report.p50_cycles() <= report.p95_cycles());
+    assert!(report.p95_cycles() <= report.p99_cycles());
+    assert!(report.goodput_ips(&TechParams::tsmc16()) > 0.0);
+}
+
+/// On a diurnal profile the autoscaler must both grow lanes into the
+/// peak and shed them in the valley, and scaling must not break
+/// request conservation.
+#[test]
+fn autoscaler_tracks_the_diurnal_load_curve() {
+    let models = models();
+    // Two full day cycles: shards start at full width, shed lanes
+    // through the first valley, and must re-grow into the second peak.
+    let requests = DiurnalSpec {
+        seed: 17,
+        requests: 620,
+        segments: vec![
+            RateSegment { duration_cycles: 60_000, mean_interarrival_cycles: 200.0 },
+            RateSegment { duration_cycles: 240_000, mean_interarrival_cycles: 24_000.0 },
+        ],
+        mix: vec![1.0],
+        act_seed_pool: 32,
+    }
+    .generate();
+    let fleets = (0..2)
+        .map(|_| {
+            Fleet::from_spec(FleetSpec::homogeneous(ArchKind::S2taAw, 4))
+                .with_policy(FixedPolicy { max_batch: 16, max_wait_cycles: 30_000 })
+        })
+        .collect();
+    let report = Cluster::new(fleets)
+        .with_routing(RoutingPolicy::PowerOfTwo)
+        .with_autoscale(AutoscalePolicy {
+            eval_interval_cycles: 15_000,
+            scale_up_depth: 3,
+            scale_down_depth: 0,
+            min_lanes: 1,
+        })
+        .serve(&models, &requests);
+    assert_eq!(report.total_requests(), 620);
+    let ups = report.scale_events.iter().filter(|e| e.to_lanes > e.from_lanes).count();
+    let downs = report.scale_events.iter().filter(|e| e.to_lanes < e.from_lanes).count();
+    assert!(ups > 0, "peak load must trigger scale-ups: {:?}", report.scale_events);
+    assert!(downs > 0, "valley must trigger scale-downs: {:?}", report.scale_events);
+    for e in &report.scale_events {
+        assert!(e.to_lanes >= 1 && e.to_lanes <= 4, "lane count out of bounds: {e:?}");
+        assert_eq!(e.to_lanes.abs_diff(e.from_lanes), 1, "scaling moves one lane at a time");
+    }
+    // Events are in simulated-time order.
+    for w in report.scale_events.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+    let mut ids: Vec<u64> =
+        report.shards.iter().flat_map(|s| s.outcomes.iter().map(|o| o.id())).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..620).collect::<Vec<u64>>());
+}
