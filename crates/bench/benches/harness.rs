@@ -8,14 +8,16 @@
 //! byte-identical `ServeReport`s (asserted here and golden-tested in
 //! `tests/profile_path.rs`); the profile-compiled path just reaches
 //! them without regenerating, DAP-pruning or re-profiling any dense
-//! activation matrix in the hot loop. The gate is **>= 3x** on both
+//! activation matrix in the hot loop — and, since the allocation-free
+//! refactor, without allocating, regenerating dense-lane weights, or
+//! spawning threads per burst either. The gate is **>= 10x** on both
 //! scenarios (recorded in `BENCH_harness.json`).
 //!
 //! Set `S2TA_BENCH_QUICK=1` for the CI smoke mode: one timed repetition
 //! per cell and no artifact rewrite (the committed artifact keeps the
 //! full run's numbers). Quick mode gates only the reports' byte
 //! identity — a one-shot wall-clock ratio on a shared runner is not a
-//! reliable CI signal; the >= 3x speedup gate applies to full runs and
+//! reliable CI signal; the >= 10x speedup gate applies to full runs and
 //! to the committed artifact (re-checked by CI's python step).
 
 use s2ta_bench::{
@@ -129,11 +131,11 @@ fn main() {
         // only the byte-identity of the reports, already asserted in
         // run_scenario — a one-shot wall-clock ratio is not a reliable
         // CI signal. The committed full-mode artifact carries the
-        // gated speedups, and CI's artifact check re-asserts >= 3x.
+        // gated speedups, and CI's artifact check re-asserts >= 10x.
         if !quick {
             assert!(
-                s.speedup >= 3.0,
-                "{}: profile-compiled serving must be >= 3x the reference path, got {:.2}x",
+                s.speedup >= 10.0,
+                "{}: profile-compiled serving must be >= 10x the reference path, got {:.2}x",
                 s.name,
                 s.speedup
             );

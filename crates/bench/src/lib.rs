@@ -244,24 +244,22 @@ pub fn header(id: &str, title: &str) {
 /// architecture, returning `(arch, report)` pairs. (The paper's Fig. 11
 /// and Fig. 12 are convolution-only.)
 ///
-/// The per-architecture simulations fan out over the host thread pool
-/// (`s2ta_core::pool`); results come back in input order, so the output
-/// is byte-identical to the serial loop it replaces.
+/// The per-architecture simulations fan out over the persistent host
+/// executor (`s2ta_core::pool::Executor`); results come back in input
+/// order, so the output is byte-identical to the serial loop it
+/// replaces.
 pub fn conv_reports(model: &ModelSpec, archs: &[ArchKind]) -> Vec<(ArchKind, ModelReport)> {
-    let workers = pool::worker_count_for(archs.len(), None);
-    let reports = pool::parallel_map(archs, workers, |&k| {
-        Accelerator::preset(k).run_model_conv_only(model, SEED)
-    });
+    let reports = pool::Executor::global()
+        .map(archs, |&k| Accelerator::preset(k).run_model_conv_only(model, SEED));
     archs.iter().copied().zip(reports).collect()
 }
 
 /// Runs a model's full layer list on every evaluated architecture, the
-/// per-arch simulations fanned out over the host pool (order-preserving
-/// — byte-identical to the serial loop).
+/// per-arch simulations fanned out over the persistent host executor
+/// (order-preserving — byte-identical to the serial loop).
 pub fn full_reports(model: &ModelSpec, archs: &[ArchKind]) -> Vec<(ArchKind, ModelReport)> {
-    let workers = pool::worker_count_for(archs.len(), None);
     let reports =
-        pool::parallel_map(archs, workers, |&k| Accelerator::preset(k).run_model(model, SEED));
+        pool::Executor::global().map(archs, |&k| Accelerator::preset(k).run_model(model, SEED));
     archs.iter().copied().zip(reports).collect()
 }
 

@@ -1,0 +1,107 @@
+//! Debug-build counting allocator proving the serving hot loop is
+//! allocation-free in steady state.
+//!
+//! [`Accelerator::run_stage_events`] is documented to allocate nothing
+//! once the plan cache, activation-profile cache, and the caller's
+//! [`Scratch`] arena are warm: strip profiles live in flat buffers
+//! behind `OnceLock`s, the SMT path regenerates activations into the
+//! arena's recycled buffer, and events are summed without building
+//! per-layer report vectors. This test pins that claim with a global
+//! counting allocator — warm the caches with two batches, then assert
+//! the third performs **zero** heap allocations on every architecture.
+//!
+//! The counter is thread-local, so worker threads of other tests in
+//! this binary cannot perturb it, and it only exists in debug builds
+//! (`cfg(debug_assertions)`): release benches keep the system
+//! allocator untouched. This is the one spot outside `shims/` that
+//! needs `unsafe` — the `GlobalAlloc` trait requires it — and the impl
+//! only forwards to [`System`] after bumping a `Cell`.
+#![cfg(debug_assertions)]
+
+use s2ta_bench::SEED;
+use s2ta_core::{Accelerator, ArchKind, Scratch, WeightResidency};
+use s2ta_models::lenet5;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the only addition is a
+// thread-local counter bump, and `try_with` keeps alloc calls during
+// TLS teardown from panicking.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_here() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn counter_actually_counts() {
+    let before = allocs_here();
+    std::hint::black_box(vec![0u8; 4096]);
+    assert!(allocs_here() > before, "counting allocator is not installed");
+}
+
+#[test]
+fn steady_state_batch_allocates_nothing_on_every_arch() {
+    let model = lenet5();
+    for kind in ArchKind::ALL {
+        let acc = Accelerator::preset(kind);
+        let plan = acc.plan_model(&model, SEED);
+        let mut scratch = Scratch::new();
+        let full = 0..model.layers.len();
+
+        // Warmup: first batch compiles profiles and grows the arena;
+        // second proves the buffers settled before we start counting.
+        let warm = acc.run_stage_events(
+            &plan,
+            &model,
+            full.clone(),
+            SEED,
+            WeightResidency::Resident,
+            &mut scratch,
+        );
+        acc.run_stage_events(
+            &plan,
+            &model,
+            full.clone(),
+            SEED,
+            WeightResidency::Resident,
+            &mut scratch,
+        );
+
+        let before = allocs_here();
+        let events = acc.run_stage_events(
+            &plan,
+            &model,
+            full.clone(),
+            SEED,
+            WeightResidency::Resident,
+            &mut scratch,
+        );
+        let grew = allocs_here() - before;
+        assert_eq!(events, warm, "{kind:?}: steady-state events drifted from warmup");
+        assert_eq!(grew, 0, "{kind:?}: steady-state batch performed {grew} heap allocations");
+    }
+}

@@ -31,6 +31,7 @@ pub mod memory;
 pub mod microbench;
 pub mod plan;
 pub mod pool;
+pub mod scratch;
 pub mod summary;
 pub mod sweep;
 
@@ -41,3 +42,4 @@ pub use plan::{
 };
 pub use report::{LayerReport, ModelReport};
 pub use runner::{Accelerator, ExecPath};
+pub use scratch::{Scratch, ScratchPool};

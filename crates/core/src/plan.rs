@@ -18,8 +18,9 @@
 //! Planned runs are bit-exact with the unplanned paths: `run_model` is
 //! itself routed through the cache.
 
+use crate::scratch::Scratch;
 use crate::{Accelerator, ArchConfig, ArchKind, LayerReport};
-use s2ta_dbb::dap::{dap_col_profile, DapEvents, LayerNnz};
+use s2ta_dbb::dap::{dap_col_profile, dap_col_profile_with, DapEvents, LayerNnz};
 use s2ta_dbb::{DbbConfig, DbbMatrix};
 use s2ta_models::{LayerSpec, ModelSpec};
 use s2ta_sim::{ColStripProfile, RowStripProfile};
@@ -277,9 +278,12 @@ pub(crate) fn plan_scope_fingerprint(config: &ArchConfig) -> u64 {
     h
 }
 
-// (arch kind, plan-scope fingerprint, model name, structure
-// fingerprint, weight seed)
-type PlanKey = (ArchKind, u64, String, u64, u64);
+// (arch kind, plan-scope fingerprint, model structure fingerprint,
+// weight seed). The model *name* is not part of the key — the structure
+// fingerprint already mixes it in (see [`model_fingerprint`]) — so key
+// construction is `Copy`-only and a steady-state lookup allocates
+// nothing.
+type PlanKey = (ArchKind, u64, u64, u64);
 
 /// Monotonic lookup counters of a [`WeightPlanCache`], shared (like the
 /// memo table itself) by every accelerator pointed at the cache.
@@ -294,11 +298,14 @@ struct CacheCounters {
 
 /// A point-in-time snapshot of a [`WeightPlanCache`]'s lookup counters.
 ///
-/// * `hits` — memoized lookups answered from the table.
-/// * `misses` — memoized lookups that had to compile a plan.
-/// * `bypasses` — lookups for dense (non-W-DBB) architectures, which
-///   deliberately skip the memo table (their "plans" are regenerable
-///   raw weights; see [`WeightPlanCache::get_or_plan`]).
+/// * `hits` — lookups answered from the table (dense or DBB).
+/// * `misses` — lookups that had to compile a **DBB** plan.
+/// * `bypasses` — lookups that had to compile a **dense** (non-W-DBB)
+///   plan. Dense plans are memoized like any other since the
+///   allocation-free refactor (regenerating raw weights per batch was
+///   the dominant host cost of dense lanes); the separate counter keeps
+///   DBB compile counts comparable across versions and lets tests
+///   assert that dense compiles stop once the fleet is warm.
 /// * `evictions` / `bytes_evicted` — entries (and their estimated
 ///   bytes) an LRU byte budget pushed out; always zero on unbounded
 ///   caches.
@@ -315,7 +322,7 @@ pub struct CacheStats {
     pub hits: u64,
     /// Memoized lookups that compiled a new plan.
     pub misses: u64,
-    /// Dense-architecture lookups that bypassed memoization.
+    /// Dense-architecture lookups that compiled a new plan.
     pub bypasses: u64,
     /// Entries evicted to stay within a byte budget.
     pub evictions: u64,
@@ -325,14 +332,18 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// The activity between `earlier` and `self` (both snapshots of the
-    /// same cache, `self` taken later).
+    /// same cache, `self` taken later). Saturating: a stale or swapped
+    /// `earlier` (e.g. a snapshot kept across a cache replacement)
+    /// clamps to zero instead of underflowing — deltas are diagnostics,
+    /// and a debug-build panic deep in a monitoring path is worse than
+    /// a conservative zero.
     pub fn since(self, earlier: CacheStats) -> CacheStats {
         CacheStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            bypasses: self.bypasses - earlier.bypasses,
-            evictions: self.evictions - earlier.evictions,
-            bytes_evicted: self.bytes_evicted - earlier.bytes_evicted,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bypasses: self.bypasses.saturating_sub(earlier.bypasses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            bytes_evicted: self.bytes_evicted.saturating_sub(earlier.bytes_evicted),
         }
     }
 
@@ -375,14 +386,14 @@ struct PlanTable {
 ///
 /// The cache is keyed by `(arch, model, weight seed)` — the
 /// architecture kind plus a fingerprint of its plan-relevant
-/// configuration, the model name plus a structural fingerprint, and the
-/// weight seed — so one table can be shared by accelerators of
-/// *different* architectures (a heterogeneous serving fleet) without
-/// ever serving a mismatched plan. Every clone of an [`Accelerator`]
-/// shares its cache, so repeated `run_model` calls — and every lane of
-/// a serving fleet — compile each `(arch, model, seed)` triple's W-DBB
-/// layers exactly once (ever when unbounded, per residency when a byte
-/// budget evicts).
+/// configuration, a structural fingerprint of the model (which mixes in
+/// its name), and the weight seed — so one table can be shared by
+/// accelerators of *different* architectures (a heterogeneous serving
+/// fleet) without ever serving a mismatched plan. Every clone of an
+/// [`Accelerator`] shares its cache, so repeated `run_model` calls —
+/// and every lane of a serving fleet — compile each
+/// `(arch, model, seed)` triple's layers exactly once (ever when
+/// unbounded, per residency when a byte budget evicts).
 ///
 /// [`WeightPlanCache::with_byte_budget`] bounds the table: when the
 /// estimated resident bytes exceed the budget, least-recently-used
@@ -414,25 +425,23 @@ impl WeightPlanCache {
     /// Returns the cached plan for `(model, weight_seed)`, compiling it
     /// with `acc` on first use.
     ///
-    /// Only DBB architectures are memoized: their plans carry the
-    /// expensive pruned + compressed weights. For dense architectures a
-    /// "plan" is just the regenerable raw weight matrix, so caching it
-    /// would trade a cheap recomputation for permanently resident
-    /// hundred-megabyte matrices on the larger models.
+    /// Every architecture is memoized, dense ones included. Dense
+    /// "plans" are just the regenerable raw weight matrices, but
+    /// regenerating them once per batch was the dominant steady-state
+    /// host cost of dense lanes — caching them trades resident bytes
+    /// (bounded by [`WeightPlanCache::with_byte_budget`], which can
+    /// still evict them under pressure) for an allocation-free hot
+    /// loop. Dense compiles count as `bypasses`, DBB compiles as
+    /// `misses`; hits are counted uniformly.
     pub fn get_or_plan(
         &self,
         acc: &Accelerator,
         model: &ModelSpec,
         weight_seed: u64,
     ) -> Arc<ModelPlan> {
-        if !acc.config().kind.uses_wdbb() {
-            self.counters.bypasses.fetch_add(1, Ordering::Relaxed);
-            return Arc::new(acc.plan_model_uncached(model, weight_seed));
-        }
         let key = (
             acc.config().kind,
             plan_scope_fingerprint(acc.config()),
-            model.name.to_string(),
             model_fingerprint(model),
             weight_seed,
         );
@@ -446,7 +455,11 @@ impl WeightPlanCache {
                 return Arc::clone(&entry.plan);
             }
         }
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        if acc.config().kind.uses_wdbb() {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.bypasses.fetch_add(1, Ordering::Relaxed);
+        }
         // Compile outside the lock: plans can be large and compilation
         // is the expensive part. A racing thread may compile the same
         // plan; the first insert wins and the duplicate is dropped.
@@ -460,9 +473,7 @@ impl WeightPlanCache {
         }
         let bytes = plan.approx_bytes();
         table.resident_bytes += bytes;
-        table
-            .map
-            .insert(key.clone(), PlanEntry { plan: Arc::clone(&plan), bytes, last_used: tick });
+        table.map.insert(key, PlanEntry { plan: Arc::clone(&plan), bytes, last_used: tick });
         if let Some(budget) = self.budget {
             self.evict_locked(&mut table, budget, &key);
         }
@@ -480,7 +491,7 @@ impl WeightPlanCache {
                 .iter()
                 .filter(|(k, _)| *k != keep)
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
+                .map(|(k, _)| *k);
             let Some(k) = victim else { break };
             let e = table.map.remove(&k).expect("victim is resident");
             table.resident_bytes -= e.bytes;
@@ -648,7 +659,42 @@ impl ActProfile {
             let acts = self.layer.gen_acts(self.act_seed);
             let dap = dap_col_profile(&acts, self.bz, self.adbb, self.strip_cols);
             PostDapProfile {
-                profile: ColStripProfile::from_counts(dap.counts),
+                profile: ColStripProfile::from_flat(dap.counts, dap.strips, dap.k),
+                config: dap.config,
+                events: dap.events,
+            }
+        })
+    }
+
+    /// Like [`ActProfile::dense`], but a cold compile stages the
+    /// regenerated activation matrix in `scratch` (returning the
+    /// storage afterwards), so a warm arena makes even the cold side
+    /// allocation-light and the warm side allocation-free.
+    pub fn dense_with(&self, scratch: &mut Scratch) -> &ColStripProfile {
+        self.dense.get_or_init(|| {
+            let acts = self.layer.gen_acts_into(self.act_seed, std::mem::take(&mut scratch.acts));
+            let profile = ColStripProfile::new(&acts, self.strip_cols);
+            scratch.acts = acts.into_data();
+            profile
+        })
+    }
+
+    /// [`ActProfile::postdap_side`] through a [`Scratch`] arena: the
+    /// activation matrix and the DAP staging block both reuse the
+    /// arena's capacity on a cold compile.
+    pub(crate) fn postdap_side_with(&self, scratch: &mut Scratch) -> &PostDapProfile {
+        self.postdap.get_or_init(|| {
+            let acts = self.layer.gen_acts_into(self.act_seed, std::mem::take(&mut scratch.acts));
+            let dap = dap_col_profile_with(
+                &acts,
+                self.bz,
+                self.adbb,
+                self.strip_cols,
+                &mut scratch.dap_block,
+            );
+            scratch.acts = acts.into_data();
+            PostDapProfile {
+                profile: ColStripProfile::from_flat(dap.counts, dap.strips, dap.k),
                 config: dap.config,
                 events: dap.events,
             }
@@ -839,7 +885,8 @@ impl Accelerator {
         let tile_rows = self.config().geometry.tile_rows();
         let wprofile = match &weights {
             PlannedWeights::Dense(m) => RowStripProfile::new(m, tile_rows),
-            PlannedWeights::Dbb(d) => RowStripProfile::new(&d.decompress(), tile_rows),
+            // Straight off the compressed masks — no decompressed copy.
+            PlannedWeights::Dbb(d) => RowStripProfile::of_dbb(d, tile_rows),
         };
         let adbb = if first_layer { LayerNnz::Dense } else { layer.suggested_adbb() };
         LayerPlan { weights, adbb, dma_weight_bytes, wprofile }
@@ -1124,18 +1171,50 @@ mod tests {
         aw.plan_model(&m, 4);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.bypasses), (1, 2, 0));
-        // Dense architectures bypass memoization entirely.
+        // Dense architectures are memoized too; their compiles count as
+        // bypasses, their warm lookups as plain hits.
         let zv = Accelerator::preset(ArchKind::SaZvcg).sharing_plans(cache.clone());
-        zv.plan_model(&m, 3);
-        zv.plan_model(&m, 3);
+        let d1 = zv.plan_model(&m, 3);
+        let d2 = zv.plan_model(&m, 3);
+        assert!(Arc::ptr_eq(&d1, &d2), "dense plans are served from the table");
         let s2 = cache.stats();
-        assert_eq!((s2.hits, s2.misses, s2.bypasses), (1, 2, 2));
+        assert_eq!((s2.hits, s2.misses, s2.bypasses), (2, 2, 1));
         // Deltas and rates.
         let delta = s2.since(s);
-        assert_eq!((delta.hits, delta.misses, delta.bypasses), (0, 0, 2));
-        assert_eq!(s2.lookups(), 3);
-        assert!((s2.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!((delta.hits, delta.misses, delta.bypasses), (1, 0, 1));
+        assert_eq!(s2.lookups(), 4);
+        assert!((s2.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    /// `since` must saturate instead of underflowing: a snapshot kept
+    /// across a cache replacement sees *smaller* counters afterwards,
+    /// and the delta should clamp to zero rather than panic (debug) or
+    /// wrap to ~2^64 (release).
+    #[test]
+    fn stats_delta_saturates_when_counters_go_backwards() {
+        let m = lenet5();
+        let old_cache = WeightPlanCache::new();
+        let acc = Accelerator::preset(ArchKind::S2taAw).sharing_plans(old_cache.clone());
+        acc.plan_model(&m, 1);
+        acc.plan_model(&m, 1);
+        acc.plan_model(&m, 2);
+        let stale = old_cache.stats();
+        assert_eq!((stale.hits, stale.misses), (1, 2));
+        // The fleet swaps in a fresh cache; a monitor diffing its new
+        // stats against the pre-swap snapshot sees counters go backwards.
+        let new_cache = WeightPlanCache::new();
+        let acc = Accelerator::preset(ArchKind::S2taAw).sharing_plans(new_cache.clone());
+        acc.plan_model(&m, 1);
+        let fresh = new_cache.stats();
+        assert!(fresh.hits < stale.hits && fresh.misses < stale.misses, "counters went backwards");
+        let d = fresh.since(stale);
+        assert_eq!(d, CacheStats::default(), "backwards counters clamp to zero, field by field");
+        // Mixed directions clamp per-field, not globally.
+        let later = CacheStats { hits: 5, misses: 1, ..CacheStats::default() };
+        let earlier = CacheStats { hits: 2, misses: 4, ..CacheStats::default() };
+        let d = later.since(earlier);
+        assert_eq!((d.hits, d.misses), (3, 0));
     }
 
     #[test]

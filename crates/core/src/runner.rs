@@ -2,6 +2,7 @@
 //! datapaths, with the DBB toolchain applied where configured.
 
 use crate::plan::{ActProfileCache, LayerPlan, PlannedWeights, WeightPlanCache, WeightResidency};
+use crate::scratch::Scratch;
 use crate::{ArchConfig, ArchKind, LayerReport, ModelReport};
 use s2ta_dbb::dap::{dap_matrix, LayerNnz};
 use s2ta_dbb::{prune, BlockAxis, DbbConfig, DbbMatrix};
@@ -370,6 +371,140 @@ impl Accelerator {
             .collect()
     }
 
+    /// Runs a contiguous layer range of a compiled plan and returns the
+    /// stage's **summed** [`EventCounts`] — the allocation-free serving
+    /// hot loop.
+    ///
+    /// Semantically `run_stage(..).iter().map(|l| l.events).sum()`
+    /// (byte-identical on the profiled path, which this always takes),
+    /// but without building the per-layer report vector or cloning
+    /// layer names, and with every transient buffer (the SMT path's
+    /// regenerated activation matrix, cold profile compiles, the DAP
+    /// staging block) drawn from `scratch`. After the caches and the
+    /// arena are warm, a call allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was not compiled from this `model`, the range
+    /// exceeds the model's layer list, or the plan's weight format does
+    /// not match the architecture.
+    pub fn run_stage_events(
+        &self,
+        plan: &crate::plan::ModelPlan,
+        model: &ModelSpec,
+        layers: std::ops::Range<usize>,
+        act_seed: u64,
+        residency: WeightResidency,
+        scratch: &mut Scratch,
+    ) -> EventCounts {
+        assert!(
+            plan.matches(model),
+            "plan was compiled for '{}', not for '{}' (or the model structure changed)",
+            plan.model(),
+            model.name
+        );
+        assert!(
+            layers.end <= model.layers.len(),
+            "stage {layers:?} exceeds the model's {} layers",
+            model.layers.len()
+        );
+        let mut total = EventCounts::default();
+        for (l, lp) in model.layers[layers.clone()].iter().zip(&plan.layers[layers]) {
+            total += self.layer_events_profiled(lp, l, act_seed, residency, scratch);
+        }
+        total
+    }
+
+    /// One layer of [`Accelerator::run_stage_events`]: the profiled
+    /// event derivation of [`Accelerator::run_layer_profiled`], routed
+    /// through the `_into` datapath entry points and the caller's
+    /// [`Scratch`] arena instead of per-call allocations.
+    fn layer_events_profiled(
+        &self,
+        plan: &LayerPlan,
+        layer: &LayerSpec,
+        act_seed: u64,
+        residency: WeightResidency,
+        scratch: &mut Scratch,
+    ) -> EventCounts {
+        let geom = &self.config.geometry;
+        let prof = self.act_profiles.get_or_profile(
+            layer,
+            act_seed,
+            geom.tile_cols(),
+            geom.bz,
+            plan.adbb(),
+        );
+        let (k, n) = prof.shape();
+        let wp = plan.weight_profile();
+        let mut events = EventCounts::default();
+        match (self.config.kind, plan.weights()) {
+            (ArchKind::Sa, PlannedWeights::Dense(w)) => systolic::run_perf_profiled_into(
+                geom,
+                false,
+                w.rows(),
+                k,
+                n,
+                wp,
+                prof.dense_with(scratch),
+                &mut events,
+            ),
+            (ArchKind::SaZvcg, PlannedWeights::Dense(w)) => systolic::run_perf_profiled_into(
+                geom,
+                true,
+                w.rows(),
+                k,
+                n,
+                wp,
+                prof.dense_with(scratch),
+                &mut events,
+            ),
+            (ArchKind::SaSmtT2Q2 | ArchKind::SaSmtT2Q4, PlannedWeights::Dense(w)) => {
+                let a = layer.gen_acts_into(act_seed, std::mem::take(&mut scratch.acts));
+                smt::run_sampled_profiled_into(
+                    geom,
+                    self.config.smt,
+                    w,
+                    &a,
+                    self.config.smt_sample_tiles,
+                    wp,
+                    prof.dense_from(&a),
+                    &mut events,
+                    &mut scratch.smt,
+                );
+                scratch.acts = a.into_data();
+            }
+            (ArchKind::S2taW, PlannedWeights::Dbb(wdbb)) => tpe::run_wdbb_perf_profiled_into(
+                geom,
+                wdbb,
+                n,
+                wp,
+                prof.dense_with(scratch),
+                &mut events,
+            ),
+            (ArchKind::S2taAw, PlannedWeights::Dbb(wdbb)) => {
+                let postdap = prof.postdap_side_with(scratch);
+                tpe::run_aw_perf_profiled_into(
+                    geom,
+                    wdbb,
+                    n,
+                    postdap.config,
+                    wp,
+                    &postdap.profile,
+                    &mut events,
+                );
+                events.dap_stages += postdap.events.stages;
+                events.dap_comparisons += postdap.events.comparisons;
+            }
+            (kind, _) => panic!("weight plan format does not match architecture {kind}"),
+        }
+        if layer.is_memory_bound() {
+            let clamp = self.dma_clamp_cycles(plan, (k * n) as u64, residency);
+            events.cycles = events.cycles.max(clamp);
+        }
+        events
+    }
+
     /// Runs only the convolution layers (the paper's "Conv only" rows).
     ///
     /// Plans per layer without touching the model cache: a cached
@@ -455,6 +590,32 @@ mod tests {
         let acc = Accelerator::preset(ArchKind::S2taAw);
         let m = lenet5();
         assert_eq!(acc.run_model(&m, 5), acc.run_model(&m, 5));
+    }
+
+    /// The allocation-free summed-events hot loop is byte-identical to
+    /// summing the per-layer report path, on every architecture, for
+    /// both residencies, cold and warm arenas alike.
+    #[test]
+    fn stage_events_match_summed_reports_on_all_archs() {
+        let m = lenet5();
+        let pool = crate::scratch::ScratchPool::new();
+        for kind in ArchKind::ALL {
+            let acc = Accelerator::preset(kind);
+            let plan = acc.plan_model(&m, 23);
+            let n = m.layers.len();
+            for residency in [WeightResidency::Streamed, WeightResidency::Resident] {
+                for range in [0..n, 1..n.min(3), 0..1] {
+                    let reports = acc.run_stage(&plan, &m, range.clone(), 7, residency);
+                    let expected =
+                        reports.iter().fold(EventCounts::default(), |acc, l| acc + l.events);
+                    let mut scratch = pool.checkout();
+                    let got =
+                        acc.run_stage_events(&plan, &m, range.clone(), 7, residency, &mut scratch);
+                    pool.restore(scratch);
+                    assert_eq!(got, expected, "{kind} {residency:?} {range:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -114,12 +114,14 @@ pub fn sweep_aw(seed: u64) -> (Vec<DesignPoint>, Vec<DesignPoint>) {
 
 /// [`sweep_aw`] with an explicit worker count (`1` = fully serial).
 ///
-/// Each geometry evaluates independently and [`crate::pool::parallel_map`]
-/// preserves input order, so `all_points` and the derived Pareto
-/// frontier are byte-identical for every worker count.
+/// Each geometry evaluates independently on the persistent
+/// [`crate::pool::Executor`], which preserves input order, so
+/// `all_points` and the derived Pareto frontier are byte-identical for
+/// every worker count.
 pub fn sweep_aw_with_workers(seed: u64, workers: usize) -> (Vec<DesignPoint>, Vec<DesignPoint>) {
     let geometries = enumerate_aw_geometries();
-    let all = crate::pool::parallel_map(&geometries, workers, |&g| evaluate_aw(g, seed));
+    let all = crate::pool::Executor::global()
+        .map_capped(&geometries, Some(workers), |&g| evaluate_aw(g, seed));
     let mut frontier: Vec<DesignPoint> =
         all.iter().filter(|p| !all.iter().any(|q| p.dominated_by(q))).cloned().collect();
     frontier.sort_by(|x, y| x.area_mm2.partial_cmp(&y.area_mm2).expect("finite"));

@@ -248,11 +248,17 @@ pub fn dap_matrix(m: &Matrix, bz: usize, nnz: LayerNnz) -> (DbbMatrix, DapEvents
 /// (`s2ta_sim::tpe::run_aw_perf_profiled`) consumes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DapColProfile {
-    /// `counts[strip][p]` = surviving non-zeros among the strip's
-    /// columns at reduction position `p`, for column strips of the
-    /// requested width. Identical to profiling
-    /// `dap_matrix(m, bz, nnz).0.decompress()` (asserted by tests).
-    pub counts: Vec<Vec<u32>>,
+    /// Flat strip-major SoA tallies: `counts[s*k + p]` = surviving
+    /// non-zeros among strip `s`'s columns at reduction position `p`,
+    /// for column strips of the requested width (`k` = `m.rows()`).
+    /// Identical to profiling `dap_matrix(m, bz, nnz).0.decompress()`
+    /// (asserted by tests); the layout matches
+    /// `s2ta_sim::profile::ColStripProfile::from_flat`.
+    pub counts: Vec<u32>,
+    /// Number of column strips.
+    pub strips: usize,
+    /// Reduction length (`m.rows()`).
+    pub k: usize,
     /// Aggregate DAP hardware events, identical to [`dap_matrix`]'s.
     pub events: DapEvents,
     /// The compression configuration [`dap_matrix`] would choose for
@@ -261,11 +267,18 @@ pub struct DapColProfile {
     pub config: DbbConfig,
 }
 
+impl DapColProfile {
+    /// The per-position tallies of strip `s`.
+    pub fn strip(&self, s: usize) -> &[u32] {
+        &self.counts[s * self.k..(s + 1) * self.k]
+    }
+}
+
 /// Runs the DAP decision of [`dap_matrix`] over `m` but keeps only the
 /// per-column-strip non-zero counts of the surviving elements (plus the
 /// hardware events), skipping the pruned-matrix materialization and
 /// compression entirely. For each strip `s` of `strip_cols` columns,
-/// `counts[s][p]` equals the number of columns in the strip whose
+/// `counts[s*k + p]` equals the number of columns in the strip whose
 /// post-DAP element at reduction position `p` is non-zero — exactly the
 /// column-strip profile of `dap_matrix(m, bz, nnz).0.decompress()`.
 ///
@@ -273,9 +286,30 @@ pub struct DapColProfile {
 ///
 /// Panics if `strip_cols` is zero.
 pub fn dap_col_profile(m: &Matrix, bz: usize, nnz: LayerNnz, strip_cols: usize) -> DapColProfile {
+    dap_col_profile_with(m, bz, nnz, strip_cols, &mut Vec::new())
+}
+
+/// [`dap_col_profile`] with a caller-owned block scratch buffer: the
+/// only transient the profile derivation needs. A lane that keeps the
+/// buffer in its arena re-derives profiles (on activation-cache misses)
+/// with zero scratch allocation; the returned profile's `counts` vector
+/// is the output, not scratch, and is always freshly allocated because
+/// it outlives the call inside the activation profile cache.
+///
+/// # Panics
+///
+/// Panics if `strip_cols` is zero.
+pub fn dap_col_profile_with(
+    m: &Matrix,
+    bz: usize,
+    nnz: LayerNnz,
+    strip_cols: usize,
+    block: &mut Vec<i8>,
+) -> DapColProfile {
     assert!(strip_cols > 0, "strip width must be non-zero");
     let strips = m.cols().div_ceil(strip_cols);
-    let mut counts = vec![vec![0u32; m.rows()]; strips];
+    let k = m.rows();
+    let mut counts = vec![0u32; strips * k];
     let mut events = DapEvents::default();
     let config = match nnz {
         // Dense (or a bound at/above BZ): nothing is pruned, the
@@ -284,22 +318,24 @@ pub fn dap_col_profile(m: &Matrix, bz: usize, nnz: LayerNnz, strip_cols: usize) 
         LayerNnz::Prune(n) if n >= bz => DbbConfig::dense(bz),
         LayerNnz::Prune(n) => {
             let unit = (n <= MAX_DAP_STAGES).then(|| DapUnit::new(bz));
-            let mut block = vec![0i8; bz];
+            block.resize(bz, 0);
+            let block = &mut block[..bz];
             for c in 0..m.cols() {
-                let strip = &mut counts[c / strip_cols];
+                let base = (c / strip_cols) * k;
+                let strip = &mut counts[base..base + k];
                 let mut r = 0;
-                while r < m.rows() {
-                    let end = (r + bz).min(m.rows());
+                while r < k {
+                    let end = (r + bz).min(k);
                     block.fill(0);
                     for (bi, row) in (r..end).enumerate() {
                         block[bi] = m.get(row, c);
                     }
                     if let Some(unit) = &unit {
-                        let (_, ev) = unit.prune(&mut block, n);
+                        let (_, ev) = unit.prune(block, n);
                         events.stages += ev.stages;
                         events.comparisons += ev.comparisons;
                     } else {
-                        dap_block(&mut block, n);
+                        dap_block(block, n);
                     }
                     for (bi, row) in (r..end).enumerate() {
                         if block[bi] != 0 {
@@ -309,18 +345,19 @@ pub fn dap_col_profile(m: &Matrix, bz: usize, nnz: LayerNnz, strip_cols: usize) 
                     r = end;
                 }
             }
-            return DapColProfile { counts, events, config: DbbConfig::new(n, bz) };
+            return DapColProfile { counts, strips, k, events, config: DbbConfig::new(n, bz) };
         }
     };
     for c in 0..m.cols() {
-        let strip = &mut counts[c / strip_cols];
+        let base = (c / strip_cols) * k;
+        let strip = &mut counts[base..base + k];
         for (r, slot) in strip.iter_mut().enumerate() {
             if m.get(r, c) != 0 {
                 *slot += 1;
             }
         }
     }
-    DapColProfile { counts, events, config }
+    DapColProfile { counts, strips, k, events, config }
 }
 
 #[cfg(test)]
@@ -442,13 +479,15 @@ mod tests {
         bz: usize,
         nnz: LayerNnz,
         strip_cols: usize,
-    ) -> (Vec<Vec<u32>>, DapEvents) {
+    ) -> (Vec<u32>, DapEvents) {
         let (dm, events) = dap_matrix(m, bz, nnz);
         let dense = dm.decompress();
         let strips = dense.cols().div_ceil(strip_cols);
-        let mut counts = vec![vec![0u32; dense.rows()]; strips];
+        let k = dense.rows();
+        let mut counts = vec![0u32; strips * k];
         for c in 0..dense.cols() {
-            let strip = &mut counts[c / strip_cols];
+            let base = (c / strip_cols) * k;
+            let strip = &mut counts[base..base + k];
             for (r, slot) in strip.iter_mut().enumerate() {
                 if dense.get(r, c) != 0 {
                     *slot += 1;

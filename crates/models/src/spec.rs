@@ -61,6 +61,15 @@ impl LayerSpec {
         SparseSpec::random(self.act_sparsity).matrix(self.gemm.k, self.gemm.n, &mut rng)
     }
 
+    /// [`LayerSpec::gen_acts`] into recycled storage: bit-identical to
+    /// `gen_acts(seed)` but backed by `buf` (a previous matrix's
+    /// `into_data`), so a warm per-lane arena regenerates activations
+    /// without allocating.
+    pub fn gen_acts_into(&self, seed: u64, buf: Vec<i8>) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.name_hash() ^ 0x4143_5453);
+        SparseSpec::random(self.act_sparsity).matrix_into(self.gemm.k, self.gemm.n, &mut rng, buf)
+    }
+
     fn name_hash(&self) -> u64 {
         // FNV-1a over the name: stable, dependency-free.
         self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {

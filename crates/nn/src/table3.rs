@@ -184,10 +184,10 @@ fn run_variant(
 /// 2/8 trend).
 ///
 /// Every variant fine-tunes independently from one shared baseline, so
-/// the five studies fan out over the host thread pool
-/// (`s2ta_core::pool::parallel_map`, order-preserving) — byte-identical
-/// to the serial loops they replace, because each variant's training is
-/// a pure function of `(baseline, variant, seeds)`.
+/// the five studies fan out over the persistent host executor
+/// (`s2ta_core::pool::Executor`, order-preserving) — byte-identical to
+/// the serial loops they replace, because each variant's training is a
+/// pure function of `(baseline, variant, seeds)`.
 pub fn run_table3(cfg: &Table3Config) -> Vec<Table3Row> {
     let (train_set, test_set) = generate(
         cfg.dim,
@@ -212,8 +212,7 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<Table3Row> {
 
     let variants =
         [Variant::Adbb(4), Variant::Adbb(2), Variant::Wdbb(4), Variant::Wdbb(2), Variant::Joint];
-    let workers = s2ta_core::pool::worker_count_for(variants.len(), None);
-    rows.extend(s2ta_core::pool::parallel_map(&variants, workers, |&v| {
+    rows.extend(s2ta_core::pool::Executor::global().map(&variants, |&v| {
         run_variant(v, &base, &train_set, &test_set, cfg.finetune_epochs, &ft)
     }));
     rows

@@ -11,8 +11,9 @@
 //! * [`Fleet::serve`] — **open loop, fixed policy**: the arrival stream
 //!   is folded into batches up front (fleet-size independent, see
 //!   [`crate::scheduler`]), every batch's cycle simulation fans out
-//!   over the host thread pool ([`s2ta_core::pool::parallel_map`]), and
-//!   the batches are then placed on the N simulated lanes.
+//!   over the persistent host executor
+//!   ([`s2ta_core::pool::Executor`]), and the batches are then placed
+//!   on the N simulated lanes.
 //! * [`Fleet::serve_adaptive`] — **open loop, adaptive policy**: the
 //!   same arrival stream driven through the event-driven engine so a
 //!   [`BatchPolicy`] can steer per-model `max_batch`/`max_wait` from
@@ -42,7 +43,7 @@
 //! its lane first and simulates only that lane's scope — its choice
 //! never depends on its own execution.) Parallel execution is
 //! byte-identical to the serial engine because the simulations are
-//! pure and [`s2ta_core::pool::parallel_map`] is order-preserving;
+//! pure and [`s2ta_core::pool::Executor::map`] is order-preserving;
 //! [`Fleet::with_host_parallelism`] pins the host worker count (it can
 //! change wall-clock time only, never results).
 //!
@@ -73,8 +74,8 @@ use crate::scheduler::{
 use crate::timewheel::TimerWheel;
 use crate::workload::{ClosedLoopClient, ClosedLoopSpec, Request};
 use s2ta_core::{
-    pool, Accelerator, ActProfileCache, ArchKind, CacheStats, ExecPath, WeightPlanCache,
-    WeightResidency,
+    pool, Accelerator, ActProfileCache, ArchKind, CacheStats, ExecPath, ScratchPool,
+    WeightPlanCache, WeightResidency,
 };
 use s2ta_models::ModelSpec;
 use s2ta_sim::EventCounts;
@@ -83,9 +84,16 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 /// One serving lane: a simulated accelerator instance with its own
 /// architecture, executing one batch at a time in simulated time.
+///
+/// Every lane carries a handle to the fleet-shared [`ScratchPool`]:
+/// batch execution checks out a per-execution [`s2ta_core::Scratch`]
+/// arena, so whichever host worker runs the batch reuses warm buffer
+/// capacity instead of allocating (see
+/// [`Accelerator::run_stage_events`]).
 #[derive(Debug, Clone)]
 pub struct Lane {
     accelerator: Accelerator,
+    scratch: ScratchPool,
 }
 
 impl Lane {
@@ -97,6 +105,11 @@ impl Lane {
     /// The lane's accelerator.
     pub fn accelerator(&self) -> &Accelerator {
         &self.accelerator
+    }
+
+    /// The fleet-shared scratch-arena pool this lane draws from.
+    pub(crate) fn scratch(&self) -> &ScratchPool {
+        &self.scratch
     }
 
     /// Simulates one batch on this lane: each layer's weights stream
@@ -134,17 +147,48 @@ impl Lane {
     ) -> BatchExecution {
         let plan = self.accelerator.plan_model(model, weight_seed);
         let mut events = EventCounts::default();
-        for (i, request) in requests.iter().enumerate() {
-            let residency =
-                if i == 0 && !warm { WeightResidency::Streamed } else { WeightResidency::Resident };
-            for report in self.accelerator.run_stage(
-                &plan,
-                model,
-                layers.clone(),
-                request.act_seed,
-                residency,
-            ) {
-                events += report.events;
+        match self.accelerator.exec_path() {
+            // The golden oracle / host-throughput baseline: per-layer
+            // reports, materialized operands, no arena.
+            ExecPath::Reference => {
+                for (i, request) in requests.iter().enumerate() {
+                    let residency = if i == 0 && !warm {
+                        WeightResidency::Streamed
+                    } else {
+                        WeightResidency::Resident
+                    };
+                    for report in self.accelerator.run_stage(
+                        &plan,
+                        model,
+                        layers.clone(),
+                        request.act_seed,
+                        residency,
+                    ) {
+                        events += report.events;
+                    }
+                }
+            }
+            // The serving hot loop: summed events straight from the
+            // strip profiles, transient buffers from the shared arena
+            // pool — allocation-free once caches and arena are warm.
+            ExecPath::Profiled => {
+                let mut scratch = self.scratch.checkout();
+                for (i, request) in requests.iter().enumerate() {
+                    let residency = if i == 0 && !warm {
+                        WeightResidency::Streamed
+                    } else {
+                        WeightResidency::Resident
+                    };
+                    events += self.accelerator.run_stage_events(
+                        &plan,
+                        model,
+                        layers.clone(),
+                        request.act_seed,
+                        residency,
+                        &mut scratch,
+                    );
+                }
+                self.scratch.restore(scratch);
             }
         }
         BatchExecution { service_cycles: events.cycles, events }
@@ -278,7 +322,12 @@ impl Fleet {
     /// Panics if `workers` is zero.
     pub fn with_accelerator(accelerator: Accelerator, workers: usize) -> Self {
         assert!(workers > 0, "a fleet needs at least one worker");
-        Self::from_lanes((0..workers).map(|_| Lane { accelerator: accelerator.clone() }).collect())
+        let scratch = ScratchPool::new();
+        Self::from_lanes(
+            (0..workers)
+                .map(|_| Lane { accelerator: accelerator.clone(), scratch: scratch.clone() })
+                .collect(),
+        )
     }
 
     /// Builds the fleet a spec describes. Every lane's accelerator is
@@ -297,6 +346,7 @@ impl Fleet {
         assert!(!spec.is_empty(), "a fleet needs at least one lane");
         let plans = WeightPlanCache::new();
         let act_profiles = ActProfileCache::new();
+        let scratch = ScratchPool::new();
         Self::from_lanes(
             spec.accelerators
                 .into_iter()
@@ -304,6 +354,7 @@ impl Fleet {
                     accelerator: acc
                         .sharing_plans(plans.clone())
                         .sharing_act_profiles(act_profiles.clone()),
+                    scratch: scratch.clone(),
                 })
                 .collect(),
         )
@@ -362,6 +413,7 @@ impl Fleet {
                     .accelerator
                     .sharing_plans(plans.clone())
                     .sharing_act_profiles(acts.clone()),
+                scratch: l.scratch,
             })
             .collect();
         self
@@ -508,27 +560,26 @@ impl Fleet {
         models: &[ModelSpec],
         work: &[(usize, &[Request])],
     ) -> Vec<BatchExecution> {
-        // Compile each used model's weight plan once per DBB scope,
-        // before fan-out, so the parallel phase starts with a warm
-        // cache instead of racing compiles of the same plan.
+        // Compile each used model's weight plan once per scope — dense
+        // scopes included, now that dense plans are memoized — before
+        // fan-out, so the parallel phase starts with a warm cache
+        // instead of racing compiles of the same plan.
         let mut used: Vec<usize> = work.iter().map(|&(model, _)| model).collect();
         used.sort_unstable();
         used.dedup();
         for &rep in &scopes.rep {
             let acc = &self.lanes[rep].accelerator;
-            if !acc.config().kind.uses_wdbb() {
-                continue; // dense plans are not memoized; nothing to warm
-            }
             for &m in &used {
                 acc.plan_model(&models[m], self.weight_seed);
             }
         }
         // The host pool is sized to the machine, not to the simulated
-        // fleet: only placement sees the N lanes.
+        // fleet: only placement sees the N lanes. The persistent
+        // work-stealing executor serves every burst — no per-burst
+        // thread spawns.
         let n_scopes = scopes.count();
         let jobs: Vec<usize> = (0..work.len() * n_scopes).collect();
-        let host_workers = pool::worker_count_for(jobs.len(), self.host_parallelism);
-        pool::parallel_map(&jobs, host_workers, |&j| {
+        pool::Executor::global().map_capped(&jobs, self.host_parallelism, |&j| {
             let (b, s) = (j / n_scopes, j % n_scopes);
             let (model, members) = work[b];
             self.lanes[scopes.rep[s]].execute_batch(&models[model], members, self.weight_seed)
@@ -1289,6 +1340,7 @@ impl<'a> Engine<'a> {
             self.fleet.pipeline_stages,
             self.fleet.weight_seed,
             &mut self.estimator,
+            self.fleet.host_parallelism,
         );
         self.pipelines.insert(model, plan.clone());
         plan

@@ -41,7 +41,7 @@
 
 use crate::fleet::Lane;
 use crate::scheduler::ServiceEstimator;
-use s2ta_core::{stage_handoff_bytes, WeightResidency};
+use s2ta_core::{pool, stage_handoff_bytes, WeightResidency};
 use s2ta_models::ModelSpec;
 use std::ops::Range;
 
@@ -86,6 +86,7 @@ impl PipelinePlan {
         stages: usize,
         weight_seed: u64,
         estimator: &mut ServiceEstimator,
+        host_parallelism: Option<usize>,
     ) -> Self {
         assert!(stages > 0, "a pipeline needs at least one stage");
         assert!(!lanes.is_empty(), "a pipeline needs at least one lane");
@@ -94,14 +95,18 @@ impl PipelinePlan {
         // 1. Calibrate: one batch-1 probe of every layer per distinct
         // lane configuration. Probes are pure simulations; only their
         // cycle counts survive, as estimator seeds. They run through
-        // `run_stage`'s profile-compiled path, so the probes also warm
-        // the fleet's shared activation-profile cache for the
-        // calibration seed. Layers are probed at **resident** weight
-        // residency — the pipeline's steady state: a pinned stage lane
-        // streams its weights once and then keeps them in SRAM across
-        // the whole run, so pricing memory-bound FC/depthwise layers at
-        // their cold streamed cost would wildly over-weight them in the
-        // split.
+        // the allocation-free `run_stage_events` hot loop (arenas from
+        // the fleet's scratch pool), so the probes also warm the
+        // fleet's shared activation-profile cache for the calibration
+        // seed, and the `(scope, layer)` grid fans out over the
+        // persistent host executor — capped at the fleet's host
+        // parallelism, so a serial fleet probes serially and its cache
+        // counters stay exactly reproducible. Layers are probed at
+        // **resident** weight residency — the pipeline's steady state:
+        // a pinned stage lane streams its weights once and then keeps
+        // them in SRAM across the whole run, so pricing memory-bound
+        // FC/depthwise layers at their cold streamed cost would wildly
+        // over-weight them in the split.
         let mut scope_reps: Vec<usize> = Vec::new();
         for (l, lane) in lanes.iter().enumerate() {
             let config = lane.accelerator().config();
@@ -109,27 +114,28 @@ impl PipelinePlan {
                 scope_reps.push(l);
             }
         }
-        let probes: Vec<Vec<u64>> = scope_reps
+        let plans: Vec<_> = scope_reps
             .iter()
-            .map(|&r| {
-                let acc = lanes[r].accelerator();
-                let plan = acc.plan_model(model, weight_seed);
-                (0..model.layers.len())
-                    .map(|i| {
-                        acc.run_stage(
-                            &plan,
-                            model,
-                            i..i + 1,
-                            weight_seed,
-                            WeightResidency::Resident,
-                        )
-                        .iter()
-                        .map(|rep| rep.events.cycles)
-                        .sum()
-                    })
-                    .collect()
-            })
+            .map(|&r| lanes[r].accelerator().plan_model(model, weight_seed))
             .collect();
+        let n_layers = model.layers.len();
+        let jobs: Vec<usize> = (0..scope_reps.len() * n_layers).collect();
+        let cycles = pool::Executor::global().map_capped(&jobs, host_parallelism, |&j| {
+            let (s, i) = (j / n_layers, j % n_layers);
+            let lane = &lanes[scope_reps[s]];
+            let mut scratch = lane.scratch().checkout();
+            let events = lane.accelerator().run_stage_events(
+                &plans[s],
+                model,
+                i..i + 1,
+                weight_seed,
+                WeightResidency::Resident,
+                &mut scratch,
+            );
+            lane.scratch().restore(scratch);
+            events.cycles
+        });
+        let probes: Vec<Vec<u64>> = cycles.chunks(n_layers).map(<[u64]>::to_vec).collect();
 
         // 2+3. Split and place **jointly**: an exact DP over (layers
         // covered, lanes consumed per scope) that minimizes the
@@ -314,7 +320,8 @@ mod tests {
         stages: usize,
     ) -> (PipelinePlan, ServiceEstimator) {
         let mut estimator = ServiceEstimator::new();
-        let plan = PipelinePlan::partition(fleet.lanes(), 0, model, stages, 42, &mut estimator);
+        let plan =
+            PipelinePlan::partition(fleet.lanes(), 0, model, stages, 42, &mut estimator, None);
         (plan, estimator)
     }
 

@@ -9,6 +9,13 @@
 //! in `systolic`/`tpe` assert equality against the looped functional
 //! runs).
 //!
+//! Both profile types store their counts **structure-of-arrays**: all
+//! strips live in a single flat `Vec<u32>` of `strips * k` entries, strip
+//! `s` occupying `counts[s*k .. (s+1)*k]`. One contiguous buffer instead
+//! of a `Vec<Vec<u32>>` means one allocation per profile, cache-linear
+//! strip walks, and inner loops over `strip(s)` that the compiler can
+//! vectorize (the slices are plain `&[u32]` with unit stride).
+//!
 //! The profile types are **public operands**: because a profile is a
 //! pure function of its matrix and strip width, a caller can build it
 //! once (e.g. bake the weight profile into a compiled layer plan, or
@@ -17,17 +24,22 @@
 //! [`crate::tpe::run_wdbb_perf_profiled`],
 //! [`crate::tpe::run_aw_perf_profiled`],
 //! [`crate::smt::run_sampled_profiled`]) without ever re-materializing
-//! the dense matrices.
+//! the dense matrices. [`RowStripProfile::of_dbb`] goes one step
+//! further: it profiles a compressed weight matrix straight from its
+//! block masks, so even the *profiling* step materializes nothing.
 
+use s2ta_dbb::{BlockAxis, DbbMatrix};
 use s2ta_tensor::Matrix;
 
 /// Per-reduction-position non-zero counts for each row strip of a weight
 /// matrix (`M x K`, rows are output channels).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowStripProfile {
-    /// `counts[strip][p]` = non-zero weights among the strip's rows at
-    /// reduction position `p`.
-    counts: Vec<Vec<u32>>,
+    /// Flat SoA tallies: `counts[s*k + p]` = non-zero weights among strip
+    /// `s`'s rows at reduction position `p`.
+    counts: Vec<u32>,
+    strips: usize,
+    k: usize,
 }
 
 impl RowStripProfile {
@@ -39,27 +51,78 @@ impl RowStripProfile {
     pub fn new(w: &Matrix, strip_rows: usize) -> Self {
         assert!(strip_rows > 0, "strip height must be non-zero");
         let strips = w.rows().div_ceil(strip_rows);
-        let mut counts = vec![vec![0u32; w.cols()]; strips];
+        let k = w.cols();
+        let mut counts = vec![0u32; strips * k];
         for r in 0..w.rows() {
-            let strip = r / strip_rows;
+            let base = (r / strip_rows) * k;
             let row = w.row(r);
-            for (p, &v) in row.iter().enumerate() {
-                if v != 0 {
-                    counts[strip][p] += 1;
+            let strip = &mut counts[base..base + k];
+            for (slot, &v) in strip.iter_mut().zip(row) {
+                *slot += (v != 0) as u32;
+            }
+        }
+        Self { counts, strips, k }
+    }
+
+    /// Profiles a row-blocked compressed weight matrix directly from its
+    /// block masks — exact (`DbbBlock` masks mark only genuine
+    /// non-zeros, even under the dense config), and allocation-free
+    /// beyond the output buffer: no decompression, no scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is column-blocked or `strip_rows` is zero.
+    pub fn of_dbb(w: &DbbMatrix, strip_rows: usize) -> Self {
+        assert!(strip_rows > 0, "strip height must be non-zero");
+        assert!(matches!(w.axis(), BlockAxis::Rows), "weight profiles need a row-blocked matrix");
+        let (rows, k) = w.shape();
+        let strips = rows.div_ceil(strip_rows);
+        let bz = w.config().bz();
+        let mut counts = vec![0u32; strips * k];
+        for (r, vector) in w.vectors().iter().enumerate() {
+            let base = (r / strip_rows) * k;
+            let strip = &mut counts[base..base + k];
+            for (bi, block) in vector.blocks().iter().enumerate() {
+                let mut mask = block.mask();
+                while mask != 0 {
+                    let p = bi * bz + mask.trailing_zeros() as usize;
+                    // Tail blocks are zero-padded past `k`; padding never
+                    // sets mask bits, but guard anyway.
+                    if p < k {
+                        strip[p] += 1;
+                    }
+                    mask &= mask - 1;
                 }
             }
         }
-        Self { counts }
+        Self { counts, strips, k }
+    }
+
+    /// Rebuilds a profile from its flat SoA parts (the inverse of
+    /// [`RowStripProfile::flat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != strips * k` or `strips` is zero.
+    pub fn from_flat(counts: Vec<u32>, strips: usize, k: usize) -> Self {
+        assert!(strips > 0, "a profile needs at least one strip");
+        assert_eq!(counts.len(), strips * k, "flat profile shape mismatch");
+        Self { counts, strips, k }
     }
 
     /// The per-position non-zero counts of strip `s`.
     pub fn strip(&self, s: usize) -> &[u32] {
-        &self.counts[s]
+        &self.counts[s * self.k..(s + 1) * self.k]
     }
 
     /// Number of row strips.
     pub fn strips(&self) -> usize {
-        self.counts.len()
+        self.strips
+    }
+
+    /// The whole SoA buffer, strip-major: `flat()[s*k + p]`.
+    pub fn flat(&self) -> &[u32] {
+        &self.counts
     }
 }
 
@@ -67,7 +130,10 @@ impl RowStripProfile {
 /// activation matrix (`K x N`, columns are output pixels).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColStripProfile {
-    counts: Vec<Vec<u32>>,
+    /// Flat SoA tallies, same layout as [`RowStripProfile::flat`].
+    counts: Vec<u32>,
+    strips: usize,
+    k: usize,
 }
 
 impl ColStripProfile {
@@ -79,19 +145,15 @@ impl ColStripProfile {
     pub fn new(a: &Matrix, strip_cols: usize) -> Self {
         assert!(strip_cols > 0, "strip width must be non-zero");
         let strips = a.cols().div_ceil(strip_cols);
-        let mut counts = vec![vec![0u32; a.rows()]; strips];
-        // `p` indexes the transposed layout (counts[strip][row]), so an
-        // iterator over `counts` cannot replace the row index.
-        #[allow(clippy::needless_range_loop)]
-        for p in 0..a.rows() {
+        let k = a.rows();
+        let mut counts = vec![0u32; strips * k];
+        for p in 0..k {
             let row = a.row(p);
             for (c, &v) in row.iter().enumerate() {
-                if v != 0 {
-                    counts[c / strip_cols][p] += 1;
-                }
+                counts[(c / strip_cols) * k + p] += (v != 0) as u32;
             }
         }
-        Self { counts }
+        Self { counts, strips, k }
     }
 
     /// Builds a profile from raw `counts[strip][p]` tallies — the escape
@@ -105,17 +167,74 @@ impl ColStripProfile {
         assert!(!counts.is_empty(), "a profile needs at least one strip");
         let k = counts[0].len();
         assert!(counts.iter().all(|s| s.len() == k), "strips must share the reduction length");
-        Self { counts }
+        let strips = counts.len();
+        let mut flat = Vec::with_capacity(strips * k);
+        for strip in counts {
+            flat.extend_from_slice(&strip);
+        }
+        Self { counts: flat, strips, k }
+    }
+
+    /// Profiles a column-blocked compressed activation matrix directly
+    /// from its block masks — the A-DBB analogue of
+    /// [`RowStripProfile::of_dbb`]: exact and decompression-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is row-blocked or `strip_cols` is zero.
+    pub fn of_dbb(a: &DbbMatrix, strip_cols: usize) -> Self {
+        assert!(strip_cols > 0, "strip width must be non-zero");
+        assert!(
+            matches!(a.axis(), BlockAxis::Cols),
+            "activation profiles need a column-blocked matrix"
+        );
+        let (k, cols) = a.shape();
+        let strips = cols.div_ceil(strip_cols);
+        let bz = a.config().bz();
+        let mut counts = vec![0u32; strips * k];
+        for (c, vector) in a.vectors().iter().enumerate() {
+            let base = (c / strip_cols) * k;
+            let strip = &mut counts[base..base + k];
+            for (bi, block) in vector.blocks().iter().enumerate() {
+                let mut mask = block.mask();
+                while mask != 0 {
+                    let p = bi * bz + mask.trailing_zeros() as usize;
+                    if p < k {
+                        strip[p] += 1;
+                    }
+                    mask &= mask - 1;
+                }
+            }
+        }
+        Self { counts, strips, k }
+    }
+
+    /// Rebuilds a profile from its flat SoA parts (the inverse of
+    /// [`ColStripProfile::flat`]) — the allocation-free producer path:
+    /// tally straight into a `strips * k` buffer, then wrap it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != strips * k` or `strips` is zero.
+    pub fn from_flat(counts: Vec<u32>, strips: usize, k: usize) -> Self {
+        assert!(strips > 0, "a profile needs at least one strip");
+        assert_eq!(counts.len(), strips * k, "flat profile shape mismatch");
+        Self { counts, strips, k }
     }
 
     /// The per-position non-zero counts of strip `s`.
     pub fn strip(&self, s: usize) -> &[u32] {
-        &self.counts[s]
+        &self.counts[s * self.k..(s + 1) * self.k]
     }
 
     /// Number of column strips.
     pub fn strips(&self) -> usize {
-        self.counts.len()
+        self.strips
+    }
+
+    /// The whole SoA buffer, strip-major: `flat()[s*k + p]`.
+    pub fn flat(&self) -> &[u32] {
+        &self.counts
     }
 }
 
@@ -128,6 +247,7 @@ pub fn active_macs(w_strip: &[u32], a_strip: &[u32]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use s2ta_dbb::DbbConfig;
 
     #[test]
     fn profiles_count_nonzeros_per_strip() {
@@ -137,6 +257,7 @@ mod tests {
         assert_eq!(p.strips(), 2);
         assert_eq!(p.strip(0), &[1, 1]);
         assert_eq!(p.strip(1), &[1, 1]);
+        assert_eq!(p.flat(), &[1, 1, 1, 1]);
 
         let a = Matrix::from_vec(2, 3, vec![1, 0, 2, 0, 0, 3]);
         let c = ColStripProfile::new(&a, 2);
@@ -151,12 +272,46 @@ mod tests {
         let direct = ColStripProfile::new(&a, 2);
         let raw = ColStripProfile::from_counts(vec![vec![1, 0], vec![1, 1]]);
         assert_eq!(direct, raw);
+        let flat = ColStripProfile::from_flat(vec![1, 0, 1, 1], 2, 2);
+        assert_eq!(direct, flat);
     }
 
     #[test]
     #[should_panic(expected = "share the reduction length")]
     fn from_counts_rejects_ragged_strips() {
         let _ = ColStripProfile::from_counts(vec![vec![1, 0], vec![1]]);
+    }
+
+    #[test]
+    fn of_dbb_matches_dense_profile() {
+        // 5x11: non-multiple of both strip height and block size, so the
+        // mask walk must handle short tail blocks and a short last strip.
+        let data: Vec<i8> =
+            (0..55u8).map(|i| if i % 3 == 0 { 0 } else { (i % 120) as i8 }).collect();
+        let m = Matrix::from_vec(5, 11, data);
+        let dm = DbbMatrix::compress(&m, BlockAxis::Rows, DbbConfig::dense(4)).unwrap();
+        for strip_rows in [1, 2, 4, 5, 7] {
+            assert_eq!(
+                RowStripProfile::of_dbb(&dm, strip_rows),
+                RowStripProfile::new(&m, strip_rows),
+                "strip_rows={strip_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn col_of_dbb_matches_dense_profile() {
+        let data: Vec<i8> =
+            (0..77u8).map(|i| if i % 4 == 0 { 0 } else { (i % 120) as i8 }).collect();
+        let m = Matrix::from_vec(7, 11, data);
+        let dm = DbbMatrix::compress(&m, BlockAxis::Cols, DbbConfig::dense(4)).unwrap();
+        for strip_cols in [1, 3, 4, 11, 16] {
+            assert_eq!(
+                ColStripProfile::of_dbb(&dm, strip_cols),
+                ColStripProfile::new(&m, strip_cols),
+                "strip_cols={strip_cols}"
+            );
+        }
     }
 
     #[test]

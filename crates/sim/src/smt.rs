@@ -62,6 +62,29 @@ impl std::fmt::Display for SmtConfig {
     }
 }
 
+/// Reusable backing storage for [`TileTiming::simulate`], so the
+/// sampled-timing loop allocates nothing in steady state: `arrivals`
+/// and `queues` keep their capacity across tiles, columns and calls.
+/// Contents are overwritten per use and never carry information
+/// between tiles.
+#[derive(Debug, Default)]
+pub struct SmtScratch {
+    arrivals: Vec<u8>,
+    queues: Vec<u32>,
+}
+
+impl SmtScratch {
+    /// A fresh, empty scratch (buffers grow to steady size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total capacity currently retained, in bytes — diagnostic only.
+    pub fn retained_bytes(&self) -> usize {
+        self.arrivals.capacity() + 4 * self.queues.capacity()
+    }
+}
+
 /// Per-tile simulation state: FIFO occupancy only (values are resolved
 /// functionally outside the timing loop — FIFO order does not change the
 /// accumulated sum).
@@ -84,7 +107,7 @@ impl TileTiming<'_> {
     /// completion time of the slowest column. A deeper queue (`T2Q4`)
     /// absorbs arrival bursts that stall the column under `T2Q2`,
     /// reproducing the paper's Fig. 3 speedup gap.
-    fn simulate(&self) -> (u64, u64) {
+    fn simulate(&self, scratch: &mut SmtScratch) -> (u64, u64) {
         let k = self.w.cols();
         let t = self.cfg.threads;
         let q_cap = self.cfg.queue_depth as u32;
@@ -93,7 +116,10 @@ impl TileTiming<'_> {
         let mut pushes: u64 = 0;
         let mut worst: u64 = 0;
         // arrivals[step * nrows + row] for the current column.
-        let mut arrivals = vec![0u8; steps * nrows];
+        let arrivals = &mut scratch.arrivals;
+        arrivals.clear();
+        arrivals.resize(steps * nrows, 0);
+        let queues = &mut scratch.queues;
 
         for j in self.cols.clone() {
             arrivals.fill(0);
@@ -106,7 +132,8 @@ impl TileTiming<'_> {
                     }
                 }
             }
-            let mut queues = vec![0u32; nrows];
+            queues.clear();
+            queues.resize(nrows, 0);
             let mut cycles: u64 = 0;
             let mut step = 0usize;
             while step < steps || queues.iter().any(|&q| q > 0) {
@@ -190,6 +217,40 @@ pub fn run_sampled_profiled(
     wp: &RowStripProfile,
     ap: &ColStripProfile,
 ) -> EventCounts {
+    let mut events = EventCounts::new();
+    run_sampled_profiled_into(
+        geom,
+        cfg,
+        w,
+        a,
+        sample_tiles,
+        wp,
+        ap,
+        &mut events,
+        &mut SmtScratch::new(),
+    );
+    events
+}
+
+/// [`run_sampled_profiled`] accumulating into a caller-owned tally and
+/// simulating tile timing out of a caller-owned [`SmtScratch`] — the
+/// allocation-free form for hot loops.
+///
+/// # Panics
+///
+/// Same contract as [`run_sampled_profiled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sampled_profiled_into(
+    geom: &ArrayGeometry,
+    cfg: SmtConfig,
+    w: &Matrix,
+    a: &Matrix,
+    sample_tiles: usize,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+    events: &mut EventCounts,
+    scratch: &mut SmtScratch,
+) {
     assert!(sample_tiles > 0, "must sample at least one tile");
     assert_eq!((geom.a, geom.b, geom.c), (1, 1, 1), "SMT runner is scalar only");
     assert_eq!(w.cols(), a.rows(), "GEMM inner dims mismatch");
@@ -201,7 +262,7 @@ pub fn run_sampled_profiled(
     assert_eq!(wp.strip(0).len(), k, "weight profile reduction length mismatch");
     assert_eq!(ap.strip(0).len(), k, "activation profile reduction length mismatch");
     let outputs = (w.rows() * a.cols()) as u64;
-    let mut events = EventCounts {
+    *events += EventCounts {
         weight_sram_bytes: (w.len() * walk.col_strips()) as u64,
         act_sram_read_bytes: (a.len() * walk.row_strips()) as u64,
         act_sram_write_bytes: outputs,
@@ -219,14 +280,13 @@ pub fn run_sampled_profiled(
         events.operand_reg_bytes += 2 * (rows.len() * k * cols.len()) as u64;
         if ti < sample_tiles {
             let timing = TileTiming { cfg, w, a, rows, cols };
-            let (cycles, pushes) = timing.simulate();
+            let (cycles, pushes) = timing.simulate(scratch);
             debug_assert_eq!(pushes, active);
             simulated_cycles += cycles + geom.skew_cycles();
             simulated += 1;
         }
     }
-    events.cycles = extrapolate_cycles(simulated_cycles, simulated, total_tiles);
-    events
+    events.cycles += extrapolate_cycles(simulated_cycles, simulated, total_tiles);
 }
 
 /// Total-cycle estimate from `simulated` tiles' summed latency: exact
@@ -265,6 +325,7 @@ fn run_inner(
 
     let mut simulated_cycles: u64 = 0;
     let mut simulated = 0usize;
+    let mut scratch = SmtScratch::new();
     for (ti, (rows, cols)) in geom.tile_walk(w.rows(), a.cols()).enumerate() {
         // Functional accumulation + exact non-timing events.
         let mut active: u64 = 0;
@@ -291,7 +352,7 @@ fn run_inner(
 
         if ti < sample_tiles {
             let timing = TileTiming { cfg, w, a, rows, cols };
-            let (cycles, pushes) = timing.simulate();
+            let (cycles, pushes) = timing.simulate(&mut scratch);
             debug_assert_eq!(pushes, active);
             simulated_cycles += cycles + geom.skew_cycles();
             simulated += 1;

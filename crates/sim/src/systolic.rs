@@ -106,6 +106,28 @@ pub fn run_perf_profiled(
     wp: &RowStripProfile,
     ap: &ColStripProfile,
 ) -> EventCounts {
+    let mut events = EventCounts::new();
+    run_perf_profiled_into(geom, zvcg, m_rows, k, n_cols, wp, ap, &mut events);
+    events
+}
+
+/// [`run_perf_profiled`] accumulating into a caller-owned tally — the
+/// allocation-free form for hot loops.
+///
+/// # Panics
+///
+/// Same contract as [`run_perf_profiled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_perf_profiled_into(
+    geom: &ArrayGeometry,
+    zvcg: bool,
+    m_rows: usize,
+    k: usize,
+    n_cols: usize,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+    events: &mut EventCounts,
+) {
     assert_eq!((geom.a, geom.b, geom.c), (1, 1, 1), "systolic runner is scalar only");
     let walk = geom.tile_walk(m_rows, n_cols);
     let (row_strips, col_strips) = (walk.row_strips(), walk.col_strips());
@@ -113,7 +135,7 @@ pub fn run_perf_profiled(
     assert_eq!(ap.strips(), col_strips, "activation profile strip count mismatch");
     assert_eq!(wp.strip(0).len(), k, "weight profile reduction length mismatch");
     assert_eq!(ap.strip(0).len(), k, "activation profile reduction length mismatch");
-    let mut events = sram_events(geom, m_rows, k, n_cols);
+    *events += sram_events(geom, m_rows, k, n_cols);
 
     for rs in 0..row_strips {
         let rows = (m_rows - rs * geom.tile_rows()).min(geom.tile_rows()) as u64;
@@ -133,7 +155,6 @@ pub fn run_perf_profiled(
             events.operand_reg_bytes += 2 * issued;
         }
     }
-    events
 }
 
 #[cfg(test)]

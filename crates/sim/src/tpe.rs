@@ -144,7 +144,9 @@ pub fn run_wdbb(geom: &ArrayGeometry, w: &DbbMatrix, a: &Matrix) -> GemmRun {
 
 /// Event-only fast path for `S2TA-W`; identical counts to [`run_wdbb`].
 pub fn run_wdbb_perf(geom: &ArrayGeometry, w: &DbbMatrix, a: &Matrix) -> EventCounts {
-    let wp = RowStripProfile::new(&w.decompress(), geom.tile_rows());
+    // Profile the compressed weights straight from their block masks —
+    // no `decompress()` scratch matrix in the perf path.
+    let wp = RowStripProfile::of_dbb(w, geom.tile_rows());
     let ap = ColStripProfile::new(a, geom.tile_cols());
     run_wdbb_perf_profiled(geom, w, a.cols(), &wp, &ap)
 }
@@ -166,6 +168,26 @@ pub fn run_wdbb_perf_profiled(
     wp: &RowStripProfile,
     ap: &ColStripProfile,
 ) -> EventCounts {
+    let mut events = EventCounts::new();
+    run_wdbb_perf_profiled_into(geom, w, n_cols, wp, ap, &mut events);
+    events
+}
+
+/// [`run_wdbb_perf_profiled`] accumulating into a caller-owned tally —
+/// the allocation-free form for hot loops that sum events across layers
+/// and requests without materializing intermediate counts.
+///
+/// # Panics
+///
+/// Same contract as [`run_wdbb_perf_profiled`].
+pub fn run_wdbb_perf_profiled_into(
+    geom: &ArrayGeometry,
+    w: &DbbMatrix,
+    n_cols: usize,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+    events: &mut EventCounts,
+) {
     check_wdbb(geom, w);
     let (m_rows, k) = w.shape();
     let blocks_k = k.div_ceil(geom.bz);
@@ -176,7 +198,7 @@ pub fn run_wdbb_perf_profiled(
     assert_eq!(wp.strip(0).len(), k, "weight profile reduction length mismatch");
     assert_eq!(ap.strip(0).len(), k, "activation profile reduction length mismatch");
 
-    let mut events = sram_events(geom, m_rows, n_cols, w.storage_bytes(), k * n_cols, 1.0);
+    *events += sram_events(geom, m_rows, n_cols, w.storage_bytes(), k * n_cols, 1.0);
     for rs in 0..walk.row_strips() {
         let re = (m_rows - rs * geom.tile_rows()).min(geom.tile_rows());
         for cs in 0..walk.col_strips() {
@@ -193,7 +215,6 @@ pub fn run_wdbb_perf_profiled(
             events.operand_reg_bytes += operand_reg_bytes(geom, re, ce, w_tile_bytes, a_tile_bytes);
         }
     }
-    events
 }
 
 fn check_aw(geom: &ArrayGeometry, w: &DbbMatrix, a: &DbbMatrix) {
@@ -265,8 +286,10 @@ pub fn run_aw(geom: &ArrayGeometry, w: &DbbMatrix, a: &DbbMatrix) -> GemmRun {
 /// Event-only fast path for `S2TA-AW`; identical counts to [`run_aw`].
 pub fn run_aw_perf(geom: &ArrayGeometry, w: &DbbMatrix, a: &DbbMatrix) -> EventCounts {
     check_aw(geom, w, a);
-    let wp = RowStripProfile::new(&w.decompress(), geom.tile_rows());
-    let ap = ColStripProfile::new(&a.decompress(), geom.tile_cols());
+    // Both operands are profiled straight from their block masks — no
+    // `decompress()` scratch matrices in the perf path.
+    let wp = RowStripProfile::of_dbb(w, geom.tile_rows());
+    let ap = ColStripProfile::of_dbb(a, geom.tile_cols());
     run_aw_perf_profiled(geom, w, a.shape().1, a.config(), &wp, &ap)
 }
 
@@ -293,6 +316,26 @@ pub fn run_aw_perf_profiled(
     wp: &RowStripProfile,
     ap: &ColStripProfile,
 ) -> EventCounts {
+    let mut events = EventCounts::new();
+    run_aw_perf_profiled_into(geom, w, n_cols, a_config, wp, ap, &mut events);
+    events
+}
+
+/// [`run_aw_perf_profiled`] accumulating into a caller-owned tally —
+/// the allocation-free form for hot loops.
+///
+/// # Panics
+///
+/// Same contract as [`run_aw_perf_profiled`].
+pub fn run_aw_perf_profiled_into(
+    geom: &ArrayGeometry,
+    w: &DbbMatrix,
+    n_cols: usize,
+    a_config: s2ta_dbb::DbbConfig,
+    wp: &RowStripProfile,
+    ap: &ColStripProfile,
+    events: &mut EventCounts,
+) {
     check_wdbb(geom, w);
     assert_eq!(a_config.bz(), geom.bz, "activation block size must match array");
     let (m_rows, k) = w.shape();
@@ -307,8 +350,7 @@ pub fn run_aw_perf_profiled(
 
     let a_storage_bytes = n_cols * blocks_k * a_config.block_bytes();
     let write_ratio = a_config.block_bytes() as f64 / a_config.bz() as f64;
-    let mut events =
-        sram_events(geom, m_rows, n_cols, w.storage_bytes(), a_storage_bytes, write_ratio);
+    *events += sram_events(geom, m_rows, n_cols, w.storage_bytes(), a_storage_bytes, write_ratio);
     for rs in 0..walk.row_strips() {
         let re = (m_rows - rs * geom.tile_rows()).min(geom.tile_rows());
         for cs in 0..walk.col_strips() {
@@ -325,7 +367,6 @@ pub fn run_aw_perf_profiled(
             events.operand_reg_bytes += operand_reg_bytes(geom, re, ce, w_tile_bytes, a_tile_bytes);
         }
     }
-    events
 }
 
 #[cfg(test)]

@@ -64,6 +64,13 @@ macro_rules! matrix_impl {
                 &mut self.data
             }
 
+            /// Consumes the matrix, returning its row-major backing
+            /// vector — lets arenas recycle the storage of a matrix
+            /// they produced (pair with `from_vec` to rebuild).
+            pub fn into_data(self) -> Vec<$elem> {
+                self.data
+            }
+
             /// Element at `(r, c)`.
             #[inline]
             pub fn get(&self, r: usize, c: usize) -> $elem {

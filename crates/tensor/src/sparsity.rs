@@ -53,24 +53,46 @@ impl SparseSpec {
         Matrix::from_vec(rows, cols, self.values(rows * cols, rng))
     }
 
+    /// Generates a matrix with this sparsity into recycled storage:
+    /// `buf` (typically a previous matrix's
+    /// [`Matrix::into_data`]) backs the result, so a warm buffer of
+    /// sufficient capacity makes the generation allocation-free. Draw
+    /// order is identical to [`SparseSpec::matrix`], so the same RNG
+    /// state yields a bit-identical matrix.
+    pub fn matrix_into<R: Rng>(
+        &self,
+        rows: usize,
+        cols: usize,
+        rng: &mut R,
+        mut buf: Vec<i8>,
+    ) -> Matrix {
+        buf.clear();
+        self.values_into(rows * cols, rng, &mut buf);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
     fn values<R: Rng>(&self, len: usize, rng: &mut R) -> Vec<i8> {
+        let mut out = Vec::with_capacity(len);
+        self.values_into(len, rng, &mut out);
+        out
+    }
+
+    fn values_into<R: Rng>(&self, len: usize, rng: &mut R, out: &mut Vec<i8>) {
         let dist = Uniform::new_inclusive(-127i8, 127i8);
-        (0..len)
-            .map(|_| {
-                if rng.gen_bool(self.sparsity) {
-                    0
-                } else {
-                    // Re-draw zeros so "non-zero" positions are truly
-                    // non-zero and the realized sparsity tracks the spec.
-                    loop {
-                        let v = dist.sample(rng);
-                        if v != 0 {
-                            break v;
-                        }
+        out.extend((0..len).map(|_| {
+            if rng.gen_bool(self.sparsity) {
+                0
+            } else {
+                // Re-draw zeros so "non-zero" positions are truly
+                // non-zero and the realized sparsity tracks the spec.
+                loop {
+                    let v = dist.sample(rng);
+                    if v != 0 {
+                        break v;
                     }
                 }
-            })
-            .collect()
+            }
+        }));
     }
 }
 

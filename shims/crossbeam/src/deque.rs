@@ -1,0 +1,151 @@
+//! Injector / worker / stealer deques, API-compatible with
+//! `crossbeam_deque` for the subset the pool uses.
+//!
+//! `Injector<T>` is the global FIFO every producer pushes into;
+//! `Worker<T>` is a worker-local LIFO deque whose owner pushes and pops
+//! the hot end while other workers [`Stealer::steal`] the cold end.
+//! Mutex-based: the pool's jobs are coarse (whole batch simulations),
+//! so a lock-free Chase-Lev buys nothing here, and a mutex keeps the
+//! shim trivially correct.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// A race was lost; the caller may retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A global FIFO injector queue shared by all workers.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Self { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("injector poisoned").push_back(task);
+    }
+
+    /// Steals the front task, FIFO order.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is empty right now (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector poisoned").is_empty()
+    }
+
+    /// Number of queued tasks right now (racy, advisory only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("injector poisoned").len()
+    }
+}
+
+/// A worker-local deque: the owner pushes/pops the back (LIFO, cache
+/// warm), stealers take the front (FIFO, oldest first).
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// An empty worker deque (the `new_lifo` flavour — the only one the
+    /// pool uses).
+    pub fn new_lifo() -> Self {
+        Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("worker deque poisoned").push_back(task);
+    }
+
+    /// Pops from the owner's end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("worker deque poisoned").pop_back()
+    }
+
+    /// Whether the deque is empty right now (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("worker deque poisoned").is_empty()
+    }
+
+    /// A handle other workers use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A stealing handle onto some [`Worker`]'s deque.
+#[derive(Debug, Clone)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the victim's deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("worker deque poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some(1));
+        assert_eq!(inj.steal().success(), Some(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn worker_is_lifo_and_steal_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner takes the hot end
+        assert_eq!(s.steal().success(), Some(1)); // thief takes the cold end
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.is_empty());
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! work-stealing deques ([`deque`]) and a persistent borrowed-closure
+//! thread pool ([`pool`]) built on them.
+//!
+//! The container cannot reach crates.io, so like `shims/rand` this
+//! crate reimplements exactly the API surface the workspace needs. The
+//! deques are mutex-based (correctness over lock-freedom — the jobs
+//! they carry are coarse batch simulations, microseconds to
+//! milliseconds each, so deque traffic is nowhere near the contention
+//! regime Chase-Lev targets). The pool is the one place in the
+//! workspace that needs `unsafe`: executing closures that borrow the
+//! caller's stack on threads that outlive the call requires erasing a
+//! lifetime, which every persistent scoped executor (rayon, crossbeam's
+//! own `scope`) does internally. The safety argument is documented at
+//! the single `unsafe` block in [`pool`]; every application crate in
+//! the workspace keeps `#![forbid(unsafe_code)]`.
+
+#![deny(missing_docs)]
+
+pub mod deque;
+pub mod pool;

@@ -1,0 +1,344 @@
+//! A persistent thread pool executing *borrowed* index jobs.
+//!
+//! [`Pool::run`] executes `job(i)` for every `i in 0..len`, spreading
+//! the indices over the pool's persistent worker threads plus the
+//! calling thread, and returns when **all** indices have completed and
+//! no worker can still observe the job. The job may borrow the caller's
+//! stack (operands, result slots) — the property that lets the
+//! workspace's fan-outs run on a persistent pool instead of spawning
+//! scoped threads per burst.
+//!
+//! Work distribution: the caller pushes one *ticket* per invited worker
+//! into the shared [`Injector`]; a worker that steals a ticket attaches
+//! to the batch and then claims indices from the batch's shared atomic
+//! cursor until the batch is exhausted. The cursor is the fine-grained
+//! steal point — an idle worker always takes the globally next index,
+//! so uneven job costs self-balance exactly like a steal deque, without
+//! per-item queue traffic.
+//!
+//! Determinism: which thread runs `job(i)` is scheduling-dependent, but
+//! `run` imposes no order on observable results — callers write results
+//! into per-index slots, so output order is fixed by construction.
+
+use crate::deque::{Injector, Steal};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// `gate` value once a batch is sealed: no worker may attach anymore.
+const CLOSED: isize = -1;
+
+/// A lifetime-erased pointer to the caller's borrowed job closure.
+///
+/// Only [`Pool::run`] creates these, and it guarantees the pointee
+/// outlives every dereference (see the safety comment there), so the
+/// pointer may travel to worker threads.
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and `Pool::run` keeps it alive until every worker has detached
+// from the batch, so sending the pointer to pool threads is sound.
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+/// One fan-out in flight: the erased job, its index cursor and the
+/// completion / attachment bookkeeping the caller synchronizes on.
+struct Batch {
+    job: JobPtr,
+    len: usize,
+    /// Next unclaimed index; `fetch_add` is the steal operation.
+    next: AtomicUsize,
+    /// Indices whose `job(i)` call has returned (or unwound).
+    completed: AtomicUsize,
+    /// Attached-worker count, or [`CLOSED`] once sealed.
+    gate: AtomicIsize,
+    /// Set when any `job(i)` panicked (the caller re-raises).
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Batch {
+    /// Attaches a worker: succeeds only while the batch is not sealed.
+    fn try_attach(&self) -> bool {
+        self.gate
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |g| {
+                if g == CLOSED {
+                    None
+                } else {
+                    Some(g + 1)
+                }
+            })
+            .is_ok()
+    }
+
+    fn detach(&self) {
+        let _g = self.lock.lock().expect("batch lock poisoned");
+        self.gate.fetch_sub(1, Ordering::AcqRel);
+        self.cv.notify_all();
+    }
+
+    /// Claims and runs indices until the cursor is exhausted. Panics in
+    /// the job are recorded and swallowed here (workers must survive);
+    /// the caller re-raises. Every claimed index counts as completed
+    /// even if it unwound, so the caller's completion wait cannot hang.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return;
+            }
+            // SAFETY: `self.job` points at the caller's closure, which
+            // `Pool::run` keeps alive until the batch is sealed and all
+            // attached workers (including us) have detached.
+            let job = unsafe { &*self.job.0 };
+            if catch_unwind(AssertUnwindSafe(|| job(i))).is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.len {
+                let _g = self.lock.lock().expect("batch lock poisoned");
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+struct Shared {
+    injector: Injector<Arc<Batch>>,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of worker threads for borrowed index jobs.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `threads` persistent workers (0 is fine: every
+    /// [`Pool::run`] then executes entirely on the calling thread).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("s2ta-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes `job(i)` for every `i in 0..len` and returns when all
+    /// calls have completed. At most `max_helpers` pool workers join in
+    /// (the calling thread always participates), so `max_helpers == 0`
+    /// is an exact serial execution on the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `job(i)` panicked (after all indices completed and
+    /// the batch is sealed, so the unwind is clean).
+    pub fn run(&self, len: usize, max_helpers: usize, job: &(dyn Fn(usize) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        let helpers = max_helpers.min(self.handles.len()).min(len.saturating_sub(1));
+        if helpers == 0 {
+            for i in 0..len {
+                job(i);
+            }
+            return;
+        }
+        // SAFETY (the one lifetime erasure in the workspace): the
+        // borrowed `job` is published to worker threads as a raw
+        // pointer. This function guarantees the pointee outlives every
+        // dereference: before returning — on success *or* unwind (see
+        // `SealOnDrop`) — it (1) waits until `completed == len`, after
+        // which no worker will call the job again (any later-claimed
+        // index is `>= len`), and (2) seals the attachment gate and
+        // waits for `gate == 0`, after which no attached worker exists
+        // and none can attach — so no thread can still hold or obtain
+        // the pointer.
+        let erased: &(dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(job) };
+        let batch = Arc::new(Batch {
+            job: JobPtr(erased as *const _),
+            len,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            gate: AtomicIsize::new(0),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        for _ in 0..helpers {
+            self.shared.injector.push(Arc::clone(&batch));
+        }
+        {
+            let _g = self.shared.sleep_lock.lock().expect("pool sleep lock poisoned");
+            self.shared.sleep_cv.notify_all();
+        }
+        let seal = SealOnDrop(&batch);
+        // The caller participates: claim indices like any worker, but
+        // re-raise panics (after the guard has sealed the batch).
+        loop {
+            let i = batch.next.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| job(i)));
+            if batch.completed.fetch_add(1, Ordering::AcqRel) + 1 == len {
+                let _g = batch.lock.lock().expect("batch lock poisoned");
+                batch.cv.notify_all();
+            }
+            if let Err(p) = r {
+                resume_unwind(p); // `seal` drains the batch on the way out
+            }
+        }
+        drop(seal); // waits for completion, seals the gate
+        if batch.panicked.load(Ordering::Acquire) {
+            panic!("a pool job panicked");
+        }
+    }
+}
+
+/// Guard that makes [`Pool::run`]'s safety contract hold on every exit
+/// path: waits for all indices to complete, then seals the gate and
+/// waits for every attached worker to detach.
+struct SealOnDrop<'a>(&'a Batch);
+
+impl Drop for SealOnDrop<'_> {
+    fn drop(&mut self) {
+        let b = self.0;
+        let mut g = b.lock.lock().expect("batch lock poisoned");
+        while b.completed.load(Ordering::Acquire) < b.len {
+            g = b.cv.wait(g).expect("batch lock poisoned");
+        }
+        loop {
+            match b.gate.compare_exchange(0, CLOSED, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(_) => g = b.cv.wait(g).expect("batch lock poisoned"),
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.injector.steal() {
+            Steal::Success(batch) => {
+                // Skip exhausted batches cheaply; otherwise attach,
+                // work the cursor dry, detach.
+                if batch.next.load(Ordering::Relaxed) < batch.len && batch.try_attach() {
+                    batch.work();
+                    batch.detach();
+                }
+            }
+            _ => {
+                let mut g = shared.sleep_lock.lock().expect("pool sleep lock poisoned");
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if !shared.injector.is_empty() {
+                        break;
+                    }
+                    g = shared.sleep_cv.wait(g).expect("pool sleep lock poisoned");
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep_lock.lock().expect("pool sleep lock poisoned");
+            self.shared.sleep_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(hits.len(), usize::MAX, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_helpers_run_serially_and_zero_len_is_a_noop() {
+        let pool = Pool::new(2);
+        let count = AtomicU64::new(0);
+        pool.run(0, usize::MAX, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        pool.run(5, 0, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_batches() {
+        let pool = Pool::new(3);
+        for round in 0..50 {
+            let sum = AtomicU64::new(0);
+            pool.run(round + 1, usize::MAX, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            let n = round as u64 + 1;
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn job_panic_propagates_without_hanging() {
+        let pool = Pool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, usize::MAX, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool survives and keeps working.
+        let count = AtomicU64::new(0);
+        pool.run(4, usize::MAX, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+}

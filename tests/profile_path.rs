@@ -150,7 +150,10 @@ proptest! {
         let direct = dap_col_profile(&m, 8, LayerNnz::Prune(nnz), strip_cols);
         let (dm, events) = dap_matrix(&m, 8, LayerNnz::Prune(nnz));
         let materialized = ColStripProfile::new(&dm.decompress(), strip_cols);
-        prop_assert_eq!(ColStripProfile::from_counts(direct.counts), materialized);
+        prop_assert_eq!(
+            ColStripProfile::from_flat(direct.counts, direct.strips, direct.k),
+            materialized
+        );
         prop_assert_eq!(direct.events, events);
         prop_assert_eq!(direct.config, dm.config());
     }
