@@ -6,16 +6,24 @@
 //!
 //! Queues are unbounded, so every policy serves the identical request
 //! set (zero drops, equal goodput) and the global-p99 gap is
-//! attributable to routing alone. The gate is **p2c >= 1.15x random on
-//! global p99** (merged per-request samples, never averaged per-shard
-//! percentiles), recorded in `BENCH_cluster.json`.
+//! attributable to routing alone. Two gates, both recorded in
+//! `BENCH_cluster.json`: **p2c >= 1.15x random on global p99** (merged
+//! per-request samples, never averaged per-shard percentiles), and the
+//! **shard-parallel driver >= 2x the serial driver on host wall-time**
+//! at 4 shards — after a byte-identity check of the two full reports.
+//! The wall-time gate is host-aware: with a single executor worker
+//! (1-core host) real speedup is physically unavailable, so the gate
+//! drops to a no-regression floor and the artifact records the worker
+//! count alongside the measured ratio.
 //!
 //! Set `S2TA_BENCH_QUICK=1` for the CI smoke mode: a 40k-request
-//! prefix of the same diurnal profile, conservation and ordering
-//! checks only, no artifact rewrite (a scaled-down tail gap is not the
-//! committed gate; CI's python step re-checks the committed artifact).
+//! prefix of the same diurnal profile, conservation, ordering, and
+//! parallel-vs-serial byte-identity checks only, no artifact rewrite
+//! (scaled-down gaps are not the committed gates; CI's python step
+//! re-checks the committed artifact).
 
 use s2ta_bench::{cluster_scenario as scenario, header, json_num, write_bench_artifact, SEED};
+use s2ta_core::pool::Executor;
 use s2ta_energy::TechParams;
 use s2ta_models::ModelSpec;
 use s2ta_serve::{ClusterReport, Request, RoutingPolicy};
@@ -61,7 +69,7 @@ fn run(
     models: &[ModelSpec],
     requests: &[Request],
     tech: &TechParams,
-) -> RunSummary {
+) -> (RunSummary, ClusterReport) {
     let mut cluster = scenario::cluster(routing);
     if autoscaled {
         cluster = cluster.with_autoscale(scenario::autoscale());
@@ -76,7 +84,7 @@ fn run(
          goodput {:>9.0} inf/s | {} scale events | {secs:.1} host-s",
         s.served, s.dropped, s.p50, s.p95, s.p99, s.goodput_ips, s.scale_events,
     );
-    s
+    (s, report)
 }
 
 fn record(s: &RunSummary) -> String {
@@ -117,10 +125,39 @@ fn main() {
         scenario::ACT_SEED_POOL,
     );
 
-    let random = run("random", RoutingPolicy::Random, false, &models, &requests, &tech);
-    let jsq = run("jsq", RoutingPolicy::JoinShortestQueue, false, &models, &requests, &tech);
-    let p2c = run("p2c", RoutingPolicy::PowerOfTwo, false, &models, &requests, &tech);
-    let scaled = run("p2c+autoscale", RoutingPolicy::PowerOfTwo, true, &models, &requests, &tech);
+    let (random, random_report) =
+        run("random", RoutingPolicy::Random, false, &models, &requests, &tech);
+
+    // Shard-parallel vs serial reference: the default driver runs the
+    // shards on the persistent executor, and must reproduce the serial
+    // driver **byte-identically** (full report equality) while beating
+    // it on host wall-time at 4 shards.
+    let t = Instant::now();
+    let serial_report = scenario::cluster(RoutingPolicy::Random).serve_serial(&models, &requests);
+    let serial_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_report, random_report,
+        "shard-parallel driver must reproduce the serial driver byte-identically"
+    );
+    drop(serial_report);
+    drop(random_report);
+    let workers = Executor::global().workers();
+    let parallel_gate = if workers >= 2 {
+        scenario::GATE_PARALLEL_SPEEDUP
+    } else {
+        scenario::GATE_PARALLEL_FLOOR_SINGLE_CORE
+    };
+    let parallel_speedup = serial_secs / random.host_seconds;
+    println!(
+        "{:<14} serial reference {serial_secs:.1} host-s -> parallel {:.1} host-s \
+         ({parallel_speedup:.2}x, byte-identical, {workers} executor worker(s))",
+        "parallel", random.host_seconds,
+    );
+
+    let (jsq, _) = run("jsq", RoutingPolicy::JoinShortestQueue, false, &models, &requests, &tech);
+    let (p2c, _) = run("p2c", RoutingPolicy::PowerOfTwo, false, &models, &requests, &tech);
+    let (scaled, _) =
+        run("p2c+autoscale", RoutingPolicy::PowerOfTwo, true, &models, &requests, &tech);
 
     // Equal goodput by construction: unbounded queues, zero drops,
     // identical served sets — so the p99 gap is routing, not admission.
@@ -149,15 +186,27 @@ fn main() {
         "p2c must beat random routing on global p99 by >= {:.2}x, got {speedup:.2}x",
         scenario::GATE_P99_SPEEDUP,
     );
+    assert!(
+        parallel_speedup >= parallel_gate,
+        "the shard-parallel driver must make >= {parallel_gate:.2}x host wall-time \
+         vs the serial driver at {} shards with {workers} executor worker(s), \
+         got {parallel_speedup:.2}x",
+        scenario::SHARDS,
+    );
 
     let records: Vec<String> = [&random, &jsq, &p2c, &scaled].iter().map(|s| record(s)).collect();
     let json = format!(
         "{{\n  \"bench\": \"cluster\",\n  \"seed\": {SEED},\n  \"shards\": {},\n  \
-         \"requests\": {},\n  \"runs\": [\n    {}\n  ],\n  \"gate\": {{\"p99_speedup_p2c_vs_random\": {}, \
-         \"threshold\": {}}}\n}}\n",
+         \"requests\": {},\n  \"runs\": [\n    {}\n  ],\n  \"parallel\": {{\"serial_host_seconds\": {}, \
+         \"parallel_host_seconds\": {}, \"speedup\": {}, \"workers\": {workers}, \"threshold\": {}}},\n  \
+         \"gate\": {{\"p99_speedup_p2c_vs_random\": {}, \"threshold\": {}}}\n}}\n",
         scenario::SHARDS,
         requests.len(),
         records.join(",\n    "),
+        json_num(serial_secs),
+        json_num(random.host_seconds),
+        json_num(parallel_speedup),
+        json_num(parallel_gate),
         json_num(speedup),
         json_num(scenario::GATE_P99_SPEEDUP),
     );

@@ -135,6 +135,20 @@ pub mod cluster_scenario {
     /// Minimum p2c-over-random global-p99 ratio the bench gates on.
     pub const GATE_P99_SPEEDUP: f64 = 1.15;
 
+    /// Minimum host wall-time speedup of the shard-parallel driver
+    /// over the serial driver the bench gates on (pre-routed `Random`
+    /// tier at [`SHARDS`] shards on the full canonical day), when the
+    /// host executor actually has parallelism (>= 2 workers).
+    pub const GATE_PARALLEL_SPEEDUP: f64 = 2.0;
+
+    /// The no-regression floor the parallel driver is gated on when
+    /// the host is single-core (1 executor worker): wall-time speedup
+    /// is physically unavailable, but the pre-routed tier must still
+    /// not cost anything — in practice it wins slightly even serially,
+    /// because each shard's day runs straight through (better cache
+    /// locality than interleaving all shards per arrival).
+    pub const GATE_PARALLEL_FLOOR_SINGLE_CORE: f64 = 0.9;
+
     /// The served models: LeNet-5 carries ~70% of the traffic, the
     /// CIFAR-10 convnet most of the rest, and the 14-layer
     /// Deep-ConvNet is the **rare** heavy request (~0.6%) whose

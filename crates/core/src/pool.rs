@@ -158,6 +158,37 @@ impl Executor {
             })
             .collect()
     }
+
+    /// Runs `f` on every item **in place**, each item visited exactly
+    /// once on some worker — the mutating sibling of
+    /// [`Executor::map_capped`] for fan-outs over owned state (e.g.
+    /// cluster shards advancing between arrival barriers).
+    ///
+    /// Items are disjoint, so there is no cross-item synchronization
+    /// beyond the per-index handoff; an effective worker count of one
+    /// (or a batch of at most one) runs serially inline on the calling
+    /// thread, exactly like the map path.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], cap: Option<usize>, f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let workers = worker_count_for(items.len(), cap).min(self.workers());
+        if workers <= 1 || items.len() <= 1 {
+            for item in items.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+        // Each cell is locked exactly once, by whichever worker claims
+        // its index — the mutex is the safe per-index handoff of the
+        // `&mut T`, never contended.
+        let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+        self.pool.run(cells.len(), workers - 1, &|i| {
+            let mut item = cells[i].lock().expect("executor item slot poisoned");
+            f(&mut item);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +264,36 @@ mod tests {
         let b = Executor::global() as *const Executor;
         assert_eq!(a, b);
         assert!(Executor::global().workers() >= 1);
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial_at_every_worker_count() {
+        let reference: Vec<u64> = (0..211u64).map(|x| x * x + 3).collect();
+        for workers in [1, 2, 7, default_workers()] {
+            let ex = Executor::new(workers);
+            let mut items: Vec<u64> = (0..211).collect();
+            ex.for_each_mut(&mut items, None, |x| *x = *x * *x + 3);
+            assert_eq!(items, reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_item_exactly_once() {
+        let ex = Executor::new(4);
+        let visits = AtomicUsize::new(0);
+        let mut items: Vec<usize> = (0..97).collect();
+        ex.for_each_mut(&mut items, None, |_| {
+            visits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 97);
+        // Capped to one worker it runs inline, still once per item.
+        visits.store(0, Ordering::Relaxed);
+        ex.for_each_mut(&mut items, Some(1), |_| {
+            visits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 97);
+        let mut empty: Vec<u32> = Vec::new();
+        ex.for_each_mut(&mut empty, None, |_| unreachable!("no items"));
     }
 
     proptest::proptest! {

@@ -10,8 +10,8 @@
 //! * [`RoutingPolicy::Random`] — uniform random spray (the baseline
 //!   every load-balancing paper beats),
 //! * [`RoutingPolicy::JoinShortestQueue`] — probe every shard's
-//!   backlog (queued + in-flight requests — least outstanding
-//!   requests), join the global minimum (the omniscient upper bound),
+//!   queued depth (requests admitted but not yet sealed into a
+//!   batch), join the global minimum (the omniscient upper bound),
 //! * [`RoutingPolicy::PowerOfTwo`] — probe two random shards, join the
 //!   shallower (Mitzenmacher's "power of two choices": nearly JSQ's
 //!   tail at two probes' cost).
@@ -23,11 +23,48 @@
 //!
 //! The router is exact, not approximate: before routing an arrival at
 //! time `t`, every shard engine is advanced through its internal events
-//! up to `t`, so the backlogs the policy probes are precisely what a
-//! request arriving at `t` would observe. Shards stay fully
-//! independent otherwise — no work stealing, no cross-shard batching —
-//! which is what makes the tail-latency gap between routing policies
-//! attributable to routing alone.
+//! up to `t`, so the queued depths the policy probes are precisely what
+//! a request arriving at `t` would observe. (Probes read the *queued*
+//! depth, not the full queued+in-flight backlog: in-flight batch mass
+//! is common-mode across shards and drains at already-committed times
+//! no routing decision can change, so including it dilutes the
+//! differential signal the probing policies steer on. The autoscaler,
+//! by contrast, thresholds the full backlog — it sizes capacity, and a
+//! shard booked solid with in-flight work is not idle.) Shards stay
+//! fully independent otherwise — no work stealing, no cross-shard
+//! batching — which is what makes the tail-latency gap between routing
+//! policies attributable to routing alone.
+//!
+//! That same independence makes the cluster a textbook conservative
+//! parallel discrete-event simulation, with the **arrival stream as
+//! the synchronization barrier**: between two router decisions no
+//! shard can affect another, so [`Cluster::serve`] runs a
+//! **shard-parallel driver** on the persistent
+//! [`s2ta_core::pool::Executor`] that is byte-identical to the serial
+//! loop ([`Cluster::serve_serial`]) in two tiers:
+//!
+//! 1. **Pre-routed** ([`RoutingPolicy::Random`] — probe-free): the
+//!    router consumes exactly one LCG draw per request and never looks
+//!    at a backlog, so the whole routing sequence is pre-drawn, the
+//!    arrival stream is partitioned per shard up front, and every
+//!    shard simulates its complete substream (arrivals, autoscaler
+//!    evaluations, drain) independently in parallel with a single
+//!    join.
+//! 2. **Arrival-barrier** ([`RoutingPolicy::JoinShortestQueue`] /
+//!    [`RoutingPolicy::PowerOfTwo`] — backlog-probing): route+inject
+//!    stays serial (the probed depths feed the LCG-deterministic
+//!    decision), but the advance of all shards to each barrier runs in
+//!    parallel, with a fast path that skips shards whose next internal
+//!    event (a non-mutating timer-wheel peek) lies beyond the barrier
+//!    — typically only one or two shards have work per inter-arrival
+//!    gap.
+//!
+//! "Byte-identical" covers the full [`ClusterReport`] equality —
+//! outcomes, percentiles, routing tallies, scale events. Host-side
+//! cache counters are excluded from report equality by design (see
+//! [`crate::PlanCacheActivity`]): shards racing on the shared plan
+//! caches can interleave lookups differently, but cached values are
+//! pure, so simulated results never change.
 //!
 //! An optional [`AutoscalePolicy`] adds per-shard **lane autoscaling**:
 //! at a fixed simulated cadence each shard's backlog is compared
@@ -40,8 +77,9 @@
 //!
 //! [`ClusterReport`] rolls the per-shard [`ServeReport`]s up into
 //! cluster-global metrics. Global latency percentiles are computed by
-//! **merging the per-request latency samples across shards** and taking
-//! the nearest-rank percentile over the merged population — never by
+//! **merging the per-shard exact latency histograms** — byte-identical
+//! to pooling every per-request sample — and taking the nearest-rank
+//! percentile over the merged population, never by
 //! averaging per-shard percentiles, which is statistically meaningless
 //! for tail quantiles (a shard with 1% of traffic and a terrible p99
 //! would be diluted 4× in a 4-shard average, yet its requests are fully
@@ -49,8 +87,9 @@
 
 use crate::fleet::{ArrivalSource, Engine, Fleet};
 use crate::policy::{BatchPolicy, FixedPolicy};
-use crate::report::{nearest_rank, ServeReport, ServedRequest};
-use crate::workload::{Lcg, Request};
+use crate::report::{HistogramCell, LatencyHistogram, ServeReport};
+use crate::workload::{partition_by_shard, Lcg, Request};
+use s2ta_core::pool::Executor;
 use s2ta_energy::{EnergyBreakdown, TechParams};
 use s2ta_models::ModelSpec;
 use s2ta_sim::EventCounts;
@@ -61,9 +100,9 @@ use std::fmt;
 pub enum RoutingPolicy {
     /// Uniform random shard choice (one LCG draw per request).
     Random,
-    /// Probe every shard's backlog (queued + in-flight requests),
-    /// join the global minimum; ties break to the lowest shard index.
-    /// Consumes no randomness.
+    /// Probe every shard's queued depth (requests admitted but not
+    /// yet sealed into a batch), join the global minimum; ties break
+    /// to the lowest shard index. Consumes no randomness.
     JoinShortestQueue,
     /// Probe two uniform random shards, join the shallower; a tie
     /// (including probing the same shard twice) breaks to the lower
@@ -104,6 +143,62 @@ impl RoutingPolicy {
                 std::cmp::min((depth(a), a), (depth(b), b)).1
             }
         }
+    }
+
+    /// Whether routing decisions read shard backlogs. Probe-free
+    /// policies consume a fixed number of LCG draws per request and
+    /// ignore the depth callback entirely, so their whole routing
+    /// sequence can be pre-drawn — the tier-1 parallel driver's
+    /// enabling property.
+    pub(crate) fn probes_backlog(&self) -> bool {
+        match self {
+            Self::Random => false,
+            Self::JoinShortestQueue | Self::PowerOfTwo => true,
+        }
+    }
+}
+
+/// One shard's complete driver-side state: its engine, the dummy
+/// open-loop arrival source (the router injects arrivals itself; the
+/// source only answers closed-loop callbacks, as no-ops), and its
+/// batching policy. This is the unit the parallel driver moves across
+/// executor threads between barriers — `Send` by the compile-time
+/// assertion next to [`Engine`].
+struct ShardState<'a> {
+    engine: Engine<'a>,
+    source: ArrivalSource<'a>,
+    policy: FixedPolicy,
+}
+
+impl<'a> ShardState<'a> {
+    fn new(fleet: &'a Fleet, models: &'a [ModelSpec]) -> Self {
+        Self {
+            engine: Engine::new(fleet, models),
+            source: ArrivalSource::open(&[]),
+            policy: fleet.fixed_policy(),
+        }
+    }
+
+    /// Advances the engine through every internal event preceding an
+    /// arrival at `t`.
+    fn advance(&mut self, t: u64) {
+        self.engine.advance_to_arrival(t, &mut self.source, &mut self.policy);
+    }
+
+    /// Injects one routed arrival.
+    fn inject(&mut self, r: Request) {
+        self.engine.inject(r, None, &mut self.source, &mut self.policy);
+    }
+
+    /// Drains every remaining internal event.
+    fn drain(&mut self) {
+        self.engine.drain(&mut self.source, &mut self.policy);
+    }
+
+    /// Finishes the shard into its [`ServeReport`].
+    fn finish(self) -> ServeReport {
+        let Self { engine, policy, .. } = self;
+        engine.into_report(policy.name())
     }
 }
 
@@ -261,18 +356,47 @@ impl Cluster {
     /// stream ids, so the union of per-shard outcomes covers the input
     /// stream exactly once.
     ///
+    /// Runs the **shard-parallel driver** on the process-wide
+    /// [`Executor`] (see the module docs for the two tiers); the
+    /// result is byte-identical to [`Cluster::serve_serial`] for every
+    /// routing policy.
+    ///
     /// # Panics
     ///
     /// Panics if a request names a model index outside `models`, or if
     /// arrivals are unsorted.
     pub fn serve(&self, models: &[ModelSpec], requests: &[Request]) -> ClusterReport {
+        self.serve_on(Executor::global(), models, requests)
+    }
+
+    /// [`Cluster::serve`] on an explicit executor — the hook that lets
+    /// tests pin the parallel driver to specific worker counts (a
+    /// one-worker executor runs the same code path fully inline).
+    pub fn serve_on(
+        &self,
+        executor: &Executor,
+        models: &[ModelSpec],
+        requests: &[Request],
+    ) -> ClusterReport {
+        if self.routing.probes_backlog() {
+            self.serve_barrier(executor, models, requests)
+        } else {
+            self.serve_prerouted(executor, models, requests)
+        }
+    }
+
+    /// The serial reference driver: one loop advancing every shard to
+    /// every arrival. This is what [`Cluster::serve`] is differentially
+    /// tested against (and what the bench times the parallel driver's
+    /// speedup over); prefer [`Cluster::serve`] everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// As [`Cluster::serve`].
+    pub fn serve_serial(&self, models: &[ModelSpec], requests: &[Request]) -> ClusterReport {
         let n = self.shards.len();
-        let mut engines: Vec<Engine> = self.shards.iter().map(|f| Engine::new(f, models)).collect();
-        let mut policies: Vec<FixedPolicy> = self.shards.iter().map(Fleet::fixed_policy).collect();
-        // Each shard engine gets a dummy empty open-loop source: the
-        // router injects arrivals itself, the source only answers the
-        // engine's closed-loop callbacks (as no-ops).
-        let mut sources: Vec<ArrivalSource> = (0..n).map(|_| ArrivalSource::open(&[])).collect();
+        let mut states: Vec<ShardState> =
+            self.shards.iter().map(|f| ShardState::new(f, models)).collect();
         let mut rng = Lcg::new(self.router_seed);
         let mut routed = vec![0usize; n];
         let mut scale_events: Vec<ScaleEvent> = Vec::new();
@@ -285,31 +409,180 @@ impl Cluster {
             if let Some(auto) = self.autoscale {
                 while next_eval.expect("set when autoscaling") <= t {
                     let eval = next_eval.expect("checked");
-                    for s in 0..n {
-                        engines[s].advance_to_arrival(eval, &mut sources[s], &mut policies[s]);
-                        self.autoscale_shard(&mut engines[s], s, eval, auto, &mut scale_events);
+                    for (s, state) in states.iter_mut().enumerate() {
+                        state.advance(eval);
+                        self.autoscale_shard(&mut state.engine, s, eval, auto, &mut scale_events);
                     }
                     next_eval = Some(eval + auto.eval_interval_cycles);
                 }
             }
             // Advance every shard to the arrival so the probed depths
             // are exactly what a request arriving at `t` observes.
-            for s in 0..n {
-                engines[s].advance_to_arrival(t, &mut sources[s], &mut policies[s]);
+            for state in states.iter_mut() {
+                state.advance(t);
             }
-            let shard = self.routing.route(n, &mut rng, |s| engines[s].backlog());
+            let shard = self.routing.route(n, &mut rng, |s| states[s].engine.queued_depth());
             routed[shard] += 1;
-            engines[shard].inject(*r, None, &mut sources[shard], &mut policies[shard]);
+            states[shard].inject(*r);
         }
-        for s in 0..n {
-            engines[s].drain(&mut sources[s], &mut policies[s]);
+        for state in states.iter_mut() {
+            state.drain();
         }
-        let shards: Vec<ServeReport> = engines
-            .into_iter()
-            .zip(&policies)
-            .map(|(engine, policy)| engine.into_report(policy.name()))
+        self.assemble(states, routed, scale_events)
+    }
+
+    /// Tier-1 parallel driver for probe-free routing: pre-draw the
+    /// entire routing sequence (Random consumes exactly one LCG draw
+    /// per request and never reads a backlog), partition the arrivals
+    /// per shard, and run every shard's complete lifetime — arrivals,
+    /// autoscaler evaluations, final drain — independently on the
+    /// executor with a single join. Embarrassingly parallel: the only
+    /// serial work is the pre-draw and the report merge.
+    fn serve_prerouted(
+        &self,
+        executor: &Executor,
+        models: &[ModelSpec],
+        requests: &[Request],
+    ) -> ClusterReport {
+        let n = self.shards.len();
+        let mut rng = Lcg::new(self.router_seed);
+        let assignment: Vec<usize> = requests
+            .iter()
+            .map(|_| self.routing.route(n, &mut rng, |_| unreachable!("probe-free routing")))
             .collect();
-        ClusterReport { routing: self.routing.label().to_string(), shards, routed, scale_events }
+        let per_shard = partition_by_shard(requests, &assignment, n);
+        let routed: Vec<usize> = per_shard.iter().map(Vec::len).collect();
+        // Autoscaler evaluations fire serially up to the last arrival
+        // of the *global* stream, regardless of where it was routed;
+        // every shard replays the same horizon.
+        let horizon = requests.last().map(|r| r.arrival);
+        let shard_ids: Vec<usize> = (0..n).collect();
+        let results =
+            executor.map(&shard_ids, |&s| self.run_shard(s, models, &per_shard[s], horizon));
+        let mut states = Vec::with_capacity(n);
+        let mut scale_events: Vec<ScaleEvent> = Vec::new();
+        for (state, events) in results {
+            states.push(state);
+            scale_events.extend(events);
+        }
+        // Each shard's events are in time order and at most one event
+        // exists per (eval time, shard); sorting by (time, shard)
+        // reproduces the serial driver's emission order exactly.
+        scale_events.sort_by_key(|e| (e.time, e.shard));
+        self.assemble(states, routed, scale_events)
+    }
+
+    /// One shard's full tier-1 lifetime over its own substream.
+    ///
+    /// Replaying only the shard's own arrivals is exact because the
+    /// engine is event-driven: advancing a shard to *another* shard's
+    /// arrival time (as the serial driver does) processes the same
+    /// internal events in the same `(time, kind)` order as advancing
+    /// it later, so the host call boundaries are behavior-neutral.
+    /// Autoscaler evaluations are the one cross-stream coupling — they
+    /// fire at stream-global times — so they replay against the global
+    /// `horizon`.
+    fn run_shard<'a>(
+        &'a self,
+        shard: usize,
+        models: &'a [ModelSpec],
+        own: &[Request],
+        horizon: Option<u64>,
+    ) -> (ShardState<'a>, Vec<ScaleEvent>) {
+        let mut state = ShardState::new(&self.shards[shard], models);
+        let mut events: Vec<ScaleEvent> = Vec::new();
+        let mut next_eval = self.autoscale.map(|a| a.eval_interval_cycles);
+        let mut fire_evals_through = |state: &mut ShardState<'_>, t: u64| {
+            let Some(auto) = self.autoscale else { return };
+            while next_eval.expect("set when autoscaling") <= t {
+                let eval = next_eval.expect("checked");
+                state.advance(eval);
+                self.autoscale_shard(&mut state.engine, shard, eval, auto, &mut events);
+                next_eval = Some(eval + auto.eval_interval_cycles);
+            }
+        };
+        for r in own {
+            fire_evals_through(&mut state, r.arrival);
+            state.advance(r.arrival);
+            state.inject(*r);
+        }
+        if let Some(horizon) = horizon {
+            fire_evals_through(&mut state, horizon);
+        }
+        state.drain();
+        (state, events)
+    }
+
+    /// Tier-2 parallel driver for backlog-probing routing: the
+    /// route+inject step stays serial (probed depths feed each
+    /// LCG-deterministic decision), but between decisions all shards
+    /// advance to the arrival barrier in parallel. The fast path asks
+    /// each shard — via a non-mutating timer-wheel peek — whether any
+    /// internal event precedes the barrier at all; shards with none
+    /// (most of them, in a typical inter-arrival gap) skip executor
+    /// dispatch entirely, and a single busy shard advances inline.
+    fn serve_barrier(
+        &self,
+        executor: &Executor,
+        models: &[ModelSpec],
+        requests: &[Request],
+    ) -> ClusterReport {
+        let n = self.shards.len();
+        let mut states: Vec<ShardState> =
+            self.shards.iter().map(|f| ShardState::new(f, models)).collect();
+        let mut rng = Lcg::new(self.router_seed);
+        let mut routed = vec![0usize; n];
+        let mut scale_events: Vec<ScaleEvent> = Vec::new();
+        let mut next_eval = self.autoscale.map(|a| a.eval_interval_cycles);
+
+        for r in requests {
+            let t = r.arrival;
+            if let Some(auto) = self.autoscale {
+                while next_eval.expect("set when autoscaling") <= t {
+                    let eval = next_eval.expect("checked");
+                    Self::advance_all(executor, &mut states, eval);
+                    for (s, state) in states.iter_mut().enumerate() {
+                        self.autoscale_shard(&mut state.engine, s, eval, auto, &mut scale_events);
+                    }
+                    next_eval = Some(eval + auto.eval_interval_cycles);
+                }
+            }
+            Self::advance_all(executor, &mut states, t);
+            let shard = self.routing.route(n, &mut rng, |s| states[s].engine.queued_depth());
+            routed[shard] += 1;
+            states[shard].inject(*r);
+        }
+        executor.for_each_mut(&mut states, None, |state| state.drain());
+        self.assemble(states, routed, scale_events)
+    }
+
+    /// Advances every shard with pending work to the barrier at `t`,
+    /// in parallel when more than one shard is busy.
+    fn advance_all(executor: &Executor, states: &mut [ShardState], t: u64) {
+        let mut busy: Vec<&mut ShardState> =
+            states.iter_mut().filter_map(|s| s.engine.has_event_before(t).then_some(s)).collect();
+        match busy.len() {
+            0 => {}
+            1 => busy[0].advance(t),
+            _ => executor.for_each_mut(&mut busy, None, |s| s.advance(t)),
+        }
+    }
+
+    /// Rolls finished shard states up into the [`ClusterReport`].
+    fn assemble(
+        &self,
+        states: Vec<ShardState>,
+        routed: Vec<usize>,
+        scale_events: Vec<ScaleEvent>,
+    ) -> ClusterReport {
+        let shards: Vec<ServeReport> = states.into_iter().map(ShardState::finish).collect();
+        ClusterReport {
+            routing: self.routing.label().to_string(),
+            shards,
+            routed,
+            scale_events,
+            latency_hist: HistogramCell::default(),
+        }
     }
 
     /// One autoscaler evaluation of one shard.
@@ -384,6 +657,9 @@ pub struct ClusterReport {
     /// Autoscaler actions, in simulated-time order (empty without an
     /// [`AutoscalePolicy`]).
     pub scale_events: Vec<ScaleEvent>,
+    /// Memoized merged-latency histogram (host-side; excluded from
+    /// equality, empty on clones — see [`HistogramCell`]).
+    pub(crate) latency_hist: HistogramCell,
 }
 
 impl ClusterReport {
@@ -411,16 +687,18 @@ impl ClusterReport {
         self.dropped_count() as f64 / total as f64
     }
 
-    /// Every served request's latency across all shards, sorted — the
-    /// merged population global percentiles are taken over.
-    fn merged_latencies(&self) -> Vec<u64> {
-        let mut lat: Vec<u64> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.served_outcomes().map(ServedRequest::latency_cycles))
-            .collect();
-        lat.sort_unstable();
-        lat
+    /// The merged served-latency histogram over every shard — the
+    /// merged population global percentiles are taken over. Built once
+    /// (a cheap sorted-bin merge of the per-shard histograms, never a
+    /// re-sort of the million-sample population) and memoized.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        self.latency_hist.get_or_build(|| {
+            let mut merged = LatencyHistogram::default();
+            for shard in &self.shards {
+                merged.merge(shard.latency_histogram());
+            }
+            merged
+        })
     }
 
     /// Global `pct`-th percentile latency in cycles over the merged
@@ -430,12 +708,7 @@ impl ClusterReport {
     ///
     /// Panics unless `0.0 < pct <= 100.0`.
     pub fn latency_percentile_cycles(&self, pct: f64) -> u64 {
-        assert!(pct > 0.0 && pct <= 100.0, "percentile out of range: {pct}");
-        let lat = self.merged_latencies();
-        if lat.is_empty() {
-            return 0;
-        }
-        nearest_rank(&lat, pct)
+        self.latency_histogram().percentile(pct)
     }
 
     /// Global median latency in cycles.

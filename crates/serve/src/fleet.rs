@@ -64,8 +64,8 @@ use crate::pipeline::PipelinePlan;
 use crate::policy::{BatchObservation, BatchPolicy, FixedPolicy};
 use crate::queue::RequestQueue;
 use crate::report::{
-    DroppedRequest, PipelineStageStats, PlanCacheActivity, RequestOutcome, ServeReport,
-    ServedRequest, WorkerStats,
+    DroppedRequest, HistogramCell, PipelineStageStats, PlanCacheActivity, RequestOutcome,
+    ServeReport, ServedRequest, WorkerStats,
 };
 use crate::scheduler::{
     affinity_lane, earliest_free_lane, DeadlineHeap, Formation, PlacementStrategy, Scheduler,
@@ -680,6 +680,7 @@ impl Fleet {
                 self.accelerator().plans().stats().since(cache_before),
                 self.accelerator().act_profiles().stats().since(act_cache_before),
             ),
+            latency_hist: HistogramCell::default(),
         }
     }
 
@@ -917,6 +918,13 @@ pub(crate) struct Engine<'a> {
     lane_cum_idle: Vec<u64>,
     /// Latest injected arrival time, to enforce sorted arrival order.
     last_arrival: u64,
+    /// Requests sitting in `queue` awaiting batch formation —
+    /// incrementally maintained so [`Engine::backlog`] is O(1) (JSQ
+    /// probes every shard on every arrival).
+    queued: usize,
+    /// Requests riding not-yet-completed batches — the in-flight half
+    /// of the backlog, maintained at dispatch and completion.
+    in_flight_requests: usize,
     outcomes: Vec<RequestOutcome>,
     worker_stats: Vec<WorkerStats>,
     total_events: EventCounts,
@@ -976,6 +984,8 @@ impl<'a> Engine<'a> {
             active_lanes: fleet.lanes.len(),
             lane_cum_idle: vec![0u64; fleet.lanes.len()],
             last_arrival: 0,
+            queued: 0,
+            in_flight_requests: 0,
             outcomes: Vec::new(),
             worker_stats: fleet.lanes.iter().map(|l| WorkerStats::new(l.arch())).collect(),
             total_events: EventCounts::default(),
@@ -1082,14 +1092,64 @@ impl<'a> Engine<'a> {
     /// resolved (queued for batching *plus* riding in-flight batches;
     /// tail-dropped requests resolve at arrival and never count).
     ///
-    /// This is what the cluster's routing policies probe and the
-    /// autoscaler thresholds compare against. Counting in-flight work
-    /// matters: sealed batches leave the request queues immediately,
-    /// so queue length alone would make a shard whose lanes are booked
-    /// solid for thousands of cycles look idle — the
-    /// least-outstanding-requests signal sees through that.
+    /// This is what the autoscaler thresholds compare against.
+    /// Counting in-flight work matters there: sealed batches leave the
+    /// request queues immediately, so queue length alone would make a
+    /// shard whose lanes are booked solid for thousands of cycles look
+    /// idle and shed lanes it is about to need. (The *router* probes
+    /// [`Engine::queued_depth`] instead — see there for why.)
+    ///
+    /// O(1): both halves are incrementally maintained counters (a
+    /// debug assertion cross-checks them against a full recompute from
+    /// the queue lanes and the in-flight wheel).
     pub(crate) fn backlog(&self) -> usize {
-        self.next_id as usize - self.outcomes.len()
+        debug_assert_eq!(
+            self.queued,
+            (0..self.models.len()).map(|m| self.queue.pending(m)).sum::<usize>(),
+            "queued counter diverged from the request queue"
+        );
+        debug_assert_eq!(
+            self.in_flight_requests,
+            self.in_flight.iter().map(|(_, b)| self.batches[b].requests.len()).sum::<usize>(),
+            "in-flight counter diverged from the timer wheel"
+        );
+        self.queued + self.in_flight_requests
+    }
+
+    /// Requests queued for batching but not yet sealed into a batch —
+    /// the signal the cluster's routing policies probe (O(1), same
+    /// incrementally maintained counter as [`Engine::backlog`]).
+    ///
+    /// The router deliberately probes the *queued* depth rather than
+    /// the full backlog: in-flight batch mass is common-mode across
+    /// shards at steady state and drains at fixed, already-committed
+    /// times no routing decision can change, so adding it dilutes the
+    /// differential signal that join-shortest-queue / power-of-two
+    /// actually steer on (measured on the canonical cluster scenario:
+    /// probing full backlog erases most of the p2c-vs-random global
+    /// p99 win).
+    pub(crate) fn queued_depth(&self) -> usize {
+        debug_assert_eq!(
+            self.queued,
+            (0..self.models.len()).map(|m| self.queue.pending(m)).sum::<usize>(),
+            "queued counter diverged from the request queue"
+        );
+        self.queued
+    }
+
+    /// Whether any internal event (completion or live deadline) fires
+    /// strictly before an arrival at `t` in `(time, kind)` order — the
+    /// cluster barrier's fast path: a shard answering `false` needs no
+    /// [`Engine::advance_to_arrival`] dispatch at all. Non-mutating on
+    /// the completion wheel; stale deadline entries may be discarded,
+    /// which never changes simulated state.
+    pub(crate) fn has_event_before(&mut self, t: u64) -> bool {
+        // (ct, COMPLETION) < (t, ARRIVAL) iff ct <= t;
+        // (dt, DEADLINE) < (t, ARRIVAL) iff dt < t.
+        if self.in_flight.peek_next_event_cycle().is_some_and(|ct| ct <= t) {
+            return true;
+        }
+        self.deadlines.peek_live(&self.queue).is_some_and(|(dt, _)| dt < t)
     }
 
     /// Lanes currently accepting new batches (an `active_lanes`-prefix
@@ -1108,6 +1168,7 @@ impl<'a> Engine<'a> {
 
     fn on_completion(&mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) {
         let (t, index) = self.in_flight.pop().expect("peeked");
+        self.in_flight_requests -= self.batches[index].requests.len();
         let batch = &self.batches[index];
         let max_latency_cycles = batch.requests.iter().map(|r| t - r.arrival).max().unwrap_or(0);
         policy.observe(&BatchObservation {
@@ -1176,6 +1237,7 @@ impl<'a> Engine<'a> {
             arrivals.request_finished(client, request.arrival);
             return;
         }
+        self.queued += 1;
         if was_empty {
             self.deadlines.arm(lane, &request, limits.max_wait_cycles);
         }
@@ -1268,6 +1330,13 @@ impl<'a> Engine<'a> {
     /// engine, because every simulation is a pure function of
     /// `(batch, lane scope)`.
     fn dispatch_burst(&mut self, model: usize, sealed: Vec<(Vec<Request>, u64)>) {
+        // Every sealed member moves from the queued half of the
+        // backlog to the in-flight half (it stays outstanding until
+        // its batch's completion event).
+        for (members, _) in &sealed {
+            self.queued -= members.len();
+            self.in_flight_requests += members.len();
+        }
         if self.fleet.placement == PlacementStrategy::Pipelined {
             for (members, ready) in sealed {
                 self.dispatch_pipelined(model, members, ready);
@@ -1509,9 +1578,23 @@ impl<'a> Engine<'a> {
                 self.fleet.accelerator().plans().stats().since(self.cache_before),
                 self.fleet.accelerator().act_profiles().stats().since(self.act_cache_before),
             ),
+            latency_hist: HistogramCell::default(),
         }
     }
 }
+
+/// The cluster's parallel driver moves whole engines (plus their
+/// arrival sources) across executor threads between barriers; keep
+/// that a compile-time guarantee rather than an inference accident.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    #[allow(dead_code)]
+    const fn engine_state_is_send() {
+        assert_send::<Engine<'_>>();
+        assert_send::<ArrivalSource<'_>>();
+        assert_send::<FixedPolicy>();
+    }
+};
 
 #[cfg(test)]
 mod tests {

@@ -92,8 +92,8 @@ pub use policy::{
 };
 pub use queue::RequestQueue;
 pub use report::{
-    DroppedRequest, PipelineStageStats, PlanCacheActivity, RequestOutcome, ServeReport,
-    ServedRequest, WorkerStats,
+    DroppedRequest, LatencyHistogram, PipelineStageStats, PlanCacheActivity, RequestOutcome,
+    ServeReport, ServedRequest, WorkerStats,
 };
 pub use scheduler::{Batch, Formation, Placement, PlacementStrategy, Scheduler, ServiceEstimator};
 pub use timewheel::TimerWheel;

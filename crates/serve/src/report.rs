@@ -4,6 +4,7 @@ use s2ta_core::{ArchKind, CacheStats};
 use s2ta_energy::{EnergyBreakdown, TechParams};
 use s2ta_sim::EventCounts;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The fate of one request: either it was admitted, batched and
 /// executed ([`RequestOutcome::Served`]), or admission control refused
@@ -105,18 +106,169 @@ impl RequestOutcome {
     }
 }
 
-/// Nearest-rank percentile over an already-sorted latency slice: the
-/// value at rank `ceil(pct/100 * n)` (1-based, clamped into the slice).
-/// Shared by [`ServeReport::latency_percentile_cycles`] and the
-/// SLO-aware policy's observation window.
+/// The 1-based nearest-rank of the `pct`-th percentile in a population
+/// of `count` samples: `ceil(pct/100 * count)`, clamped into
+/// `[1, count]`. The **single** clamp implementation behind every
+/// percentile view — the histogram walk, the sorted-slice helper, and
+/// through them all report-level percentiles.
 ///
 /// # Panics
 ///
-/// Panics if the slice is empty.
-pub(crate) fn nearest_rank(sorted_latencies: &[u64], pct: f64) -> u64 {
-    let rank = (pct / 100.0 * sorted_latencies.len() as f64).ceil() as usize;
-    sorted_latencies[rank.clamp(1, sorted_latencies.len()) - 1]
+/// Panics unless `0.0 < pct <= 100.0`.
+pub(crate) fn nearest_rank_position(count: u64, pct: f64) -> u64 {
+    assert!(pct > 0.0 && pct <= 100.0, "percentile out of range: {pct}");
+    let rank = (pct / 100.0 * count as f64).ceil() as u64;
+    rank.clamp(1, count)
 }
+
+/// Nearest-rank percentile over an already-sorted latency slice (see
+/// [`nearest_rank_position`]). Shared by the SLO-aware policy's
+/// observation window; report-level percentiles go through
+/// [`LatencyHistogram`] instead.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `pct` is out of `(0, 100]`.
+pub(crate) fn nearest_rank(sorted_latencies: &[u64], pct: f64) -> u64 {
+    sorted_latencies[nearest_rank_position(sorted_latencies.len() as u64, pct) as usize - 1]
+}
+
+/// An exact sparse cycle-count histogram over served latencies: sorted
+/// `(latency, count)` bins, one per **distinct** latency value.
+///
+/// This is the report tier's percentile engine. It is *exact* — a
+/// percentile query walks the bins to the same nearest-rank position
+/// [`nearest_rank`] would find in the fully-sorted sample vector, so
+/// every answer is an actually-observed latency — and it is *mergeable*:
+/// shard histograms combine bin-by-bin, letting
+/// [`crate::ClusterReport`] compute global percentiles without
+/// re-collecting (or re-sorting) the merged million-sample population
+/// on every call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `(latency_cycles, count)`, strictly ascending in latency.
+    bins: Vec<(u64, u64)>,
+    /// Total sample count across all bins.
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// Builds the histogram of `samples` (one sort of the sample set —
+    /// the last sort percentile queries ever need).
+    pub fn collect(samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut lat: Vec<u64> = samples.into_iter().collect();
+        lat.sort_unstable();
+        let mut bins: Vec<(u64, u64)> = Vec::new();
+        for value in lat {
+            match bins.last_mut() {
+                Some((last, count)) if *last == value => *count += 1,
+                _ => bins.push((value, 1)),
+            }
+        }
+        let total = bins.iter().map(|&(_, count)| count).sum();
+        Self { bins, total }
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Folds `other` into `self` (sorted bin merge: linear in the
+    /// number of distinct latencies, independent of sample counts).
+    pub fn merge(&mut self, other: &Self) {
+        let mine = std::mem::take(&mut self.bins);
+        self.bins = Vec::with_capacity(mine.len().max(other.bins.len()));
+        let (mut a, mut b) = (mine.into_iter().peekable(), other.bins.iter().copied().peekable());
+        loop {
+            let next = match (a.peek(), b.peek()) {
+                (Some(&(va, ca)), Some(&(vb, cb))) => {
+                    if va == vb {
+                        a.next();
+                        b.next();
+                        (va, ca + cb)
+                    } else if va < vb {
+                        a.next();
+                        (va, ca)
+                    } else {
+                        b.next();
+                        (vb, cb)
+                    }
+                }
+                (Some(_), None) => a.next().expect("peeked"),
+                (None, Some(_)) => b.next().expect("peeked"),
+                (None, None) => break,
+            };
+            self.bins.push(next);
+        }
+        self.total += other.total;
+    }
+
+    /// The `pct`-th percentile sample (nearest-rank, an observed
+    /// value); 0 when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < pct <= 100.0`.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        let target = nearest_rank_position(self.total.max(1), pct);
+        if self.total == 0 {
+            return 0;
+        }
+        let mut seen = 0u64;
+        for &(value, count) in &self.bins {
+            seen += count;
+            if seen >= target {
+                return value;
+            }
+        }
+        unreachable!("nearest-rank position is clamped into the population")
+    }
+}
+
+/// A lazily-built [`LatencyHistogram`] memo attached to a report.
+///
+/// Like [`PlanCacheActivity`], the cell is **excluded from report
+/// equality** (memoization state is host-side, never part of a run's
+/// simulated identity) and clones start empty. The memo assumes the
+/// report's outcomes stop changing once the first percentile is
+/// queried — reports are immutable after construction everywhere in
+/// the engine.
+#[derive(Debug, Default)]
+pub struct HistogramCell(OnceLock<LatencyHistogram>);
+
+impl HistogramCell {
+    /// The memoized histogram, building it on first use.
+    pub(crate) fn get_or_build(
+        &self,
+        build: impl FnOnce() -> LatencyHistogram,
+    ) -> &LatencyHistogram {
+        self.0.get_or_init(build)
+    }
+}
+
+impl Clone for HistogramCell {
+    /// Clones start unmemoized (the clone may mutate outcomes before
+    /// its first query).
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for HistogramCell {
+    /// Always `true`: memoization state is a host-side detail (see the
+    /// type docs).
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for HistogramCell {}
 
 /// Per-lane occupancy statistics: which architecture the lane runs,
 /// how busy it was, and the simulated events (hence energy) its
@@ -311,6 +463,9 @@ pub struct ServeReport {
     /// Weight-plan-cache activity during this run (host-side
     /// diagnostic; excluded from equality — see [`PlanCacheActivity`]).
     pub plan_cache: PlanCacheActivity,
+    /// Memoized served-latency histogram (host-side; excluded from
+    /// equality, empty on clones — see [`HistogramCell`]).
+    pub(crate) latency_hist: HistogramCell,
 }
 
 impl ServeReport {
@@ -345,7 +500,17 @@ impl ServeReport {
     ///
     /// Panics unless `0.0 < pct <= 100.0`.
     pub fn latency_percentile_cycles(&self, pct: f64) -> u64 {
-        self.percentile_where(pct, |_| true)
+        self.latency_histogram().percentile(pct)
+    }
+
+    /// The served-latency histogram, built once per report and shared
+    /// by every subsequent percentile query (p50/p95/p99 on a
+    /// million-request report used to re-sort the samples three
+    /// times). Cluster shards merge through exactly this view.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        self.latency_hist.get_or_build(|| {
+            LatencyHistogram::collect(self.served_outcomes().map(ServedRequest::latency_cycles))
+        })
     }
 
     /// Latency of the `pct`-th percentile **served** request of the
@@ -361,17 +526,14 @@ impl ServeReport {
     }
 
     /// Nearest-rank percentile over the served requests `keep` admits
-    /// (0 when none match) — the single implementation behind the
-    /// overall and per-model percentile views.
+    /// (0 when none match): a fresh filtered histogram per call —
+    /// per-model views are queried rarely and over small subsets, so
+    /// only the all-request histogram is memoized.
     fn percentile_where(&self, pct: f64, keep: impl Fn(&ServedRequest) -> bool) -> u64 {
-        assert!(pct > 0.0 && pct <= 100.0, "percentile out of range: {pct}");
-        let mut lat: Vec<u64> =
-            self.served_outcomes().filter(|o| keep(o)).map(ServedRequest::latency_cycles).collect();
-        if lat.is_empty() {
-            return 0;
-        }
-        lat.sort_unstable();
-        nearest_rank(&lat, pct)
+        LatencyHistogram::collect(
+            self.served_outcomes().filter(|o| keep(o)).map(ServedRequest::latency_cycles),
+        )
+        .percentile(pct)
     }
 
     /// Median latency in cycles.
@@ -610,6 +772,7 @@ mod tests {
             makespan_cycles: 100,
             pipeline_stages: vec![],
             plan_cache: PlanCacheActivity::default(),
+            latency_hist: HistogramCell::default(),
         }
     }
 
@@ -654,6 +817,7 @@ mod tests {
             makespan_cycles: 0,
             pipeline_stages: vec![],
             plan_cache: PlanCacheActivity::default(),
+            latency_hist: HistogramCell::default(),
         };
         assert_eq!(r.served_count(), 0);
         assert_eq!(r.dropped_count(), 5);
@@ -697,6 +861,7 @@ mod tests {
             makespan_cycles: 0,
             pipeline_stages: vec![],
             plan_cache: PlanCacheActivity::default(),
+            latency_hist: HistogramCell::default(),
         };
         assert_eq!(r.p50_cycles(), 0);
         assert_eq!(r.mean_utilization(), 0.0);
@@ -738,6 +903,91 @@ mod tests {
         let table = r.lane_breakdown(&tech);
         assert!(table.contains("S2TA-AW"), "breakdown names the lane arch:\n{table}");
         assert!(table.contains("L0"), "breakdown lists each lane:\n{table}");
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        // Empty: every valid percentile is calm.
+        let empty = LatencyHistogram::collect(std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.total(), 0);
+        for pct in [0.001, 50.0, 100.0] {
+            assert_eq!(empty.percentile(pct), 0, "pct {pct}");
+        }
+        // Single sample: every percentile is that sample.
+        let single = LatencyHistogram::collect([42]);
+        for pct in [0.001, 0.5, 50.0, 99.999, 100.0] {
+            assert_eq!(single.percentile(pct), 42, "pct {pct}");
+        }
+        // Heavy ties collapse into sparse bins but stay exact.
+        let ties = LatencyHistogram::collect([7, 7, 7, 7, 9]);
+        assert_eq!(ties.total(), 5);
+        assert_eq!(ties.percentile(80.0), 7);
+        assert_eq!(ties.percentile(80.001), 9);
+        assert_eq!(ties.percentile(100.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn histogram_rejects_zero_percentile() {
+        LatencyHistogram::collect([1]).percentile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn histogram_rejects_oversized_percentile() {
+        LatencyHistogram::collect([1]).percentile(100.5);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let a = [5u64, 1, 9, 5, 5];
+        let b = [2u64, 9, 9, 40];
+        let mut merged = LatencyHistogram::collect(a);
+        merged.merge(&LatencyHistogram::collect(b));
+        let whole = LatencyHistogram::collect(a.iter().chain(b.iter()).copied());
+        assert_eq!(merged, whole);
+        assert_eq!(merged.total(), 9);
+        // Merging an empty histogram either way is the identity.
+        let mut id = whole.clone();
+        id.merge(&LatencyHistogram::default());
+        assert_eq!(id, whole);
+        let mut from_empty = LatencyHistogram::default();
+        from_empty.merge(&whole);
+        assert_eq!(from_empty, whole);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+        /// The histogram percentile is byte-identical to the
+        /// [`nearest_rank`] sorted-slice path it replaced, on random
+        /// sample sets and random split points (exercising merge).
+        #[test]
+        fn prop_histogram_matches_nearest_rank(
+            samples in proptest::collection::vec(0u64..500, 1..300),
+            split in proptest::arbitrary::any::<u16>(),
+            pct_mil in 1u64..=100_000,
+        ) {
+            let pct = pct_mil as f64 / 1_000.0;
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let split = split as usize % (samples.len() + 1);
+            let mut hist = LatencyHistogram::collect(samples[..split].iter().copied());
+            hist.merge(&LatencyHistogram::collect(samples[split..].iter().copied()));
+            proptest::prop_assert_eq!(hist.percentile(pct), nearest_rank(&sorted, pct));
+            proptest::prop_assert_eq!(hist.total(), sorted.len() as u64);
+        }
+    }
+
+    #[test]
+    fn histogram_cell_is_equality_neutral_and_clone_fresh() {
+        let r = report(&[10, 20, 30]);
+        let before = r.clone();
+        assert_eq!(r.latency_histogram().total(), 3);
+        // Building the memo changes nothing observable.
+        assert_eq!(r, before);
+        // Clones drop the memo and rebuild consistently.
+        assert_eq!(r.clone().latency_histogram(), r.latency_histogram());
     }
 
     #[test]

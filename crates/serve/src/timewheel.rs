@@ -109,6 +109,48 @@ impl<K: Ord + Copy> TimerWheel<K> {
         Some(entry)
     }
 
+    /// The earliest pending time, **without mutating the wheel**: the
+    /// cheap probe behind the cluster barrier's fast path, where most
+    /// shards have no event before the next arrival and must be
+    /// skippable without cascading any slots.
+    ///
+    /// Exactness: every due entry is at or before the cursor and every
+    /// wheel entry strictly after it, so a non-empty due heap already
+    /// holds the global minimum. Otherwise the scan mirrors
+    /// [`TimerWheel::make_due`] — the lowest level with an occupied
+    /// slot ahead of the cursor holds the nearest times, and within
+    /// that first slot the minimum entry time is the answer (at level
+    /// 0 all entries in a slot share one time).
+    pub fn peek_next_event_cycle(&self) -> Option<u64> {
+        if let Some(Reverse((time, _))) = self.due.peek() {
+            return Some(*time);
+        }
+        for level in 0..LEVELS {
+            let pos = (self.cursor >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+            let ahead = self.occupied[level] & !((1u64 << pos) | ((1u64 << pos) - 1));
+            if ahead != 0 {
+                let slot = ahead.trailing_zeros() as usize;
+                let min = self.slots[level][slot]
+                    .iter()
+                    .map(|&(time, _)| time)
+                    .min()
+                    .expect("occupancy bit set on an empty slot");
+                return Some(min);
+            }
+        }
+        None
+    }
+
+    /// All pending `(time, key)` entries in unspecified order — a
+    /// diagnostics iterator for debug cross-checks (e.g. recomputing
+    /// the engine's in-flight request counter).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, K)> + '_ {
+        self.due
+            .iter()
+            .map(|Reverse(entry)| *entry)
+            .chain(self.slots.iter().flatten().flatten().copied())
+    }
+
     /// The wheel level and slot a strictly-future `time` hashes to:
     /// the lowest level whose span, anchored at the cursor, still
     /// contains it.

@@ -15,7 +15,9 @@
 //! gate for the cluster tier: the router must conserve the stream
 //! (every request on exactly one shard, zero drops on unbounded
 //! queues), global percentiles must come from merged per-request
-//! samples, and the diurnal day must exercise the autoscaler in both
+//! samples, the shard-parallel driver must reproduce the serial
+//! reference byte-identically on every policy, and the diurnal day
+//! must exercise the autoscaler in both
 //! directions. The canonical ~1M-request run with the p99 routing
 //! gate lives in `cargo bench -p s2ta-bench --bench cluster`; this
 //! demo reuses the exact same scenario module at a prefix scale, so
@@ -47,9 +49,18 @@ fn main() {
     for routing in
         [RoutingPolicy::Random, RoutingPolicy::JoinShortestQueue, RoutingPolicy::PowerOfTwo]
     {
-        let report = scenario::cluster(routing).serve(&models, &requests);
+        let cluster = scenario::cluster(routing);
+        let report = cluster.serve(&models, &requests);
         check_conservation(&report, requests.len());
         assert_eq!(report.dropped_count(), 0, "unbounded shard queues must not drop");
+        // The shard-parallel driver is the default; it must be
+        // byte-identical to the serial reference on every policy.
+        assert_eq!(
+            report,
+            cluster.serve_serial(&models, &requests),
+            "{}: parallel driver must reproduce the serial driver exactly",
+            routing.label()
+        );
         print!("{}", report.summary(&tech));
         println!();
         p99s.push((routing.label(), report.p99_cycles()));

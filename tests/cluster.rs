@@ -2,6 +2,8 @@
 //! single-shard degeneration to a bare fleet, determinism of sharded
 //! runs, merged-percentile rollup, and lane autoscaling.
 
+use proptest::prop_assert_eq;
+use s2ta::core::pool::Executor;
 use s2ta::core::ArchKind;
 use s2ta::energy::TechParams;
 use s2ta::models::{lenet5, ModelSpec};
@@ -208,4 +210,104 @@ fn autoscaler_tracks_the_diurnal_load_curve() {
         report.shards.iter().flat_map(|s| s.outcomes.iter().map(|o| o.id())).collect();
     ids.sort_unstable();
     assert_eq!(ids, (0..620).collect::<Vec<u64>>());
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(5))]
+
+    /// The shard-parallel drivers (pre-routed tier for `Random`, arrival-
+    /// barrier tier for the backlog-probing policies) must reproduce the
+    /// serial driver **byte-identically** — full `ClusterReport` equality,
+    /// covering outcomes, routed tallies, per-shard reports, and scale
+    /// events — across routing policies, shard counts, and executor worker
+    /// counts (including a serial 1-worker executor and the global pool).
+    #[test]
+    fn prop_parallel_cluster_is_byte_identical_to_serial(
+        seed in 1u64..1_000,
+        n in 60usize..110,
+        policy_idx in 0usize..3,
+        autoscale in proptest::arbitrary::any::<bool>(),
+    ) {
+        let models = models();
+        let requests = stream(seed, n);
+        let routing = [
+            RoutingPolicy::Random,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::PowerOfTwo,
+        ][policy_idx];
+        for shard_count in [1usize, 2, 4] {
+            let mut cluster = Cluster::new(shards(shard_count, 2))
+                .with_routing(routing)
+                .with_router_seed(seed ^ 0x5eed);
+            if autoscale {
+                cluster = cluster.with_autoscale(AutoscalePolicy {
+                    eval_interval_cycles: 20_000,
+                    scale_up_depth: 2,
+                    scale_down_depth: 0,
+                    min_lanes: 1,
+                });
+            }
+            let serial = cluster.serve_serial(&models, &requests);
+            for workers in [Some(1usize), Some(2), Some(7), None] {
+                let parallel = match workers {
+                    Some(w) => cluster.serve_on(&Executor::new(w), &models, &requests),
+                    None => cluster.serve(&models, &requests),
+                };
+                prop_assert_eq!(
+                    &parallel,
+                    &serial,
+                    "policy {:?}, {} shards, workers {:?}",
+                    routing,
+                    shard_count,
+                    workers
+                );
+                prop_assert_eq!(&parallel.scale_events, &serial.scale_events);
+                prop_assert_eq!(&parallel.routed, &serial.routed);
+            }
+        }
+    }
+}
+
+/// Deterministic autoscale differential: on the diurnal scenario the
+/// serial and parallel drivers must emit the identical (non-empty)
+/// scale-event log, at every worker count, for a backlog-probing
+/// policy — the hardest case, since autoscale evals interleave with
+/// the arrival barrier.
+#[test]
+fn parallel_driver_reproduces_serial_autoscale_run() {
+    let models = models();
+    let requests = DiurnalSpec {
+        seed: 17,
+        requests: 620,
+        segments: vec![
+            RateSegment { duration_cycles: 60_000, mean_interarrival_cycles: 200.0 },
+            RateSegment { duration_cycles: 240_000, mean_interarrival_cycles: 24_000.0 },
+        ],
+        mix: vec![1.0],
+        act_seed_pool: 32,
+    }
+    .generate();
+    let build = || {
+        let fleets = (0..2)
+            .map(|_| {
+                Fleet::from_spec(FleetSpec::homogeneous(ArchKind::S2taAw, 4))
+                    .with_policy(FixedPolicy { max_batch: 16, max_wait_cycles: 30_000 })
+            })
+            .collect();
+        Cluster::new(fleets).with_routing(RoutingPolicy::PowerOfTwo).with_autoscale(
+            AutoscalePolicy {
+                eval_interval_cycles: 15_000,
+                scale_up_depth: 3,
+                scale_down_depth: 0,
+                min_lanes: 1,
+            },
+        )
+    };
+    let serial = build().serve_serial(&models, &requests);
+    assert!(!serial.scale_events.is_empty(), "scenario must actually scale");
+    for workers in [1usize, 2, 7] {
+        let parallel = build().serve_on(&Executor::new(workers), &models, &requests);
+        assert_eq!(parallel, serial, "{workers} workers");
+    }
+    assert_eq!(build().serve(&models, &requests), serial, "global executor");
 }
