@@ -21,6 +21,7 @@
 use s2ta_bench::SEED;
 use s2ta_core::{Accelerator, ArchKind, Scratch, WeightResidency};
 use s2ta_models::lenet5;
+use s2ta_serve::{FlightRecorder, TraceEvent, TraceEventKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -104,4 +105,37 @@ fn steady_state_batch_allocates_nothing_on_every_arch() {
         assert_eq!(events, warm, "{kind:?}: steady-state events drifted from warmup");
         assert_eq!(grew, 0, "{kind:?}: steady-state batch performed {grew} heap allocations");
     }
+}
+
+/// The flight recorder's half of the same claim: the event ring is
+/// fully preallocated at construction, so recording — including
+/// drop-oldest overwrites far past capacity — performs **zero** heap
+/// allocations. This is what lets the engine record on its hot event
+/// handlers without perturbing the allocation-free serving loop.
+#[test]
+fn flight_recorder_records_without_allocating() {
+    let mut recorder = FlightRecorder::new(64);
+    let event = TraceEvent {
+        cycle: 0,
+        kind: TraceEventKind::BatchSealed,
+        shard: 0,
+        lane: 1,
+        model: 2,
+        stage: 0,
+        a: 7,
+        b: 4,
+    };
+
+    let before = allocs_here();
+    // Fill the ring, then overflow it 15 times over: every overwrite
+    // must happen in place.
+    for cycle in 0..1024u64 {
+        recorder.record(TraceEvent { cycle, ..event });
+    }
+    let grew = allocs_here() - before;
+    assert_eq!(grew, 0, "recording performed {grew} heap allocations");
+    assert_eq!(recorder.len(), 64, "ring must cap at capacity");
+    assert_eq!(recorder.overwritten(), 1024 - 64, "every overflow counted");
+    let oldest = recorder.iter().next().expect("ring is full");
+    assert_eq!(oldest.cycle, 1024 - 64, "drop-oldest: the survivors are the newest events");
 }

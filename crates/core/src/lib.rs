@@ -31,6 +31,7 @@ pub mod memory;
 pub mod microbench;
 pub mod plan;
 pub mod pool;
+pub mod ring;
 pub mod scratch;
 pub mod summary;
 pub mod sweep;
@@ -41,5 +42,6 @@ pub use plan::{
     PlannedWeights, WeightPlanCache, WeightResidency,
 };
 pub use report::{LayerReport, ModelReport};
+pub use ring::Ring;
 pub use runner::{Accelerator, ExecPath};
 pub use scratch::{Scratch, ScratchPool};

@@ -87,7 +87,10 @@
 
 use crate::fleet::{ArrivalSource, Engine, Fleet};
 use crate::policy::{BatchPolicy, FixedPolicy};
-use crate::report::{HistogramCell, LatencyHistogram, ServeReport};
+use crate::report::{
+    render_table, Col, HistogramCell, LatencyHistogram, ModelServeStats, ServeReport,
+};
+use crate::trace::{Trace, TraceConfig};
 use crate::workload::{partition_by_shard, Lcg, Request};
 use s2ta_core::pool::Executor;
 use s2ta_energy::{EnergyBreakdown, TechParams};
@@ -332,6 +335,22 @@ impl Cluster {
     pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
         policy.validate();
         self.autoscale = Some(policy);
+        self
+    }
+
+    /// Attaches an observability trace to **every shard**: each shard
+    /// engine records its own flight-recorder events and metrics
+    /// series, and [`ClusterReport::merged_trace`] merges them by
+    /// `(cycle, shard)` — the same discipline as scale events, so the
+    /// merged trace is byte-identical for the serial and parallel
+    /// drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.metrics_interval_cycles` is zero.
+    pub fn with_trace(mut self, config: TraceConfig) -> Self {
+        config.validate();
+        self.shards = self.shards.into_iter().map(|f| f.with_trace(config)).collect();
         self
     }
 
@@ -594,6 +613,10 @@ impl Cluster {
         auto: AutoscalePolicy,
         events: &mut Vec<ScaleEvent>,
     ) {
+        // Metrics boundaries `<= time` close before the decision can
+        // resize the active-lane set, so every driver's samples see
+        // the pre-decision lane count.
+        engine.trace_autoscale_eval(time);
         let depth = engine.backlog();
         let active = engine.active_lanes();
         let max = self.shards[shard].workers();
@@ -607,6 +630,7 @@ impl Cluster {
         };
         if target != active {
             engine.set_active_lanes(target);
+            engine.trace_autoscale_decision(time, active, target, depth);
             events.push(ScaleEvent {
                 time,
                 shard,
@@ -755,6 +779,37 @@ impl ClusterReport {
         EnergyBreakdown::of(&self.total_events(), tech)
     }
 
+    /// Per-model drop and deadline-miss counts aggregated over every
+    /// shard (model order follows the shards' shared models list).
+    pub fn per_model(&self) -> Vec<ModelServeStats> {
+        let mut agg: Vec<ModelServeStats> = Vec::new();
+        for shard in &self.shards {
+            for (i, m) in shard.per_model.iter().enumerate() {
+                if agg.len() <= i {
+                    agg.push(ModelServeStats {
+                        model: m.model.clone(),
+                        dropped: 0,
+                        deadline_misses: 0,
+                    });
+                }
+                agg[i].dropped += m.dropped;
+                agg[i].deadline_misses += m.deadline_misses;
+            }
+        }
+        agg
+    }
+
+    /// The cluster-wide trace, merged from the per-shard traces by
+    /// `(cycle, shard)` — exactly how scale events merge, so serial
+    /// and parallel drivers produce byte-identical merged traces.
+    /// `None` unless **every** shard ran with a recorder attached
+    /// (see [`Cluster::with_trace`]).
+    pub fn merged_trace(&self) -> Option<Trace> {
+        let traces: Vec<Trace> =
+            self.shards.iter().map(|s| s.trace().cloned()).collect::<Option<_>>()?;
+        Trace::merge_shards(traces)
+    }
+
     /// One compact row per shard.
     pub fn shard_summaries(&self) -> Vec<ShardSummary> {
         self.shards
@@ -794,22 +849,31 @@ impl ClusterReport {
             ServeReport::cycles_to_ms(tech, self.p95_cycles()),
             ServeReport::cycles_to_ms(tech, self.p99_cycles()),
         ));
-        s.push_str(&format!(
-            "  {:<6} {:<22} {:>8} {:>8} {:>8} {:>12} {:>12}\n",
-            "shard", "arch", "routed", "served", "dropped", "p99 cyc", "makespan"
-        ));
-        for row in self.shard_summaries() {
-            s.push_str(&format!(
-                "  S{:<5} {:<22} {:>8} {:>8} {:>8} {:>12} {:>12}\n",
-                row.shard,
-                row.arch,
-                row.routed,
-                row.served,
-                row.dropped,
-                row.p99_cycles,
-                row.makespan_cycles,
-            ));
-        }
+        let cols = [
+            Col::left("shard", 6),
+            Col::left("arch", 22),
+            Col::right("routed", 8),
+            Col::right("served", 8),
+            Col::right("dropped", 8),
+            Col::right("p99 cyc", 12),
+            Col::right("makespan", 12),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .shard_summaries()
+            .into_iter()
+            .map(|row| {
+                vec![
+                    format!("S{}", row.shard),
+                    row.arch,
+                    row.routed.to_string(),
+                    row.served.to_string(),
+                    row.dropped.to_string(),
+                    row.p99_cycles.to_string(),
+                    row.makespan_cycles.to_string(),
+                ]
+            })
+            .collect();
+        s.push_str(&render_table(&cols, &rows));
         if !self.scale_events.is_empty() {
             s.push_str(&format!("  {} scale events:", self.scale_events.len()));
             for e in &self.scale_events {

@@ -64,14 +64,15 @@ use crate::pipeline::PipelinePlan;
 use crate::policy::{BatchObservation, BatchPolicy, FixedPolicy};
 use crate::queue::RequestQueue;
 use crate::report::{
-    DroppedRequest, HistogramCell, PipelineStageStats, PlanCacheActivity, RequestOutcome,
-    ServeReport, ServedRequest, WorkerStats,
+    DroppedRequest, HistogramCell, ModelServeStats, PipelineStageStats, PlanCacheActivity,
+    RequestOutcome, ServeReport, ServedRequest, WorkerStats,
 };
 use crate::scheduler::{
     affinity_lane, earliest_free_lane, DeadlineHeap, Formation, PlacementStrategy, Scheduler,
     ServiceEstimator,
 };
 use crate::timewheel::TimerWheel;
+use crate::trace::{TraceCell, TraceConfig, TraceEvent, TraceEventKind, TraceState};
 use crate::workload::{ClosedLoopClient, ClosedLoopSpec, Request};
 use s2ta_core::{
     pool, Accelerator, ActProfileCache, ArchKind, CacheStats, ExecPath, ScratchPool,
@@ -81,6 +82,7 @@ use s2ta_models::ModelSpec;
 use s2ta_sim::EventCounts;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
 
 /// One serving lane: a simulated accelerator instance with its own
 /// architecture, executing one batch at a time in simulated time.
@@ -298,6 +300,9 @@ pub struct Fleet {
     /// Bounded inter-stage activation queue depth (per pipeline
     /// boundary).
     pipeline_queue_capacity: usize,
+    /// When set, serving runs attach a flight recorder + metrics
+    /// registry and the report carries a [`crate::Trace`].
+    trace: Option<TraceConfig>,
 }
 
 impl Fleet {
@@ -370,6 +375,7 @@ impl Fleet {
             host_parallelism: None,
             pipeline_stages: 2,
             pipeline_queue_capacity: 2,
+            trace: None,
         }
     }
 
@@ -482,6 +488,28 @@ impl Fleet {
     pub fn with_host_parallelism(mut self, workers: usize) -> Self {
         self.host_parallelism = Some(workers.max(1));
         self
+    }
+
+    /// Attaches an observability trace to every subsequent serving run:
+    /// a preallocated drop-oldest flight recorder of typed engine
+    /// events plus fixed-interval metrics time-series, surfaced on the
+    /// report through [`ServeReport::trace`]. Tracing never changes
+    /// simulated results — the traced run routes through the
+    /// event-driven engine, which is byte-identical to the vectorized
+    /// path for fixed policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.metrics_interval_cycles` is zero.
+    pub fn with_trace(mut self, config: TraceConfig) -> Self {
+        config.validate();
+        self.trace = Some(config);
+        self
+    }
+
+    /// The attached trace configuration, if tracing is enabled.
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.trace
     }
 
     /// The first lane's accelerator (for a homogeneous fleet, the
@@ -604,18 +632,20 @@ impl Fleet {
     /// Panics if a request names a model index outside `models`, or if
     /// arrivals are unsorted.
     pub fn serve(&self, models: &[ModelSpec], requests: &[Request]) -> ServeReport {
-        if self.placement != PlacementStrategy::EarliestFree {
+        if self.placement != PlacementStrategy::EarliestFree || self.trace.is_some() {
             // Affinity needs the run's own completion feedback and the
             // pipeline needs per-stage scheduling state; the engine
             // replays the same formation decisions in event order, so
             // this is the identical computation with a richer dispatch
-            // rule.
+            // rule. Traced runs take the engine too: its event handlers
+            // are where the flight-recorder hooks live, and its report
+            // is byte-identical to this path for fixed policies.
             let mut policy = self.scheduler.policy();
             return self.serve_adaptive(models, requests, &mut policy);
         }
         let cache_before = self.accelerator().plans().stats();
         let act_cache_before = self.accelerator().act_profiles().stats();
-        let Formation { batches, dropped } =
+        let Formation { batches, dropped, timeout_sealed } =
             self.scheduler.form_batches_bounded(requests, models.len(), self.queue_capacity);
         let scopes = self.scopes();
 
@@ -667,6 +697,23 @@ impl Fleet {
         }
         outcomes.sort_by_key(RequestOutcome::id);
 
+        // Per-model admission/deadline accounting: a drop charges the
+        // dropped request's model; a timeout-sealed batch charges every
+        // member as a deadline miss (the batch waited out its full
+        // `max_wait` instead of filling).
+        let mut per_model: Vec<ModelServeStats> = models
+            .iter()
+            .map(|m| ModelServeStats { model: m.name.to_string(), dropped: 0, deadline_misses: 0 })
+            .collect();
+        for r in &dropped {
+            per_model[r.model].dropped += 1;
+        }
+        for (batch, &timed_out) in batches.iter().zip(&timeout_sealed) {
+            if timed_out {
+                per_model[batch.model].deadline_misses += batch.requests.len() as u64;
+            }
+        }
+
         ServeReport {
             arch: self.arch_label(),
             policy: "fixed".to_string(),
@@ -676,11 +723,13 @@ impl Fleet {
             total_events,
             makespan_cycles: makespan,
             pipeline_stages: Vec::new(),
+            per_model,
             plan_cache: PlanCacheActivity::new(
                 self.accelerator().plans().stats().since(cache_before),
                 self.accelerator().act_profiles().stats().since(act_cache_before),
             ),
             latency_hist: HistogramCell::default(),
+            trace: TraceCell::default(),
         }
     }
 
@@ -950,6 +999,14 @@ pub(crate) struct Engine<'a> {
     cache_before: CacheStats,
     /// Activation-profile-cache counters at engine start.
     act_cache_before: CacheStats,
+    /// Requests tail-dropped per model index.
+    dropped_per_model: Vec<u64>,
+    /// Requests dispatched in timeout-sealed batches per model index.
+    missed_per_model: Vec<u64>,
+    /// Flight recorder + metrics registry (attached via
+    /// [`Fleet::with_trace`]; `None` compiles every hook down to a
+    /// branch). Boxed to keep the untraced engine's footprint flat.
+    trace: Option<Box<TraceState>>,
 }
 
 /// Accumulator behind one [`PipelineStageStats`] row.
@@ -999,6 +1056,60 @@ impl<'a> Engine<'a> {
             stage_stats: BTreeMap::new(),
             cache_before: fleet.accelerator().plans().stats(),
             act_cache_before: fleet.accelerator().act_profiles().stats(),
+            dropped_per_model: vec![0u64; models.len()],
+            missed_per_model: vec![0u64; models.len()],
+            trace: fleet.trace.map(|cfg| Box::new(TraceState::new(cfg, models.len()))),
+        }
+    }
+
+    /// Closes every metrics boundary `<= now`, sampling the engine
+    /// state each crossed boundary saw. Must run at the **top** of each
+    /// simulated-event handler, before the event mutates engine state:
+    /// that makes the sample at boundary `b` reflect exactly the events
+    /// with `time < b`, independent of which driver (serial cluster,
+    /// prerouted, barrier-parallel) delivers the events.
+    fn trace_flush(&mut self, now: u64) {
+        if !self.trace.as_ref().is_some_and(|tr| tr.flush_due(now)) {
+            return;
+        }
+        let weights = self.fleet.accelerator().plans().stats().since(self.cache_before);
+        let acts = self.fleet.accelerator().act_profiles().stats().since(self.act_cache_before);
+        let (queued, in_flight) = (self.queued as u32, self.in_flight_requests as u32);
+        let active = self.active_lanes as u32;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.flush(now, queued, in_flight, active, Some((weights, acts)));
+        }
+    }
+
+    /// Flushes metrics boundaries up to an autoscaler evaluation
+    /// instant — called by the cluster driver before it may resize the
+    /// active-lane set, so the samples at crossed boundaries see the
+    /// pre-decision lane count in every driver.
+    pub(crate) fn trace_autoscale_eval(&mut self, time: u64) {
+        self.trace_flush(time);
+    }
+
+    /// Records an applied autoscale decision (`from` -> `to` active
+    /// lanes at `time`, judged against `backlog` queued+in-flight
+    /// requests).
+    pub(crate) fn trace_autoscale_decision(
+        &mut self,
+        time: u64,
+        from: usize,
+        to: usize,
+        backlog: usize,
+    ) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent {
+                cycle: time,
+                kind: TraceEventKind::AutoscaleDecision,
+                shard: 0,
+                lane: from as u32,
+                model: 0,
+                stage: to as u32,
+                a: backlog as u64,
+                b: 0,
+            });
         }
     }
 
@@ -1072,19 +1183,32 @@ impl<'a> Engine<'a> {
         arrivals: &mut ArrivalSource,
         policy: &mut dyn BatchPolicy,
     ) {
+        // Host-side wall-clock span only — no metrics flush here: the
+        // serial cluster driver advances every shard to every arrival
+        // while the prerouted driver advances a shard only to its own,
+        // so any simulated-time hook at this boundary would make the
+        // trace driver-dependent. Flushes live in the event handlers.
+        let t0 = self.trace.is_some().then(Instant::now);
         while let Some((et, kind)) = self.next_internal_event() {
             if (et, kind) >= (t, ARRIVAL_KIND) {
                 break;
             }
             self.step_internal(kind, arrivals, policy);
         }
+        if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+            tr.host.add("shard-advance", t0.elapsed());
+        }
     }
 
     /// Drains every remaining internal event (end of the arrival
     /// stream).
     pub(crate) fn drain(&mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) {
+        let t0 = self.trace.is_some().then(Instant::now);
         while let Some((_, kind)) = self.next_internal_event() {
             self.step_internal(kind, arrivals, policy);
+        }
+        if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+            tr.host.add("shard-advance", t0.elapsed());
         }
     }
 
@@ -1168,6 +1292,15 @@ impl<'a> Engine<'a> {
 
     fn on_completion(&mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) {
         let (t, index) = self.in_flight.pop().expect("peeked");
+        // Metrics boundaries close before this completion mutates any
+        // counter (popping the wheel changes no sampled state).
+        self.trace_flush(t);
+        if let Some(tr) = self.trace.as_mut() {
+            let batch = &self.batches[index];
+            for r in &batch.requests {
+                tr.observe_latency(batch.model, t - r.arrival);
+            }
+        }
         self.in_flight_requests -= self.batches[index].requests.len();
         let batch = &self.batches[index];
         let max_latency_cycles = batch.requests.iter().map(|r| t - r.arrival).max().unwrap_or(0);
@@ -1218,6 +1351,7 @@ impl<'a> Engine<'a> {
         arrivals: &mut ArrivalSource,
         policy: &mut dyn BatchPolicy,
     ) {
+        self.trace_flush(request.arrival);
         if client.is_some() {
             debug_assert_eq!(self.client_of.len() as u64, request.id);
             self.client_of.push(client);
@@ -1227,6 +1361,19 @@ impl<'a> Engine<'a> {
         assert!(limits.max_batch > 0, "max_batch must be non-zero");
         let was_empty = self.queue.pending(lane) == 0;
         if !self.queue.try_push(request) {
+            self.dropped_per_model[lane] += 1;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(TraceEvent {
+                    cycle: request.arrival,
+                    kind: TraceEventKind::RequestDropped,
+                    shard: 0,
+                    lane: 0,
+                    model: lane as u32,
+                    stage: 0,
+                    a: request.id,
+                    b: self.queued as u64,
+                });
+            }
             self.outcomes.push(RequestOutcome::Dropped(DroppedRequest {
                 id: request.id,
                 model: self.models[lane].name.to_string(),
@@ -1268,10 +1415,27 @@ impl<'a> Engine<'a> {
     fn on_deadline(&mut self, policy: &mut dyn BatchPolicy) {
         let (deadline, lane) =
             self.deadlines.peek_live(&self.queue).expect("peeked before dispatch");
+        self.trace_flush(deadline);
         self.deadlines.pop();
         let limits = policy.limits_for(lane);
         let members = self.queue.pop_batch(lane, limits.max_batch.max(1));
         debug_assert!(!members.is_empty());
+        // Every member of a timeout-sealed batch waited out the full
+        // `max_wait` — the deadline-miss unit the per-model accounting
+        // and the vectorized `close_timed_out` classification share.
+        self.missed_per_model[lane] += members.len() as u64;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent {
+                cycle: deadline,
+                kind: TraceEventKind::DeadlineMiss,
+                shard: 0,
+                lane: 0,
+                model: lane as u32,
+                stage: 0,
+                a: members.len() as u64,
+                b: 0,
+            });
+        }
         // An adaptive shrink can leave a lane's re-armed deadline in
         // the past relative to later members; a batch is never ready
         // before its newest member arrived.
@@ -1345,6 +1509,7 @@ impl<'a> Engine<'a> {
         }
         let fleet = self.fleet;
         let spec = &self.models[model];
+        let exec_started = self.trace.is_some().then(Instant::now);
         let speculative = if sealed.len() > 1 {
             let work: Vec<(usize, &[Request])> =
                 sealed.iter().map(|(members, _)| (model, members.as_slice())).collect();
@@ -1371,6 +1536,15 @@ impl<'a> Engine<'a> {
             stats.requests += members.len();
             stats.events += exec.events;
             let batch_id = self.batches.len();
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record_batch(
+                    (ready, start, completion),
+                    lane as u32,
+                    model as u32,
+                    batch_id as u64,
+                    members.len() as u64,
+                );
+            }
             for r in &members {
                 self.outcomes.push(RequestOutcome::Served(ServedRequest {
                     id: r.id,
@@ -1393,6 +1567,9 @@ impl<'a> Engine<'a> {
                 stage_execs: Vec::new(),
             });
         }
+        if let (Some(t0), Some(tr)) = (exec_started, self.trace.as_mut()) {
+            tr.host.add("batch-execute", t0.elapsed());
+        }
     }
 
     /// The model's pipeline plan, partitioned on first use (the
@@ -1402,6 +1579,7 @@ impl<'a> Engine<'a> {
         if let Some(plan) = self.pipelines.get(&model) {
             return plan.clone();
         }
+        let t0 = self.trace.is_some().then(Instant::now);
         let plan = PipelinePlan::partition(
             &self.fleet.lanes,
             model,
@@ -1411,6 +1589,9 @@ impl<'a> Engine<'a> {
             &mut self.estimator,
             self.fleet.host_parallelism,
         );
+        if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+            tr.host.add("pipeline-calibrate", t0.elapsed());
+        }
         self.pipelines.insert(model, plan.clone());
         plan
     }
@@ -1435,6 +1616,7 @@ impl<'a> Engine<'a> {
         let spec = &self.models[model];
         let queue_capacity = fleet.pipeline_queue_capacity;
         let batch_id = self.batches.len();
+        let exec_started = self.trace.is_some().then(Instant::now);
         let mut stage_execs: Vec<StageExec> = Vec::with_capacity(plan.stages().len());
         let mut stage_starts: Vec<u64> = Vec::with_capacity(plan.stages().len());
         // When the next stage's input becomes available (the batch's
@@ -1452,7 +1634,8 @@ impl<'a> Engine<'a> {
                 fleet.weight_seed,
                 warm,
             );
-            let mut start = input_at.max(self.free_at[lane]);
+            let unconstrained = input_at.max(self.free_at[lane]);
+            let mut start = unconstrained;
             // Backpressure: the boundary queue ahead holds at most
             // `queue_capacity` undelivered handoffs, so this stage may
             // not begin batch b before the next stage began batch
@@ -1465,6 +1648,30 @@ impl<'a> Engine<'a> {
                 }
             }
             completion = start + exec.service_cycles;
+            if let Some(tr) = self.trace.as_mut() {
+                if start > unconstrained {
+                    tr.record(TraceEvent {
+                        cycle: start,
+                        kind: TraceEventKind::StageStall,
+                        shard: 0,
+                        lane: lane as u32,
+                        model: model as u32,
+                        stage: s as u32,
+                        a: batch_id as u64,
+                        b: start - unconstrained,
+                    });
+                }
+                tr.record(TraceEvent {
+                    cycle: start,
+                    kind: TraceEventKind::StageDispatch,
+                    shard: 0,
+                    lane: lane as u32,
+                    model: model as u32,
+                    stage: s as u32,
+                    a: batch_id as u64,
+                    b: exec.service_cycles,
+                });
+            }
             self.lane_cum_idle[lane] += start - self.free_at[lane];
             self.free_at[lane] = completion;
             self.last_stage_on_lane[lane] = Some((model, s));
@@ -1523,6 +1730,18 @@ impl<'a> Engine<'a> {
         }
 
         let final_lane = plan.stages().last().expect("a pipeline has stages").lane;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record_batch(
+                (ready, first_start, completion),
+                final_lane as u32,
+                model as u32,
+                batch_id as u64,
+                members.len() as u64,
+            );
+            if let Some(t0) = exec_started {
+                tr.host.add("stage-execute", t0.elapsed());
+            }
+        }
         self.makespan = self.makespan.max(completion);
         for r in &members {
             self.outcomes.push(RequestOutcome::Served(ServedRequest {
@@ -1549,6 +1768,23 @@ impl<'a> Engine<'a> {
 
     pub(crate) fn into_report(mut self, policy_name: &str) -> ServeReport {
         self.outcomes.sort_by_key(RequestOutcome::id);
+        let per_model = self
+            .models
+            .iter()
+            .zip(self.dropped_per_model.iter().zip(&self.missed_per_model))
+            .map(|(m, (&dropped, &deadline_misses))| ModelServeStats {
+                model: m.name.to_string(),
+                dropped,
+                deadline_misses,
+            })
+            .collect();
+        let trace = TraceCell::default();
+        if let Some(tr) = self.trace.take() {
+            let weights = self.fleet.accelerator().plans().stats().since(self.cache_before);
+            let acts = self.fleet.accelerator().act_profiles().stats().since(self.act_cache_before);
+            let names = self.models.iter().map(|m| m.name.to_string()).collect();
+            trace.set(tr.finish(self.makespan, Some((weights, acts)), names));
+        }
         let pipeline_stages = self
             .stage_stats
             .into_iter()
@@ -1574,11 +1810,13 @@ impl<'a> Engine<'a> {
             total_events: self.total_events,
             makespan_cycles: self.makespan,
             pipeline_stages,
+            per_model,
             plan_cache: PlanCacheActivity::new(
                 self.fleet.accelerator().plans().stats().since(self.cache_before),
                 self.fleet.accelerator().act_profiles().stats().since(self.act_cache_before),
             ),
             latency_hist: HistogramCell::default(),
+            trace,
         }
     }
 }

@@ -80,6 +80,7 @@ mod queue;
 mod report;
 mod scheduler;
 mod timewheel;
+mod trace;
 mod workload;
 
 pub use cluster::{
@@ -92,11 +93,15 @@ pub use policy::{
 };
 pub use queue::RequestQueue;
 pub use report::{
-    DroppedRequest, LatencyHistogram, PipelineStageStats, PlanCacheActivity, RequestOutcome,
-    ServeReport, ServedRequest, WorkerStats,
+    DroppedRequest, LatencyHistogram, ModelServeStats, PipelineStageStats, PlanCacheActivity,
+    RequestOutcome, ServeReport, ServedRequest, WorkerStats,
 };
 pub use scheduler::{Batch, Formation, Placement, PlacementStrategy, Scheduler, ServiceEstimator};
 pub use timewheel::TimerWheel;
+pub use trace::{
+    CacheSample, FlightRecorder, HostSpan, HostSpans, MetricPoint, MetricsSample, ModelSeries,
+    Trace, TraceCell, TraceConfig, TraceEvent, TraceEventKind,
+};
 pub use workload::{
     ClosedLoopClient, ClosedLoopSpec, DiurnalSpec, RateSegment, Request, WorkloadSpec,
 };

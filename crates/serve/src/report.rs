@@ -1,10 +1,67 @@
 //! The serving report: per-request outcomes and fleet-level metrics.
 
+use crate::trace::{Trace, TraceCell};
 use s2ta_core::{ArchKind, CacheStats};
 use s2ta_energy::{EnergyBreakdown, TechParams};
 use s2ta_sim::EventCounts;
 use std::fmt;
 use std::sync::OnceLock;
+
+/// One column of a [`render_table`] report table: header label, pad
+/// width, and alignment (mirroring `format!`'s `{:<w}` / `{:>w}`).
+pub(crate) struct Col {
+    header: &'static str,
+    width: usize,
+    right: bool,
+}
+
+impl Col {
+    /// A left-aligned column (`{:<width}`).
+    pub(crate) const fn left(header: &'static str, width: usize) -> Self {
+        Self { header, width, right: false }
+    }
+
+    /// A right-aligned column (`{:>width}`).
+    pub(crate) const fn right(header: &'static str, width: usize) -> Self {
+        Self { header, width, right: true }
+    }
+}
+
+/// Renders the header plus every row as a two-space-indented,
+/// space-separated fixed-width table — the one formatter behind
+/// [`ServeReport::lane_breakdown`], [`ServeReport::pipeline_breakdown`]
+/// and the cluster shard table. Numeric cells arrive pre-formatted
+/// (precision is the caller's), so a column's padding is exactly
+/// `format!`'s: content wider than the column overflows, never
+/// truncates.
+pub(crate) fn render_table(cols: &[Col], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    let header: Vec<String> = cols.iter().map(|c| c.header.to_string()).collect();
+    push_table_row(&mut s, cols, &header);
+    for row in rows {
+        push_table_row(&mut s, cols, row);
+    }
+    s
+}
+
+fn push_table_row(s: &mut String, cols: &[Col], cells: &[String]) {
+    debug_assert_eq!(cols.len(), cells.len(), "row arity must match the column set");
+    s.push_str("  ");
+    for (i, (col, cell)) in cols.iter().zip(cells).enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        let pad = col.width.saturating_sub(cell.len());
+        if col.right {
+            s.extend(std::iter::repeat_n(' ', pad));
+            s.push_str(cell);
+        } else {
+            s.push_str(cell);
+            s.extend(std::iter::repeat_n(' ', pad));
+        }
+    }
+    s.push('\n');
+}
 
 /// The fate of one request: either it was admitted, batched and
 /// executed ([`RequestOutcome::Served`]), or admission control refused
@@ -415,6 +472,21 @@ impl PipelineStageStats {
     }
 }
 
+/// One model's admission and deadline accounting for a serving run —
+/// the per-model granularity the global [`ServeReport::dropped_count`]
+/// flattens away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelServeStats {
+    /// The model's name.
+    pub model: String,
+    /// Requests of this model tail-dropped at admission.
+    pub dropped: u64,
+    /// Requests of this model dispatched in **timeout-sealed** batches
+    /// — each waited out the policy's full `max_wait` instead of its
+    /// batch filling, the deadline-miss unit an SLO audit counts.
+    pub deadline_misses: u64,
+}
+
 /// Everything a serving run produced.
 ///
 /// The per-request outcomes and the placement-derived numbers (latency
@@ -460,12 +532,20 @@ pub struct ServeReport {
     /// Per-stage occupancy breakdown of pipelined execution (empty for
     /// the monolithic placement modes).
     pub pipeline_stages: Vec<PipelineStageStats>,
+    /// Per-model admission/deadline accounting, in `models`-list
+    /// order. Part of report equality: every serving path (vectorized,
+    /// engine, cluster shard) must agree on it byte-for-byte.
+    pub per_model: Vec<ModelServeStats>,
     /// Weight-plan-cache activity during this run (host-side
     /// diagnostic; excluded from equality — see [`PlanCacheActivity`]).
     pub plan_cache: PlanCacheActivity,
     /// Memoized served-latency histogram (host-side; excluded from
     /// equality, empty on clones — see [`HistogramCell`]).
     pub(crate) latency_hist: HistogramCell,
+    /// The run's observability trace, when a recorder was attached
+    /// (excluded from equality, empty on clones — see
+    /// [`TraceCell`]).
+    pub(crate) trace: TraceCell,
 }
 
 impl ServeReport {
@@ -482,6 +562,19 @@ impl ServeReport {
     /// Requests refused at admission.
     pub fn dropped_count(&self) -> usize {
         self.outcomes.len() - self.served_count()
+    }
+
+    /// The run's observability trace, when the fleet had a recorder
+    /// attached (see [`crate::Fleet::with_trace`]); `None` for
+    /// untraced runs and on clones.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.get()
+    }
+
+    /// Total requests dispatched in timeout-sealed batches, summed
+    /// over [`ServeReport::per_model`].
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.per_model.iter().map(|m| m.deadline_misses).sum()
     }
 
     /// Dropped fraction of all issued requests (0 for an empty run).
@@ -663,59 +756,71 @@ impl ServeReport {
         if self.pipeline_stages.is_empty() {
             return String::new();
         }
-        let mut s = format!(
-            "  {:<18} {:<6} {:<8} {:<6} {:<12} {:>7} {:>10} {:>10} {:>9} {:>7}\n",
-            "model",
-            "stage",
-            "layers",
-            "lane",
-            "arch",
-            "batches",
-            "busy cyc",
-            "bubble cyc",
-            "handoff",
-            "occ %"
-        );
-        for st in &self.pipeline_stages {
-            s.push_str(&format!(
-                "  {:<18} {:<6} {:<8} {:<6} {:<12} {:>7} {:>10} {:>10} {:>9} {:>7.1}\n",
-                st.model,
-                st.stage,
-                format!("{}..{}", st.layers.0, st.layers.1),
-                format!("L{}", st.lane),
-                st.arch.to_string(),
-                st.batches,
-                st.busy_cycles,
-                st.bubble_cycles,
-                st.handoff_cycles,
-                st.occupancy() * 100.0,
-            ));
-        }
-        s
+        let cols = [
+            Col::left("model", 18),
+            Col::left("stage", 6),
+            Col::left("layers", 8),
+            Col::left("lane", 6),
+            Col::left("arch", 12),
+            Col::right("batches", 7),
+            Col::right("busy cyc", 10),
+            Col::right("bubble cyc", 10),
+            Col::right("handoff", 9),
+            Col::right("occ %", 7),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .pipeline_stages
+            .iter()
+            .map(|st| {
+                vec![
+                    st.model.clone(),
+                    st.stage.to_string(),
+                    format!("{}..{}", st.layers.0, st.layers.1),
+                    format!("L{}", st.lane),
+                    st.arch.to_string(),
+                    st.batches.to_string(),
+                    st.busy_cycles.to_string(),
+                    st.bubble_cycles.to_string(),
+                    st.handoff_cycles.to_string(),
+                    format!("{:.1}", st.occupancy() * 100.0),
+                ]
+            })
+            .collect();
+        render_table(&cols, &rows)
     }
 
     /// A per-lane table under `tech`: architecture, busy/idle split,
     /// batches, requests and energy — the view that makes utilization
     /// skew across a heterogeneous fleet visible.
     pub fn lane_breakdown(&self, tech: &TechParams) -> String {
-        let mut s = format!(
-            "  {:<6} {:<12} {:>10} {:>10} {:>7} {:>8} {:>8} {:>10}\n",
-            "lane", "arch", "busy cyc", "idle cyc", "util %", "batches", "requests", "uJ"
-        );
-        for (i, w) in self.workers.iter().enumerate() {
-            s.push_str(&format!(
-                "  L{:<5} {:<12} {:>10} {:>10} {:>7.1} {:>8} {:>8} {:>10.2}\n",
-                i,
-                w.arch.to_string(),
-                w.busy_cycles,
-                w.idle_cycles(self.makespan_cycles),
-                w.utilization(self.makespan_cycles) * 100.0,
-                w.batches,
-                w.requests,
-                w.energy(tech).total_pj() * 1e-6,
-            ));
-        }
-        s
+        let cols = [
+            Col::left("lane", 6),
+            Col::left("arch", 12),
+            Col::right("busy cyc", 10),
+            Col::right("idle cyc", 10),
+            Col::right("util %", 7),
+            Col::right("batches", 8),
+            Col::right("requests", 8),
+            Col::right("uJ", 10),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                vec![
+                    format!("L{i}"),
+                    w.arch.to_string(),
+                    w.busy_cycles.to_string(),
+                    w.idle_cycles(self.makespan_cycles).to_string(),
+                    format!("{:.1}", w.utilization(self.makespan_cycles) * 100.0),
+                    w.batches.to_string(),
+                    w.requests.to_string(),
+                    format!("{:.2}", w.energy(tech).total_pj() * 1e-6),
+                ]
+            })
+            .collect();
+        render_table(&cols, &rows)
     }
 }
 
@@ -771,8 +876,10 @@ mod tests {
             total_events: EventCounts { cycles: 100, ..Default::default() },
             makespan_cycles: 100,
             pipeline_stages: vec![],
+            per_model: vec![],
             plan_cache: PlanCacheActivity::default(),
             latency_hist: HistogramCell::default(),
+            trace: TraceCell::default(),
         }
     }
 
@@ -816,8 +923,10 @@ mod tests {
             total_events: EventCounts::default(),
             makespan_cycles: 0,
             pipeline_stages: vec![],
+            per_model: vec![],
             plan_cache: PlanCacheActivity::default(),
             latency_hist: HistogramCell::default(),
+            trace: TraceCell::default(),
         };
         assert_eq!(r.served_count(), 0);
         assert_eq!(r.dropped_count(), 5);
@@ -860,8 +969,10 @@ mod tests {
             total_events: EventCounts::default(),
             makespan_cycles: 0,
             pipeline_stages: vec![],
+            per_model: vec![],
             plan_cache: PlanCacheActivity::default(),
             latency_hist: HistogramCell::default(),
+            trace: TraceCell::default(),
         };
         assert_eq!(r.p50_cycles(), 0);
         assert_eq!(r.mean_utilization(), 0.0);

@@ -307,6 +307,10 @@ pub struct Formation {
     /// Requests tail-dropped because their lane was at capacity, in
     /// arrival order.
     pub dropped: Vec<Request>,
+    /// `timeout_sealed[i]` is whether `batches[i]` was sealed by its
+    /// wait deadline expiring (a deadline miss for every member)
+    /// rather than by reaching `max_batch`. Parallel to `batches`.
+    pub timeout_sealed: Vec<bool>,
 }
 
 impl Scheduler {
@@ -369,6 +373,7 @@ impl Scheduler {
         };
         let mut deadlines = DeadlineHeap::new();
         let mut batches: Vec<Batch> = Vec::new();
+        let mut timeout_sealed: Vec<bool> = Vec::new();
         let mut dropped: Vec<Request> = Vec::new();
         let mut last_arrival = 0u64;
         for r in requests {
@@ -378,7 +383,13 @@ impl Scheduler {
             // before this arrival. Only r's own lane can be affected by
             // the push below, but timeouts on other lanes must also
             // fire in time order to keep batch ids chronological.
-            self.close_timed_out(&mut queue, r.arrival, &mut batches, &mut deadlines);
+            self.close_timed_out(
+                &mut queue,
+                r.arrival,
+                &mut batches,
+                &mut timeout_sealed,
+                &mut deadlines,
+            );
             let lane = r.model;
             let was_empty = queue.pending(lane) == 0;
             if !queue.try_push(*r) {
@@ -391,23 +402,32 @@ impl Scheduler {
             if queue.pending(lane) == limits.max_batch {
                 let members = queue.pop_batch(lane, limits.max_batch);
                 batches.push(Self::sealed(batches.len(), lane, members, r.arrival));
+                timeout_sealed.push(false);
             }
         }
         // End of stream: remaining open batches dispatch at their
         // timeout (no later arrival can extend them).
-        self.close_timed_out(&mut queue, u64::MAX, &mut batches, &mut deadlines);
-        Formation { batches, dropped }
+        self.close_timed_out(
+            &mut queue,
+            u64::MAX,
+            &mut batches,
+            &mut timeout_sealed,
+            &mut deadlines,
+        );
+        Formation { batches, dropped, timeout_sealed }
     }
 
     /// Closes every open batch whose oldest member would exceed its
     /// wait bound at time `now` (strictly: `deadline < now`; an arrival
     /// exactly at the deadline still joins), in deadline order with
-    /// ties broken by model index.
+    /// ties broken by model index. Every batch sealed here is a
+    /// timeout seal (its members all missed the wait deadline).
     fn close_timed_out(
         &self,
         queue: &mut RequestQueue,
         now: u64,
         batches: &mut Vec<Batch>,
+        timeout_sealed: &mut Vec<bool>,
         deadlines: &mut DeadlineHeap,
     ) {
         let limits = self.limits();
@@ -416,6 +436,7 @@ impl Scheduler {
                 deadlines.pop();
                 let members = queue.pop_batch(model, limits.max_batch);
                 batches.push(Self::sealed(batches.len(), model, members, deadline));
+                timeout_sealed.push(true);
                 if let Some(front) = queue.front(model) {
                     let front = *front;
                     deadlines.arm(model, &front, limits.max_wait_cycles);
@@ -656,7 +677,7 @@ mod tests {
         // two queue, the next three drop, until the size/timeout
         // closure drains the lane.
         let reqs: Vec<Request> = (0..5).map(|i| req(i, 0, i)).collect();
-        let Formation { batches, dropped } = s.form_batches_bounded(&reqs, 1, Some(2));
+        let Formation { batches, dropped, .. } = s.form_batches_bounded(&reqs, 1, Some(2));
         let dropped_ids: Vec<u64> = dropped.iter().map(|r| r.id).collect();
         assert_eq!(dropped_ids, vec![2, 3, 4], "tail drop must refuse the newest arrivals");
         assert_eq!(batches.len(), 1);

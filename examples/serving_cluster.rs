@@ -23,8 +23,11 @@
 //! demo reuses the exact same scenario module at a prefix scale, so
 //! the informational policy comparison printed here is not gated.
 
+use std::fs;
+use std::path::Path;
+
 use s2ta::energy::TechParams;
-use s2ta::serve::{AutoscalePolicy, ClusterReport, RoutingPolicy};
+use s2ta::serve::{AutoscalePolicy, ClusterReport, RoutingPolicy, TraceConfig};
 use s2ta_bench::cluster_scenario as scenario;
 
 fn main() {
@@ -81,13 +84,14 @@ fn main() {
     // The backlog thresholds are tighter than the canonical bench
     // policy — the prefix carries ~1/80th of the full stream's load,
     // so the peaks that rebuild lanes are proportionally shallower.
+    let autoscale = AutoscalePolicy {
+        eval_interval_cycles: 50_000,
+        scale_up_depth: 6,
+        scale_down_depth: 1,
+        min_lanes: 1,
+    };
     let scaled = scenario::cluster(RoutingPolicy::PowerOfTwo)
-        .with_autoscale(AutoscalePolicy {
-            eval_interval_cycles: 50_000,
-            scale_up_depth: 6,
-            scale_down_depth: 1,
-            min_lanes: 1,
-        })
+        .with_autoscale(autoscale)
         .serve(&models, &requests);
     check_conservation(&scaled, requests.len());
     let ups = scaled.scale_events.iter().filter(|e| e.to_lanes > e.from_lanes).count();
@@ -100,6 +104,45 @@ fn main() {
     assert!(ups > 0, "the diurnal peak must trigger scale-ups");
     assert!(downs > 0, "the diurnal valley must trigger scale-downs");
     println!("autoscaler tracks the diurnal curve in both directions: OK");
+    println!();
+
+    // The same autoscaled run with the flight recorder attached. The
+    // recorder must be observability only — the report is byte-equal
+    // to the untraced run — and the merged per-shard trace must come
+    // out identical from the serial and shard-parallel drivers. The
+    // exported artifacts feed the CI trace-validation step.
+    let trace_cfg = TraceConfig { event_capacity: 1 << 17, metrics_interval_cycles: 10_000 };
+    let traced_cluster = scenario::cluster(RoutingPolicy::PowerOfTwo)
+        .with_autoscale(autoscale)
+        .with_trace(trace_cfg);
+    let traced = traced_cluster.serve(&models, &requests);
+    check_conservation(&traced, requests.len());
+    assert_eq!(scaled, traced, "attaching a recorder must not change the report");
+    let trace = traced.merged_trace().expect("recorder attached");
+    let serial =
+        traced_cluster.serve_serial(&models, &requests).merged_trace().expect("recorder attached");
+    assert_eq!(trace, serial, "serial and parallel drivers must trace identically");
+    assert_eq!(trace.dropped_events(), 0, "ring capacity must hold the whole prefix run");
+    assert_eq!(
+        trace.completed_requests(),
+        requests.len() as u64,
+        "completed-batch events must conserve the stream"
+    );
+    let misses: u64 = traced.per_model().iter().map(|m| m.deadline_misses).sum();
+    println!(
+        "flight recorder: {} events, {} metrics samples, {} deadline-missed requests",
+        trace.events().len(),
+        trace.metrics().len(),
+        misses,
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    fs::write(root.join("TRACE_cluster.json"), trace.chrome_trace_json())
+        .expect("write TRACE_cluster.json");
+    fs::write(root.join("METRICS_cluster.json"), trace.metrics_json())
+        .expect("write METRICS_cluster.json");
+    println!(
+        "wrote TRACE_cluster.json (chrome://tracing / ui.perfetto.dev) + METRICS_cluster.json"
+    );
 }
 
 /// Every request lands on exactly one shard, the router's tallies
