@@ -22,11 +22,13 @@
 //! (scaled-down gaps are not the committed gates; CI's python step
 //! re-checks the committed artifact).
 
-use s2ta_bench::{cluster_scenario as scenario, header, json_num, write_bench_artifact, SEED};
+use s2ta_bench::{
+    chaos_scenario, cluster_scenario as scenario, header, json_num, write_bench_artifact, SEED,
+};
 use s2ta_core::pool::Executor;
 use s2ta_energy::TechParams;
 use s2ta_models::ModelSpec;
-use s2ta_serve::{ClusterReport, Request, RoutingPolicy};
+use s2ta_serve::{ClusterReport, FaultConfig, Request, RoutingPolicy};
 use std::time::Instant;
 
 /// Everything the artifact keeps from one cluster run — the full
@@ -106,6 +108,112 @@ fn record(s: &RunSummary) -> String {
     )
 }
 
+/// Everything the artifact keeps from one chaos run: the coarse
+/// outcome split, the strict-class serving mass the goodput gate is
+/// computed over, and the fault counters proving the machinery under
+/// test actually fired.
+struct ChaosSummary {
+    label: String,
+    served: usize,
+    dropped: usize,
+    failed: usize,
+    p99: u64,
+    makespan: u64,
+    strict_served: usize,
+    availability: f64,
+    crashes: u64,
+    retries: u64,
+    failovers: u64,
+    shed: u64,
+}
+
+/// Strict-class goodput of one chaos run relative to the bounded
+/// fault-free baseline: served strict requests per simulated cycle,
+/// as a ratio (the clock cancels).
+fn strict_goodput_ratio(run: &ChaosSummary, base: &ChaosSummary) -> f64 {
+    (run.strict_served as f64 / run.makespan as f64)
+        / (base.strict_served as f64 / base.makespan as f64)
+}
+
+fn run_chaos(
+    label: &str,
+    config: Option<FaultConfig>,
+    models: &[ModelSpec],
+    requests: &[Request],
+) -> (ChaosSummary, ClusterReport) {
+    let mut cluster = chaos_scenario::cluster();
+    if let Some(config) = config {
+        cluster = cluster.with_faults(config);
+    }
+    let report = cluster.serve(models, requests);
+    assert_eq!(report.total_requests(), requests.len(), "{label}: outcomes must conserve");
+    assert_eq!(
+        report.served_count() + report.dropped_count() + report.failed_count(),
+        requests.len(),
+        "{label}: served + dropped + failed must cover the stream"
+    );
+    let strict: Vec<String> =
+        chaos_scenario::STRICT_MODELS.iter().map(|&i| models[i].name.to_string()).collect();
+    let strict_served = report
+        .shards
+        .iter()
+        .map(|s| s.served_outcomes().filter(|o| strict.contains(&o.model)).count())
+        .sum();
+    let stats = report.fault_stats();
+    let s = ChaosSummary {
+        label: label.to_string(),
+        served: report.served_count(),
+        dropped: report.dropped_count(),
+        failed: report.failed_count(),
+        p99: report.p99_cycles(),
+        makespan: report.makespan_cycles(),
+        strict_served,
+        availability: report.availability(),
+        crashes: stats.lane_crashes,
+        retries: stats.retries,
+        failovers: stats.failovers,
+        shed: stats.shed,
+    };
+    println!(
+        "{label:<14} served {:>9} dropped {:>6} failed {:>6} | p99 {:>8} cyc | strict {:>9} | \
+         {:>3} crashes {:>5} retries {:>6} failovers {:>6} shed | avail {:.4}",
+        s.served,
+        s.dropped,
+        s.failed,
+        s.p99,
+        s.strict_served,
+        s.crashes,
+        s.retries,
+        s.failovers,
+        s.shed,
+        s.availability,
+    );
+    (s, report)
+}
+
+fn record_chaos(s: &ChaosSummary, base: &ChaosSummary) -> String {
+    format!(
+        "{{\"run\": \"{}\", \"served\": {}, \"dropped\": {}, \"failed\": {}, \
+         \"p99_cycles\": {}, \"makespan_cycles\": {}, \"strict_served\": {}, \
+         \"strict_goodput_ratio\": {}, \"p99_ratio\": {}, \"availability\": {}, \
+         \"crashes\": {}, \"retries\": {}, \"failovers\": {}, \"shed\": {}}}",
+        s.label,
+        s.served,
+        s.dropped,
+        s.failed,
+        s.p99,
+        s.makespan,
+        s.strict_served,
+        json_num(strict_goodput_ratio(s, base)),
+        json_num(s.p99 as f64 / base.p99 as f64),
+        json_num(s.availability),
+        s.crashes,
+        s.retries,
+        s.failovers,
+        s.shed,
+    )
+}
+
 fn main() {
     header("Cluster", "Sharded serving: routing-policy tail latency at ~1M diurnal requests");
     let quick = std::env::var("S2TA_BENCH_QUICK").is_ok();
@@ -177,10 +285,82 @@ fn main() {
     let jsq_speedup = random.p99 as f64 / jsq.p99 as f64;
     println!();
     println!("p2c global p99 is {speedup:.2}x better than random (jsq: {jsq_speedup:.2}x)");
+
+    // --- Chaos cell: the same day under bounded admission and a
+    // seeded fault schedule scaled to the measured fault-free
+    // makespan. Protected (retries + failover + degraded shedding)
+    // must hold strict goodput and the global tail near the bounded
+    // fault-free baseline; unprotected must measurably lose both.
+    println!();
+    let horizon = random.makespan;
+    let (chaos_base, _) = run_chaos("chaos-baseline", None, &models, &requests);
+    let (protected, protected_report) =
+        run_chaos("protected", Some(chaos_scenario::protected(horizon)), &models, &requests);
+    let (unprotected, _) =
+        run_chaos("unprotected", Some(chaos_scenario::unprotected(horizon)), &models, &requests);
+
+    // The shard-parallel driver must reproduce the serial driver
+    // byte-identically under faults too — the fault schedule, retry
+    // timing and failover decisions are all simulated-clock state.
+    let serial_protected = chaos_scenario::cluster()
+        .with_faults(chaos_scenario::protected(horizon))
+        .serve_serial(&models, &requests);
+    assert_eq!(
+        serial_protected, protected_report,
+        "fault-mode shard-parallel driver must reproduce the serial driver byte-identically"
+    );
+    drop(serial_protected);
+    drop(protected_report);
+
+    for s in [&protected, &unprotected] {
+        assert!(s.crashes > 0, "{}: the schedule must inject crashes", s.label);
+    }
+    assert!(protected.retries > 0, "protected: crash-cancelled requests must retry");
+    assert!(protected.failovers > 0, "protected: outage arrivals must fail over");
+    assert_eq!(unprotected.retries, 0, "unprotected: retries are disabled");
+    assert_eq!(unprotected.failovers, 0, "unprotected: failover is disabled");
+
+    let protected_goodput = strict_goodput_ratio(&protected, &chaos_base);
+    let protected_p99 = protected.p99 as f64 / chaos_base.p99 as f64;
+    let unprotected_goodput = strict_goodput_ratio(&unprotected, &chaos_base);
+    let unprotected_p99 = unprotected.p99 as f64 / chaos_base.p99 as f64;
+    println!(
+        "protected:   strict goodput {protected_goodput:.4}x, p99 {protected_p99:.2}x \
+         (gates: >= {:.2}x, <= {:.2}x)",
+        chaos_scenario::GATE_GOODPUT_RATIO,
+        chaos_scenario::GATE_P99_RATIO,
+    );
+    println!(
+        "unprotected: strict goodput {unprotected_goodput:.4}x, p99 {unprotected_p99:.2}x \
+         (must violate both)"
+    );
+
     if quick {
         println!("quick mode: artifact left untouched");
         return;
     }
+    assert!(
+        protected_goodput >= chaos_scenario::GATE_GOODPUT_RATIO,
+        "protected run must hold strict-class goodput >= {:.2}x the fault-free baseline, \
+         got {protected_goodput:.4}x",
+        chaos_scenario::GATE_GOODPUT_RATIO,
+    );
+    assert!(
+        protected_p99 <= chaos_scenario::GATE_P99_RATIO,
+        "protected run must hold global p99 <= {:.2}x the fault-free baseline, \
+         got {protected_p99:.2}x",
+        chaos_scenario::GATE_P99_RATIO,
+    );
+    assert!(
+        unprotected_goodput < chaos_scenario::GATE_GOODPUT_RATIO,
+        "unprotected run must measurably lose strict-class goodput (schedule too gentle): \
+         got {unprotected_goodput:.4}x",
+    );
+    assert!(
+        unprotected_p99 > chaos_scenario::GATE_P99_RATIO,
+        "unprotected run must measurably lose the global tail (schedule too gentle): \
+         got {unprotected_p99:.2}x",
+    );
     assert!(
         speedup >= scenario::GATE_P99_SPEEDUP,
         "p2c must beat random routing on global p99 by >= {:.2}x, got {speedup:.2}x",
@@ -195,11 +375,17 @@ fn main() {
     );
 
     let records: Vec<String> = [&random, &jsq, &p2c, &scaled].iter().map(|s| record(s)).collect();
+    let chaos_records: Vec<String> = [&chaos_base, &protected, &unprotected]
+        .iter()
+        .map(|s| record_chaos(s, &chaos_base))
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"cluster\",\n  \"seed\": {SEED},\n  \"shards\": {},\n  \
          \"requests\": {},\n  \"runs\": [\n    {}\n  ],\n  \"parallel\": {{\"serial_host_seconds\": {}, \
          \"parallel_host_seconds\": {}, \"speedup\": {}, \"workers\": {workers}, \"threshold\": {}}},\n  \
-         \"gate\": {{\"p99_speedup_p2c_vs_random\": {}, \"threshold\": {}}}\n}}\n",
+         \"gate\": {{\"p99_speedup_p2c_vs_random\": {}, \"threshold\": {}}},\n  \
+         \"chaos\": {{\n    \"queue_capacity\": {},\n    \"runs\": [\n      {}\n    ],\n    \
+         \"gate\": {{\"goodput_ratio_min\": {}, \"p99_ratio_max\": {}}}\n  }}\n}}\n",
         scenario::SHARDS,
         requests.len(),
         records.join(",\n    "),
@@ -209,6 +395,10 @@ fn main() {
         json_num(parallel_gate),
         json_num(speedup),
         json_num(scenario::GATE_P99_SPEEDUP),
+        chaos_scenario::QUEUE_CAPACITY,
+        chaos_records.join(",\n      "),
+        json_num(chaos_scenario::GATE_GOODPUT_RATIO),
+        json_num(chaos_scenario::GATE_P99_RATIO),
     );
     let path = write_bench_artifact("BENCH_cluster.json", &json);
     println!("wrote {} ({} runs)", path.display(), records.len());

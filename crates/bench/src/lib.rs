@@ -225,6 +225,109 @@ pub mod cluster_scenario {
     }
 }
 
+/// The canonical **chaos** scenario, shared by the cluster bench's
+/// fault-tolerance cell, the `serving_cluster` example's chaos trace,
+/// and CI's artifact check: the [`cluster_scenario`] day replayed
+/// under **random** routing with bounded admission queues and a
+/// seeded fault schedule dominated by whole-shard outages (plus a
+/// handful of lane crashes and slowdowns). Random routing is the
+/// point: it probes nothing, so the only thing standing between an
+/// outage and the tail is the fault machinery under test — health
+/// failover at the router, bounded deadline-aware retries, and
+/// degraded-mode shedding of the best-effort model.
+///
+/// Two gates, both recorded in `BENCH_cluster.json`: the **protected**
+/// run (retries + failover + degraded mode) must hold strict-class
+/// goodput at `>=` [`chaos_scenario::GATE_GOODPUT_RATIO`]`x` the
+/// fault-free bounded baseline **and** global p99 at `<=`
+/// [`chaos_scenario::GATE_P99_RATIO`]`x`; the **unprotected** run
+/// (no retries, no failover, no shedding) must measurably violate
+/// both — otherwise the schedule is too gentle to prove anything.
+pub mod chaos_scenario {
+    use super::cluster_scenario;
+    use s2ta_serve::{Cluster, DegradedMode, FaultConfig, FaultSpec, RetryPolicy, RoutingPolicy};
+
+    /// Per-model admission cap each shard runs under in the chaos
+    /// runs. The fault-free cluster scenario is unbounded; graceful
+    /// degradation needs an admission boundary to shed at, and an
+    /// unprotected outage needs one to overflow.
+    pub const QUEUE_CAPACITY: usize = 256;
+
+    /// Strict-class model indexes (LeNet-5 and the CIFAR-10 convnet):
+    /// the goodput gate is computed over these. The heavy Deep-ConvNet
+    /// (index 2) is the best-effort class degraded mode sheds.
+    pub const STRICT_MODELS: [usize; 2] = [0, 1];
+
+    /// Minimum protected-over-baseline strict-class goodput ratio.
+    pub const GATE_GOODPUT_RATIO: f64 = 0.99;
+
+    /// Maximum protected-over-baseline global-p99 ratio.
+    pub const GATE_P99_RATIO: f64 = 1.5;
+
+    /// The seeded fault schedule, scaled to the measured fault-free
+    /// `horizon_cycles` (the full day in the committed artifact, the
+    /// 40k-request prefix in CI's smoke mode). Two time scales on
+    /// purpose: a few **long shard outages** (mean `horizon/160`,
+    /// ~7M cycles at full scale) that only router failover can defend
+    /// against — every arrival sprayed at a dark shard waits out the
+    /// window — and a **storm of short lane crashes** (mean
+    /// `horizon/25_000`, ~44k cycles) whose damage is the cancelled
+    /// in-flight work itself: bounded retries re-admit it in well
+    /// under a tail budget, while the unprotected run fails every
+    /// cancellation outright. The slowdowns exercise service
+    /// inflation without dominating either gate.
+    pub fn fault_spec(horizon_cycles: u64) -> FaultSpec {
+        FaultSpec {
+            seed: super::SEED ^ 0xc4a05,
+            lane_crashes: 1_500,
+            lane_slowdowns: 8,
+            shard_outages: 16,
+            horizon_cycles: horizon_cycles.max(1),
+            mean_down_cycles: (horizon_cycles / 25_000).max(2),
+            mean_outage_cycles: (horizon_cycles / 160).max(2),
+            slowdown_factor: 3,
+        }
+    }
+
+    /// The protected configuration: default bounded retries, router
+    /// health failover, and degraded-mode shedding of the best-effort
+    /// Deep-ConvNet once a lane is down and the shard backlog passes
+    /// one queue-capacity's worth of requests.
+    pub fn protected(horizon_cycles: u64) -> FaultConfig {
+        FaultConfig {
+            spec: fault_spec(horizon_cycles),
+            retry: RetryPolicy::default(),
+            hedge: None,
+            degraded: Some(DegradedMode { backlog_threshold: 64, best_effort: vec![2] }),
+            failover: true,
+        }
+    }
+
+    /// The unprotected baseline over the identical schedule: no
+    /// retries (every cancelled request fails), no failover, no
+    /// shedding.
+    pub fn unprotected(horizon_cycles: u64) -> FaultConfig {
+        FaultConfig::unprotected(fault_spec(horizon_cycles))
+    }
+
+    /// The bounded-admission cluster every chaos run starts from:
+    /// the canonical shards with [`QUEUE_CAPACITY`]-deep model queues,
+    /// random routing, shared caches.
+    pub fn cluster() -> Cluster {
+        let shards = (0..cluster_scenario::SHARDS)
+            .map(|_| {
+                s2ta_serve::Fleet::from_spec(cluster_scenario::shard_spec())
+                    .with_policy(cluster_scenario::policy())
+                    .with_queue_capacity(QUEUE_CAPACITY)
+            })
+            .collect();
+        Cluster::new(shards)
+            .with_routing(RoutingPolicy::Random)
+            .with_router_seed(super::SEED)
+            .with_shared_caches()
+    }
+}
+
 /// Writes a machine-readable bench artifact (e.g. `BENCH_serving.json`)
 /// to the workspace root, so the perf trajectory is trackable across
 /// PRs, and returns the path written. Benches run from varying working

@@ -21,7 +21,7 @@
 use s2ta_bench::SEED;
 use s2ta_core::{Accelerator, ArchKind, Scratch, WeightResidency};
 use s2ta_models::lenet5;
-use s2ta_serve::{FlightRecorder, TraceEvent, TraceEventKind};
+use s2ta_serve::{FaultSpec, FlightRecorder, Request, RetryQueue, TraceEvent, TraceEventKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -138,4 +138,59 @@ fn flight_recorder_records_without_allocating() {
     assert_eq!(recorder.overwritten(), 1024 - 64, "every overflow counted");
     let oldest = recorder.iter().next().expect("ring is full");
     assert_eq!(oldest.cycle, 1024 - 64, "drop-oldest: the survivors are the newest events");
+}
+
+/// The fault-injection bookkeeping's half of the same claim: once the
+/// retry queue's slab/free-list/wheel have grown to their high-water
+/// mark and the fault plan is expanded, steady-state fault handling —
+/// scheduling and draining retries, probing lane health and slowdown
+/// factors, probing shard outage windows — performs **zero** heap
+/// allocations per event. This is what lets the engine react to
+/// crashes on its hot handlers without perturbing the allocation-free
+/// serving loop.
+#[test]
+fn fault_bookkeeping_steady_state_allocates_nothing() {
+    let spec = FaultSpec {
+        seed: 9,
+        lane_crashes: 4,
+        lane_slowdowns: 3,
+        shard_outages: 1,
+        horizon_cycles: 1_000_000,
+        mean_down_cycles: 50_000,
+        mean_outage_cycles: 0,
+        slowdown_factor: 3,
+    };
+    // Plan expansion allocates (it is run setup, not an event).
+    let plan = spec.schedule(&[2, 2]);
+    let timeline = plan.shard_timeline(0);
+    let mut retries = RetryQueue::new();
+    let req = |id: u64| Request { id, model: 0, arrival: id * 10, act_seed: id };
+
+    // Warm: two full schedule/drain rounds grow the slab, the free
+    // list, and the wheel's due-heap to their steady-state capacity.
+    for round in 0..2u32 {
+        for i in 0..32u64 {
+            retries.schedule(i, req(i), round + 1);
+        }
+        while retries.pop().is_some() {}
+    }
+
+    let before = allocs_here();
+    for round in 2..6u32 {
+        for i in 0..32u64 {
+            retries.schedule(i, req(i), round + 1);
+        }
+        while let Some((t, r, attempts)) = retries.pop() {
+            std::hint::black_box((t, r.id, attempts));
+            // The health probes the engine makes per fault-mode event.
+            std::hint::black_box(timeline.is_lane_down(0, t));
+            std::hint::black_box(timeline.next_up_time(0, t));
+            std::hint::black_box(timeline.slow_factor_at(1, t));
+            std::hint::black_box(plan.is_shard_up(1, t));
+            std::hint::black_box(plan.any_shard_down(t));
+        }
+        assert!(retries.is_empty());
+    }
+    let grew = allocs_here() - before;
+    assert_eq!(grew, 0, "steady-state fault bookkeeping performed {grew} heap allocations");
 }

@@ -85,13 +85,14 @@
 //! would be diluted 4× in a 4-shard average, yet its requests are fully
 //! present in the true global tail).
 
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::fleet::{ArrivalSource, Engine, Fleet};
 use crate::policy::{BatchPolicy, FixedPolicy};
 use crate::report::{
-    render_table, Col, HistogramCell, LatencyHistogram, ModelServeStats, ServeReport,
+    render_table, Col, FaultStats, HistogramCell, LatencyHistogram, ModelServeStats, ServeReport,
 };
 use crate::trace::{Trace, TraceConfig};
-use crate::workload::{partition_by_shard, Lcg, Request};
+use crate::workload::{Lcg, Request};
 use s2ta_core::pool::Executor;
 use s2ta_energy::{EnergyBreakdown, TechParams};
 use s2ta_models::ModelSpec;
@@ -282,6 +283,7 @@ pub struct Cluster {
     routing: RoutingPolicy,
     router_seed: u64,
     autoscale: Option<AutoscalePolicy>,
+    fault: Option<(FaultConfig, FaultPlan)>,
 }
 
 impl Cluster {
@@ -293,7 +295,13 @@ impl Cluster {
     /// Panics if `shards` is empty.
     pub fn new(shards: Vec<Fleet>) -> Self {
         assert!(!shards.is_empty(), "a cluster needs at least one shard");
-        Self { shards, routing: RoutingPolicy::default(), router_seed: 0, autoscale: None }
+        Self {
+            shards,
+            routing: RoutingPolicy::default(),
+            router_seed: 0,
+            autoscale: None,
+            fault: None,
+        }
     }
 
     /// Replaces the routing policy.
@@ -335,6 +343,33 @@ impl Cluster {
     pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
         policy.validate();
         self.autoscale = Some(policy);
+        self
+    }
+
+    /// Enables deterministic fault injection across the cluster: the
+    /// config's [`crate::FaultSpec`] expands once — over the full
+    /// cluster topology, so lane and shard draws see every shard — and
+    /// each shard fleet receives its own slice of the plan. When
+    /// [`FaultConfig::failover`] is set the router also becomes
+    /// health-aware: no probing policy joins a shard inside one of its
+    /// outage windows, and [`RoutingPolicy::Random`] re-draws onto the
+    /// healthy set (still exactly one LCG draw per request, and still a
+    /// pure function of the pre-drawn state — so the probe-free
+    /// parallel driver stays byte-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's horizon is zero.
+    pub fn with_faults(mut self, config: FaultConfig) -> Self {
+        let lanes_per_shard: Vec<usize> = self.shards.iter().map(Fleet::workers).collect();
+        let plan = config.spec.schedule(&lanes_per_shard);
+        self.shards = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, f)| f.with_fault_timeline(config.clone(), plan.shard_timeline(s)))
+            .collect();
+        self.fault = Some((config, plan));
         self
     }
 
@@ -404,6 +439,79 @@ impl Cluster {
         }
     }
 
+    /// Routes one arrival at time `t`, avoiding shards inside an
+    /// outage window when health-aware failover is enabled. Returns
+    /// `(shard, failed_over)` where the flag records that the choice
+    /// was diverted away from a down shard.
+    ///
+    /// Health never adds or removes LCG draws: [`RoutingPolicy::
+    /// Random`] re-uses its single draw to index the healthy set, and
+    /// [`RoutingPolicy::PowerOfTwo`] re-uses each of its two probe
+    /// draws — so the routing sequence stays a pure function of
+    /// `(seed, arrival times, fault plan)` and the probe-free parallel
+    /// driver can still pre-draw it. When **every** shard is down the
+    /// router falls back to unrestricted routing: requests queue on a
+    /// down shard and execute after it recovers.
+    fn route_healthy(
+        &self,
+        n: usize,
+        rng: &mut Lcg,
+        t: u64,
+        depth: impl Fn(usize) -> usize,
+    ) -> (usize, bool) {
+        let plan = match &self.fault {
+            Some((config, plan)) if config.failover => plan,
+            _ => return (self.routing.route(n, rng, depth), false),
+        };
+        if !plan.any_shard_down(t) {
+            return (self.routing.route(n, rng, depth), false);
+        }
+        let healthy: Vec<usize> = (0..n).filter(|&s| plan.is_shard_up(s, t)).collect();
+        if healthy.is_empty() {
+            return (self.routing.route(n, rng, depth), false);
+        }
+        let h = healthy.len() as u64;
+        match self.routing {
+            RoutingPolicy::Random => {
+                let draw = rng.next_u64();
+                let naive = (draw % n as u64) as usize;
+                if plan.is_shard_up(naive, t) {
+                    (naive, false)
+                } else {
+                    (healthy[(draw % h) as usize], true)
+                }
+            }
+            RoutingPolicy::JoinShortestQueue => {
+                let unrestricted =
+                    (0..n).min_by_key(|&s| (depth(s), s)).expect("at least one shard");
+                let pick = healthy
+                    .iter()
+                    .copied()
+                    .min_by_key(|&s| (depth(s), s))
+                    .expect("healthy set is non-empty");
+                (pick, !plan.is_shard_up(unrestricted, t))
+            }
+            RoutingPolicy::PowerOfTwo => {
+                let draw_a = rng.next_u64();
+                let draw_b = rng.next_u64();
+                let naive_a = (draw_a % n as u64) as usize;
+                let naive_b = (draw_b % n as u64) as usize;
+                let a = if plan.is_shard_up(naive_a, t) {
+                    naive_a
+                } else {
+                    healthy[(draw_a % h) as usize]
+                };
+                let b = if plan.is_shard_up(naive_b, t) {
+                    naive_b
+                } else {
+                    healthy[(draw_b % h) as usize]
+                };
+                let failed_over = a != naive_a || b != naive_b;
+                (std::cmp::min((depth(a), a), (depth(b), b)).1, failed_over)
+            }
+        }
+    }
+
     /// The serial reference driver: one loop advancing every shard to
     /// every arrival. This is what [`Cluster::serve`] is differentially
     /// tested against (and what the bench times the parallel driver's
@@ -440,8 +548,12 @@ impl Cluster {
             for state in states.iter_mut() {
                 state.advance(t);
             }
-            let shard = self.routing.route(n, &mut rng, |s| states[s].engine.queued_depth());
+            let (shard, failed_over) =
+                self.route_healthy(n, &mut rng, t, |s| states[s].engine.queued_depth());
             routed[shard] += 1;
+            if failed_over {
+                states[shard].engine.note_failover(r);
+            }
             states[shard].inject(*r);
         }
         for state in states.iter_mut() {
@@ -465,11 +577,15 @@ impl Cluster {
     ) -> ClusterReport {
         let n = self.shards.len();
         let mut rng = Lcg::new(self.router_seed);
-        let assignment: Vec<usize> = requests
-            .iter()
-            .map(|_| self.routing.route(n, &mut rng, |_| unreachable!("probe-free routing")))
-            .collect();
-        let per_shard = partition_by_shard(requests, &assignment, n);
+        // Pre-draw the full routing sequence, carrying each request's
+        // failover flag alongside it so the shard replay can record the
+        // diversion at the exact point the serial driver would.
+        let mut per_shard: Vec<Vec<(Request, bool)>> = vec![Vec::new(); n];
+        for r in requests {
+            let (shard, failed_over) =
+                self.route_healthy(n, &mut rng, r.arrival, |_| unreachable!("probe-free routing"));
+            per_shard[shard].push((*r, failed_over));
+        }
         let routed: Vec<usize> = per_shard.iter().map(Vec::len).collect();
         // Autoscaler evaluations fire serially up to the last arrival
         // of the *global* stream, regardless of where it was routed;
@@ -505,7 +621,7 @@ impl Cluster {
         &'a self,
         shard: usize,
         models: &'a [ModelSpec],
-        own: &[Request],
+        own: &[(Request, bool)],
         horizon: Option<u64>,
     ) -> (ShardState<'a>, Vec<ScaleEvent>) {
         let mut state = ShardState::new(&self.shards[shard], models);
@@ -520,9 +636,12 @@ impl Cluster {
                 next_eval = Some(eval + auto.eval_interval_cycles);
             }
         };
-        for r in own {
+        for (r, failed_over) in own {
             fire_evals_through(&mut state, r.arrival);
             state.advance(r.arrival);
+            if *failed_over {
+                state.engine.note_failover(r);
+            }
             state.inject(*r);
         }
         if let Some(horizon) = horizon {
@@ -567,8 +686,12 @@ impl Cluster {
                 }
             }
             Self::advance_all(executor, &mut states, t);
-            let shard = self.routing.route(n, &mut rng, |s| states[s].engine.queued_depth());
+            let (shard, failed_over) =
+                self.route_healthy(n, &mut rng, t, |s| states[s].engine.queued_depth());
             routed[shard] += 1;
+            if failed_over {
+                states[shard].engine.note_failover(r);
+            }
             states[shard].inject(*r);
         }
         executor.for_each_mut(&mut states, None, |state| state.drain());
@@ -687,9 +810,38 @@ pub struct ClusterReport {
 }
 
 impl ClusterReport {
-    /// Requests in the input stream (served + dropped over all shards).
+    /// Requests in the input stream (served + dropped + failed over
+    /// all shards).
     pub fn total_requests(&self) -> usize {
         self.shards.iter().map(|s| s.outcomes.len()).sum()
+    }
+
+    /// Requests that exhausted their retry budget (or became
+    /// non-SLO-meetable after a crash) across all shards.
+    pub fn failed_count(&self) -> usize {
+        self.shards.iter().map(ServeReport::failed_count).sum()
+    }
+
+    /// Aggregate fault accounting over every shard; per-lane vectors
+    /// concatenate in shard order, mirroring the cluster's global lane
+    /// numbering. All-zero for a fault-free run.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for s in &self.shards {
+            total.merge(&s.fault);
+        }
+        total
+    }
+
+    /// Fraction of issued requests that did **not** fail: `1 -
+    /// failed/total` (1.0 for an empty run). Drops are an admission
+    /// decision, not a failure, and do not reduce availability.
+    pub fn availability(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.failed_count() as f64 / total as f64
     }
 
     /// Requests served across all shards.
@@ -790,10 +942,12 @@ impl ClusterReport {
                         model: m.model.clone(),
                         dropped: 0,
                         deadline_misses: 0,
+                        failed: 0,
                     });
                 }
                 agg[i].dropped += m.dropped;
                 agg[i].deadline_misses += m.deadline_misses;
+                agg[i].failed += m.failed;
             }
         }
         agg
@@ -849,6 +1003,20 @@ impl ClusterReport {
             ServeReport::cycles_to_ms(tech, self.p95_cycles()),
             ServeReport::cycles_to_ms(tech, self.p99_cycles()),
         ));
+        let faults = self.fault_stats();
+        if !faults.is_quiet() {
+            s.push_str(&format!(
+                "  faults: {} crashes, {} retries, {} hedges, {} failovers, {} failed, \
+                 {} shed, availability {:.4}\n",
+                faults.lane_crashes,
+                faults.retries,
+                faults.hedges,
+                faults.failovers,
+                faults.failed,
+                faults.shed,
+                self.availability(),
+            ));
+        }
         let cols = [
             Col::left("shard", 6),
             Col::left("arch", 22),

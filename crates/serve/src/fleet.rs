@@ -60,12 +60,13 @@
 //! assembled in batch/dispatch order internally), so
 //! `outcomes[i].id() == i` always holds for a dense arrival stream.
 
+use crate::fault::{FaultConfig, FaultState, FaultTimeline, TimelineEvent, WindowEdge};
 use crate::pipeline::PipelinePlan;
 use crate::policy::{BatchObservation, BatchPolicy, FixedPolicy};
 use crate::queue::RequestQueue;
 use crate::report::{
-    DroppedRequest, HistogramCell, ModelServeStats, PipelineStageStats, PlanCacheActivity,
-    RequestOutcome, ServeReport, ServedRequest, WorkerStats,
+    DroppedRequest, FailedRequest, FaultStats, HistogramCell, ModelServeStats, PipelineStageStats,
+    PlanCacheActivity, RequestOutcome, ServeReport, ServedRequest, WorkerStats,
 };
 use crate::scheduler::{
     affinity_lane, earliest_free_lane, DeadlineHeap, Formation, PlacementStrategy, Scheduler,
@@ -303,6 +304,9 @@ pub struct Fleet {
     /// When set, serving runs attach a flight recorder + metrics
     /// registry and the report carries a [`crate::Trace`].
     trace: Option<TraceConfig>,
+    /// When set, serving runs route through the event-driven engine
+    /// with this fault schedule and recovery machinery attached.
+    fault: Option<(FaultConfig, FaultTimeline)>,
 }
 
 impl Fleet {
@@ -376,6 +380,7 @@ impl Fleet {
             pipeline_stages: 2,
             pipeline_queue_capacity: 2,
             trace: None,
+            fault: None,
         }
     }
 
@@ -512,6 +517,37 @@ impl Fleet {
         self.trace
     }
 
+    /// Attaches a deterministic fault schedule (plus its recovery
+    /// machinery) to every subsequent serving run. The schedule is
+    /// expanded against this fleet as a single-shard topology; serving
+    /// then routes through the event-driven engine, which cancels
+    /// in-flight batches on crashed lanes, retries their requests
+    /// under the config's [`crate::RetryPolicy`], applies slowdown
+    /// factors, and surfaces everything as [`FaultStats`] on the
+    /// report. See [`crate::FaultSpec`].
+    pub fn with_faults(self, config: FaultConfig) -> Self {
+        let plan = config.spec.schedule(&[self.workers()]);
+        let timeline = plan.shard_timeline(0);
+        self.with_fault_timeline(config, timeline)
+    }
+
+    /// Attaches an already-expanded per-shard fault timeline (the
+    /// cluster expands one [`crate::FaultPlan`] and hands each shard
+    /// its slice, so every driver sees the identical schedule).
+    pub(crate) fn with_fault_timeline(
+        mut self,
+        config: FaultConfig,
+        timeline: FaultTimeline,
+    ) -> Self {
+        assert_eq!(
+            timeline.lanes(),
+            self.workers(),
+            "fault timeline must cover exactly this fleet's lanes"
+        );
+        self.fault = Some((config, timeline));
+        self
+    }
+
     /// The first lane's accelerator (for a homogeneous fleet, the
     /// template every lane clones).
     pub fn accelerator(&self) -> &Accelerator {
@@ -632,14 +668,18 @@ impl Fleet {
     /// Panics if a request names a model index outside `models`, or if
     /// arrivals are unsorted.
     pub fn serve(&self, models: &[ModelSpec], requests: &[Request]) -> ServeReport {
-        if self.placement != PlacementStrategy::EarliestFree || self.trace.is_some() {
+        if self.placement != PlacementStrategy::EarliestFree
+            || self.trace.is_some()
+            || self.fault.is_some()
+        {
             // Affinity needs the run's own completion feedback and the
             // pipeline needs per-stage scheduling state; the engine
             // replays the same formation decisions in event order, so
             // this is the identical computation with a richer dispatch
             // rule. Traced runs take the engine too: its event handlers
             // are where the flight-recorder hooks live, and its report
-            // is byte-identical to this path for fixed policies.
+            // is byte-identical to this path for fixed policies. Fault
+            // injection lives entirely in the engine's event loop.
             let mut policy = self.scheduler.policy();
             return self.serve_adaptive(models, requests, &mut policy);
         }
@@ -703,7 +743,12 @@ impl Fleet {
         // `max_wait` instead of filling).
         let mut per_model: Vec<ModelServeStats> = models
             .iter()
-            .map(|m| ModelServeStats { model: m.name.to_string(), dropped: 0, deadline_misses: 0 })
+            .map(|m| ModelServeStats {
+                model: m.name.to_string(),
+                dropped: 0,
+                deadline_misses: 0,
+                failed: 0,
+            })
             .collect();
         for r in &dropped {
             per_model[r.model].dropped += 1;
@@ -724,6 +769,7 @@ impl Fleet {
             makespan_cycles: makespan,
             pipeline_stages: Vec::new(),
             per_model,
+            fault: FaultStats::default(),
             plan_cache: PlanCacheActivity::new(
                 self.accelerator().plans().stats().since(cache_before),
                 self.accelerator().act_profiles().stats().since(act_cache_before),
@@ -829,10 +875,14 @@ struct EngineBatch {
     /// Lane the batch ran on (the final stage's lane when pipelined).
     lane: usize,
     /// Measured service time on that lane (whole-model), or the
-    /// end-to-end execution span when pipelined.
+    /// end-to-end execution span when pipelined. Fault-mode batches
+    /// store the **effective** service (slowdown factor applied).
     service_cycles: u64,
     /// Per-stage executions (empty for monolithic placement).
     stage_execs: Vec<StageExec>,
+    /// Fault mode: the batch's lane crashed before it completed; its
+    /// wheel entry is stale and its members were retried or failed.
+    cancelled: bool,
 }
 
 /// Where the engine's next request comes from: a pre-generated sorted
@@ -928,10 +978,15 @@ impl<'a> ArrivalSource<'a> {
 }
 
 /// Event-kind tie-breakers: at equal times, completions fire before
-/// arrivals, arrivals before deadlines.
+/// arrivals, arrivals before deadlines, deadlines before retry
+/// re-admissions, and fault-window edges last — so a batch completing
+/// exactly when its lane crashes has completed, and an arrival at a
+/// crash instant can still dispatch (and be cancelled by the crash).
 const COMPLETION_KIND: u8 = 0;
 const ARRIVAL_KIND: u8 = 1;
 const DEADLINE_KIND: u8 = 2;
+const RETRY_KIND: u8 = 3;
+const FAULT_KIND: u8 = 4;
 
 /// The event-driven serving engine: advances simulated time through
 /// three event kinds — batch completions, request arrivals, and batch
@@ -1007,6 +1062,11 @@ pub(crate) struct Engine<'a> {
     /// [`Fleet::with_trace`]; `None` compiles every hook down to a
     /// branch). Boxed to keep the untraced engine's footprint flat.
     trace: Option<Box<TraceState>>,
+    /// Fault-injection state (attached via [`Fleet::with_faults`]):
+    /// the timeline cursor, retry queue, per-lane health table and
+    /// accumulating [`FaultStats`]. `None` keeps every fault hook a
+    /// single branch on the fault-free path.
+    faults: Option<Box<FaultState>>,
 }
 
 /// Accumulator behind one [`PipelineStageStats`] row.
@@ -1029,6 +1089,10 @@ struct StageStatsAccum {
 
 impl<'a> Engine<'a> {
     pub(crate) fn new(fleet: &'a Fleet, models: &'a [ModelSpec]) -> Self {
+        assert!(
+            fleet.fault.is_none() || fleet.placement != PlacementStrategy::Pipelined,
+            "fault injection models monolithic lane execution; pipelined placement is unsupported"
+        );
         Self {
             fleet,
             models,
@@ -1059,6 +1123,9 @@ impl<'a> Engine<'a> {
             dropped_per_model: vec![0u64; models.len()],
             missed_per_model: vec![0u64; models.len()],
             trace: fleet.trace.map(|cfg| Box::new(TraceState::new(cfg, models.len()))),
+            faults: fleet.fault.as_ref().map(|(config, timeline)| {
+                Box::new(FaultState::new(config.clone(), timeline.clone(), models.len()))
+            }),
         }
     }
 
@@ -1134,12 +1201,17 @@ impl<'a> Engine<'a> {
     }
 
     /// The earliest pending internal event as `(time, kind)`:
-    /// completions (kind 0) and live batch deadlines (kind 2), with
-    /// arrivals (kind 1) slotting between them at equal times.
+    /// completions (kind 0), live batch deadlines (kind 2), pending
+    /// retry re-admissions (kind 3) and fault-timeline edges (kind 4),
+    /// with arrivals (kind 1) slotting between them at equal times.
     fn next_internal_event(&mut self) -> Option<(u64, u8)> {
         let completion = self.in_flight.peek().map(|(t, _)| (t, COMPLETION_KIND));
         let deadline = self.deadlines.peek_live(&self.queue).map(|(t, _)| (t, DEADLINE_KIND));
-        [completion, deadline].into_iter().flatten().min()
+        let retry =
+            self.faults.as_deref().and_then(|f| f.retries.peek_time()).map(|t| (t, RETRY_KIND));
+        let fault =
+            self.faults.as_deref().and_then(|f| f.next_fault_time()).map(|t| (t, FAULT_KIND));
+        [completion, deadline, retry, fault].into_iter().flatten().min()
     }
 
     /// Processes one internal event previously returned by
@@ -1152,7 +1224,9 @@ impl<'a> Engine<'a> {
     ) {
         match kind {
             COMPLETION_KIND => self.on_completion(arrivals, policy),
-            _ => self.on_deadline(policy),
+            DEADLINE_KIND => self.on_deadline(policy),
+            RETRY_KIND => self.on_retry(arrivals, policy),
+            _ => self.on_fault(arrivals),
         }
     }
 
@@ -1234,7 +1308,11 @@ impl<'a> Engine<'a> {
         );
         debug_assert_eq!(
             self.in_flight_requests,
-            self.in_flight.iter().map(|(_, b)| self.batches[b].requests.len()).sum::<usize>(),
+            self.in_flight
+                .iter()
+                .filter(|&(_, b)| !self.batches[b].cancelled)
+                .map(|(_, b)| self.batches[b].requests.len())
+                .sum::<usize>(),
             "in-flight counter diverged from the timer wheel"
         );
         self.queued + self.in_flight_requests
@@ -1269,9 +1347,18 @@ impl<'a> Engine<'a> {
     /// which never changes simulated state.
     pub(crate) fn has_event_before(&mut self, t: u64) -> bool {
         // (ct, COMPLETION) < (t, ARRIVAL) iff ct <= t;
-        // (dt, DEADLINE) < (t, ARRIVAL) iff dt < t.
+        // (dt, DEADLINE) < (t, ARRIVAL) iff dt < t — and likewise for
+        // retry and fault events (both kinds sort after arrivals).
         if self.in_flight.peek_next_event_cycle().is_some_and(|ct| ct <= t) {
             return true;
+        }
+        if let Some(f) = self.faults.as_deref() {
+            if f.retries.peek_time().is_some_and(|rt| rt < t) {
+                return true;
+            }
+            if f.next_fault_time().is_some_and(|ft| ft < t) {
+                return true;
+            }
         }
         self.deadlines.peek_live(&self.queue).is_some_and(|(dt, _)| dt < t)
     }
@@ -1295,6 +1382,52 @@ impl<'a> Engine<'a> {
         // Metrics boundaries close before this completion mutates any
         // counter (popping the wheel changes no sampled state).
         self.trace_flush(t);
+        // A crash-cancelled batch's wheel entry is stale: its members
+        // were already retried or failed at the crash. Nothing fires.
+        if self.batches[index].cancelled {
+            return;
+        }
+        if self.faults.is_some() {
+            let backlog = self.queued + self.in_flight_requests;
+            let lane = self.batches[index].lane;
+            let f = self.faults.as_deref_mut().expect("checked");
+            f.update_degraded(t, backlog);
+            if let Some(pos) = f.lane_active[lane].iter().position(|&b| b == index) {
+                f.lane_active[lane].swap_remove(pos);
+            }
+            // Outcomes were deferred from dispatch (a crash could
+            // still have cancelled the batch); the batch survived, so
+            // its requests are served now — trace, makespan and
+            // outcome records included.
+            self.makespan = self.makespan.max(t);
+            let (ready, start, n) = (
+                self.batches[index].ready,
+                self.batches[index].start,
+                self.batches[index].requests.len(),
+            );
+            let model = self.batches[index].model;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record_batch(
+                    (ready, start, t),
+                    lane as u32,
+                    model as u32,
+                    index as u64,
+                    n as u64,
+                );
+            }
+            for i in 0..n {
+                let r = self.batches[index].requests[i];
+                self.outcomes.push(RequestOutcome::Served(ServedRequest {
+                    id: r.id,
+                    model: self.models[model].name.to_string(),
+                    arrival: r.arrival,
+                    start,
+                    completion: t,
+                    batch: index,
+                    worker: lane,
+                }));
+            }
+        }
         if let Some(tr) = self.trace.as_mut() {
             let batch = &self.batches[index];
             for r in &batch.requests {
@@ -1357,6 +1490,45 @@ impl<'a> Engine<'a> {
             self.client_of.push(client);
         }
         let lane = request.model;
+        if self.faults.is_some() {
+            let backlog = self.queued + self.in_flight_requests;
+            let f = self.faults.as_deref_mut().expect("checked");
+            f.update_degraded(request.arrival, backlog);
+            // The attempt table is keyed by request id (dense within a
+            // fleet, the shard's slice of the global space in a
+            // cluster); size it before any dispatch can consume an
+            // attempt.
+            let id = request.id as usize;
+            if f.attempts.len() <= id {
+                f.attempts.resize(id + 1, 0);
+            }
+            // Degraded mode: with a lane down and the backlog past the
+            // threshold, best-effort models are shed at admission so
+            // the strict classes keep their latency.
+            if f.sheds(lane) {
+                f.stats.shed += 1;
+                self.dropped_per_model[lane] += 1;
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent {
+                        cycle: request.arrival,
+                        kind: TraceEventKind::RequestDropped,
+                        shard: 0,
+                        lane: 0,
+                        model: lane as u32,
+                        stage: 0,
+                        a: request.id,
+                        b: self.queued as u64,
+                    });
+                }
+                self.outcomes.push(RequestOutcome::Dropped(DroppedRequest {
+                    id: request.id,
+                    model: self.models[lane].name.to_string(),
+                    arrival: request.arrival,
+                }));
+                arrivals.request_finished(client, request.arrival);
+                return;
+            }
+        }
         let limits = policy.limits_for(lane);
         assert!(limits.max_batch > 0, "max_batch must be non-zero");
         let was_empty = self.queue.pending(lane) == 0;
@@ -1386,7 +1558,7 @@ impl<'a> Engine<'a> {
         }
         self.queued += 1;
         if was_empty {
-            self.deadlines.arm(lane, &request, limits.max_wait_cycles);
+            self.deadlines.arm(lane, &request, limits.max_wait_cycles, &self.queue);
         }
         // Several batches may seal back-to-back at this arrival when an
         // adaptive policy shrank `max_batch` below the lane's backlog;
@@ -1398,7 +1570,7 @@ impl<'a> Engine<'a> {
         }
         if let Some(front) = self.queue.front(lane) {
             let front = *front;
-            self.deadlines.arm(lane, &front, limits.max_wait_cycles);
+            self.deadlines.arm(lane, &front, limits.max_wait_cycles, &self.queue);
         }
         let now = request.arrival;
         let sealed: Vec<(Vec<Request>, u64)> = sealed
@@ -1416,6 +1588,10 @@ impl<'a> Engine<'a> {
         let (deadline, lane) =
             self.deadlines.peek_live(&self.queue).expect("peeked before dispatch");
         self.trace_flush(deadline);
+        if self.faults.is_some() {
+            let backlog = self.queued + self.in_flight_requests;
+            self.faults.as_deref_mut().expect("checked").update_degraded(deadline, backlog);
+        }
         self.deadlines.pop();
         let limits = policy.limits_for(lane);
         let members = self.queue.pop_batch(lane, limits.max_batch.max(1));
@@ -1442,9 +1618,265 @@ impl<'a> Engine<'a> {
         let ready = deadline.max(members.last().map_or(0, |r| r.arrival));
         if let Some(front) = self.queue.front(lane) {
             let front = *front;
-            self.deadlines.arm(lane, &front, limits.max_wait_cycles);
+            self.deadlines.arm(lane, &front, limits.max_wait_cycles, &self.queue);
         }
         self.dispatch_burst(lane, vec![(members, ready)]);
+    }
+
+    /// A crash-cancelled request's backoff expired: re-admit it
+    /// through the normal batching path (or abandon it as `Failed` if
+    /// its model lane is full — retries reserve no capacity).
+    fn on_retry(&mut self, arrivals: &mut ArrivalSource, policy: &mut dyn BatchPolicy) {
+        let (t, request, attempts) =
+            self.faults.as_deref_mut().expect("retry event").retries.pop().expect("peeked");
+        self.trace_flush(t);
+        {
+            let backlog = self.queued + self.in_flight_requests;
+            let f = self.faults.as_deref_mut().expect("retry event");
+            f.update_degraded(t, backlog);
+            f.stats.retries += 1;
+        }
+        let lane = request.model;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent {
+                cycle: t,
+                kind: TraceEventKind::RequestRetried,
+                shard: 0,
+                lane: 0,
+                model: lane as u32,
+                stage: 0,
+                a: request.id,
+                b: attempts as u64,
+            });
+        }
+        let limits = policy.limits_for(lane);
+        let was_empty = self.queue.pending(lane) == 0;
+        if !self.queue.try_push(request) {
+            self.fail_request(request, attempts, t, arrivals);
+            return;
+        }
+        self.queued += 1;
+        if was_empty {
+            // The retried front's original arrival is in the past; its
+            // wait budget restarts at the retry instant.
+            self.deadlines.arm_at(
+                t.saturating_add(limits.max_wait_cycles),
+                lane,
+                request.id,
+                &self.queue,
+            );
+        }
+        let sealed = self.queue.pop_full_batches(lane, limits.max_batch);
+        if sealed.is_empty() {
+            return;
+        }
+        if let Some(front) = self.queue.front(lane) {
+            let front_id = front.id;
+            self.deadlines.arm_at(
+                t.saturating_add(limits.max_wait_cycles),
+                lane,
+                front_id,
+                &self.queue,
+            );
+        }
+        // A retry burst is never ready before now (every member
+        // arrived — or was re-admitted — at or before `t`).
+        let sealed: Vec<(Vec<Request>, u64)> =
+            sealed.into_iter().map(|members| (members, t)).collect();
+        self.dispatch_burst(lane, sealed);
+    }
+
+    /// Abandons `request` as [`RequestOutcome::Failed`] at `now` after
+    /// `attempts` consumed dispatch attempts.
+    fn fail_request(
+        &mut self,
+        request: Request,
+        attempts: u32,
+        now: u64,
+        arrivals: &mut ArrivalSource,
+    ) {
+        {
+            let f = self.faults.as_deref_mut().expect("fault mode");
+            f.stats.failed += 1;
+            f.failed_per_model[request.model] += 1;
+        }
+        self.outcomes.push(RequestOutcome::Failed(FailedRequest {
+            id: request.id,
+            model: self.models[request.model].name.to_string(),
+            arrival: request.arrival,
+            attempts,
+        }));
+        let client = self.client_of.get(request.id as usize).copied().flatten();
+        arrivals.request_finished(client, now);
+    }
+
+    /// Processes the next fault-timeline edge: a crash or slowdown
+    /// window opening or closing on one lane.
+    fn on_fault(&mut self, arrivals: &mut ArrivalSource) {
+        let ev = {
+            let f = self.faults.as_deref_mut().expect("fault event");
+            let ev = f.timeline.events()[f.cursor];
+            f.cursor += 1;
+            ev
+        };
+        let t = ev.time;
+        self.trace_flush(t);
+        let backlog = self.queued + self.in_flight_requests;
+        self.faults.as_deref_mut().expect("fault event").update_degraded(t, backlog);
+        match ev.edge {
+            WindowEdge::CrashStart => self.on_lane_crash(t, ev, arrivals),
+            WindowEdge::CrashEnd => self.on_lane_recovery(t, ev),
+            WindowEdge::SlowStart => {
+                self.faults.as_deref_mut().expect("fault event").stats.slowdowns += 1;
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent {
+                        cycle: t,
+                        kind: TraceEventKind::LaneFailed,
+                        shard: 0,
+                        lane: ev.lane as u32,
+                        model: 0,
+                        stage: 0,
+                        a: ev.duration,
+                        b: ev.factor,
+                    });
+                }
+            }
+            WindowEdge::SlowEnd => {
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent {
+                        cycle: t,
+                        kind: TraceEventKind::LaneRecovered,
+                        shard: 0,
+                        lane: ev.lane as u32,
+                        model: 0,
+                        stage: 0,
+                        a: ev.duration,
+                        b: ev.factor,
+                    });
+                }
+            }
+        }
+        // Re-evaluate degraded mode against the post-edge health
+        // table: a crash (or recovery) at `t` flips the lane-down
+        // condition at `t` itself, not at the next event.
+        let backlog = self.queued + self.in_flight_requests;
+        self.faults.as_deref_mut().expect("fault event").update_degraded(t, backlog);
+    }
+
+    /// A crash window opens on `lane` at `t`: every in-flight batch on
+    /// the lane is cancelled — its partially-executed cycles stay
+    /// charged, the unexecuted remainder is refunded — and each member
+    /// either schedules a retry or fails under the retry policy. The
+    /// lane accepts no new work before the window closes (`free_at`
+    /// jumps to the recovery time, so placement routes around it).
+    fn on_lane_crash(&mut self, t: u64, ev: TimelineEvent, arrivals: &mut ArrivalSource) {
+        let lane = ev.lane;
+        let cancelled = {
+            let f = self.faults.as_deref_mut().expect("crash event");
+            f.stats.lane_crashes += 1;
+            f.down[lane] = true;
+            f.down_count += 1;
+            std::mem::take(&mut f.lane_active[lane])
+        };
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent {
+                cycle: t,
+                kind: TraceEventKind::LaneFailed,
+                shard: 0,
+                lane: lane as u32,
+                model: 0,
+                stage: 0,
+                a: ev.duration,
+                b: 0,
+            });
+        }
+        // The lane is unusable until the window closes; everything it
+        // was running is void, so it frees exactly at recovery.
+        self.free_at[lane] = t + ev.duration;
+        for index in cancelled {
+            self.batches[index].cancelled = true;
+            let service = self.batches[index].service_cycles;
+            let start = self.batches[index].start;
+            let executed = t.saturating_sub(start).min(service);
+            self.worker_stats[lane].busy_cycles -= service - executed;
+            let members = std::mem::take(&mut self.batches[index].requests);
+            self.in_flight_requests -= members.len();
+            for r in members {
+                let (attempts, retry_at) = {
+                    let f = self.faults.as_deref_mut().expect("crash event");
+                    let attempts = &mut f.attempts[r.id as usize];
+                    *attempts += 1;
+                    (*attempts, f.config.retry.next_retry(t, r.arrival, *attempts))
+                };
+                match retry_at {
+                    Some(rt) => self
+                        .faults
+                        .as_deref_mut()
+                        .expect("crash event")
+                        .retries
+                        .schedule(rt, r, attempts),
+                    None => self.fail_request(r, attempts, t, arrivals),
+                }
+            }
+        }
+    }
+
+    /// A crash window closes: the lane rejoins the fleet **cold** —
+    /// its warm weight/activation residency is gone, so recovery
+    /// clears the shared caches and the survivors re-warm them (the
+    /// post-recovery miss burst the report's cache activity shows).
+    /// Cache counters are host-side observability, excluded from
+    /// report equality, so the clear never perturbs byte-identity
+    /// across drivers.
+    fn on_lane_recovery(&mut self, t: u64, ev: TimelineEvent) {
+        let lane = ev.lane;
+        {
+            let f = self.faults.as_deref_mut().expect("recovery event");
+            f.stats.lane_recoveries += 1;
+            f.stats.lane_recovery_counts[lane] += 1;
+            f.stats.lane_downtime_cycles[lane] += ev.duration;
+            f.down[lane] = false;
+            f.down_count -= 1;
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent {
+                cycle: t,
+                kind: TraceEventKind::LaneRecovered,
+                shard: 0,
+                lane: lane as u32,
+                model: 0,
+                stage: 0,
+                a: ev.duration,
+                b: 0,
+            });
+        }
+        // The restarted worker loses its compiled-program warmth: the
+        // shared plan cache recompiles on the next seal (the cold-
+        // recovery cost the report's plan-cache counters expose).
+        // Activation profiles are a property of the request stream,
+        // not lane-resident state, so they survive the restart.
+        self.fleet.accelerator().plans().clear();
+        self.last_stage_on_lane[lane] = None;
+    }
+
+    /// Records a router failover landing `request` on this shard
+    /// (called by the cluster drivers immediately before injecting).
+    pub(crate) fn note_failover(&mut self, request: &Request) {
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.stats.failovers += 1;
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent {
+                cycle: request.arrival,
+                kind: TraceEventKind::ShardFailedOver,
+                shard: 0,
+                lane: 0,
+                model: request.model as u32,
+                stage: 0,
+                a: request.id,
+                b: 0,
+            });
+        }
     }
 
     /// Picks the lane a `members`-request batch of `model`, ready at
@@ -1524,6 +1956,10 @@ impl<'a> Engine<'a> {
                 Some(executions) => executions[self.scopes.exec_index(b, lane)],
                 None => fleet.lanes[lane].execute_batch(spec, &members, fleet.weight_seed),
             };
+            if self.faults.is_some() {
+                self.dispatch_faulty(model, b, members, ready, lane, exec, &speculative);
+                continue;
+            }
             let start = self.free_at[lane].max(ready);
             let completion = start + exec.service_cycles;
             self.lane_cum_idle[lane] += start - self.free_at[lane];
@@ -1565,11 +2001,117 @@ impl<'a> Engine<'a> {
                 lane,
                 service_cycles: exec.service_cycles,
                 stage_execs: Vec::new(),
+                cancelled: false,
             });
         }
         if let (Some(t0), Some(tr)) = (exec_started, self.trace.as_mut()) {
             tr.host.add("batch-execute", t0.elapsed());
         }
+    }
+
+    /// Fault-mode dispatch of one sealed batch: the lane's slowdown
+    /// factor inflates the measured service time, aged batches may be
+    /// **hedged** onto a second lane (the faster copy wins, the
+    /// loser's lane time is charged as wasted capacity), and served
+    /// outcomes are deferred to the completion event so a lane crash
+    /// can still cancel the batch.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_faulty(
+        &mut self,
+        model: usize,
+        burst_index: usize,
+        members: Vec<Request>,
+        ready: u64,
+        lane: usize,
+        exec: BatchExecution,
+        speculative: &Option<Vec<BatchExecution>>,
+    ) {
+        let fleet = self.fleet;
+        let f = self.faults.as_deref().expect("fault-mode dispatch");
+        let slow_service = |l: usize, start: u64, svc: u64| {
+            svc.saturating_mul(f.timeline.slow_factor_at(l, start))
+        };
+        let start = self.free_at[lane].max(ready);
+        let service = slow_service(lane, start, exec.service_cycles);
+        // Hedge decision: dispatch a duplicate onto the next
+        // earliest-free active lane when the batch already queued for
+        // longer than `age_factor ×` the learned service estimate.
+        let mut primary = (lane, exec, start, service);
+        let mut loser: Option<(usize, BatchExecution, u64, u64)> = None;
+        if let Some(hedge) = f.config.hedge {
+            let age = ready.saturating_sub(members.first().map_or(ready, |r| r.arrival));
+            let predicted = self.estimator.predict(fleet.lanes[lane].arch(), model, members.len());
+            let aged = predicted.is_some_and(|p| p > 0 && age > hedge.age_factor.saturating_mul(p));
+            if aged && self.active_lanes >= 2 {
+                let alt = (0..self.active_lanes)
+                    .filter(|&l| l != lane)
+                    .min_by_key(|&l| (self.free_at[l], l))
+                    .expect("two active lanes");
+                let alt_exec = match speculative {
+                    Some(executions) => executions[self.scopes.exec_index(burst_index, alt)],
+                    None => fleet.lanes[alt].execute_batch(
+                        &self.models[model],
+                        &members,
+                        fleet.weight_seed,
+                    ),
+                };
+                let alt_start = self.free_at[alt].max(ready);
+                let alt_service = slow_service(alt, alt_start, alt_exec.service_cycles);
+                // The faster copy wins (lane index breaks exact ties).
+                if (alt_start + alt_service, alt) < (start + service, lane) {
+                    loser = Some(primary);
+                    primary = (alt, alt_exec, alt_start, alt_service);
+                } else {
+                    loser = Some((alt, alt_exec, alt_start, alt_service));
+                }
+            }
+        }
+        let (lane, exec, start, service) = primary;
+        let completion = start + service;
+        let batch_id = self.batches.len();
+        // Charge the losing copy's lane time as wasted capacity: its
+        // lane is busy racing a batch whose result is discarded.
+        if let Some((l, l_exec, l_start, l_service)) = loser {
+            self.lane_cum_idle[l] += l_start - self.free_at[l];
+            self.free_at[l] = l_start + l_service;
+            self.total_events += l_exec.events;
+            self.worker_stats[l].busy_cycles += l_service;
+            self.worker_stats[l].events += l_exec.events;
+            let f = self.faults.as_deref_mut().expect("fault-mode dispatch");
+            f.stats.hedges += 1;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(TraceEvent {
+                    cycle: start,
+                    kind: TraceEventKind::RequestHedged,
+                    shard: 0,
+                    lane: lane as u32,
+                    model: model as u32,
+                    stage: 0,
+                    a: batch_id as u64,
+                    b: l as u64,
+                });
+            }
+        }
+        self.lane_cum_idle[lane] += start - self.free_at[lane];
+        self.free_at[lane] = completion;
+        self.total_events += exec.events;
+        let stats = &mut self.worker_stats[lane];
+        stats.busy_cycles += service;
+        stats.batches += 1;
+        stats.requests += members.len();
+        stats.events += exec.events;
+        self.in_flight.push(completion, batch_id);
+        self.faults.as_deref_mut().expect("fault-mode dispatch").lane_active[lane].push(batch_id);
+        self.batches.push(EngineBatch {
+            model,
+            requests: members,
+            ready,
+            start,
+            lane,
+            service_cycles: service,
+            stage_execs: Vec::new(),
+            cancelled: false,
+        });
     }
 
     /// The model's pipeline plan, partitioned on first use (the
@@ -1763,21 +2305,25 @@ impl<'a> Engine<'a> {
             lane: final_lane,
             service_cycles: completion - first_start,
             stage_execs,
+            cancelled: false,
         });
     }
 
     pub(crate) fn into_report(mut self, policy_name: &str) -> ServeReport {
         self.outcomes.sort_by_key(RequestOutcome::id);
+        let fault_state = self.faults.take();
         let per_model = self
             .models
             .iter()
-            .zip(self.dropped_per_model.iter().zip(&self.missed_per_model))
-            .map(|(m, (&dropped, &deadline_misses))| ModelServeStats {
+            .enumerate()
+            .map(|(i, m)| ModelServeStats {
                 model: m.name.to_string(),
-                dropped,
-                deadline_misses,
+                dropped: self.dropped_per_model[i],
+                deadline_misses: self.missed_per_model[i],
+                failed: fault_state.as_ref().map_or(0, |f| f.failed_per_model[i]),
             })
             .collect();
+        let fault = fault_state.map(|f| f.finish(self.makespan)).unwrap_or_default();
         let trace = TraceCell::default();
         if let Some(tr) = self.trace.take() {
             let weights = self.fleet.accelerator().plans().stats().since(self.cache_before);
@@ -1811,6 +2357,7 @@ impl<'a> Engine<'a> {
             makespan_cycles: self.makespan,
             pipeline_stages,
             per_model,
+            fault,
             plan_cache: PlanCacheActivity::new(
                 self.fleet.accelerator().plans().stats().since(self.cache_before),
                 self.fleet.accelerator().act_profiles().stats().since(self.act_cache_before),
@@ -2387,5 +2934,219 @@ mod tests {
         let summed =
             vectorized.workers.iter().fold(EventCounts::default(), |acc, w| acc + w.events);
         assert_eq!(summed, vectorized.total_events);
+    }
+
+    use crate::fault::{FaultConfig, FaultSpec, RetryPolicy};
+
+    fn crash_spec(seed: u64, crashes: usize, horizon: u64, mean_down: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            lane_crashes: crashes,
+            lane_slowdowns: 0,
+            shard_outages: 0,
+            horizon_cycles: horizon,
+            mean_down_cycles: mean_down,
+            mean_outage_cycles: 0,
+            slowdown_factor: 4,
+        }
+    }
+
+    /// A quiet fault config (injection armed, nothing scheduled) must
+    /// not perturb the simulation: same outcomes, same events, same
+    /// makespan as the plain fleet — and all-zero fault accounting.
+    #[test]
+    fn quiet_fault_config_does_not_perturb_serving() {
+        let (models, reqs) = tiny_workload(24);
+        let plain = Fleet::new(ArchKind::S2taAw, 2).serve(&models, &reqs);
+        let quiet = Fleet::new(ArchKind::S2taAw, 2)
+            .with_faults(FaultConfig::protected(FaultSpec::quiet(5)))
+            .serve(&models, &reqs);
+        assert_eq!(plain.outcomes, quiet.outcomes);
+        assert_eq!(plain.total_events, quiet.total_events);
+        assert_eq!(plain.makespan_cycles, quiet.makespan_cycles);
+        assert_eq!(quiet.fault.lane_crashes, 0);
+        assert_eq!(quiet.fault.retries, 0);
+        assert_eq!(quiet.fault.failed, 0);
+        assert_eq!(quiet.availability(), 1.0);
+    }
+
+    /// Crashes under a protected config retry cancelled work: every
+    /// request is accounted exactly once (served + dropped + failed),
+    /// crashes and retries are visible in the stats, and the whole run
+    /// is deterministic.
+    #[test]
+    fn protected_crashes_retry_and_conserve_requests() {
+        let models = vec![lenet5()];
+        // Dense single-lane traffic so crash windows reliably intersect
+        // in-flight batches.
+        let reqs = WorkloadSpec::uniform(11, 60, 2_000.0, 1).generate();
+        let base = Fleet::new(ArchKind::S2taAw, 1).serve(&models, &reqs);
+        let spec = crash_spec(7, 6, base.makespan_cycles.max(1), base.makespan_cycles / 4 + 1);
+        let mut config = FaultConfig::protected(spec);
+        config.retry =
+            RetryPolicy { max_attempts: 4, backoff_base_cycles: 500, deadline_cycles: 0 };
+        let fleet = Fleet::new(ArchKind::S2taAw, 1).with_faults(config);
+        let report = fleet.serve(&models, &reqs);
+        assert_eq!(
+            report.served_count() + report.dropped_count() + report.failed_count(),
+            reqs.len(),
+            "every request must be served, dropped, or failed exactly once"
+        );
+        assert!(report.fault.lane_crashes > 0, "the schedule must actually crash the lane");
+        assert_eq!(report.fault.lane_recoveries, report.fault.lane_crashes);
+        assert!(report.fault.retries > 0, "cancelled in-flight work must be retried");
+        assert_eq!(report, fleet.serve(&models, &reqs), "fault runs must be deterministic");
+    }
+
+    /// The same schedule without retries (the chaos baseline) must
+    /// fail every cancelled request — and availability must drop.
+    #[test]
+    fn unprotected_crashes_fail_cancelled_requests() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(11, 60, 2_000.0, 1).generate();
+        let base = Fleet::new(ArchKind::S2taAw, 1).serve(&models, &reqs);
+        let spec = crash_spec(7, 6, base.makespan_cycles.max(1), base.makespan_cycles / 4 + 1);
+        let report = Fleet::new(ArchKind::S2taAw, 1)
+            .with_faults(FaultConfig::unprotected(spec))
+            .serve(&models, &reqs);
+        assert!(report.failed_count() > 0, "no retries: cancelled work must fail");
+        assert!(report.availability() < 1.0);
+        assert_eq!(report.fault.retries, 0);
+        assert_eq!(
+            report.served_count() + report.dropped_count() + report.failed_count(),
+            reqs.len()
+        );
+    }
+
+    /// Degraded mode sheds only the best-effort class, and only while
+    /// a lane is down with the backlog past the threshold: strict
+    /// requests are never dropped, every shed lands on the best-effort
+    /// model's drop counter, and the run stays deterministic.
+    #[test]
+    fn degraded_mode_sheds_best_effort_only() {
+        use crate::fault::DegradedMode;
+        let models = vec![lenet5(), lenet5()];
+        let reqs = WorkloadSpec::uniform(17, 120, 1_000.0, 2).generate();
+        let base = Fleet::new(ArchKind::S2taAw, 2).serve(&models, &reqs);
+        let spec = crash_spec(3, 4, base.makespan_cycles.max(1), base.makespan_cycles / 3 + 1);
+        let mut config = FaultConfig::protected(spec);
+        config.degraded = Some(DegradedMode { backlog_threshold: 4, best_effort: vec![1] });
+        let fleet = Fleet::new(ArchKind::S2taAw, 2).with_faults(config);
+        let report = fleet.serve(&models, &reqs);
+        assert!(report.fault.shed > 0, "sustained capacity loss must trigger shedding");
+        assert_eq!(report.per_model[1].dropped, report.fault.shed, "sheds land on best-effort");
+        assert_eq!(report.per_model[0].dropped, 0, "the strict class is never shed");
+        assert_eq!(
+            report.served_count() + report.dropped_count() + report.failed_count(),
+            reqs.len()
+        );
+        assert_eq!(report, fleet.serve(&models, &reqs), "degraded runs must be deterministic");
+    }
+
+    /// Slowdown windows stretch service on the affected lane: total
+    /// busy cycles and the tail must not improve, and the slowdown
+    /// count must be visible.
+    #[test]
+    fn slowdowns_inflate_service_without_losing_requests() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(13, 40, 4_000.0, 1).generate();
+        let base = Fleet::new(ArchKind::S2taAw, 1).serve(&models, &reqs);
+        let spec = FaultSpec {
+            seed: 3,
+            lane_crashes: 0,
+            lane_slowdowns: 4,
+            shard_outages: 0,
+            horizon_cycles: base.makespan_cycles.max(1),
+            mean_down_cycles: base.makespan_cycles / 3 + 1,
+            mean_outage_cycles: 0,
+            slowdown_factor: 6,
+        };
+        let report = Fleet::new(ArchKind::S2taAw, 1)
+            .with_faults(FaultConfig::protected(spec))
+            .serve(&models, &reqs);
+        assert!(report.fault.slowdowns > 0);
+        assert_eq!(report.served_count(), reqs.len(), "slowdowns delay, never lose");
+        assert!(report.makespan_cycles >= base.makespan_cycles);
+        assert!(report.p99_cycles() >= base.p99_cycles());
+    }
+
+    /// A recovered lane comes back **cold**: the shared plan/profile
+    /// caches are cleared at the recovery edge, so a run with a
+    /// mid-stream recovery recompiles what a fault-free run compiled
+    /// exactly once.
+    #[test]
+    fn recovery_clears_caches_cold() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(11, 60, 2_000.0, 1).generate();
+        let base = Fleet::new(ArchKind::S2taAw, 1).serve(&models, &reqs);
+        // Short windows confined to the first half of the run, so a
+        // recovery edge fires while batches are still being sealed —
+        // the post-recovery seals must recompile.
+        let spec = crash_spec(7, 2, base.makespan_cycles / 2 + 1, base.makespan_cycles / 8 + 1);
+        let report = Fleet::new(ArchKind::S2taAw, 1)
+            .with_faults(FaultConfig::protected(spec))
+            .serve(&models, &reqs);
+        assert!(report.fault.lane_recoveries > 0, "schedule must include a recovery");
+        assert!(
+            report.plan_cache.misses > base.plan_cache.misses,
+            "post-recovery executions must re-compile evicted plans \
+             ({} vs fault-free {})",
+            report.plan_cache.misses,
+            base.plan_cache.misses
+        );
+    }
+
+    /// Per-lane MTTR accounting: downtime and recovery counts line up
+    /// with the expanded schedule's own windows.
+    #[test]
+    fn fault_stats_mttr_matches_schedule() {
+        let models = vec![lenet5()];
+        let reqs = WorkloadSpec::uniform(11, 60, 2_000.0, 1).generate();
+        let base = Fleet::new(ArchKind::S2taAw, 1).serve(&models, &reqs);
+        let spec = crash_spec(7, 6, base.makespan_cycles.max(1), base.makespan_cycles / 4 + 1);
+        let report = Fleet::new(ArchKind::S2taAw, 1)
+            .with_faults(FaultConfig::protected(spec.clone()))
+            .serve(&models, &reqs);
+        // The final drain fires every scheduled edge, so recoveries and
+        // downtime must match the expanded plan's windows exactly.
+        let plan = spec.schedule(&[1]);
+        let windows = plan.shard_timeline(0).lane_down_windows(0).to_vec();
+        assert!(!windows.is_empty());
+        assert_eq!(report.fault.lane_recovery_counts[0] as usize, windows.len());
+        let downtime: u64 = windows.iter().map(|&(start, end)| end - start).sum();
+        assert_eq!(report.fault.lane_downtime_cycles[0], downtime);
+        assert_eq!(report.fault.lane_mttr_cycles(0), Some(downtime / windows.len() as u64));
+    }
+
+    /// Hedged dispatch duplicates aged batches onto a second lane:
+    /// with a quiet schedule and an aggressive age threshold under
+    /// queue-building traffic, hedges fire, every request is still
+    /// served exactly once, and the loser copies' lane time shows up
+    /// as extra busy cycles — all deterministically.
+    #[test]
+    fn hedging_duplicates_aged_batches_without_losing_requests() {
+        use crate::fault::HedgePolicy;
+        let models = vec![lenet5()];
+        // Sparse arrivals under a large batch cap: batches seal by
+        // timeout, so each carries a queueing age of the full batching
+        // window — well past the learned service estimate.
+        let reqs = WorkloadSpec::uniform(13, 80, 12_000.0, 1).generate();
+        let policy = FixedPolicy { max_batch: 8, max_wait_cycles: 30_000 };
+        let plain = Fleet::new(ArchKind::S2taAw, 2).with_policy(policy).serve(&models, &reqs);
+        let mut config = FaultConfig::protected(FaultSpec::quiet(5));
+        config.hedge = Some(HedgePolicy { age_factor: 1 });
+        let hedge = || {
+            Fleet::new(ArchKind::S2taAw, 2)
+                .with_policy(policy)
+                .with_faults(config.clone())
+                .serve(&models, &reqs)
+        };
+        let report = hedge();
+        assert!(report.fault.hedges > 0, "aged batches must hedge");
+        assert_eq!(report.served_count(), reqs.len(), "hedging must not lose requests");
+        assert_eq!(report.fault.failed, 0);
+        let busy = |r: &ServeReport| -> u64 { r.workers.iter().map(|w| w.busy_cycles).sum() };
+        assert!(busy(&report) > busy(&plain), "losing copies must be charged as wasted lane time");
+        assert_eq!(report, hedge(), "hedged serving must be deterministic");
     }
 }

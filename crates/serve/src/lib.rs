@@ -50,6 +50,12 @@
 //!   curve ([`AutoscalePolicy`], [`DiurnalSpec`], [`ScaleEvent`]) and
 //!   global percentiles merged from per-request samples — never
 //!   averaged per-shard percentiles.
+//! * [`FaultSpec`] / [`FaultConfig`] — deterministic seeded fault
+//!   injection (lane crashes, lane slowdowns, shard outages) with
+//!   bounded deadline-aware retries ([`RetryPolicy`]), hedged dispatch
+//!   ([`HedgePolicy`]), health-aware router failover and degraded-mode
+//!   load shedding ([`DegradedMode`]); fault accounting rides every
+//!   report as [`FaultStats`], inside report equality.
 //!
 //! # Example
 //!
@@ -73,6 +79,7 @@
 #![forbid(unsafe_code)]
 
 mod cluster;
+mod fault;
 mod fleet;
 mod pipeline;
 mod policy;
@@ -86,6 +93,10 @@ mod workload;
 pub use cluster::{
     AutoscalePolicy, Cluster, ClusterReport, RoutingPolicy, ScaleEvent, ShardSummary,
 };
+pub use fault::{
+    DegradedMode, FaultConfig, FaultEvent, FaultPlan, FaultSpec, FaultTimeline, HedgePolicy,
+    RetryPolicy, RetryQueue, TimelineEvent, WindowEdge,
+};
 pub use fleet::{Fleet, FleetSpec, Lane};
 pub use pipeline::{PipelinePlan, StageAssignment};
 pub use policy::{
@@ -93,8 +104,8 @@ pub use policy::{
 };
 pub use queue::RequestQueue;
 pub use report::{
-    DroppedRequest, LatencyHistogram, ModelServeStats, PipelineStageStats, PlanCacheActivity,
-    RequestOutcome, ServeReport, ServedRequest, WorkerStats,
+    DroppedRequest, FailedRequest, FaultStats, LatencyHistogram, ModelServeStats,
+    PipelineStageStats, PlanCacheActivity, RequestOutcome, ServeReport, ServedRequest, WorkerStats,
 };
 pub use scheduler::{Batch, Formation, Placement, PlacementStrategy, Scheduler, ServiceEstimator};
 pub use timewheel::TimerWheel;

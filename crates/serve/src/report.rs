@@ -63,10 +63,12 @@ fn push_table_row(s: &mut String, cols: &[Col], cells: &[String]) {
     s.push('\n');
 }
 
-/// The fate of one request: either it was admitted, batched and
-/// executed ([`RequestOutcome::Served`]), or admission control refused
-/// it because its model lane was at capacity
-/// ([`RequestOutcome::Dropped`]).
+/// The fate of one request: it was admitted, batched and executed
+/// ([`RequestOutcome::Served`]); admission control refused it because
+/// its model lane was at capacity or degraded-mode shedding turned it
+/// away ([`RequestOutcome::Dropped`]); or fault handling abandoned it
+/// after its batch was lost to a lane crash and the retry policy ran
+/// out of road ([`RequestOutcome::Failed`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestOutcome {
     /// The request was admitted and executed.
@@ -74,6 +76,11 @@ pub enum RequestOutcome {
     /// The request was tail-dropped at admission; it never queued and
     /// consumed no accelerator time.
     Dropped(DroppedRequest),
+    /// The request was admitted but lost to a lane crash, and the
+    /// [`crate::RetryPolicy`] gave up on it — either the attempt
+    /// budget ran out or the next retry could no longer meet its
+    /// deadline.
+    Failed(FailedRequest),
 }
 
 /// A request that was admitted, batched, and executed.
@@ -107,6 +114,21 @@ pub struct DroppedRequest {
     pub arrival: u64,
 }
 
+/// A request abandoned by fault handling: its batch was cancelled by a
+/// lane crash and the retry policy could not place it again in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedRequest {
+    /// Request id (dense, in arrival order).
+    pub id: u64,
+    /// Name of the model requested.
+    pub model: String,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Dispatch attempts the request consumed before giving up (its
+    /// initial dispatch plus every retry that reached a lane).
+    pub attempts: u32,
+}
+
 impl ServedRequest {
     /// End-to-end latency in cycles (queueing + batching + service).
     pub fn latency_cycles(&self) -> u64 {
@@ -125,6 +147,7 @@ impl RequestOutcome {
         match self {
             Self::Served(s) => s.id,
             Self::Dropped(d) => d.id,
+            Self::Failed(f) => f.id,
         }
     }
 
@@ -133,6 +156,7 @@ impl RequestOutcome {
         match self {
             Self::Served(s) => &s.model,
             Self::Dropped(d) => &d.model,
+            Self::Failed(f) => &f.model,
         }
     }
 
@@ -141,6 +165,7 @@ impl RequestOutcome {
         match self {
             Self::Served(s) => s.arrival,
             Self::Dropped(d) => d.arrival,
+            Self::Failed(f) => f.arrival,
         }
     }
 
@@ -149,11 +174,12 @@ impl RequestOutcome {
         matches!(self, Self::Served(_))
     }
 
-    /// The served record, if the request was not dropped.
+    /// The served record, if the request was neither dropped nor
+    /// failed.
     pub fn served(&self) -> Option<&ServedRequest> {
         match self {
             Self::Served(s) => Some(s),
-            Self::Dropped(_) => None,
+            Self::Dropped(_) | Self::Failed(_) => None,
         }
     }
 
@@ -479,12 +505,92 @@ impl PipelineStageStats {
 pub struct ModelServeStats {
     /// The model's name.
     pub model: String,
-    /// Requests of this model tail-dropped at admission.
+    /// Requests of this model tail-dropped at admission (including
+    /// degraded-mode shedding).
     pub dropped: u64,
     /// Requests of this model dispatched in **timeout-sealed** batches
     /// — each waited out the policy's full `max_wait` instead of its
     /// batch filling, the deadline-miss unit an SLO audit counts.
     pub deadline_misses: u64,
+    /// Requests of this model abandoned by fault handling (see
+    /// [`RequestOutcome::Failed`]).
+    pub failed: u64,
+}
+
+/// Fault-injection and recovery accounting for one serving run.
+///
+/// Unlike the host-side memo cells, every field here is a **simulated
+/// outcome**: the fault schedule, retries, hedges and degraded-mode
+/// decisions all run on the simulated clock, so the struct sits
+/// **inside report equality** — serial and shard-parallel cluster
+/// drivers must agree on it byte-for-byte. A fault-free run carries
+/// the all-zero default (with empty per-lane vectors), which keeps the
+/// engine-vs-vectorized equivalence untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Lane-crash windows that began during the run.
+    pub lane_crashes: u64,
+    /// Lane-crash windows that ended (the lane came back, cold)
+    /// before the run finished.
+    pub lane_recoveries: u64,
+    /// Lane-slowdown windows that began during the run.
+    pub slowdowns: u64,
+    /// Requests re-queued for another dispatch attempt after their
+    /// batch was cancelled by a lane crash.
+    pub retries: u64,
+    /// Batches dispatched twice under the hedging policy (the faster
+    /// copy wins; the loser's lane time is wasted capacity).
+    pub hedges: u64,
+    /// Requests the router re-routed away from an out shard.
+    pub failovers: u64,
+    /// Requests abandoned as [`RequestOutcome::Failed`].
+    pub failed: u64,
+    /// Requests shed at admission by degraded mode (counted inside
+    /// the regular dropped totals as well).
+    pub shed: u64,
+    /// Simulated cycles the engine spent in degraded mode.
+    pub degraded_cycles: u64,
+    /// Per-lane cycles spent down (crash windows observed by the
+    /// engine), indexed by lane; empty when faults are disabled.
+    pub lane_downtime_cycles: Vec<u64>,
+    /// Per-lane completed recovery count, indexed by lane; empty when
+    /// faults are disabled.
+    pub lane_recovery_counts: Vec<u64>,
+}
+
+impl FaultStats {
+    /// `true` when the run saw no fault activity at all (the
+    /// fault-free default).
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Mean time to recovery for `lane` in cycles — observed downtime
+    /// over completed recoveries — or `None` when the lane never
+    /// recovered during the run.
+    pub fn lane_mttr_cycles(&self, lane: usize) -> Option<u64> {
+        let recoveries = *self.lane_recovery_counts.get(lane)?;
+        if recoveries == 0 {
+            return None;
+        }
+        Some(self.lane_downtime_cycles.get(lane).copied().unwrap_or(0) / recoveries)
+    }
+
+    /// Folds `other` into `self` (lane vectors concatenate: cluster
+    /// aggregation keeps shard lanes distinct, in shard order).
+    pub fn merge(&mut self, other: &Self) {
+        self.lane_crashes += other.lane_crashes;
+        self.lane_recoveries += other.lane_recoveries;
+        self.slowdowns += other.slowdowns;
+        self.retries += other.retries;
+        self.hedges += other.hedges;
+        self.failovers += other.failovers;
+        self.failed += other.failed;
+        self.shed += other.shed;
+        self.degraded_cycles += other.degraded_cycles;
+        self.lane_downtime_cycles.extend_from_slice(&other.lane_downtime_cycles);
+        self.lane_recovery_counts.extend_from_slice(&other.lane_recovery_counts);
+    }
 }
 
 /// Everything a serving run produced.
@@ -536,6 +642,10 @@ pub struct ServeReport {
     /// order. Part of report equality: every serving path (vectorized,
     /// engine, cluster shard) must agree on it byte-for-byte.
     pub per_model: Vec<ModelServeStats>,
+    /// Fault-injection and recovery accounting (all-zero for
+    /// fault-free runs; **inside** report equality — see
+    /// [`FaultStats`]).
+    pub fault: FaultStats,
     /// Weight-plan-cache activity during this run (host-side
     /// diagnostic; excluded from equality — see [`PlanCacheActivity`]).
     pub plan_cache: PlanCacheActivity,
@@ -559,9 +669,27 @@ impl ServeReport {
         self.outcomes.iter().filter(|o| o.is_served()).count()
     }
 
-    /// Requests refused at admission.
+    /// Requests refused at admission (capacity tail drops plus
+    /// degraded-mode shedding).
     pub fn dropped_count(&self) -> usize {
-        self.outcomes.len() - self.served_count()
+        self.outcomes.iter().filter(|o| matches!(o, RequestOutcome::Dropped(_))).count()
+    }
+
+    /// Requests abandoned by fault handling (see
+    /// [`RequestOutcome::Failed`]).
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, RequestOutcome::Failed(_))).count()
+    }
+
+    /// Fraction of issued requests that were **not** lost to faults:
+    /// `1 - failed/issued` (1.0 for an empty or fault-free run).
+    /// Admission drops are a load-shedding decision, not
+    /// unavailability, so they do not lower this number.
+    pub fn availability(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.failed_count() as f64 / self.outcomes.len() as f64
     }
 
     /// The run's observability trace, when the fleet had a recorder
@@ -711,14 +839,27 @@ impl ServeReport {
     pub fn summary(&self, tech: &TechParams) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "ServeReport [{} | {}]: {} served / {} dropped in {} batches on {} workers\n",
+            "ServeReport [{} | {}]: {} served / {} dropped / {} failed in {} batches on {} workers\n",
             self.arch,
             self.policy,
             self.served_count(),
             self.dropped_count(),
+            self.failed_count(),
             self.batches,
             self.workers.len()
         ));
+        if !self.fault.is_quiet() {
+            s.push_str(&format!(
+                "  faults          {:>10} crashes ({} recoveries, {} slowdowns, {} retries, {} hedges, {} shed, availability {:.4})\n",
+                self.fault.lane_crashes,
+                self.fault.lane_recoveries,
+                self.fault.slowdowns,
+                self.fault.retries,
+                self.fault.hedges,
+                self.fault.shed,
+                self.availability()
+            ));
+        }
         s.push_str(&format!(
             "  goodput         {:>10.1} inf/s   (makespan {:.3} ms, mean batch {:.2}, drop rate {:.1}%)\n",
             self.goodput_ips(tech),
@@ -828,11 +969,12 @@ impl fmt::Display for ServeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [{}]: {} served, {} dropped, {} batches, {} workers, {} cycles makespan",
+            "{} [{}]: {} served, {} dropped, {} failed, {} batches, {} workers, {} cycles makespan",
             self.arch,
             self.policy,
             self.served_count(),
             self.dropped_count(),
+            self.failed_count(),
             self.batches,
             self.workers.len(),
             self.makespan_cycles
@@ -877,6 +1019,7 @@ mod tests {
             makespan_cycles: 100,
             pipeline_stages: vec![],
             per_model: vec![],
+            fault: FaultStats::default(),
             plan_cache: PlanCacheActivity::default(),
             latency_hist: HistogramCell::default(),
             trace: TraceCell::default(),
@@ -924,6 +1067,7 @@ mod tests {
             makespan_cycles: 0,
             pipeline_stages: vec![],
             per_model: vec![],
+            fault: FaultStats::default(),
             plan_cache: PlanCacheActivity::default(),
             latency_hist: HistogramCell::default(),
             trace: TraceCell::default(),
@@ -970,6 +1114,7 @@ mod tests {
             makespan_cycles: 0,
             pipeline_stages: vec![],
             per_model: vec![],
+            fault: FaultStats::default(),
             plan_cache: PlanCacheActivity::default(),
             latency_hist: HistogramCell::default(),
             trace: TraceCell::default(),

@@ -90,6 +90,9 @@ pub(crate) struct DeadlineHeap {
     /// same `(deadline, model, front_id)` pop order as the binary heap
     /// it replaced, at O(1) amortized per event.
     wheel: TimerWheel<(usize, u64)>,
+    /// Compaction staging buffer; persistent so steady-state compaction
+    /// allocates nothing once grown to its high-water mark.
+    scratch: Vec<(u64, (usize, u64))>,
 }
 
 impl DeadlineHeap {
@@ -98,9 +101,63 @@ impl DeadlineHeap {
     }
 
     /// Records `model`'s new front request and its wait deadline.
-    pub(crate) fn arm(&mut self, model: usize, front: &Request, max_wait_cycles: u64) {
+    pub(crate) fn arm(
+        &mut self,
+        model: usize,
+        front: &Request,
+        max_wait_cycles: u64,
+        queue: &RequestQueue,
+    ) {
         let deadline = front.arrival.saturating_add(max_wait_cycles);
-        self.wheel.push(deadline, (model, front.id));
+        self.arm_at(deadline, model, front.id, queue);
+    }
+
+    /// Records `model`'s new front request by id with an explicit
+    /// deadline — used when the wait budget anchors to the re-queue
+    /// instant of a retried request rather than its original arrival.
+    pub(crate) fn arm_at(
+        &mut self,
+        deadline: u64,
+        model: usize,
+        front_id: u64,
+        queue: &RequestQueue,
+    ) {
+        self.wheel.push(deadline, (model, front_id));
+        self.maybe_compact(queue);
+    }
+
+    /// Rebuilds the wheel from its live entries once stale ones
+    /// dominate. Lazy invalidation keeps the wheel O(pending) only
+    /// while each request arms at most once; retry and timeout churn
+    /// re-arms the same lane's front repeatedly, which would otherwise
+    /// grow the wheel O(events processed). At most one entry per lane
+    /// is live (matches the lane's current front), so live ≤ models and
+    /// a `4 × models` bound means stale entries outnumber live at least
+    /// 3:1 before a rebuild. The wheel pops in exact `(deadline, key)`
+    /// order even for past deadlines, so popping everything and
+    /// re-pushing the surviving subset preserves the exact pop order —
+    /// compaction is behaviourally invisible.
+    fn maybe_compact(&mut self, queue: &RequestQueue) {
+        let live_bound = queue.models().max(1);
+        if self.wheel.len() < 64 || self.wheel.len() <= 4 * live_bound {
+            return;
+        }
+        self.scratch.clear();
+        while let Some((deadline, key)) = self.wheel.pop() {
+            let (model, front_id) = key;
+            if queue.front(model).is_some_and(|front| front.id == front_id) {
+                self.scratch.push((deadline, key));
+            }
+        }
+        for &(deadline, key) in &self.scratch {
+            self.wheel.push(deadline, key);
+        }
+    }
+
+    /// Number of entries (live + stale) currently held.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.wheel.len()
     }
 
     /// The earliest live `(deadline, model)` pair, discarding stale
@@ -397,7 +454,7 @@ impl Scheduler {
                 continue;
             }
             if was_empty {
-                deadlines.arm(lane, r, limits.max_wait_cycles);
+                deadlines.arm(lane, r, limits.max_wait_cycles, &queue);
             }
             if queue.pending(lane) == limits.max_batch {
                 let members = queue.pop_batch(lane, limits.max_batch);
@@ -439,7 +496,7 @@ impl Scheduler {
                 timeout_sealed.push(true);
                 if let Some(front) = queue.front(model) {
                     let front = *front;
-                    deadlines.arm(model, &front, limits.max_wait_cycles);
+                    deadlines.arm(model, &front, limits.max_wait_cycles, queue);
                 }
             } else {
                 return;
@@ -575,6 +632,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A retry/timeout storm re-arms the same lane's front thousands of
+    /// times; lazy invalidation alone would let the wheel grow
+    /// O(events). Compaction must pin it O(live) — bounded by a small
+    /// constant times the model count — without changing what
+    /// `peek_live` reports.
+    #[test]
+    fn deadline_heap_compacts_under_rearm_churn() {
+        let models = 3;
+        let mut queue = RequestQueue::new(models);
+        let mut heap = DeadlineHeap::new();
+        for m in 0..models {
+            queue.push(req(m as u64, m, 10));
+        }
+        for round in 0..10_000u64 {
+            let m = (round % models as u64) as usize;
+            // Retire the lane's current front and replace it: each
+            // replacement arms a fresh entry while the retired front's
+            // entry goes stale only lazily — exactly the churn a retry
+            // storm produces.
+            queue.pop_batch(m, 1);
+            let next = req(models as u64 + round, m, 10 + round);
+            queue.push(next);
+            heap.arm(m, &next, 100, &queue);
+        }
+        assert!(
+            heap.len() <= 64.max(4 * models),
+            "wheel grew to {} entries across the storm; compaction must \
+             keep it O(live)",
+            heap.len()
+        );
+        // The storm must not have disturbed liveness: every lane's
+        // current front is still discoverable in deadline order.
+        let (_, model) = heap.peek_live(&queue).expect("live fronts remain");
+        assert!(model < models);
     }
 
     #[test]

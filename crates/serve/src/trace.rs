@@ -100,6 +100,26 @@ pub enum TraceEventKind {
     /// evaluation time, `lane` = active lanes **before**, `stage` =
     /// active lanes **after**, `a` = the triggering backlog, `b` = 0.
     AutoscaleDecision,
+    /// A fault window opened on a lane: `cycle` = failure time,
+    /// `lane` = the lane, `a` = the window's duration in cycles, `b` =
+    /// 0 for a crash or the slowdown factor for a slowdown.
+    LaneFailed,
+    /// A fault window closed and the lane came back (cold, for a
+    /// crash): `cycle` = recovery time, `lane` = the lane, `a` = the
+    /// window's duration in cycles, `b` = 0 for a crash or the
+    /// slowdown factor for a slowdown.
+    LaneRecovered,
+    /// A crash-cancelled request was re-queued for another attempt:
+    /// `cycle` = the scheduled retry time, `a` = request id, `b` =
+    /// the attempt number being scheduled.
+    RequestRetried,
+    /// A batch was dispatched twice under the hedging policy: `cycle`
+    /// = hedged start, `lane` = the winning lane, `a` = batch id,
+    /// `b` = the losing lane.
+    RequestHedged,
+    /// The router steered a request away from an out shard: `cycle` =
+    /// arrival, `a` = request id, `b` = 0.
+    ShardFailedOver,
 }
 
 impl TraceEventKind {
@@ -114,6 +134,11 @@ impl TraceEventKind {
             Self::StageDispatch => "stage_dispatch",
             Self::StageStall => "stage_stall",
             Self::AutoscaleDecision => "autoscale",
+            Self::LaneFailed => "lane_failed",
+            Self::LaneRecovered => "lane_recovered",
+            Self::RequestRetried => "request_retried",
+            Self::RequestHedged => "request_hedged",
+            Self::ShardFailedOver => "shard_failed_over",
         }
     }
 }
@@ -459,6 +484,26 @@ impl Trace {
                 TraceEventKind::AutoscaleDecision => format!(
                     r#"{{"name":"autoscale {}->{}","ph":"i","s":"p","ts":{},"pid":{},"tid":0,"args":{{"from_lanes":{},"to_lanes":{},"backlog":{}}}}}"#,
                     e.lane, e.stage, e.cycle, e.shard, e.lane, e.stage, e.a
+                ),
+                TraceEventKind::LaneFailed => format!(
+                    r#"{{"name":"lane_failed","ph":"i","s":"t","ts":{},"pid":{},"tid":{},"args":{{"duration":{},"factor":{}}}}}"#,
+                    e.cycle, e.shard, e.lane, e.a, e.b
+                ),
+                TraceEventKind::LaneRecovered => format!(
+                    r#"{{"name":"lane_recovered","ph":"i","s":"t","ts":{},"pid":{},"tid":{},"args":{{"duration":{},"factor":{}}}}}"#,
+                    e.cycle, e.shard, e.lane, e.a, e.b
+                ),
+                TraceEventKind::RequestRetried => format!(
+                    r#"{{"name":"request_retried/{model}","ph":"i","s":"t","ts":{},"pid":{},"tid":{},"args":{{"request":{},"attempt":{}}}}}"#,
+                    e.cycle, e.shard, e.lane, e.a, e.b
+                ),
+                TraceEventKind::RequestHedged => format!(
+                    r#"{{"name":"request_hedged/{model}","ph":"i","s":"t","ts":{},"pid":{},"tid":{},"args":{{"batch":{},"loser_lane":{}}}}}"#,
+                    e.cycle, e.shard, e.lane, e.a, e.b
+                ),
+                TraceEventKind::ShardFailedOver => format!(
+                    r#"{{"name":"shard_failed_over/{model}","ph":"i","s":"t","ts":{},"pid":{},"tid":0,"args":{{"request":{}}}}}"#,
+                    e.cycle, e.shard, e.a
                 ),
             };
             entries.push((e.cycle, e.shard, i, body));

@@ -408,37 +408,6 @@ impl ClosedLoopClient {
     }
 }
 
-/// Partitions a sorted arrival stream into per-shard substreams given
-/// each request's pre-drawn shard (`assignment` parallel to
-/// `requests`): the tier-1 cluster driver's input split. Each
-/// substream preserves the global stream's relative order (hence stays
-/// sorted), and requests keep their global ids.
-///
-/// # Panics
-///
-/// Panics if arrivals are unsorted — the same contract the serial
-/// driver enforces at injection, surfaced before any shard runs.
-pub(crate) fn partition_by_shard(
-    requests: &[Request],
-    assignment: &[usize],
-    shards: usize,
-) -> Vec<Vec<Request>> {
-    debug_assert_eq!(requests.len(), assignment.len());
-    assert!(
-        requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-        "arrival stream must be sorted"
-    );
-    let mut counts = vec![0usize; shards];
-    for &s in assignment {
-        counts[s] += 1;
-    }
-    let mut parts: Vec<Vec<Request>> = counts.into_iter().map(Vec::with_capacity).collect();
-    for (r, &s) in requests.iter().zip(assignment) {
-        parts[s].push(*r);
-    }
-    parts
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

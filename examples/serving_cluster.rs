@@ -28,7 +28,7 @@ use std::path::Path;
 
 use s2ta::energy::TechParams;
 use s2ta::serve::{AutoscalePolicy, ClusterReport, RoutingPolicy, TraceConfig};
-use s2ta_bench::cluster_scenario as scenario;
+use s2ta_bench::{chaos_scenario, cluster_scenario as scenario};
 
 fn main() {
     let tech = TechParams::tsmc16();
@@ -143,6 +143,45 @@ fn main() {
     println!(
         "wrote TRACE_cluster.json (chrome://tracing / ui.perfetto.dev) + METRICS_cluster.json"
     );
+    println!();
+
+    // The same prefix under the chaos scenario: bounded admission,
+    // random routing, and the seeded fault schedule scaled to this
+    // run's horizon, with the full protection stack on (retries,
+    // router failover, degraded-mode shedding). Conservation now
+    // counts three ways, the fault machinery must actually fire, the
+    // fault events land in the exported trace for CI to validate, and
+    // the serial driver must still trace byte-identically.
+    let horizon = scaled.makespan_cycles();
+    let chaos_cluster = chaos_scenario::cluster()
+        .with_faults(chaos_scenario::protected(horizon))
+        .with_trace(trace_cfg);
+    let chaos = chaos_cluster.serve(&models, &requests);
+    assert_eq!(chaos.total_requests(), requests.len(), "chaos run must conserve the stream");
+    assert_eq!(
+        chaos.served_count() + chaos.dropped_count() + chaos.failed_count(),
+        requests.len(),
+        "served + dropped + failed must cover the stream"
+    );
+    let stats = chaos.fault_stats();
+    assert!(stats.lane_crashes > 0, "the schedule must inject crashes at this scale");
+    assert!(stats.failovers > 0, "outage arrivals must fail over to healthy shards");
+    let chaos_trace = chaos.merged_trace().expect("recorder attached");
+    let chaos_serial =
+        chaos_cluster.serve_serial(&models, &requests).merged_trace().expect("recorder attached");
+    assert_eq!(chaos_trace, chaos_serial, "fault-mode drivers must trace identically");
+    println!(
+        "chaos (protected): {} crashes, {} retries, {} failovers, {} failed, \
+         availability {:.4}",
+        stats.lane_crashes,
+        stats.retries,
+        stats.failovers,
+        stats.failed,
+        chaos.availability(),
+    );
+    fs::write(root.join("TRACE_chaos.json"), chaos_trace.chrome_trace_json())
+        .expect("write TRACE_chaos.json");
+    println!("wrote TRACE_chaos.json (fault events included)");
 }
 
 /// Every request lands on exactly one shard, the router's tallies

@@ -2,15 +2,16 @@
 //! single-shard degeneration to a bare fleet, determinism of sharded
 //! runs, merged-percentile rollup, and lane autoscaling.
 
-use proptest::prop_assert_eq;
+use proptest::{prop_assert, prop_assert_eq};
 use s2ta::core::pool::Executor;
 use s2ta::core::ArchKind;
 use s2ta::energy::TechParams;
 use s2ta::models::{lenet5, ModelSpec};
 use s2ta::serve::{
-    AutoscalePolicy, Cluster, DiurnalSpec, FixedPolicy, Fleet, FleetSpec, RateSegment, Request,
-    RoutingPolicy, WorkloadSpec,
+    AutoscalePolicy, Cluster, DiurnalSpec, FaultConfig, FaultSpec, FixedPolicy, Fleet, FleetSpec,
+    RateSegment, Request, RoutingPolicy, TraceConfig, TraceEventKind, WorkloadSpec,
 };
+use std::collections::HashMap;
 
 fn models() -> Vec<ModelSpec> {
     vec![lenet5()]
@@ -263,6 +264,119 @@ proptest::proptest! {
                 );
                 prop_assert_eq!(&parallel.scale_events, &serial.scale_events);
                 prop_assert_eq!(&parallel.routed, &serial.routed);
+            }
+        }
+    }
+}
+
+/// A chaos schedule dense enough to guarantee crash, slowdown and
+/// outage activity inside the arrival span.
+fn chaos_spec(seed: u64, horizon: u64) -> FaultSpec {
+    FaultSpec {
+        seed,
+        lane_crashes: 3,
+        lane_slowdowns: 2,
+        shard_outages: 1,
+        horizon_cycles: horizon.max(1),
+        mean_down_cycles: horizon / 8 + 1,
+        mean_outage_cycles: 0,
+        slowdown_factor: 3,
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(4))]
+
+    /// Chaos property: under random seeded fault schedules, every
+    /// routing policy and shard count must (a) conserve requests —
+    /// served + dropped + failed covers the offered stream exactly
+    /// once, (b) never execute a served batch inside its lane's crash
+    /// window, and (c) stay byte-identical between the serial and
+    /// shard-parallel drivers, **including the merged trace**.
+    #[test]
+    fn prop_chaos_conserves_and_stays_byte_identical(
+        seed in 1u64..500,
+        fault_seed in 1u64..500,
+        policy_idx in 0usize..3,
+    ) {
+        let models = models();
+        let requests = stream(seed, 80);
+        let offered = requests.len();
+        let horizon = requests.last().map_or(1, |r| r.arrival.max(1));
+        let routing = [
+            RoutingPolicy::Random,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::PowerOfTwo,
+        ][policy_idx];
+        for shard_count in [1usize, 2, 4] {
+            let config = FaultConfig::protected(chaos_spec(fault_seed, horizon));
+            let cluster = Cluster::new(shards(shard_count, 2))
+                .with_routing(routing)
+                .with_router_seed(seed ^ 0xc4a05)
+                .with_trace(TraceConfig::default())
+                .with_faults(config.clone());
+            let serial = cluster.serve_serial(&models, &requests);
+
+            // (a) Conservation, by count and by id.
+            prop_assert_eq!(
+                serial.served_count() + serial.dropped_count() + serial.failed_count(),
+                offered,
+                "{:?} x{}: served+dropped+failed must cover the stream",
+                routing, shard_count
+            );
+            let mut ids: Vec<u64> = serial
+                .shards
+                .iter()
+                .flat_map(|s| s.outcomes.iter().map(|o| o.id()))
+                .collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..offered as u64).collect::<Vec<u64>>());
+            prop_assert!(serial.fault_stats().lane_crashes > 0, "schedule must crash");
+            prop_assert!(serial.availability() > 0.0 && serial.availability() <= 1.0);
+
+            // (b) No served batch executes inside its lane's crash
+            // window (windows recomputed from the pure schedule).
+            let plan = config.spec.schedule(&vec![2usize; shard_count]);
+            let trace = serial.merged_trace().expect("every shard is traced");
+            let mut starts: HashMap<(u32, u32, u64), u64> = HashMap::new();
+            for e in trace.events() {
+                match e.kind {
+                    TraceEventKind::BatchStarted => {
+                        starts.insert((e.shard, e.lane, e.a), e.cycle);
+                    }
+                    TraceEventKind::BatchCompleted => {
+                        let start = starts[&(e.shard, e.lane, e.a)];
+                        let timeline = plan.shard_timeline(e.shard as usize);
+                        for &(ws, we) in timeline.lane_down_windows(e.lane as usize) {
+                            prop_assert!(
+                                !(start < we && ws < e.cycle),
+                                "batch [{start}, {}) on shard {} lane {} overlaps \
+                                 crash window [{ws}, {we})",
+                                e.cycle, e.shard, e.lane
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // (c) Serial vs shard-parallel byte-identity, merged trace
+            // included.
+            for workers in [Some(1usize), Some(3), None] {
+                let parallel = match workers {
+                    Some(w) => cluster.serve_on(&Executor::new(w), &models, &requests),
+                    None => cluster.serve(&models, &requests),
+                };
+                prop_assert_eq!(
+                    &parallel, &serial,
+                    "{:?} x{} workers {:?}", routing, shard_count, workers
+                );
+                let parallel_trace = parallel.merged_trace().expect("traced");
+                prop_assert_eq!(
+                    parallel_trace.events(),
+                    trace.events(),
+                    "merged traces must be byte-identical"
+                );
             }
         }
     }
